@@ -1,0 +1,97 @@
+/// \file bench_rng.cpp
+/// \brief Experiment T-RNG-1: PRNG costs, and the O(log n) fast-forward
+/// that makes the traffic assignment's reproducible parallelism viable.
+///
+/// Paper §5: "several random number generators have algorithms for
+/// quickly 'moving ahead' ... the assignment starter code implements a
+/// fast-forward algorithm for one of the C++ linearly congruent
+/// generators."  The sweep shows discard(n) staying flat (logarithmic)
+/// while manual stepping grows linearly, and Philox's O(1) counter jump.
+
+#include <benchmark/benchmark.h>
+
+#include "rng/lcg.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix.hpp"
+
+namespace {
+
+void BM_Lcg64_Next(benchmark::State& state) {
+  peachy::rng::Lcg64 gen{42};
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next_u64());
+}
+BENCHMARK(BM_Lcg64_Next);
+
+void BM_Minstd_Next(benchmark::State& state) {
+  peachy::rng::Minstd gen{42};
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next_u32());
+}
+BENCHMARK(BM_Minstd_Next);
+
+void BM_Philox_Next(benchmark::State& state) {
+  peachy::rng::Philox4x32 gen{42};
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next_u32());
+}
+BENCHMARK(BM_Philox_Next);
+
+void BM_SplitMix_Next(benchmark::State& state) {
+  peachy::rng::SplitMix64 gen{42};
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next_u64());
+}
+BENCHMARK(BM_SplitMix_Next);
+
+/// The paper's primitive: LCG fast-forward across jump distances.  The
+/// O(log n) scaling shows as near-flat time while the range covers 2^8
+/// to 2^24.
+void BM_Lcg64_FastForward(benchmark::State& state) {
+  const auto jump = static_cast<std::uint64_t>(state.range(0));
+  peachy::rng::Lcg64 gen{42};
+  for (auto _ : state) {
+    gen.discard(jump);
+    benchmark::DoNotOptimize(gen.state());
+  }
+  state.SetLabel("O(log n) jump");
+}
+BENCHMARK(BM_Lcg64_FastForward)->Range(1 << 8, 1 << 24);
+
+/// The naive alternative: stepping one draw at a time — O(n).
+void BM_Lcg64_ManualStepping(benchmark::State& state) {
+  const auto jump = static_cast<std::uint64_t>(state.range(0));
+  peachy::rng::Lcg64 gen{42};
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < jump; ++i) benchmark::DoNotOptimize(gen.next_u64());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jump));
+  state.SetLabel("O(n) stepping");
+}
+BENCHMARK(BM_Lcg64_ManualStepping)->Range(1 << 8, 1 << 16);
+
+/// Minstd jump via modular exponentiation — also O(log n).
+void BM_Minstd_FastForward(benchmark::State& state) {
+  const auto jump = static_cast<std::uint64_t>(state.range(0));
+  peachy::rng::Minstd gen{42};
+  for (auto _ : state) {
+    gen.discard(jump);
+    benchmark::DoNotOptimize(gen.state());
+  }
+}
+BENCHMARK(BM_Minstd_FastForward)->Range(1 << 8, 1 << 24);
+
+/// Philox: positioning is O(1) — set the counter.
+void BM_Philox_SetIndex(benchmark::State& state) {
+  const auto jump = static_cast<std::uint64_t>(state.range(0));
+  peachy::rng::Philox4x32 gen{42};
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    pos += jump;
+    gen.set_index(pos);
+    benchmark::DoNotOptimize(gen.next_u32());
+  }
+  state.SetLabel("O(1) counter jump");
+}
+BENCHMARK(BM_Philox_SetIndex)->Range(1 << 8, 1 << 24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+/// \file bench_spark.cpp
+/// \brief Experiment T-SPK-1: the spark-like engine's narrow vs wide
+/// operation costs — the stage/shuffle structure the pipeline assignment
+/// teaches students to reason about.
+
+#include <benchmark/benchmark.h>
+
+#include "spark/pair_rdd.hpp"
+#include "spark/rdd.hpp"
+
+namespace {
+
+std::vector<std::pair<int, int>> pair_data(std::size_t n) {
+  std::vector<std::pair<int, int>> data;
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.emplace_back(static_cast<int>(i % 100), static_cast<int>(i));
+  }
+  return data;
+}
+
+void BM_Spark_MapFilterChain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto ctx = peachy::spark::Context::create(4, 8);
+  std::vector<int> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<int>(i);
+  for (auto _ : state) {
+    auto rdd = peachy::spark::parallelize(ctx, data)
+                   .map([](const int& x) { return x * 3; })
+                   .filter([](const int& x) { return x % 2 == 0; });
+    benchmark::DoNotOptimize(rdd.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Spark_MapFilterChain)->Arg(1 << 14)->Arg(1 << 18)->UseRealTime();
+
+void BM_Spark_ReduceByKey(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto ctx = peachy::spark::Context::create(4, 8);
+  const auto data = pair_data(n);
+  for (auto _ : state) {
+    auto reduced = peachy::spark::reduce_by_key(peachy::spark::parallelize(ctx, data),
+                                                std::plus<>{});
+    benchmark::DoNotOptimize(reduced.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["shuffled"] = static_cast<double>(ctx->stats().shuffle_records);
+}
+BENCHMARK(BM_Spark_ReduceByKey)->Arg(1 << 14)->Arg(1 << 17)->UseRealTime();
+
+void BM_Spark_Join(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto ctx = peachy::spark::Context::create(4, 8);
+  const auto left = pair_data(n);
+  std::vector<std::pair<int, double>> right;
+  for (int k = 0; k < 100; ++k) right.emplace_back(k, k * 1.5);
+  for (auto _ : state) {
+    auto joined = peachy::spark::join(peachy::spark::parallelize(ctx, left),
+                                      peachy::spark::parallelize(ctx, right));
+    benchmark::DoNotOptimize(joined.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Spark_Join)->Arg(1 << 14)->Arg(1 << 16)->UseRealTime();
+
+void BM_Spark_SortBy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto ctx = peachy::spark::Context::create(4, 8);
+  std::vector<int> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<int>((i * 2654435761u) % 1000000);
+  }
+  for (auto _ : state) {
+    auto sorted =
+        peachy::spark::parallelize(ctx, data).sort_by([](const int& x) { return x; });
+    benchmark::DoNotOptimize(sorted.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Spark_SortBy)->Arg(1 << 14)->Arg(1 << 17)->UseRealTime();
+
+/// Cache effectiveness: the same lineage evaluated twice, cached vs not.
+void BM_Spark_RecomputeVsCache(benchmark::State& state) {
+  const bool cached = state.range(0) == 1;
+  auto ctx = peachy::spark::Context::create(4, 8);
+  std::vector<int> data(1 << 15);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<int>(i);
+  for (auto _ : state) {
+    auto rdd = peachy::spark::parallelize(ctx, data).map([](const int& x) {
+      double acc = x;
+      for (int k = 0; k < 20; ++k) acc = acc * 1.01 + 1.0;  // some real work
+      return acc;
+    });
+    if (cached) rdd.cache();
+    benchmark::DoNotOptimize(rdd.count());
+    benchmark::DoNotOptimize(rdd.count());  // second action
+  }
+  state.SetLabel(cached ? "cached" : "recomputed");
+}
+BENCHMARK(BM_Spark_RecomputeVsCache)->Arg(0)->Arg(1)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+/// \file bench_substrates.cpp
+/// \brief Microbenchmarks of the substrates every assignment runs on:
+/// thread-pool task dispatch, parallel_for overhead, barriers, mini-MPI
+/// point-to-point and collectives, and the MapReduce shuffle.
+///
+/// These quantify the constant factors behind the experiment harnesses
+/// (e.g. the per-task overhead that T-HT-1's forall-vs-coforall contrast
+/// is made of).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "mapreduce/mapreduce.hpp"
+#include "mpi/mpi.hpp"
+#include "support/barrier.hpp"
+#include "support/parallel_for.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+void BM_ThreadPool_SubmitDrain(benchmark::State& state) {
+  peachy::support::ThreadPool pool{4};
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      pool.submit([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ThreadPool_SubmitDrain)->Arg(16)->Arg(256)->UseRealTime();
+
+void BM_ParallelFor_Overhead(benchmark::State& state) {
+  peachy::support::ThreadPool pool{4};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> data(n, 1.0);
+  for (auto _ : state) {
+    peachy::support::parallel_for(pool, 0, n, [&](std::size_t i) { data[i] *= 1.0000001; });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelFor_Overhead)->Arg(1 << 10)->Arg(1 << 16)->UseRealTime();
+
+void BM_CyclicBarrier_Phase(benchmark::State& state) {
+  // Single-party barrier isolates the mutex/cv cost per phase.
+  peachy::support::CyclicBarrier bar{1};
+  for (auto _ : state) benchmark::DoNotOptimize(bar.arrive_and_wait());
+}
+BENCHMARK(BM_CyclicBarrier_Phase)->UseRealTime();
+
+void BM_Mpi_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    peachy::mpi::run(2, [bytes](peachy::mpi::Comm& comm) {
+      const std::vector<std::byte> payload(bytes, std::byte{1});
+      constexpr int kRounds = 50;
+      for (int r = 0; r < kRounds; ++r) {
+        if (comm.rank() == 0) {
+          comm.send_bytes(1, 0, payload);
+          (void)comm.recv_bytes(1, 0);
+        } else {
+          (void)comm.recv_bytes(0, 0);
+          comm.send_bytes(0, 0, payload);
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 100 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Mpi_PingPong)->Arg(64)->Arg(1 << 16)->UseRealTime();
+
+void BM_Mpi_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto stats = peachy::mpi::run(ranks, [](peachy::mpi::Comm& comm) {
+      std::vector<double> local(256, 1.0);
+      for (int round = 0; round < 20; ++round) {
+        local = comm.allreduce<double>(local, std::plus<>{});
+      }
+    });
+    state.counters["msgs"] = static_cast<double>(stats.messages);
+  }
+}
+BENCHMARK(BM_Mpi_Allreduce)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_Mpi_Alltoall(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto stats = peachy::mpi::run(ranks, [](peachy::mpi::Comm& comm) {
+      std::vector<std::vector<int>> send(comm.size(), std::vector<int>(128, comm.rank()));
+      for (int round = 0; round < 20; ++round) {
+        benchmark::DoNotOptimize(comm.alltoall(send));
+      }
+    });
+    state.counters["msgs"] = static_cast<double>(stats.messages);
+  }
+}
+BENCHMARK(BM_Mpi_Alltoall)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_MapReduce_ShuffleGroup(benchmark::State& state) {
+  const auto pairs_per_rank = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    peachy::mpi::run(4, [pairs_per_rank](peachy::mpi::Comm& comm) {
+      peachy::mapreduce::MapReduce mr{comm};
+      mr.map(4, [pairs_per_rank](std::size_t task, peachy::mapreduce::KvEmitter& out) {
+        for (std::size_t i = 0; i < pairs_per_rank; ++i) {
+          out.emit_record<std::uint64_t>("key" + std::to_string((task * 7 + i) % 100), i);
+        }
+      });
+      mr.collate();
+      mr.reduce([](const std::string& k, std::span<const std::string> values,
+                   peachy::mapreduce::KvEmitter& out) {
+        out.emit_record<std::uint64_t>(k, values.size());
+      });
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          static_cast<std::int64_t>(pairs_per_rank));
+}
+BENCHMARK(BM_MapReduce_ShuffleGroup)->Arg(1000)->Arg(10000)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/// \file exp_kmeans.cpp
+/// \brief Experiment T-KM-1 (paper §3): the OpenMP parallelization
+/// strategy's stages — critical regions → atomics → reductions →
+/// cache-aware reductions — across thread counts.
+///
+/// "The parallelization strategy for this code in OpenMP has four
+/// stages: (1) Detect potential race conditions ... (2) Solve them with
+/// critical regions; (3) Improve efficiency by substituting them with
+/// atomic operations; and (4) Detect situations where a reduction can
+/// eliminate a race condition."
+
+#include <iostream>
+
+#include "data/points.hpp"
+#include "kmeans/kmeans.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  peachy::support::Cli cli{argc, argv};
+  const auto n = cli.get<std::size_t>("n", 60000, "points");
+  const auto d = cli.get<std::size_t>("d", 4, "dimensions");
+  const auto k = cli.get<std::size_t>("k", 20, "clusters");
+  const auto iters = cli.get<std::size_t>("iters", 10, "fixed iteration count");
+  const auto seed = cli.get<std::uint64_t>("seed", 13, "seed");
+  cli.finish();
+
+  peachy::data::BlobsSpec spec;
+  spec.classes = k;
+  spec.points_per_class = n / k;
+  spec.dims = d;
+  spec.spread = 2.0;
+  spec.seed = seed;
+  const auto points = peachy::data::gaussian_blobs(spec).points;
+
+  peachy::kmeans::Options opts;
+  opts.k = k;
+  opts.max_iterations = iters;
+  opts.min_changes = 0;
+  opts.move_tolerance = 0.0;  // fixed work: always run `iters` iterations
+  opts.seed = seed;
+
+  std::cout << "T-KM-1 — k-means strategy stages (n=" << points.size() << ", d=" << d
+            << ", k=" << k << ", " << iters << " iterations):\n\n";
+
+  double seq_ms = 0.0;
+  {
+    peachy::support::Stopwatch sw;
+    const auto res = peachy::kmeans::cluster_sequential(points, opts);
+    seq_ms = sw.elapsed_ms();
+    std::cout << "sequential reference: " << seq_ms << " ms, inertia " << res.inertia
+              << "\n\n";
+  }
+
+  peachy::support::ThreadPool pool{8};
+  peachy::support::Table table;
+  table.header({"variant", "threads", "ms", "vs sequential"});
+  for (const auto variant :
+       {peachy::kmeans::Variant::kCritical, peachy::kmeans::Variant::kAtomic,
+        peachy::kmeans::Variant::kReduction, peachy::kmeans::Variant::kReductionPadded}) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      peachy::support::Stopwatch sw;
+      (void)peachy::kmeans::cluster_parallel(points, opts, variant, pool, threads);
+      const double ms = sw.elapsed_ms();
+      table.row({peachy::kmeans::to_string(variant), static_cast<std::int64_t>(threads), ms,
+                 std::to_string(seq_ms / ms) + "x"});
+    }
+  }
+  table.print();
+  std::cout << "\nexpected shape: critical < atomic < reduction in throughput at every\n"
+               "thread count (the strategy's stages); padding matters once threads\n"
+               "share cache lines.  NOTE: on a single-core host the absolute\n"
+               "speedups collapse to ~1x but the variant ordering (synchronization\n"
+               "overhead) remains visible.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// \file heat_solver.cpp
+/// \brief The 1D heat equation both ways (paper §6): Part 1's implicit
+/// `forall` over a Block-distributed array versus Part 2's explicit
+/// persistent tasks with barriers and halo cells — validated against the
+/// analytic discrete solution, with the task-spawn contrast made visible.
+///
+///   ./heat_solver [--nx=4001 --nt=400 --alpha=0.25 --locales=4 --tpl=2
+///                  --mode=2]
+
+#include <iostream>
+
+#include "heat/heat.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+/// Plot u(x) as a small ASCII profile.
+std::string profile_ascii(const std::vector<double>& u, std::size_t width, std::size_t height) {
+  double lo = 1e300, hi = -1e300;
+  for (double v : u) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+  std::string canvas((width + 1) * height, ' ');
+  for (std::size_t r = 0; r < height; ++r) canvas[r * (width + 1) + width] = '\n';
+  for (std::size_t c = 0; c < width; ++c) {
+    const std::size_t j = c * (u.size() - 1) / (width - 1);
+    const auto row = static_cast<std::size_t>((hi - u[j]) / (hi - lo) * (height - 1));
+    canvas[row * (width + 1) + c] = '*';
+  }
+  return canvas;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  peachy::support::Cli cli{argc, argv};
+  peachy::heat::Spec spec;
+  spec.nx = cli.get<std::size_t>("nx", 4001, "grid points");
+  spec.nt = cli.get<std::size_t>("nt", 400, "time steps");
+  spec.alpha = cli.get<double>("alpha", 0.25, "diffusion number (<= 0.5)");
+  const auto locales = cli.get<std::size_t>("locales", 4, "simulated compute nodes");
+  const auto tpl = cli.get<std::size_t>("tpl", 2, "threads per locale");
+  const auto mode = cli.get<int>("mode", 2, "initial sine mode");
+  cli.finish();
+
+  std::cout << "1D heat equation (paper §6): nx=" << spec.nx << ", nt=" << spec.nt
+            << ", alpha=" << spec.alpha << ", " << locales << " locales x " << tpl
+            << " threads\n\n";
+
+  const auto initial = peachy::heat::sine_mode(mode);
+  const auto serial = peachy::heat::solve_serial(spec, initial);
+  const auto exact = peachy::heat::discrete_sine_solution(spec, mode);
+
+  peachy::chapel::LocaleGrid grid1{locales, tpl};
+  peachy::heat::SolveStats forall_stats;
+  const auto part1 = peachy::heat::solve_forall(spec, initial, grid1, &forall_stats);
+
+  peachy::chapel::LocaleGrid grid2{locales, tpl};
+  peachy::heat::SolveStats coforall_stats;
+  const auto part2 = peachy::heat::solve_coforall(spec, initial, grid2, &coforall_stats);
+
+  peachy::support::Table table;
+  table.header({"solver", "max|err| vs exact", "max|Δ| vs serial", "tasks spawned",
+                "remote accesses", "ms"});
+  table.row({std::string{"serial (starter code)"},
+             peachy::heat::max_abs_diff(serial, exact), 0.0, std::int64_t{0}, std::int64_t{0},
+             0.0});
+  table.row({std::string{"part 1: forall + BlockDist"},
+             peachy::heat::max_abs_diff(part1, exact),
+             peachy::heat::max_abs_diff(part1, serial),
+             static_cast<std::int64_t>(forall_stats.tasks_spawned),
+             static_cast<std::int64_t>(forall_stats.remote_accesses),
+             forall_stats.seconds * 1e3});
+  table.row({std::string{"part 2: coforall + halo"},
+             peachy::heat::max_abs_diff(part2, exact),
+             peachy::heat::max_abs_diff(part2, serial),
+             static_cast<std::int64_t>(coforall_stats.tasks_spawned),
+             static_cast<std::int64_t>(coforall_stats.remote_accesses),
+             coforall_stats.seconds * 1e3});
+  table.print();
+
+  std::cout << "\nPart 1 re-spawns tasks every step (" << forall_stats.tasks_spawned
+            << " total); Part 2 reuses " << coforall_stats.tasks_spawned
+            << " persistent tasks — the overhead the assignment eliminates.\n";
+
+  std::cout << "\nfinal temperature profile:\n" << profile_ascii(part2, 72, 14);
+  return 0;
+}

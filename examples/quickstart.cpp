@@ -1,0 +1,130 @@
+/// \file quickstart.cpp
+/// \brief Tour of the peachy library: one taste of each of the six Peachy
+/// Parallel Assignments (EduHPC 2023) in under a minute.
+///
+///   ./quickstart [--seed=N]
+
+#include <iostream>
+
+#include "data/points.hpp"
+#include "heat/heat.hpp"
+#include "hpo/hpo.hpp"
+#include "kmeans/kmeans.hpp"
+#include "knn/knn.hpp"
+#include "knn/mapreduce_knn.hpp"
+#include "mapreduce/wordcount.hpp"
+#include "mpi/mpi.hpp"
+#include "nn/digits.hpp"
+#include "pipeline/crime.hpp"
+#include "support/cli.hpp"
+#include "traffic/traffic.hpp"
+
+int main(int argc, char** argv) {
+  peachy::support::Cli cli{argc, argv};
+  const auto seed = cli.get<std::uint64_t>("seed", 2023, "master random seed");
+  cli.finish();
+
+  std::cout << "peachy quickstart — the six EduHPC 2023 Peachy assignments\n\n";
+
+  // ---- §2 k-Nearest Neighbor on MapReduce-MPI -----------------------------
+  {
+    peachy::data::BlobsSpec spec;
+    spec.points_per_class = 150;
+    spec.classes = 3;
+    spec.dims = 8;
+    spec.seed = seed;
+    const auto all = peachy::data::gaussian_blobs(spec);
+    const auto split = peachy::data::train_test_split(all, 0.2, seed);
+    std::vector<std::int32_t> predictions;
+    peachy::mpi::run(4, [&](peachy::mpi::Comm& comm) {
+      peachy::knn::MrKnnOptions opts;
+      opts.k = 7;
+      auto got = peachy::knn::mapreduce_classify(comm, split.train, split.test.points, opts);
+      if (comm.rank() == 0) predictions = std::move(got);
+    });
+    std::cout << "[knn]      MapReduce kNN over 4 ranks: test accuracy = "
+              << peachy::knn::accuracy(predictions, split.test.labels) << "\n";
+  }
+
+  // ---- §3 K-means clustering ------------------------------------------------
+  {
+    peachy::data::BlobsSpec spec;
+    spec.points_per_class = 400;
+    spec.classes = 4;
+    spec.dims = 2;
+    spec.seed = seed + 1;
+    const auto points = peachy::data::gaussian_blobs(spec).points;
+    peachy::kmeans::Options opts;
+    opts.k = 4;
+    opts.seed = seed;
+    peachy::support::ThreadPool pool{4};
+    const auto res = peachy::kmeans::cluster_parallel(
+        points, opts, peachy::kmeans::Variant::kReduction, pool, 4);
+    std::cout << "[kmeans]   " << points.size() << " points -> k=4 in " << res.iterations
+              << " iterations (inertia " << res.inertia << ")\n";
+  }
+
+  // ---- §4 Data-science pipeline ----------------------------------------------
+  {
+    peachy::pipeline::CrimeConfig cfg;
+    cfg.city.rows = 4;
+    cfg.city.cols = 4;
+    cfg.historic_arrests = 4000;
+    cfg.current_arrests = 2000;
+    cfg.seed = seed;
+    const auto report = peachy::pipeline::run_crime_pipeline(cfg);
+    std::cout << "[pipeline] crime workflow: " << report.events_ingested << " arrests -> "
+              << report.rates.size() << " NTAs; hotspot " << report.rates.front().nta << " at "
+              << report.rates.front().per_100k << " arrests/100k\n";
+  }
+
+  // ---- §5 Nagel–Schreckenberg traffic ------------------------------------------
+  {
+    peachy::traffic::Spec spec;  // Fig. 3 parameters
+    spec.seed = seed;
+    peachy::support::ThreadPool pool{4};
+    const auto serial = peachy::traffic::run_serial(spec, 200);
+    const auto parallel = peachy::traffic::run_parallel(spec, 200, pool, 4);
+    std::cout << "[traffic]  200 steps; parallel(4 threads) == serial: "
+              << (serial == parallel ? "bit-identical" : "MISMATCH")
+              << "; stopped cars now: " << peachy::traffic::stopped_cars(serial) << "\n";
+  }
+
+  // ---- §6 1D heat equation in the Chapel model ------------------------------------
+  {
+    peachy::heat::Spec spec;
+    spec.nx = 2001;
+    spec.nt = 200;
+    peachy::chapel::LocaleGrid grid{4, 2};
+    const auto serial = peachy::heat::solve_serial(spec, peachy::heat::sine_mode(1));
+    const auto dist = peachy::heat::solve_coforall(spec, peachy::heat::sine_mode(1), grid);
+    std::cout << "[heat]     coforall solver on 4 locales, max|Δ| vs serial = "
+              << peachy::heat::max_abs_diff(serial, dist) << "\n";
+  }
+
+  // ---- §7 Hyper-parameter optimization with ensembles ------------------------------
+  {
+    const peachy::nn::SyntheticDigits digits;
+    const auto train = digits.make_dataset(200, seed);
+    const auto val = digits.make_dataset(100, seed + 1);
+    peachy::hpo::SearchSpace space;
+    space.hidden_layouts = {{16}, {24}};
+    space.learning_rates = {0.1, 0.2};
+    space.momenta = {0.0};
+    space.epochs = 4;
+    space.base_seed = seed;
+    const auto configs = space.enumerate();
+    std::vector<peachy::hpo::TaskResult> results;
+    peachy::mpi::run(3, [&](peachy::mpi::Comm& comm) {
+      auto got = peachy::hpo::distributed_search(comm, train, val, configs,
+                                                 peachy::hpo::Schedule::kDynamic);
+      if (comm.rank() == 0) results = std::move(got);
+    });
+    const auto ens = peachy::hpo::build_ensemble(train, configs, results, 3);
+    std::cout << "[hpo]      " << configs.size() << " configs over 3 ranks; top-3 ensemble "
+              << "val accuracy = " << ens.accuracy(val) << "\n";
+  }
+
+  std::cout << "\nAll six assignments ran. See the other examples for depth.\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "chapel/chapel.hpp"
+
+namespace peachy::chapel {
+
+thread_local std::size_t LocaleGrid::tls_here_ = 0;
+
+LocaleGrid::LocaleGrid(std::size_t nlocales, std::size_t threads_per_locale)
+    : nlocales_{nlocales},
+      threads_per_locale_{threads_per_locale},
+      pool_{nlocales * threads_per_locale} {
+  PEACHY_CHECK(nlocales >= 1, "locale grid needs at least one locale");
+  PEACHY_CHECK(threads_per_locale >= 1, "need at least one thread per locale");
+}
+
+}  // namespace peachy::chapel

@@ -1,0 +1,265 @@
+#pragma once
+/// \file chapel.hpp
+/// \brief Library-level analogues of the Chapel constructs used by the 1D
+/// heat assignment (paper §6).
+///
+/// Chapel is a language; this container has no Chapel compiler, so peachy
+/// reproduces the assignment's constructs as a C++ library with the same
+/// cost model and the same teaching contrasts:
+///
+///  * `LocaleGrid`    — a set of L "locales" (simulated compute nodes); each
+///                      owns memory blocks, and a thread-local "here" tracks
+///                      which locale the current task executes on.
+///  * `forall`        — data-parallel loop over a domain: the runtime splits
+///                      iterations across tasks *and spawns those tasks anew
+///                      at every call* (the Part-1 overhead the assignment
+///                      asks students to notice).
+///  * `coforall`      — one task per iteration, exactly (the Part-2 building
+///                      block for persistent tasks).
+///  * `foreach`       — order-independent serial loop (vectorization hint).
+///  * `BlockDist1D`   — a 1-D array block-distributed across locales, with a
+///                      remote-access counter standing in for implicit
+///                      communication.
+///  * `Barrier`       — reusable synchronization for coforall tasks.
+///
+/// Task-spawn and remote-access counters feed experiment T-HT-1.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/barrier.hpp"
+#include "support/check.hpp"
+#include "support/parallel_for.hpp"
+#include "support/thread_pool.hpp"
+
+namespace peachy::chapel {
+
+/// Half-open index range [lo, hi) — a 1-D Chapel domain.
+struct Domain1D {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return hi - lo; }
+  [[nodiscard]] bool contains(std::size_t i) const noexcept { return i >= lo && i < hi; }
+  friend bool operator==(const Domain1D&, const Domain1D&) = default;
+};
+
+/// A set of simulated locales sharing one thread pool.
+///
+/// `threads_per_locale` models each node's cores; the pool is sized
+/// locales × threads_per_locale so a fully subscribed coforall-per-locale
+/// can make progress on every "node" concurrently.
+class LocaleGrid {
+ public:
+  explicit LocaleGrid(std::size_t nlocales, std::size_t threads_per_locale = 1);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nlocales_; }
+  [[nodiscard]] std::size_t threads_per_locale() const noexcept { return threads_per_locale_; }
+  [[nodiscard]] support::ThreadPool& pool() noexcept { return pool_; }
+
+  /// The locale the calling task runs on (Chapel's `here.id`).  Tasks
+  /// spawned outside any on-statement report locale 0.
+  [[nodiscard]] static std::size_t here() noexcept { return tls_here_; }
+
+  /// Total tasks spawned through forall/coforall on this grid.
+  [[nodiscard]] std::uint64_t tasks_spawned() const noexcept {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() noexcept { spawned_.store(0, std::memory_order_relaxed); }
+
+  // -- execution constructs ---------------------------------------------------
+
+  /// `coforall tid in 0..<n`: spawn exactly one task per iteration, run
+  /// body(tid), join.  Each task inherits the caller's locale.
+  template <typename F>
+  void coforall(std::size_t n, F&& body) {
+    const std::size_t parent = tls_here_;
+    spawned_.fetch_add(n, std::memory_order_relaxed);
+    std::vector<std::future<void>> futs;
+    futs.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      futs.push_back(pool_.submit_future([&body, parent, t] {
+        const HereScope scope{parent};
+        body(t);
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  /// `coforall loc in Locales do on loc { body(loc.id) }`: one task per
+  /// locale, each executing "on" its locale.
+  template <typename F>
+  void coforall_locales(F&& body) {
+    spawned_.fetch_add(nlocales_, std::memory_order_relaxed);
+    std::vector<std::future<void>> futs;
+    futs.reserve(nlocales_);
+    for (std::size_t l = 0; l < nlocales_; ++l) {
+      futs.push_back(pool_.submit_future([&body, l] {
+        const HereScope scope{l};
+        body(l);
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  /// `forall i in dom`: data-parallel loop.  The runtime spawns one task
+  /// per locale × threads_per_locale over a *block-distributed* view of
+  /// the domain (the same index→locale mapping BlockDist1D uses), runs
+  /// body(i) for owned indices, and joins.  Fresh tasks every call — the
+  /// overhead Part 2 of the heat assignment eliminates.
+  template <typename F>
+  void forall(Domain1D dom, F&& body) {
+    const std::size_t n = dom.size();
+    if (n == 0) return;
+    std::vector<std::future<void>> futs;
+    for (std::size_t l = 0; l < nlocales_; ++l) {
+      const auto lb = support::static_block(n, nlocales_, l);
+      const std::size_t len = lb.end - lb.begin;
+      if (len == 0) continue;
+      const std::size_t tasks = std::min(threads_per_locale_, len);
+      for (std::size_t t = 0; t < tasks; ++t) {
+        const auto tb = support::static_block(len, tasks, t);
+        const std::size_t lo = dom.lo + lb.begin + tb.begin;
+        const std::size_t hi = dom.lo + lb.begin + tb.end;
+        spawned_.fetch_add(1, std::memory_order_relaxed);
+        futs.push_back(pool_.submit_future([&body, l, lo, hi] {
+          const HereScope scope{l};
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        }));
+      }
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  /// `on loc { body() }`: run body with `here() == locale` (synchronous —
+  /// models execution migration, not concurrency).
+  template <typename F>
+  void on_locale(std::size_t locale, F&& body) {
+    PEACHY_CHECK(locale < nlocales_, "on_locale: bad locale id");
+    const HereScope scope{locale};
+    body();
+  }
+
+ private:
+  struct HereScope {
+    explicit HereScope(std::size_t l) noexcept : saved{tls_here_} { tls_here_ = l; }
+    ~HereScope() { tls_here_ = saved; }
+    HereScope(const HereScope&) = delete;
+    HereScope& operator=(const HereScope&) = delete;
+    std::size_t saved;
+  };
+
+  static thread_local std::size_t tls_here_;
+
+  std::size_t nlocales_;
+  std::size_t threads_per_locale_;
+  support::ThreadPool pool_;
+  std::atomic<std::uint64_t> spawned_{0};
+};
+
+/// `foreach`: order-independent loop executed serially on the calling task
+/// (Chapel's vectorization construct).
+template <typename F>
+void foreach (Domain1D dom, F&& body) {
+  for (std::size_t i = dom.lo; i < dom.hi; ++i) body(i);
+}
+
+/// Reusable barrier for coforall task teams (Chapel's Barrier).
+using Barrier = support::CyclicBarrier;
+
+/// A 1-D array block-distributed across a LocaleGrid.
+///
+/// Storage is genuinely split into per-locale blocks.  Element access from
+/// a task whose `here()` differs from the owner increments the
+/// remote-access counter — the library's stand-in for Chapel's implicit
+/// PUT/GET communication, and the quantity the assignment teaches students
+/// to reason about.
+template <typename T>
+class BlockDist1D {
+ public:
+  BlockDist1D(LocaleGrid& grid, std::size_t n, T init = T{})
+      : grid_{&grid}, n_{n}, blocks_(grid.size()) {
+    for (std::size_t l = 0; l < grid.size(); ++l) {
+      const auto b = support::static_block(n, grid.size(), l);
+      blocks_[l].assign(b.end - b.begin, init);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] Domain1D domain() const noexcept { return {0, n_}; }
+
+  /// Interior domain (excludes the two boundary points) — the heat
+  /// solver's update set Ω̂.
+  [[nodiscard]] Domain1D interior() const noexcept {
+    return n_ >= 2 ? Domain1D{1, n_ - 1} : Domain1D{0, 0};
+  }
+
+  /// Owner locale of global index i (block distribution rule).
+  [[nodiscard]] std::size_t locale_of(std::size_t i) const {
+    PEACHY_CHECK(i < n_, "BlockDist1D: index out of range");
+    // Invert the static block rule: first `extra` blocks have base+1 elems.
+    const std::size_t L = blocks_.size();
+    const std::size_t base = n_ / L;
+    const std::size_t extra = n_ % L;
+    const std::size_t big = extra * (base + 1);
+    if (i < big) return i / (base + 1);
+    return base == 0 ? L - 1 : extra + (i - big) / base;
+  }
+
+  /// The index range owned by a locale (Chapel's localSubdomain).
+  [[nodiscard]] Domain1D local_subdomain(std::size_t locale) const {
+    PEACHY_CHECK(locale < blocks_.size(), "BlockDist1D: bad locale");
+    const auto b = support::static_block(n_, blocks_.size(), locale);
+    return {b.begin, b.end};
+  }
+
+  /// Element access.  Counts a remote access when the calling task's
+  /// locale is not the owner.
+  [[nodiscard]] T& operator[](std::size_t i) {
+    return const_cast<T&>(std::as_const(*this)[i]);
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    const std::size_t owner = locale_of(i);
+    if (owner != LocaleGrid::here()) remote_.fetch_add(1, std::memory_order_relaxed);
+    const auto sub = local_subdomain(owner);
+    return blocks_[owner][i - sub.lo];
+  }
+
+  /// Direct view of a locale's block (no remote accounting) — the escape
+  /// hatch Part 2's explicit code path uses after copying halos.
+  [[nodiscard]] std::span<T> local_block(std::size_t locale) {
+    PEACHY_CHECK(locale < blocks_.size(), "BlockDist1D: bad locale");
+    return blocks_[locale];
+  }
+  [[nodiscard]] std::span<const T> local_block(std::size_t locale) const {
+    PEACHY_CHECK(locale < blocks_.size(), "BlockDist1D: bad locale");
+    return blocks_[locale];
+  }
+
+  /// Remote (non-owner) element accesses so far.
+  [[nodiscard]] std::uint64_t remote_accesses() const noexcept {
+    return remote_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() noexcept { remote_.store(0, std::memory_order_relaxed); }
+
+  /// O(1) content swap with another array over the same grid/size — the
+  /// heat solver's u/un double-buffer swap.
+  void swap(BlockDist1D& other) {
+    PEACHY_CHECK(grid_ == other.grid_ && n_ == other.n_,
+                 "BlockDist1D: swap shape mismatch");
+    blocks_.swap(other.blocks_);
+  }
+
+  [[nodiscard]] LocaleGrid& grid() const noexcept { return *grid_; }
+
+ private:
+  LocaleGrid* grid_;
+  std::size_t n_;
+  std::vector<std::vector<T>> blocks_;
+  mutable std::atomic<std::uint64_t> remote_{0};
+};
+
+}  // namespace peachy::chapel

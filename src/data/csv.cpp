@@ -1,0 +1,127 @@
+#include "data/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace peachy::data {
+
+std::vector<CsvRow> read_csv(std::istream& in) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // row has at least one field boundary
+  std::size_t line = 1;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = true;
+  };
+  const auto end_row = [&] {
+    if (field_started || !field.empty()) {
+      end_field();
+      rows.push_back(std::move(row));
+      row.clear();
+      field_started = false;
+    }
+  };
+
+  for (int ci = in.get(); ci != std::char_traits<char>::eof(); ci = in.get()) {
+    const char c = static_cast<char>(ci);
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          field.push_back('"');
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        PEACHY_CHECK(field.empty(), "csv line " + std::to_string(line) +
+                                        ": quote in the middle of an unquoted field");
+        in_quotes = true;
+        field_started = true;  // "" is a legal empty field
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        ++line;
+        break;
+      default:
+        field.push_back(c);
+        break;
+    }
+  }
+  PEACHY_CHECK(!in_quotes, "csv line " + std::to_string(line) + ": unterminated quoted field");
+  end_row();  // final record without trailing newline
+  return rows;
+}
+
+std::vector<CsvRow> read_csv_string(const std::string& text) {
+  std::istringstream in{text};
+  return read_csv(in);
+}
+
+std::vector<CsvRow> read_csv_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  PEACHY_CHECK(in.is_open(), "cannot open csv file: " + path);
+  return read_csv(in);
+}
+
+namespace {
+
+void write_field(std::ostream& out, const std::string& f) {
+  const bool needs_quotes =
+      f.find_first_of(",\"\n\r") != std::string::npos || f.empty();
+  if (!needs_quotes) {
+    out << f;
+    return;
+  }
+  out << '"';
+  for (char c : f) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows) {
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      write_field(out, row[i]);
+    }
+    out << '\n';
+  }
+}
+
+std::string write_csv_string(const std::vector<CsvRow>& rows) {
+  std::ostringstream os;
+  write_csv(os, rows);
+  return os.str();
+}
+
+void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows) {
+  std::ofstream out{path, std::ios::binary};
+  PEACHY_CHECK(out.is_open(), "cannot open csv file for writing: " + path);
+  write_csv(out, rows);
+  PEACHY_CHECK(out.good(), "i/o error writing csv file: " + path);
+}
+
+}  // namespace peachy::data

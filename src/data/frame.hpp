@@ -1,0 +1,105 @@
+#pragma once
+/// \file frame.hpp
+/// \brief Columnar mini-dataframe for the data-science-pipeline assignment.
+///
+/// The pipeline project (paper §4) walks students through "data
+/// aggregation, cleaning, analysis" steps.  `Frame` is the tabular
+/// intermediate those steps operate on outside the RDD engine: typed
+/// columns (double / int64 / string), filter, select, group-by aggregate,
+/// inner join, and sort — enough to express the NYC-arrests pipeline's
+/// relational portions and to validate the spark implementation against a
+/// straightforward serial engine.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "data/csv.hpp"
+
+namespace peachy::data {
+
+/// One cell value.
+using Value = std::variant<double, std::int64_t, std::string>;
+
+/// Column type tag.
+enum class ColType { kDouble, kInt, kString };
+
+/// Render a Value as text (CSV export / display).
+[[nodiscard]] std::string value_to_string(const Value& v);
+
+/// A typed, named, columnar table.
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Create with a schema; all columns start empty.
+  Frame(std::vector<std::string> names, std::vector<ColType> types);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return nrows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept { return names_; }
+  [[nodiscard]] const std::vector<ColType>& types() const noexcept { return types_; }
+
+  /// Column index by name; throws peachy::Error if absent.
+  [[nodiscard]] std::size_t col_index(const std::string& name) const;
+  [[nodiscard]] bool has_col(const std::string& name) const noexcept;
+
+  /// Append a row; arity and cell types must match the schema.
+  void push_row(std::vector<Value> row);
+
+  /// Cell accessors (checked).
+  [[nodiscard]] const Value& cell(std::size_t row, std::size_t col) const;
+  [[nodiscard]] double num(std::size_t row, const std::string& col) const;
+  [[nodiscard]] std::int64_t integer(std::size_t row, const std::string& col) const;
+  [[nodiscard]] const std::string& str(std::size_t row, const std::string& col) const;
+
+  /// New frame with only the named columns, in the given order.
+  [[nodiscard]] Frame select(const std::vector<std::string>& cols) const;
+
+  /// New frame with rows where pred(row_index) is true.
+  [[nodiscard]] Frame filter(const std::function<bool(std::size_t)>& pred) const;
+
+  /// Aggregations available to group_by.
+  enum class Agg { kCount, kSum, kMean, kMin, kMax };
+
+  /// Group rows by a key column and aggregate a value column per group.
+  /// For kCount the value column may equal the key column.  Output columns:
+  /// [key, <agg name>].  Groups appear in first-encounter order.
+  [[nodiscard]] Frame group_by(const std::string& key_col, Agg agg,
+                               const std::string& value_col) const;
+
+  /// Inner join on equality of a key column present in both frames.
+  /// Output columns: this frame's columns then other's non-key columns.
+  [[nodiscard]] Frame join(const Frame& other, const std::string& key_col) const;
+
+  /// New frame sorted by a column (stable).  Descending if `desc`.
+  [[nodiscard]] Frame sort_by(const std::string& col, bool desc = false) const;
+
+  /// First n rows (or all if fewer).
+  [[nodiscard]] Frame head(std::size_t n) const;
+
+  /// CSV export with header row.
+  [[nodiscard]] std::vector<CsvRow> to_csv() const;
+
+  /// Build from CSV rows with a header; column types are inferred per
+  /// column (int64 if every cell parses as integer, else double if every
+  /// cell parses as number, else string).
+  [[nodiscard]] static Frame from_csv(const std::vector<CsvRow>& rows);
+
+  /// Render as an aligned text table (debugging / reports).
+  [[nodiscard]] std::string to_string(std::size_t max_rows = 20) const;
+
+ private:
+  [[nodiscard]] std::vector<Value> row_values(std::size_t r) const;
+  void check_value_type(const Value& v, ColType t, std::size_t col) const;
+
+  std::vector<std::string> names_;
+  std::vector<ColType> types_;
+  std::vector<std::vector<Value>> columns_;  // columns_[c][r]
+  std::size_t nrows_ = 0;
+};
+
+}  // namespace peachy::data

@@ -1,0 +1,127 @@
+#include "geo/city.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "rng/splitmix.hpp"
+
+namespace peachy::geo {
+
+const std::vector<std::string>& offense_categories() {
+  static const std::vector<std::string> kOffenses{
+      "ASSAULT", "BURGLARY", "LARCENY", "ROBBERY", "FRAUD", "MISCHIEF",
+  };
+  return kOffenses;
+}
+
+SyntheticCity::SyntheticCity(const CitySpec& spec) : spec_{spec} {
+  PEACHY_CHECK(spec.rows >= 2 && spec.cols >= 2, "city: need at least a 2x2 NTA grid");
+  PEACHY_CHECK(spec.width > 0 && spec.height > 0, "city: degenerate extent");
+  PEACHY_CHECK(spec.jitter >= 0.0 && spec.jitter < 0.5,
+               "city: jitter must be in [0,0.5) to keep cells simple polygons");
+
+  rng::SplitMix64 gen{spec.seed};
+  const std::size_t R = spec.rows, C = spec.cols;
+  const double cw = spec.width / static_cast<double>(C);
+  const double ch = spec.height / static_cast<double>(R);
+
+  // Jittered lattice of (R+1)x(C+1) corner points; boundary corners stay
+  // on the boundary so the cells exactly tile the city rectangle.
+  std::vector<Point> corners((R + 1) * (C + 1));
+  for (std::size_t r = 0; r <= R; ++r) {
+    for (std::size_t c = 0; c <= C; ++c) {
+      double x = static_cast<double>(c) * cw;
+      double y = static_cast<double>(r) * ch;
+      if (r != 0 && r != R && c != 0 && c != C) {
+        x += rng::uniform_real(gen, -spec.jitter * cw, spec.jitter * cw);
+        y += rng::uniform_real(gen, -spec.jitter * ch, spec.jitter * ch);
+      }
+      corners[r * (C + 1) + c] = {x, y};
+    }
+  }
+
+  static const std::vector<std::pair<std::string, std::string>> kBoroughs{
+      {"BX", "Bronx"}, {"BK", "Brooklyn"}, {"MN", "Manhattan"}, {"QN", "Queens"},
+  };
+
+  ntas_.reserve(R * C);
+  intensity_.reserve(R * C);
+  std::vector<Polygon> polys;
+  std::vector<int> borough_counter(kBoroughs.size(), 0);
+  for (std::size_t r = 0; r < R; ++r) {
+    // Boroughs are horizontal bands of rows.
+    const std::size_t b = std::min(kBoroughs.size() - 1, r * kBoroughs.size() / R);
+    for (std::size_t c = 0; c < C; ++c) {
+      Nta nta;
+      const int num = ++borough_counter[b];
+      nta.code = kBoroughs[b].first + (num < 10 ? "0" : "") + std::to_string(num);
+      nta.borough = kBoroughs[b].second;
+      nta.polygon = Polygon{{
+          corners[r * (C + 1) + c],
+          corners[r * (C + 1) + c + 1],
+          corners[(r + 1) * (C + 1) + c + 1],
+          corners[(r + 1) * (C + 1) + c],
+      }};
+      // Population: 20k–140k, log-uniform-ish.
+      nta.population = static_cast<std::int64_t>(
+          20000.0 * std::exp(rng::uniform_real(gen, 0.0, 1.95)));
+      polys.push_back(nta.polygon);
+      ntas_.push_back(std::move(nta));
+      // Intensity: lognormal — a few hotspot NTAs dominate.
+      intensity_.push_back(std::exp(rng::normal(gen, 0.0, 1.0)));
+    }
+  }
+  index_ = std::make_unique<PolygonIndex>(std::move(polys));
+}
+
+std::vector<ArrestEvent> SyntheticCity::generate_arrests(
+    std::size_t n, std::uint64_t seed, std::vector<std::int32_t> years) const {
+  PEACHY_CHECK(!years.empty(), "city: need at least one year");
+  rng::SplitMix64 gen{seed};
+
+  // Intensity CDF for NTA selection.
+  std::vector<double> cdf(intensity_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < intensity_.size(); ++i) {
+    acc += intensity_[i];
+    cdf[i] = acc;
+  }
+
+  const auto& offenses = offense_categories();
+  std::vector<ArrestEvent> events;
+  events.reserve(n);
+  while (events.size() < n) {
+    const double u = rng::uniform01(gen) * acc;
+    const auto nta_id = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const Polygon& poly = ntas_[nta_id].polygon;
+    // Rejection-sample a point inside the (near-convex quad) polygon.
+    Point p;
+    int tries = 0;
+    do {
+      p.x = rng::uniform_real(gen, poly.bbox().min_x, poly.bbox().max_x);
+      p.y = rng::uniform_real(gen, poly.bbox().min_y, poly.bbox().max_y);
+    } while (!poly.contains(p) && ++tries < 64);
+    if (!poly.contains(p)) continue;  // pathological cell; resample NTA
+
+    ArrestEvent ev;
+    ev.location = p;
+    ev.year = years[static_cast<std::size_t>(rng::uniform_below(gen, years.size()))];
+    ev.offense = offenses[static_cast<std::size_t>(rng::uniform_below(gen, offenses.size()))];
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::vector<std::int64_t> SyntheticCity::count_by_nta(
+    const std::vector<ArrestEvent>& events) const {
+  std::vector<std::int64_t> counts(ntas_.size(), 0);
+  for (const auto& ev : events) {
+    const auto id = index_->locate(ev.location);
+    if (id) ++counts[*id];
+  }
+  return counts;
+}
+
+}  // namespace peachy::geo

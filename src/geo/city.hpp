@@ -1,0 +1,84 @@
+#pragma once
+/// \file city.hpp
+/// \brief Synthetic city generator (paper §4 substitution for NYC Open Data).
+///
+/// The Fig. 2 pipeline combines four NYC datasets: arrests (historic +
+/// current year), NTA boundaries, and NTA populations.  This container has
+/// no network access, so peachy generates an equivalent city: a jittered
+/// rectangular tessellation of "Neighborhood Tabulation Areas" grouped
+/// into boroughs, per-NTA populations, and arrest events with spatially
+/// varying intensity (hotspot neighborhoods) — everything the pipeline's
+/// ingest→join→aggregate→normalize→render stages need, with a known
+/// ground truth for validation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace peachy::geo {
+
+/// One Neighborhood Tabulation Area.
+struct Nta {
+  std::string code;      ///< e.g. "BK03"
+  std::string borough;   ///< e.g. "Brooklyn"
+  Polygon polygon;
+  std::int64_t population = 0;
+};
+
+/// One arrest event (the synthetic analogue of an NYPD arrest record).
+struct ArrestEvent {
+  Point location;
+  std::int32_t year = 0;
+  std::string offense;   ///< small categorical vocabulary
+};
+
+/// City generation parameters.
+struct CitySpec {
+  std::size_t rows = 8;      ///< NTA grid rows (grouped into 4 boroughs)
+  std::size_t cols = 8;      ///< NTA grid columns
+  double width = 10.0;       ///< city extent (arbitrary planar units)
+  double height = 10.0;
+  double jitter = 0.25;      ///< interior corner perturbation (fraction of a cell)
+  std::uint64_t seed = 2023;
+};
+
+/// Deterministic synthetic city.
+class SyntheticCity {
+ public:
+  explicit SyntheticCity(const CitySpec& spec = {});
+
+  [[nodiscard]] const std::vector<Nta>& ntas() const noexcept { return ntas_; }
+  [[nodiscard]] const PolygonIndex& index() const noexcept { return *index_; }
+  [[nodiscard]] const CitySpec& spec() const noexcept { return spec_; }
+
+  /// Arrest-intensity weight of each NTA (hotspots have large weights).
+  [[nodiscard]] const std::vector<double>& intensity() const noexcept { return intensity_; }
+
+  /// Generate `n` arrest events across `years` (uniformly per event), with
+  /// NTA choice proportional to intensity and location uniform within the
+  /// chosen NTA.  Deterministic in `seed`.
+  [[nodiscard]] std::vector<ArrestEvent> generate_arrests(
+      std::size_t n, std::uint64_t seed, std::vector<std::int32_t> years = {2020, 2021}) const;
+
+  /// Ground-truth arrest counts per NTA for an event list (computed via
+  /// the spatial index — the oracle the pipeline output is checked against).
+  [[nodiscard]] std::vector<std::int64_t> count_by_nta(
+      const std::vector<ArrestEvent>& events) const;
+
+  /// NTA id containing a point, if any.
+  [[nodiscard]] std::optional<std::size_t> locate(Point p) const { return index_->locate(p); }
+
+ private:
+  CitySpec spec_;
+  std::vector<Nta> ntas_;
+  std::vector<double> intensity_;
+  std::unique_ptr<PolygonIndex> index_;
+};
+
+/// The offense vocabulary used by the generator.
+[[nodiscard]] const std::vector<std::string>& offense_categories();
+
+}  // namespace peachy::geo

@@ -1,0 +1,119 @@
+#include "geo/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace peachy::geo {
+
+Polygon::Polygon(std::vector<Point> ring) : ring_{std::move(ring)} {
+  PEACHY_CHECK(ring_.size() >= 3, "polygon needs at least 3 vertices");
+  bbox_ = {ring_[0].x, ring_[0].y, ring_[0].x, ring_[0].y};
+  for (const Point& p : ring_) {
+    bbox_.min_x = std::min(bbox_.min_x, p.x);
+    bbox_.min_y = std::min(bbox_.min_y, p.y);
+    bbox_.max_x = std::max(bbox_.max_x, p.x);
+    bbox_.max_y = std::max(bbox_.max_y, p.y);
+  }
+}
+
+bool Polygon::contains(Point p) const noexcept {
+  if (!bbox_.contains(p)) return false;
+  // Even-odd rule: count ring edges crossing the horizontal ray to +x.
+  bool inside = false;
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[j];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      const double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::signed_area() const noexcept {
+  double a = 0.0;
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    a += (ring_[j].x + ring_[i].x) * (ring_[i].y - ring_[j].y);
+  }
+  return a / 2.0;
+}
+
+Point Polygon::centroid() const {
+  const double a = signed_area();
+  PEACHY_CHECK(std::fabs(a) > 1e-300, "centroid of degenerate polygon");
+  double cx = 0.0, cy = 0.0;
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const double cross = ring_[j].x * ring_[i].y - ring_[i].x * ring_[j].y;
+    cx += (ring_[j].x + ring_[i].x) * cross;
+    cy += (ring_[j].y + ring_[i].y) * cross;
+  }
+  return {cx / (6.0 * a), cy / (6.0 * a)};
+}
+
+PolygonIndex::PolygonIndex(std::vector<Polygon> polygons, std::size_t cells_per_axis)
+    : polygons_{std::move(polygons)}, cells_{cells_per_axis} {
+  PEACHY_CHECK(!polygons_.empty(), "polygon index over empty set");
+  PEACHY_CHECK(cells_ >= 1, "polygon index needs at least one cell per axis");
+  extent_ = polygons_[0].bbox();
+  for (const auto& poly : polygons_) {
+    extent_.min_x = std::min(extent_.min_x, poly.bbox().min_x);
+    extent_.min_y = std::min(extent_.min_y, poly.bbox().min_y);
+    extent_.max_x = std::max(extent_.max_x, poly.bbox().max_x);
+    extent_.max_y = std::max(extent_.max_y, poly.bbox().max_y);
+  }
+  grid_.assign(cells_ * cells_, {});
+  const double cw = extent_.width() / static_cast<double>(cells_);
+  const double ch = extent_.height() / static_cast<double>(cells_);
+  PEACHY_CHECK(cw > 0 && ch > 0, "polygon index extent is degenerate");
+  for (std::uint32_t id = 0; id < polygons_.size(); ++id) {
+    const Bbox& b = polygons_[id].bbox();
+    const auto cx0 = static_cast<std::size_t>((b.min_x - extent_.min_x) / cw);
+    const auto cy0 = static_cast<std::size_t>((b.min_y - extent_.min_y) / ch);
+    const auto cx1 = std::min(cells_ - 1, static_cast<std::size_t>((b.max_x - extent_.min_x) / cw));
+    const auto cy1 = std::min(cells_ - 1, static_cast<std::size_t>((b.max_y - extent_.min_y) / ch));
+    for (std::size_t cy = cy0; cy <= cy1; ++cy) {
+      for (std::size_t cx = std::min(cx0, cells_ - 1); cx <= cx1; ++cx) {
+        grid_[cy * cells_ + cx].push_back(id);
+      }
+    }
+  }
+}
+
+const Polygon& PolygonIndex::polygon(std::size_t id) const {
+  PEACHY_CHECK(id < polygons_.size(), "polygon id out of range");
+  return polygons_[id];
+}
+
+std::size_t PolygonIndex::cell_of(Point p) const noexcept {
+  const double cw = extent_.width() / static_cast<double>(cells_);
+  const double ch = extent_.height() / static_cast<double>(cells_);
+  auto cx = static_cast<std::size_t>((p.x - extent_.min_x) / cw);
+  auto cy = static_cast<std::size_t>((p.y - extent_.min_y) / ch);
+  cx = std::min(cx, cells_ - 1);
+  cy = std::min(cy, cells_ - 1);
+  return cy * cells_ + cx;
+}
+
+std::optional<std::size_t> PolygonIndex::locate(Point p) const {
+  if (!extent_.contains(p)) return std::nullopt;
+  const auto& cands = grid_[cell_of(p)];
+  for (std::uint32_t id : cands) {
+    ++candidates_;
+    if (polygons_[id].contains(p)) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> PolygonIndex::locate_brute(Point p) const {
+  for (std::size_t id = 0; id < polygons_.size(); ++id) {
+    if (polygons_[id].contains(p)) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace peachy::geo

@@ -1,0 +1,95 @@
+#pragma once
+/// \file geometry.hpp
+/// \brief 2-D geometry for the crime-pipeline's spatial join (paper §4).
+///
+/// The Fig. 2 pipeline "identifies the spatial positions of all arrests"
+/// by locating each arrest point inside a Neighborhood Tabulation Area
+/// polygon.  This module provides the point-in-polygon primitive
+/// (ray casting with bounding-box pre-filter) and a uniform-grid spatial
+/// index so the join is sub-linear in the polygon count.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace peachy::geo {
+
+/// A 2-D point (longitude/latitude-like planar coordinates).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Axis-aligned bounding box.
+struct Bbox {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+
+  [[nodiscard]] bool contains(Point p) const noexcept {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  [[nodiscard]] double width() const noexcept { return max_x - min_x; }
+  [[nodiscard]] double height() const noexcept { return max_y - min_y; }
+};
+
+/// Simple polygon (implicitly closed ring; no self-intersection expected).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> ring);
+
+  [[nodiscard]] const std::vector<Point>& ring() const noexcept { return ring_; }
+  [[nodiscard]] const Bbox& bbox() const noexcept { return bbox_; }
+
+  /// Even-odd ray-casting test, with a bbox pre-filter.  Boundary points
+  /// are classified by the ray parity (consistent, not symmetric).
+  [[nodiscard]] bool contains(Point p) const noexcept;
+
+  /// Signed shoelace area (positive for counter-clockwise rings).
+  [[nodiscard]] double signed_area() const noexcept;
+
+  /// Ring centroid (area-weighted).
+  [[nodiscard]] Point centroid() const;
+
+ private:
+  std::vector<Point> ring_;
+  Bbox bbox_;
+};
+
+/// Uniform-grid index over a set of polygons: locate(p) returns the id of
+/// the polygon containing p (first match in id order), or nullopt.
+class PolygonIndex {
+ public:
+  /// Build over the polygons (ids are their positions).  `cells_per_axis`
+  /// controls grid resolution.
+  explicit PolygonIndex(std::vector<Polygon> polygons, std::size_t cells_per_axis = 32);
+
+  [[nodiscard]] std::size_t size() const noexcept { return polygons_.size(); }
+  [[nodiscard]] const Polygon& polygon(std::size_t id) const;
+  [[nodiscard]] const Bbox& extent() const noexcept { return extent_; }
+
+  /// Polygon containing p, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> locate(Point p) const;
+
+  /// Brute-force reference (for tests/benches).
+  [[nodiscard]] std::optional<std::size_t> locate_brute(Point p) const;
+
+  /// Candidate polygons examined by the last locate() — telemetry showing
+  /// the index prunes work.
+  [[nodiscard]] std::uint64_t candidates_examined() const noexcept { return candidates_; }
+  void reset_counters() noexcept { candidates_ = 0; }
+
+ private:
+  [[nodiscard]] std::size_t cell_of(Point p) const noexcept;
+
+  std::vector<Polygon> polygons_;
+  Bbox extent_;
+  std::size_t cells_;
+  std::vector<std::vector<std::uint32_t>> grid_;  // cell -> candidate polygon ids
+  mutable std::uint64_t candidates_ = 0;
+};
+
+}  // namespace peachy::geo

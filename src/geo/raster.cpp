@@ -1,0 +1,82 @@
+#include "geo/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace peachy::geo {
+
+Raster::Raster(std::size_t width, std::size_t height)
+    : w_{width}, h_{height}, px_(width * height, 0.0) {
+  PEACHY_CHECK(width > 0 && height > 0, "raster: degenerate size");
+}
+
+double& Raster::at(std::size_t x, std::size_t y) {
+  PEACHY_CHECK(x < w_ && y < h_, "raster: pixel out of range");
+  return px_[y * w_ + x];
+}
+
+double Raster::at(std::size_t x, std::size_t y) const {
+  PEACHY_CHECK(x < w_ && y < h_, "raster: pixel out of range");
+  return px_[y * w_ + x];
+}
+
+std::string Raster::to_pgm() const {
+  std::ostringstream os;
+  os << "P5\n" << w_ << ' ' << h_ << "\n255\n";
+  for (double v : px_) {
+    os.put(static_cast<char>(static_cast<unsigned char>(std::clamp(v, 0.0, 1.0) * 255.0)));
+  }
+  return os.str();
+}
+
+std::string Raster::to_ascii() const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  std::string out;
+  out.reserve((w_ + 1) * h_);
+  for (std::size_t y = 0; y < h_; ++y) {
+    for (std::size_t x = 0; x < w_; ++x) {
+      const double v = std::clamp(px_[y * w_ + x], 0.0, 1.0);
+      out.push_back(kShades[static_cast<std::size_t>(v * 9.999)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void Raster::write_pgm(const std::string& path) const {
+  std::ofstream out{path, std::ios::binary};
+  PEACHY_CHECK(out.is_open(), "raster: cannot open " + path);
+  const std::string pgm = to_pgm();
+  out.write(pgm.data(), static_cast<std::streamsize>(pgm.size()));
+  PEACHY_CHECK(out.good(), "raster: i/o error writing " + path);
+}
+
+Raster rasterize_choropleth(const PolygonIndex& index, std::span<const double> values,
+                            std::size_t width, std::size_t height) {
+  PEACHY_CHECK(values.size() == index.size(), "choropleth: one value per polygon required");
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const double span = hi - lo;
+
+  Raster img{width, height};
+  const Bbox& e = index.extent();
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      // Pixel center in world coordinates; row 0 = top = max y.
+      const Point p{
+          e.min_x + (static_cast<double>(x) + 0.5) / static_cast<double>(width) * e.width(),
+          e.max_y - (static_cast<double>(y) + 0.5) / static_cast<double>(height) * e.height()};
+      const auto id = index.locate(p);
+      if (!id) continue;
+      const double v = span > 0 ? (values[*id] - lo) / span : 0.5;
+      // Keep fully inside [0.08, 1]: polygons stay visible against the
+      // zero background even at the minimum value.
+      img.at(x, y) = 0.08 + 0.92 * v;
+    }
+  }
+  return img;
+}
+
+}  // namespace peachy::geo

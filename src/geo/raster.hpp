@@ -1,0 +1,51 @@
+#pragma once
+/// \file raster.hpp
+/// \brief Choropleth heat-map rendering (Fig. 2's final pipeline stage).
+///
+/// The crime pipeline's deliverable is "a spatial heat map displaying the
+/// number of arrests per 100,000 citizens" per NTA.  This renderer
+/// rasterizes a polygon set colored by a per-polygon value to a grayscale
+/// image, writable as binary PGM (portable, viewable anywhere) or ASCII
+/// art (viewable in a terminal — the teaching default).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.hpp"
+
+namespace peachy::geo {
+
+/// A grayscale image with values in [0,1].
+class Raster {
+ public:
+  Raster(std::size_t width, std::size_t height);
+
+  [[nodiscard]] std::size_t width() const noexcept { return w_; }
+  [[nodiscard]] std::size_t height() const noexcept { return h_; }
+
+  [[nodiscard]] double& at(std::size_t x, std::size_t y);
+  [[nodiscard]] double at(std::size_t x, std::size_t y) const;
+
+  /// Binary PGM (P5) encoding.
+  [[nodiscard]] std::string to_pgm() const;
+
+  /// ASCII-art rendering (one char per pixel, darker = larger value).
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Write a PGM file.  Throws peachy::Error on I/O failure.
+  void write_pgm(const std::string& path) const;
+
+ private:
+  std::size_t w_, h_;
+  std::vector<double> px_;
+};
+
+/// Rasterize polygons colored by `values` (one per polygon, any range —
+/// normalized to [0,1] internally; min→0, max→1).  Pixels outside every
+/// polygon are 0.  y axis points up (row 0 is the top of the image).
+[[nodiscard]] Raster rasterize_choropleth(const PolygonIndex& index,
+                                          std::span<const double> values, std::size_t width,
+                                          std::size_t height);
+
+}  // namespace peachy::geo

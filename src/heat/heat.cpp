@@ -1,0 +1,177 @@
+#include "heat/heat.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace peachy::heat {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void validate(const Spec& spec) {
+  PEACHY_CHECK(spec.nx >= 3, "heat: need at least 3 grid points");
+  PEACHY_CHECK(spec.alpha > 0.0 && spec.alpha <= 0.5,
+               "heat: alpha must be in (0, 0.5] for stability");
+}
+
+std::vector<double> initial_values(const Spec& spec, const Initial& initial) {
+  PEACHY_CHECK(initial != nullptr, "heat: null initial condition");
+  std::vector<double> u(spec.nx);
+  for (std::size_t j = 0; j < spec.nx; ++j) {
+    u[j] = initial(static_cast<double>(j) / static_cast<double>(spec.nx - 1));
+  }
+  u.front() = spec.left_bc;
+  u.back() = spec.right_bc;
+  return u;
+}
+
+}  // namespace
+
+Initial sine_mode(int m) {
+  PEACHY_CHECK(m >= 1, "heat: sine mode must be positive");
+  return [m](double s) { return std::sin(m * kPi * s); };
+}
+
+std::vector<double> discrete_sine_solution(const Spec& spec, int m) {
+  validate(spec);
+  PEACHY_CHECK(spec.left_bc == 0.0 && spec.right_bc == 0.0,
+               "heat: the sine eigenmode needs homogeneous boundaries");
+  const double n1 = static_cast<double>(spec.nx - 1);
+  const double s = std::sin(m * kPi / (2.0 * n1));
+  const double lambda = 1.0 - 4.0 * spec.alpha * s * s;
+  const double decay = std::pow(lambda, static_cast<double>(spec.nt));
+  std::vector<double> u(spec.nx);
+  for (std::size_t j = 0; j < spec.nx; ++j) {
+    u[j] = decay * std::sin(m * kPi * static_cast<double>(j) / n1);
+  }
+  u.front() = 0.0;
+  u.back() = 0.0;
+  return u;
+}
+
+std::vector<double> solve_serial(const Spec& spec, const Initial& initial) {
+  validate(spec);
+  std::vector<double> u = initial_values(spec, initial);
+  std::vector<double> un = u;
+  for (std::size_t step = 0; step < spec.nt; ++step) {
+    std::swap(u, un);  // step 4.1 of the assignment's algorithm
+    for (std::size_t j = 1; j + 1 < spec.nx; ++j) {  // step 4.2 over Ω̂
+      u[j] = un[j] + spec.alpha * (un[j - 1] - 2.0 * un[j] + un[j + 1]);
+    }
+  }
+  return u;
+}
+
+std::vector<double> solve_forall(const Spec& spec, const Initial& initial,
+                                 chapel::LocaleGrid& grid, SolveStats* stats) {
+  validate(spec);
+  support::Stopwatch sw;
+  const std::uint64_t tasks_before = grid.tasks_spawned();
+
+  chapel::BlockDist1D<double> u{grid, spec.nx};
+  chapel::BlockDist1D<double> un{grid, spec.nx};
+  {
+    const auto values = initial_values(spec, initial);
+    for (std::size_t j = 0; j < spec.nx; ++j) {
+      u[j] = values[j];
+      un[j] = values[j];
+    }
+    u.reset_counters();
+    un.reset_counters();
+  }
+
+  for (std::size_t step = 0; step < spec.nt; ++step) {
+    u.swap(un);
+    // The Part-1 pattern: one forall (fresh tasks) per time step; the
+    // stencil's edge reads cross locales implicitly.
+    grid.forall(u.interior(), [&](std::size_t j) {
+      u[j] = un[j] + spec.alpha * (un[j - 1] - 2.0 * un[j] + un[j + 1]);
+    });
+  }
+
+  std::vector<double> out(spec.nx);
+  for (std::size_t j = 0; j < spec.nx; ++j) out[j] = u[j];
+  if (stats != nullptr) {
+    stats->tasks_spawned = grid.tasks_spawned() - tasks_before;
+    stats->remote_accesses = u.remote_accesses() + un.remote_accesses();
+    stats->seconds = sw.elapsed_s();
+  }
+  return out;
+}
+
+std::vector<double> solve_coforall(const Spec& spec, const Initial& initial,
+                                   chapel::LocaleGrid& grid, SolveStats* stats) {
+  validate(spec);
+  PEACHY_CHECK(grid.size() <= spec.nx - 2,
+               "heat: more locales than interior points (empty tasks would "
+               "break the halo chain)");
+  support::Stopwatch sw;
+  const std::uint64_t tasks_before = grid.tasks_spawned();
+  const std::size_t L = grid.size();
+  const auto init = initial_values(spec, initial);
+
+  // Interior domain split across locales; each task owns a contiguous
+  // chunk padded with two halo cells.
+  const std::size_t interior = spec.nx - 2;
+  std::vector<double> result(spec.nx);
+  result.front() = spec.left_bc;
+  result.back() = spec.right_bc;
+
+  // Shared halo buffer: edge values published per task per step.
+  std::vector<double> halo_left(L, 0.0);   // task l's first interior value
+  std::vector<double> halo_right(L, 0.0);  // task l's last interior value
+  chapel::Barrier barrier{L};
+
+  grid.coforall_locales([&](std::size_t l) {
+    const auto blk = support::static_block(interior, L, l);
+    const std::size_t len = blk.end - blk.begin;
+    // Local arrays with halo cells at [0] and [len+1] (array slices of
+    // the initial conditions, as in Example2).
+    std::vector<double> u(len + 2), un(len + 2);
+    for (std::size_t i = 0; i < len; ++i) u[i + 1] = init[1 + blk.begin + i];
+    u[0] = blk.begin == 0 ? spec.left_bc : init[blk.begin];  // neighbors' edges
+    u[len + 1] = blk.end == interior ? spec.right_bc : init[1 + blk.end];
+    un = u;
+
+    for (std::size_t step = 0; step < spec.nt; ++step) {
+      std::swap(u, un);
+      // Publish my edges, then wait for everyone before reading halos.
+      if (len > 0) {
+        halo_left[l] = un[1];
+        halo_right[l] = un[len];
+      }
+      barrier.arrive_and_wait();
+      const double left_in = l == 0 || blk.begin == 0 ? spec.left_bc : halo_right[l - 1];
+      const double right_in =
+          l + 1 == L || blk.end == interior ? spec.right_bc : halo_left[l + 1];
+      un[0] = left_in;
+      un[len + 1] = right_in;
+      // Order-independent local update (the assignment's foreach).
+      chapel::foreach({1, len + 1}, [&](std::size_t i) {
+        u[i] = un[i] + spec.alpha * (un[i - 1] - 2.0 * un[i] + un[i + 1]);
+      });
+      // Nobody may publish step+1 edges until all have read step's halos.
+      barrier.arrive_and_wait();
+    }
+    for (std::size_t i = 0; i < len; ++i) result[1 + blk.begin + i] = u[i + 1];
+  });
+
+  if (stats != nullptr) {
+    stats->tasks_spawned = grid.tasks_spawned() - tasks_before;
+    stats->remote_accesses = 2 * L * spec.nt;  // explicit halo reads/writes
+    stats->seconds = sw.elapsed_s();
+  }
+  return result;
+}
+
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  PEACHY_CHECK(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace peachy::heat

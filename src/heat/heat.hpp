@@ -1,0 +1,76 @@
+#pragma once
+/// \file heat.hpp
+/// \brief 1D heat equation in the Chapel model (paper §6).
+///
+/// Solves ∂u/∂t = α·∂²u/∂x² with the explicit scheme
+///
+///     u&#8319;⁺¹[x] = u&#8319;[x] + α·(u&#8319;[x−1] − 2·u&#8319;[x] + u&#8319;[x+1])
+///
+/// under Dirichlet boundary conditions, in the assignment's three forms:
+///
+///  * solve_serial   — the non-distributed starter code;
+///  * solve_forall   — Part 1: a `forall` over a Block-distributed array
+///    each time step (implicit data parallelism; the runtime spawns and
+///    joins fresh tasks every step, and boundary-adjacent stencil reads
+///    cross locales implicitly — both costs are counted);
+///  * solve_coforall — Part 2: one persistent task per locale
+///    (`coforall … on loc`), a reusable barrier, and explicit halo-cell
+///    exchange — "a more efficient solver by reducing overhead".
+///
+/// The analytic discrete solution of the scheme's sine eigenmode is
+/// provided for convergence/validation tests.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "chapel/chapel.hpp"
+
+namespace peachy::heat {
+
+/// Problem parameters.  The explicit scheme is stable for alpha <= 0.5
+/// (grid units: dx = dt = 1).
+struct Spec {
+  std::size_t nx = 1000;     ///< grid points, including the two boundary points
+  std::size_t nt = 100;      ///< time steps
+  double alpha = 0.25;       ///< diffusion number α·Δt/Δx²
+  double left_bc = 0.0;      ///< Dirichlet value at x = 0
+  double right_bc = 0.0;     ///< Dirichlet value at x = nx−1
+};
+
+/// Initial condition: maps normalized position s ∈ [0,1] to u(s, 0).
+using Initial = std::function<double(double s)>;
+
+/// The canonical test initial condition sin(m·π·s).
+[[nodiscard]] Initial sine_mode(int m = 1);
+
+/// Exact solution of the *discrete* scheme for the sine eigenmode after
+/// nt steps: sin(m·π·j/(nx−1)) · λ&#8319;ᵗ with λ = 1 − 4α·sin²(m·π/(2(nx−1))).
+[[nodiscard]] std::vector<double> discrete_sine_solution(const Spec& spec, int m);
+
+/// Telemetry contrasting the two distributed versions (experiment T-HT-1).
+struct SolveStats {
+  std::uint64_t tasks_spawned = 0;    ///< Chapel tasks created during the solve
+  std::uint64_t remote_accesses = 0;  ///< cross-locale element reads
+  double seconds = 0.0;
+};
+
+/// Non-distributed reference (the provided Example1 starter code).
+[[nodiscard]] std::vector<double> solve_serial(const Spec& spec, const Initial& initial);
+
+/// Part 1: forall over a Block-distributed array, one parallel region per
+/// time step.
+[[nodiscard]] std::vector<double> solve_forall(const Spec& spec, const Initial& initial,
+                                               chapel::LocaleGrid& grid,
+                                               SolveStats* stats = nullptr);
+
+/// Part 2: persistent per-locale tasks, barrier synchronization, and halo
+/// cells exchanged through a shared buffer.
+[[nodiscard]] std::vector<double> solve_coforall(const Spec& spec, const Initial& initial,
+                                                 chapel::LocaleGrid& grid,
+                                                 SolveStats* stats = nullptr);
+
+/// Max-norm distance between two solutions (validation helper).
+[[nodiscard]] double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace peachy::heat

@@ -1,0 +1,200 @@
+#include "hpo/hpo.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/parallel_for.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace peachy::hpo {
+
+namespace {
+
+// Dynamic-scheduler message tags.
+constexpr int kTagRequest = 100;
+constexpr int kTagAssign = 101;
+constexpr int kTagResult = 102;
+
+TaskResult run_task(const nn::Dataset& train, const nn::Dataset& val,
+                    const nn::TrainConfig& cfg, std::uint64_t task, int rank) {
+  support::Stopwatch sw;
+  nn::Mlp model{train.features(), train.classes, cfg};
+  TaskResult r;
+  r.task = task;
+  r.rank = rank;
+  r.train_loss = model.train(train);
+  r.val_accuracy = model.accuracy(val);
+  r.seconds = sw.elapsed_s();
+  return r;
+}
+
+void validate(const nn::Dataset& train, const nn::Dataset& val,
+              const std::vector<nn::TrainConfig>& configs) {
+  PEACHY_CHECK(!configs.empty(), "hpo: no configurations to search");
+  PEACHY_CHECK(train.size() > 0 && val.size() > 0, "hpo: empty train or validation set");
+  PEACHY_CHECK(train.features() == val.features(), "hpo: train/val feature mismatch");
+  PEACHY_CHECK(train.classes == val.classes, "hpo: train/val class-count mismatch");
+}
+
+}  // namespace
+
+std::string to_string(Schedule s) {
+  switch (s) {
+    case Schedule::kBlock: return "block";
+    case Schedule::kCyclic: return "cyclic";
+    case Schedule::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+std::vector<nn::TrainConfig> SearchSpace::enumerate() const {
+  PEACHY_CHECK(!hidden_layouts.empty() && !learning_rates.empty() && !momenta.empty(),
+               "hpo: empty search space axis");
+  std::vector<nn::TrainConfig> configs;
+  std::uint64_t i = 0;
+  for (const auto& hidden : hidden_layouts) {
+    for (double lr : learning_rates) {
+      for (double mom : momenta) {
+        nn::TrainConfig cfg;
+        cfg.hidden = hidden;
+        cfg.learning_rate = lr;
+        cfg.momentum = mom;
+        cfg.epochs = epochs;
+        cfg.batch_size = batch_size;
+        cfg.seed = base_seed + i++;
+        configs.push_back(std::move(cfg));
+      }
+    }
+  }
+  return configs;
+}
+
+int static_owner(Schedule schedule, std::size_t task, std::size_t ntasks, int nranks) {
+  PEACHY_CHECK(task < ntasks, "static_owner: task out of range");
+  PEACHY_CHECK(nranks >= 1, "static_owner: need at least one rank");
+  if (schedule == Schedule::kCyclic) {
+    return static_cast<int>(task % static_cast<std::size_t>(nranks));
+  }
+  PEACHY_CHECK(schedule == Schedule::kBlock, "static_owner: dynamic schedule has no static map");
+  for (int r = 0; r < nranks; ++r) {
+    const auto blk =
+        support::static_block(ntasks, static_cast<std::size_t>(nranks), static_cast<std::size_t>(r));
+    if (task >= blk.begin && task < blk.end) return r;
+  }
+  return nranks - 1;  // unreachable
+}
+
+std::vector<TaskResult> serial_search(const nn::Dataset& train, const nn::Dataset& val,
+                                      const std::vector<nn::TrainConfig>& configs) {
+  validate(train, val, configs);
+  std::vector<TaskResult> results;
+  results.reserve(configs.size());
+  for (std::size_t t = 0; t < configs.size(); ++t) {
+    results.push_back(run_task(train, val, configs[t], t, 0));
+  }
+  return results;
+}
+
+std::vector<TaskResult> distributed_search(mpi::Comm& comm, const nn::Dataset& train,
+                                           const nn::Dataset& val,
+                                           const std::vector<nn::TrainConfig>& configs,
+                                           Schedule schedule, RunStats* stats) {
+  validate(train, val, configs);
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t ntasks = configs.size();
+
+  std::vector<TaskResult> mine;
+  double my_busy = 0.0;
+
+  if (schedule != Schedule::kDynamic || p == 1) {
+    // Static schedules: every rank derives its own task list.
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      const int owner = schedule == Schedule::kDynamic
+                            ? 0  // p == 1 fallback
+                            : static_owner(schedule, t, ntasks, p);
+      if (owner != me) continue;
+      support::Stopwatch sw;
+      mine.push_back(run_task(train, val, configs[t], t, me));
+      my_busy += sw.elapsed_s();
+    }
+  } else if (me == 0) {
+    // Dynamic master: hand out tasks on request, collect results.
+    std::size_t next = 0;
+    std::size_t results_pending = 0;
+    int stops_sent = 0;
+    while (stops_sent < p - 1) {
+      mpi::Status st;
+      (void)comm.recv_bytes(mpi::kAnySource, kTagRequest, &st);
+      const std::int64_t assignment = next < ntasks ? static_cast<std::int64_t>(next) : -1;
+      comm.send_value<std::int64_t>(st.source, kTagAssign, assignment);
+      if (assignment >= 0) {
+        ++next;
+        ++results_pending;
+      } else {
+        ++stops_sent;
+      }
+    }
+    for (std::size_t i = 0; i < results_pending; ++i) {
+      mine.push_back(comm.recv_value<TaskResult>(mpi::kAnySource, kTagResult));
+    }
+  } else {
+    // Dynamic worker: request → train → report, until told to stop.
+    for (;;) {
+      comm.send_value<std::uint8_t>(0, kTagRequest, 1);
+      const auto task = comm.recv_value<std::int64_t>(0, kTagAssign);
+      if (task < 0) break;
+      support::Stopwatch sw;
+      const TaskResult r =
+          run_task(train, val, configs[static_cast<std::size_t>(task)], static_cast<std::uint64_t>(task), me);
+      my_busy += sw.elapsed_s();
+      comm.send_value<TaskResult>(0, kTagResult, r);
+    }
+  }
+
+  // Exchange results so every rank holds the full sorted list.
+  auto all = comm.allgather<TaskResult>(mine);
+  std::sort(all.begin(), all.end(),
+            [](const TaskResult& a, const TaskResult& b) { return a.task < b.task; });
+  PEACHY_CHECK(all.size() == ntasks, "hpo: lost task results");
+
+  if (stats != nullptr) {
+    const auto busys = comm.allgather<double>(std::span<const double>{&my_busy, 1});
+    stats->busy_seconds = busys;
+    stats->tasks_per_rank.assign(static_cast<std::size_t>(p), 0);
+    for (const auto& r : all) ++stats->tasks_per_rank[static_cast<std::size_t>(r.rank)];
+    stats->makespan_seconds = *std::max_element(busys.begin(), busys.end());
+    // Imbalance is measured over the ranks that actually execute tasks:
+    // the dynamic schedule's coordinator (rank 0) trains nothing by
+    // design, and counting its idle time would misstate worker balance.
+    std::vector<double> worker_busys;
+    for (std::size_t r = 0; r < busys.size(); ++r) {
+      if (stats->tasks_per_rank[r] > 0) worker_busys.push_back(busys[r]);
+    }
+    stats->imbalance_cv =
+        worker_busys.empty() ? 0.0 : support::load_imbalance_cv(worker_busys);
+  }
+  return all;
+}
+
+nn::EnsembleClassifier build_ensemble(const nn::Dataset& train,
+                                      const std::vector<nn::TrainConfig>& configs,
+                                      std::vector<TaskResult> results, std::size_t size) {
+  PEACHY_CHECK(size >= 1, "ensemble: size must be positive");
+  PEACHY_CHECK(size <= results.size(), "ensemble: size exceeds result count");
+  std::sort(results.begin(), results.end(), [](const TaskResult& a, const TaskResult& b) {
+    if (a.val_accuracy != b.val_accuracy) return a.val_accuracy > b.val_accuracy;
+    return a.task < b.task;
+  });
+  nn::EnsembleClassifier ens;
+  for (std::size_t i = 0; i < size; ++i) {
+    const auto& cfg = configs.at(results[i].task);
+    auto model = std::make_shared<nn::Mlp>(train.features(), train.classes, cfg);
+    (void)model->train(train);  // deterministic re-materialization
+    ens.add(std::move(model));
+  }
+  return ens;
+}
+
+}  // namespace peachy::hpo

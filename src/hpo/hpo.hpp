@@ -1,0 +1,94 @@
+#pragma once
+/// \file hpo.hpp
+/// \brief Hyper-parameter optimization with ensembles (paper §7).
+///
+/// "We generate these intermediate models while performing
+/// Hyper-parameter Optimization so uncertainty evaluation is essentially
+/// free ... the idea is to run each model as a task; this results in
+/// independent tasks whose results must then be aggregated."
+///
+/// The PDC concept being taught is *task distribution when the task count
+/// does not divide the rank count*: three schedulers are provided —
+/// static block, static cyclic, and dynamic master–worker — and the bench
+/// harness compares their load balance (experiment T-HPO-1).
+///
+/// Training is deterministic in (config, seed), so only small result
+/// records cross ranks; the winning models are re-materialized
+/// deterministically wherever the ensemble is assembled.
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "nn/ensemble.hpp"
+#include "nn/mlp.hpp"
+#include "support/thread_pool.hpp"
+
+namespace peachy::hpo {
+
+/// Hyper-parameter grid (the search space the assignment hands students).
+struct SearchSpace {
+  std::vector<std::vector<std::size_t>> hidden_layouts{{16}, {32}, {32, 16}};
+  std::vector<double> learning_rates{0.05, 0.1, 0.2};
+  std::vector<double> momenta{0.0, 0.9};
+  std::size_t epochs = 6;
+  std::size_t batch_size = 32;
+  std::uint64_t base_seed = 1;  ///< task i trains with seed base_seed + i
+
+  /// Cartesian product, in a fixed order (identical on every rank).
+  [[nodiscard]] std::vector<nn::TrainConfig> enumerate() const;
+};
+
+/// How tasks map to ranks.
+enum class Schedule { kBlock, kCyclic, kDynamic };
+
+[[nodiscard]] std::string to_string(Schedule s);
+
+/// Outcome of one training task (trivially copyable — crosses ranks).
+struct TaskResult {
+  std::uint64_t task = 0;       ///< index into the enumerated configs
+  std::int32_t rank = -1;       ///< rank that trained it
+  double val_accuracy = 0.0;
+  double train_loss = 0.0;
+  double seconds = 0.0;
+};
+
+/// Load-balance telemetry (experiment T-HPO-1).
+struct RunStats {
+  std::vector<double> busy_seconds;        ///< per rank
+  std::vector<std::size_t> tasks_per_rank;
+  double makespan_seconds = 0.0;           ///< max busy time
+  double imbalance_cv = 0.0;               ///< stddev/mean of busy times
+};
+
+/// Run the search across the communicator with the given schedule.
+/// Every rank returns the full result list sorted by task id; results are
+/// identical (bit-for-bit accuracies) for every schedule and rank count.
+/// `stats`, if non-null, is filled by the calling rank (identical content
+/// everywhere) — pass a rank-local object, never one shared across rank
+/// lambdas (data race).
+[[nodiscard]] std::vector<TaskResult> distributed_search(mpi::Comm& comm,
+                                                         const nn::Dataset& train,
+                                                         const nn::Dataset& val,
+                                                         const std::vector<nn::TrainConfig>& configs,
+                                                         Schedule schedule,
+                                                         RunStats* stats = nullptr);
+
+/// Serial oracle (what one rank would do alone).
+[[nodiscard]] std::vector<TaskResult> serial_search(const nn::Dataset& train,
+                                                    const nn::Dataset& val,
+                                                    const std::vector<nn::TrainConfig>& configs);
+
+/// Assemble the deep ensemble from the top-`size` tasks by validation
+/// accuracy (ties: lower task id).  Models are re-trained
+/// deterministically from their configs.
+[[nodiscard]] nn::EnsembleClassifier build_ensemble(const nn::Dataset& train,
+                                                    const std::vector<nn::TrainConfig>& configs,
+                                                    std::vector<TaskResult> results,
+                                                    std::size_t size);
+
+/// The task→rank map used by the static schedules (exposed for tests).
+[[nodiscard]] int static_owner(Schedule schedule, std::size_t task, std::size_t ntasks,
+                               int nranks);
+
+}  // namespace peachy::hpo

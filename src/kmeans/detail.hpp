@@ -1,0 +1,23 @@
+#pragma once
+/// \file detail.hpp
+/// \brief Internals shared by the k-means implementations (sequential,
+/// threaded variants, mini-MPI, SIMT).  Not part of the public API.
+
+#include <cstdint>
+#include <span>
+
+#include "data/points.hpp"
+#include "kmeans/kmeans.hpp"
+
+namespace peachy::kmeans::detail {
+
+/// Validate (points, opts) or throw peachy::Error.
+void validate(const data::PointSet& points, const Options& opts);
+
+/// Recompute centroids from per-cluster coordinate sums and counts;
+/// returns the maximum centroid displacement (Euclidean).  Empty clusters
+/// keep their previous centroid.
+double recompute_centroids(data::PointSet& centroids, std::span<const double> sums,
+                           std::span<const std::int64_t> counts);
+
+}  // namespace peachy::kmeans::detail

@@ -1,0 +1,124 @@
+#include "kmeans/mpi_kmeans.hpp"
+
+#include <algorithm>
+
+#include "kmeans/detail.hpp"
+#include "support/check.hpp"
+
+namespace peachy::kmeans {
+
+Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points, const Options& opts,
+                   MpiKmeansStats* stats) {
+  const int root = 0;
+
+  // Broadcast problem shape, then scatter point blocks.
+  struct Shape {
+    std::uint64_t n, d;
+  };
+  Shape shape{points.size(), points.dims()};
+  shape = comm.broadcast_value(shape, root);
+  if (comm.rank() == root) {
+    detail::validate(points, opts);
+    PEACHY_CHECK(points.size() == shape.n, "cluster_mpi: root dataset changed during setup");
+  }
+
+  // Scatter raw coordinates in whole-point blocks.  scatter_blocks splits
+  // a flat array evenly, which could cut a point in half — so scatter an
+  // index-block-aligned payload instead: compute this rank's point range
+  // and receive exactly those rows.
+  const auto my_block = support::static_block(
+      shape.n, static_cast<std::size_t>(comm.size()), static_cast<std::size_t>(comm.rank()));
+  std::vector<double> my_values;
+  {
+    const int tag = 1001;
+    if (comm.rank() == root) {
+      for (int r = 0; r < comm.size(); ++r) {
+        const auto blk = support::static_block(shape.n, static_cast<std::size_t>(comm.size()),
+                                               static_cast<std::size_t>(r));
+        std::span<const double> rows{points.values().data() + blk.begin * shape.d,
+                                     (blk.end - blk.begin) * shape.d};
+        if (r == root) {
+          my_values.assign(rows.begin(), rows.end());
+        } else {
+          comm.send<double>(r, tag, rows);
+        }
+      }
+    } else {
+      my_values = comm.recv<double>(root, tag);
+    }
+  }
+  const data::PointSet my_points{my_block.end - my_block.begin, shape.d, std::move(my_values)};
+
+  // Identical initial centroids everywhere: root computes, broadcasts.
+  std::vector<double> centroid_values;
+  if (comm.rank() == root) {
+    centroid_values = initial_centroids(points, opts).values();
+  }
+  comm.broadcast(centroid_values, root);
+  data::PointSet centroids{opts.k, shape.d, std::move(centroid_values)};
+
+  Result res;
+  res.assignment.assign(my_points.size(), -1);
+  const std::size_t k = opts.k;
+  const std::size_t d = shape.d;
+
+  for (res.iterations = 1; res.iterations <= opts.max_iterations; ++res.iterations) {
+    // Local phase: assign own points, accumulate private sums/counts.
+    std::vector<double> sums(k * d, 0.0);
+    std::vector<std::int64_t> counts(k, 0);
+    std::uint64_t changes = 0;
+    for (std::size_t i = 0; i < my_points.size(); ++i) {
+      const auto c = static_cast<std::int32_t>(nearest_centroid(centroids, my_points.point(i)));
+      if (c != res.assignment[i]) ++changes;
+      res.assignment[i] = c;
+      ++counts[static_cast<std::size_t>(c)];
+      const auto p = my_points.point(i);
+      for (std::size_t j = 0; j < d; ++j) sums[static_cast<std::size_t>(c) * d + j] += p[j];
+    }
+
+    // The distributed reduction the assignment is about.
+    sums = comm.allreduce<double>(sums, std::plus<>{});
+    counts = comm.allreduce<std::int64_t>(counts, std::plus<>{});
+    changes = comm.allreduce_value<std::uint64_t>(changes, std::plus<>{});
+
+    res.changes_per_iteration.push_back(static_cast<std::size_t>(changes));
+    const double max_move = detail::recompute_centroids(centroids, sums, counts);
+
+    if (changes <= opts.min_changes) {
+      res.termination = Termination::kMinChanges;
+      break;
+    }
+    if (max_move <= opts.move_tolerance) {
+      res.termination = Termination::kCentroidsConverged;
+      break;
+    }
+    if (res.iterations == opts.max_iterations) {
+      res.termination = Termination::kMaxIterations;
+      break;
+    }
+  }
+  res.iterations = std::min(res.iterations, opts.max_iterations);
+
+  // Collect the distributed results: assignments in rank order equal the
+  // original point order because the blocks are contiguous.
+  auto all_assign = comm.allgather<std::int32_t>(res.assignment);
+  res.assignment = std::move(all_assign);
+  res.centroids = std::move(centroids);
+
+  // Inertia via one more distributed reduction.
+  double local_inertia = 0.0;
+  for (std::size_t i = 0; i < my_points.size(); ++i) {
+    local_inertia += res.centroids.squared_distance(
+        static_cast<std::size_t>(res.assignment[my_block.begin + i]), my_points.point(i));
+  }
+  res.inertia = comm.allreduce_value(local_inertia, std::plus<>{});
+
+  if (stats != nullptr) {
+    stats->messages = comm.traffic().messages;
+    stats->bytes = comm.traffic().bytes;
+    stats->iterations = res.iterations;
+  }
+  return res;
+}
+
+}  // namespace peachy::kmeans

@@ -1,0 +1,36 @@
+#pragma once
+/// \file mpi_kmeans.hpp
+/// \brief Distributed k-means over mini-MPI (paper §3's second model).
+///
+/// "In MPI, the data structures should be distributed.  The initial data
+/// and results can be communicated with collective communication
+/// operations ... a distributed reduction is needed in any case."
+///
+/// Root scatters the points in static blocks; every rank holds the (small)
+/// centroid array.  Each iteration computes local sums/counts/changes and
+/// allreduces them — the distributed analogue of the OpenMP reduction
+/// stage.  Assignments are gathered back to root at the end and broadcast.
+
+#include "data/points.hpp"
+#include "kmeans/kmeans.hpp"
+#include "mpi/mpi.hpp"
+
+namespace peachy::kmeans {
+
+/// Telemetry for the collective-communication experiment (T-KM-2).
+struct MpiKmeansStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::size_t iterations = 0;
+};
+
+/// Cluster `points` (significant at root only; other ranks may pass an
+/// empty set) across the communicator.  Every rank returns the full
+/// Result.  With 1 rank this is exactly the sequential algorithm.
+///
+/// `stats`, if non-null, is filled by the calling rank — pass a
+/// rank-local object, never one shared across rank lambdas (data race).
+[[nodiscard]] Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points,
+                                 const Options& opts, MpiKmeansStats* stats = nullptr);
+
+}  // namespace peachy::kmeans

@@ -1,0 +1,48 @@
+#pragma once
+/// \file simt_kmeans.hpp
+/// \brief CUDA/OpenCL-style k-means (paper §3's third model).
+///
+/// No GPU exists in this container, so the *code structure* students
+/// write for CUDA is reproduced on the CPU: computation expressed as
+/// kernels over a (blocks × threads-per-block) index space, with
+/// block-shared scratch memory.  The two reduction schemes the assignment
+/// asks students to compare are both implemented:
+///
+///  * kGlobalAtomic — every thread atomically updates the global
+///    sums/counts (simple, heavy contention);
+///  * kBlockShared  — threads accumulate into block-shared memory first,
+///    one representative merges each block's partial into the global
+///    buffers (the canonical CUDA reduction pattern).
+///
+/// Blocks execute concurrently on the thread pool; threads within a block
+/// execute as lanes of a loop (SIMT semantics without divergence).
+
+#include "data/points.hpp"
+#include "kmeans/kmeans.hpp"
+#include "support/thread_pool.hpp"
+
+namespace peachy::kmeans {
+
+/// Reduction scheme of the SIMT implementation.
+enum class SimtReduce { kGlobalAtomic, kBlockShared };
+
+/// Kernel launch geometry.
+struct SimtConfig {
+  std::size_t block_size = 128;  ///< threads per block
+  SimtReduce reduce = SimtReduce::kBlockShared;
+};
+
+/// Telemetry for the atomics-vs-block-reduction experiment (T-KM-3).
+struct SimtStats {
+  std::uint64_t global_atomic_updates = 0;  ///< atomic RMWs on global memory
+  std::size_t blocks_launched = 0;
+};
+
+/// Cluster with the SIMT-structured implementation.  Results match the
+/// sequential algorithm's trajectory except for floating-point summation
+/// order (as on a real GPU).
+[[nodiscard]] Result cluster_simt(const data::PointSet& points, const Options& opts,
+                                  const SimtConfig& cfg, support::ThreadPool& pool,
+                                  SimtStats* stats = nullptr);
+
+}  // namespace peachy::kmeans

@@ -1,0 +1,72 @@
+#pragma once
+/// \file knn.hpp
+/// \brief k-Nearest-Neighbor classification (paper §2).
+///
+/// The assignment's computational core: for each of q query points find
+/// the k database points closest in d-dimensional Euclidean space and
+/// vote.  The paper's complexity discussion is reproduced as selectable
+/// strategies:
+///
+///  * kSort — collect all n distances and sort: Θ(n log n) per query;
+///  * kHeap — bounded max-heap of size k: Θ(n log k) per query (the
+///    CLRS-based implementation the paper references);
+///  * kKdTree — space-partitioning tree with branch-and-bound pruning
+///    (the paper's "Data Structures" adaptation).
+///
+/// `classify` runs the query loop serially or across a thread pool (the
+/// "adapt to shared memory programming models like OpenMP" variant); the
+/// MapReduce-MPI version lives in mapreduce_knn.hpp.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/points.hpp"
+#include "knn/knn_fwd.hpp"
+#include "support/thread_pool.hpp"
+
+namespace peachy::knn {
+
+/// Neighbor-selection strategy.
+enum class Selection { kSort, kHeap, kKdTree };
+
+/// k nearest database points to `query`, nearest first, using full sort.
+[[nodiscard]] std::vector<Neighbor> query_sort(const data::LabeledPoints& db,
+                                               std::span<const double> query, std::size_t k);
+
+/// Same result via a bounded max-heap — Θ(n log k).
+[[nodiscard]] std::vector<Neighbor> query_heap(const data::LabeledPoints& db,
+                                               std::span<const double> query, std::size_t k);
+
+/// Majority vote over neighbors (they need not be sorted).  Ties break
+/// toward the class of the nearest tied member, then the smaller label —
+/// deterministic across strategies and rank counts.
+[[nodiscard]] std::int32_t majority_vote(std::span<const Neighbor> neighbors);
+
+/// Options for batch classification.
+struct ClassifyOptions {
+  std::size_t k = 5;
+  Selection selection = Selection::kHeap;
+  std::size_t threads = 1;  ///< >1 parallelizes the query loop on a pool
+};
+
+/// Telemetry for the complexity experiments.
+struct ClassifyStats {
+  std::uint64_t distance_evals = 0;  ///< full-distance computations
+  double seconds = 0.0;
+};
+
+/// Classify every row of `queries`; returns predicted labels.  With
+/// opts.threads > 1 the query loop runs on `pool` with a static schedule
+/// (results are identical to serial for any thread count).
+[[nodiscard]] std::vector<std::int32_t> classify(const data::LabeledPoints& db,
+                                                 const data::PointSet& queries,
+                                                 const ClassifyOptions& opts,
+                                                 support::ThreadPool* pool = nullptr,
+                                                 ClassifyStats* stats = nullptr);
+
+/// Fraction of predictions equal to truth.
+[[nodiscard]] double accuracy(std::span<const std::int32_t> predicted,
+                              std::span<const std::int32_t> truth);
+
+}  // namespace peachy::knn

@@ -1,0 +1,23 @@
+#pragma once
+/// \file knn_fwd.hpp
+/// \brief Shared kNN value types (used by both the brute-force strategies
+/// and the k-d tree without a circular include).
+
+#include <cstdint>
+
+namespace peachy::knn {
+
+/// One retrieved neighbor.
+struct Neighbor {
+  double dist2 = 0.0;       ///< squared Euclidean distance
+  std::uint32_t index = 0;  ///< database row
+  std::int32_t label = -1;  ///< database class
+
+  /// Ordering for deterministic results: by distance, then index.
+  friend bool operator<(const Neighbor& a, const Neighbor& b) noexcept {
+    return a.dist2 != b.dist2 ? a.dist2 < b.dist2 : a.index < b.index;
+  }
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+}  // namespace peachy::knn

@@ -1,0 +1,167 @@
+#include "mapreduce/mapreduce.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace peachy::mapreduce {
+
+namespace {
+
+void append_u32(std::vector<std::byte>& buf, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(v));
+}
+
+void append_str(std::vector<std::byte>& buf, const std::string& s) {
+  append_u32(buf, static_cast<std::uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buf.insert(buf.end(), p, p + s.size());
+}
+
+std::uint32_t read_u32(std::span<const std::byte> bytes, std::size_t& pos) {
+  PEACHY_CHECK(pos + sizeof(std::uint32_t) <= bytes.size(), "corrupt pair buffer: truncated u32");
+  std::uint32_t v;
+  std::memcpy(&v, bytes.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+
+std::string read_str(std::span<const std::byte> bytes, std::size_t& pos) {
+  const std::uint32_t len = read_u32(bytes, pos);
+  PEACHY_CHECK(pos + len <= bytes.size(), "corrupt pair buffer: truncated string");
+  std::string s(reinterpret_cast<const char*>(bytes.data() + pos), len);
+  pos += len;
+  return s;
+}
+
+/// Group a sorted-by-key pair list into (key, values) entries.
+std::vector<std::pair<std::string, std::vector<std::string>>> group_sorted(
+    std::vector<KeyValue>&& pairs) {
+  std::vector<std::pair<std::string, std::vector<std::string>>> grouped;
+  for (auto& p : pairs) {
+    if (grouped.empty() || grouped.back().first != p.key) {
+      grouped.emplace_back(std::move(p.key), std::vector<std::string>{});
+    }
+    grouped.back().second.push_back(std::move(p.value));
+  }
+  return grouped;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_pairs(std::span<const KeyValue> pairs) {
+  std::vector<std::byte> buf;
+  std::size_t total = 0;
+  for (const auto& p : pairs) total += 8 + p.key.size() + p.value.size();
+  buf.reserve(total);
+  for (const auto& p : pairs) {
+    append_str(buf, p.key);
+    append_str(buf, p.value);
+  }
+  return buf;
+}
+
+std::vector<KeyValue> deserialize_pairs(std::span<const std::byte> bytes) {
+  std::vector<KeyValue> pairs;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    KeyValue kv;
+    kv.key = read_str(bytes, pos);
+    kv.value = read_str(bytes, pos);
+    pairs.push_back(std::move(kv));
+  }
+  return pairs;
+}
+
+std::uint64_t MapReduce::map(std::size_t ntasks, const MapFn& fn) {
+  PEACHY_CHECK(fn != nullptr, "map: null callback");
+  kv_.clear();
+  kmv_.clear();
+  KvEmitter emitter{kv_};
+  // Cyclic task assignment (MR-MPI default): task t runs on rank t % p.
+  const auto p = static_cast<std::size_t>(comm_->size());
+  for (std::size_t t = static_cast<std::size_t>(comm_->rank()); t < ntasks; t += p) {
+    fn(t, emitter);
+  }
+  phase_ = Phase::kMapped;
+  return comm_->allreduce_value<std::uint64_t>(kv_.size(), std::plus<>{});
+}
+
+std::uint64_t MapReduce::combine(const ReduceFn& fn) {
+  PEACHY_CHECK(fn != nullptr, "combine: null callback");
+  PEACHY_CHECK(phase_ == Phase::kMapped, "combine must follow map");
+  std::stable_sort(kv_.begin(), kv_.end(),
+                   [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  auto grouped = group_sorted(std::move(kv_));
+  kv_.clear();
+  KvEmitter emitter{kv_};
+  for (auto& [key, values] : grouped) fn(key, values, emitter);
+  return comm_->allreduce_value<std::uint64_t>(kv_.size(), std::plus<>{});
+}
+
+std::uint64_t MapReduce::collate() {
+  PEACHY_CHECK(phase_ == Phase::kMapped, "collate must follow map (or combine)");
+  const int p = comm_->size();
+
+  // Partition local pairs by destination rank.
+  std::vector<std::vector<KeyValue>> outgoing(static_cast<std::size_t>(p));
+  for (auto& kv : kv_) {
+    outgoing[static_cast<std::size_t>(owner_of(kv.key))].push_back(std::move(kv));
+  }
+  kv_.clear();
+
+  // Serialize per destination and exchange.
+  std::uint64_t pairs_out = 0, bytes_out = 0, pairs_before = 0;
+  std::vector<std::vector<std::byte>> sendbufs(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& dst = outgoing[static_cast<std::size_t>(r)];
+    pairs_before += dst.size();
+    sendbufs[static_cast<std::size_t>(r)] = serialize_pairs(dst);
+    if (r != comm_->rank()) {
+      pairs_out += dst.size();
+      bytes_out += sendbufs[static_cast<std::size_t>(r)].size();
+    }
+  }
+  auto recvbufs = comm_->alltoall(sendbufs);
+
+  // Deserialize, sort by key for deterministic grouping, group.
+  std::vector<KeyValue> incoming;
+  for (const auto& buf : recvbufs) {
+    auto part = deserialize_pairs(buf);
+    incoming.insert(incoming.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+  }
+  std::stable_sort(incoming.begin(), incoming.end(),
+                   [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  kmv_ = group_sorted(std::move(incoming));
+  phase_ = Phase::kCollated;
+
+  shuffle_stats_.pairs_sent = comm_->allreduce_value<std::uint64_t>(pairs_out, std::plus<>{});
+  shuffle_stats_.bytes_sent = comm_->allreduce_value<std::uint64_t>(bytes_out, std::plus<>{});
+  shuffle_stats_.pairs_before =
+      comm_->allreduce_value<std::uint64_t>(pairs_before, std::plus<>{});
+  return comm_->allreduce_value<std::uint64_t>(kmv_.size(), std::plus<>{});
+}
+
+std::uint64_t MapReduce::reduce(const ReduceFn& fn) {
+  PEACHY_CHECK(fn != nullptr, "reduce: null callback");
+  PEACHY_CHECK(phase_ == Phase::kCollated, "reduce must follow collate");
+  kv_.clear();
+  KvEmitter emitter{kv_};
+  for (auto& [key, values] : kmv_) fn(key, values, emitter);
+  kmv_.clear();
+  phase_ = Phase::kMapped;  // output pairs may be collated/reduced again
+  return comm_->allreduce_value<std::uint64_t>(kv_.size(), std::plus<>{});
+}
+
+std::vector<KeyValue> MapReduce::gather(int root) {
+  std::vector<KeyValue> sorted = kv_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  const auto bytes = serialize_pairs(sorted);
+  const auto all = comm_->gather<std::byte>(bytes, root);
+  if (comm_->rank() != root) return {};
+  return deserialize_pairs(all);
+}
+
+}  // namespace peachy::mapreduce

@@ -1,0 +1,144 @@
+#pragma once
+/// \file mapreduce.hpp
+/// \brief MapReduce over mini-MPI, after Plimpton & Devine's MapReduce-MPI.
+///
+/// The kNN assignment (paper §2) is written against MapReduce-MPI: a C++
+/// library that layers map / collate / reduce phases over MPI.  peachy's
+/// engine mirrors that phase structure:
+///
+///   MapReduce mr{comm};
+///   mr.map(ntasks, [&](std::size_t task, KvEmitter& out) { ... });
+///   mr.combine(combiner);   // optional local pre-reduction (the paper's
+///                           // "local reductions ... noticeably improves
+///                           // the communication cost")
+///   mr.collate();           // hash shuffle + group by key
+///   mr.reduce([&](key, values, KvEmitter& out) { ... });
+///   auto pairs = mr.gather(0);
+///
+/// Keys and values are binary-safe byte strings; typed helpers pack/unpack
+/// trivially copyable records.  The engine counts pairs and bytes moved by
+/// the shuffle so experiment T-kNN-3 can report the local-combine ablation.
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "support/check.hpp"
+#include "support/hash.hpp"
+
+namespace peachy::mapreduce {
+
+/// One key-value pair.  Both fields are binary-safe.
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+  friend auto operator<=>(const KeyValue&, const KeyValue&) = default;
+};
+
+/// Sink passed to map and reduce callbacks.
+class KvEmitter {
+ public:
+  explicit KvEmitter(std::vector<KeyValue>& out) noexcept : out_{&out} {}
+
+  void emit(std::string key, std::string value) {
+    out_->push_back({std::move(key), std::move(value)});
+  }
+
+  /// Emit with a trivially copyable value payload.
+  template <typename T>
+  void emit_record(std::string key, const T& record) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::string v(sizeof(T), '\0');
+    std::memcpy(v.data(), &record, sizeof(T));
+    emit(std::move(key), std::move(v));
+  }
+
+ private:
+  std::vector<KeyValue>* out_;
+};
+
+/// Decode a value emitted with emit_record.
+template <typename T>
+[[nodiscard]] T unpack_record(const std::string& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PEACHY_CHECK(value.size() == sizeof(T), "unpack_record: value size mismatch");
+  T out;
+  std::memcpy(&out, value.data(), sizeof(T));
+  return out;
+}
+
+/// Shuffle telemetry from the most recent collate().
+struct ShuffleStats {
+  std::uint64_t pairs_sent = 0;    ///< pairs leaving this run's ranks (total)
+  std::uint64_t bytes_sent = 0;    ///< serialized bytes moved by the shuffle
+  std::uint64_t pairs_before = 0;  ///< pairs that existed before the shuffle
+};
+
+/// The MapReduce engine.  One instance per rank, driven collectively: all
+/// ranks must call each phase in the same order (like MR-MPI).
+class MapReduce {
+ public:
+  /// Callback for map: produce pairs for one task.
+  using MapFn = std::function<void(std::size_t task, KvEmitter& out)>;
+  /// Callback for reduce/combine: fold one key's value list into output pairs.
+  using ReduceFn = std::function<void(const std::string& key,
+                                      std::span<const std::string> values, KvEmitter& out)>;
+
+  explicit MapReduce(mpi::Comm& comm) noexcept : comm_{&comm} {}
+
+  /// Run `ntasks` map tasks, distributed cyclically over ranks (MR-MPI's
+  /// default task assignment).  Returns the global number of pairs emitted.
+  std::uint64_t map(std::size_t ntasks, const MapFn& fn);
+
+  /// Local pre-reduction: group this rank's pairs by key and fold each
+  /// group with `fn` — no communication.  Returns the global pair count
+  /// after combining.
+  std::uint64_t combine(const ReduceFn& fn);
+
+  /// Hash-shuffle pairs so all values of a key land on rank
+  /// hash(key) % size, then group by key.  Returns the global number of
+  /// distinct keys.
+  std::uint64_t collate();
+
+  /// Fold each local key group; must follow collate().  Returns the global
+  /// number of pairs produced.
+  std::uint64_t reduce(const ReduceFn& fn);
+
+  /// Collect every rank's pairs at `root` (rank order, key-sorted within
+  /// rank); other ranks get {}.
+  [[nodiscard]] std::vector<KeyValue> gather(int root);
+
+  /// This rank's current pairs (after map/combine/reduce).
+  [[nodiscard]] const std::vector<KeyValue>& local_pairs() const noexcept { return kv_; }
+
+  /// Telemetry from the most recent collate().
+  [[nodiscard]] const ShuffleStats& shuffle_stats() const noexcept { return shuffle_stats_; }
+
+  /// The rank that owns a key under the shuffle hash.
+  [[nodiscard]] int owner_of(const std::string& key) const noexcept {
+    return static_cast<int>(support::fnv1a64(key) % static_cast<std::uint64_t>(comm_->size()));
+  }
+
+ private:
+  enum class Phase { kEmpty, kMapped, kCollated };
+
+  mpi::Comm* comm_;
+  std::vector<KeyValue> kv_;                                   // flat pairs
+  std::vector<std::pair<std::string, std::vector<std::string>>> kmv_;  // grouped
+  Phase phase_ = Phase::kEmpty;
+  ShuffleStats shuffle_stats_;
+};
+
+/// Serialize pairs into a byte buffer (length-prefixed) and back — exposed
+/// for tests.
+[[nodiscard]] std::vector<std::byte> serialize_pairs(std::span<const KeyValue> pairs);
+[[nodiscard]] std::vector<KeyValue> deserialize_pairs(std::span<const std::byte> bytes);
+
+}  // namespace peachy::mapreduce

@@ -1,0 +1,51 @@
+#pragma once
+/// \file wordcount.hpp
+/// \brief The word-count warm-up from the kNN assignment materials.
+///
+/// Paper §2: "These include a classic problem, Word Counting, to
+/// familiarize the students with programming using MapReduce MPI."  This
+/// is that program: split a corpus into chunks, map each chunk to
+/// (word, 1) pairs, optionally combine locally, shuffle, and reduce to
+/// per-word totals.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace peachy::mapreduce {
+
+/// Result row: word and its total count.
+struct WordCount {
+  std::string word;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const WordCount&, const WordCount&) = default;
+};
+
+/// Options for the distributed word count.
+struct WordCountOptions {
+  std::size_t chunks = 16;        ///< number of map tasks the corpus is split into
+  bool local_combine = false;     ///< pre-reduce per rank before the shuffle
+};
+
+/// Count words in `text` using MapReduce over `comm`.  Words are maximal
+/// runs of alphanumeric characters, lower-cased.  Every rank receives the
+/// full result (sorted by word).  Deterministic for any rank count.
+[[nodiscard]] std::vector<WordCount> word_count(mpi::Comm& comm, const std::string& text,
+                                                const WordCountOptions& opts = {});
+
+/// Serial reference implementation for validation.
+[[nodiscard]] std::vector<WordCount> word_count_serial(const std::string& text);
+
+/// Split text into `chunks` pieces on word boundaries (no word is cut in
+/// half).  Exposed for tests.
+[[nodiscard]] std::vector<std::string> split_corpus(const std::string& text, std::size_t chunks);
+
+/// Deterministic synthetic corpus: `words` tokens drawn from a Zipf-like
+/// vocabulary — exercises skewed key distributions in the shuffle.
+[[nodiscard]] std::string synthetic_corpus(std::size_t words, std::uint64_t seed);
+
+}  // namespace peachy::mapreduce

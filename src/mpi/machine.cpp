@@ -1,0 +1,156 @@
+#include <atomic>
+#include <thread>
+
+#include "mpi/mpi.hpp"
+
+namespace peachy::mpi {
+
+namespace detail {
+
+Machine::Machine(int nranks) {
+  PEACHY_CHECK(nranks >= 1, "machine needs at least one rank");
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Machine::post(int source, int dest, int tag, std::span<const std::byte> payload) {
+  PEACHY_CHECK(dest >= 0 && dest < size(), "post: bad destination");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock{box.mu};
+    Message m;
+    m.source = source;
+    m.tag = tag;
+    m.payload.assign(payload.begin(), payload.end());
+    box.queue.push_back(std::move(m));
+  }
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  box.cv.notify_all();
+}
+
+Message Machine::take(int self, int source, int tag) {
+  PEACHY_CHECK(self >= 0 && self < size(), "take: bad rank");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  std::unique_lock lock{box.mu};
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        return m;
+      }
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      std::lock_guard alock{abort_mu_};
+      throw Error{"mpi machine aborted while rank " + std::to_string(self) +
+                  " was blocked in recv: " + abort_reason_};
+    }
+    // Wait with a timeout so an abort raised after our scan is noticed.
+    box.cv.wait_for(lock, std::chrono::milliseconds{5});
+  }
+}
+
+bool Machine::try_peek(int self, int source, int tag, Status& st) {
+  PEACHY_CHECK(self >= 0 && self < size(), "probe: bad rank");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  std::lock_guard lock{box.mu};
+  for (const auto& m : box.queue) {
+    if (matches(m, source, tag)) {
+      st = Status{m.source, m.tag, m.payload.size()};
+      return true;
+    }
+  }
+  return false;
+}
+
+void Machine::abort(const std::string& why) {
+  {
+    std::lock_guard lock{abort_mu_};
+    if (!aborted_.load(std::memory_order_acquire)) abort_reason_ = why;
+  }
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) box->cv.notify_all();
+}
+
+TrafficStats Machine::stats() const noexcept {
+  return {messages_.load(std::memory_order_relaxed), bytes_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace detail
+
+void Comm::barrier() {
+  const int tag = next_internal_tag();
+  const int p = size();
+  const std::byte token{0};
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const int dest = (rank_ + dist) % p;
+    const int src = (rank_ - dist + p) % p;
+    // Round-distinct sub-tag: token from round k must not satisfy round k+1.
+    machine_->post(rank_, dest, tag, std::span<const std::byte>{&token, 1});
+    (void)recv_bytes(src, tag);
+    // NOTE: dissemination rounds reuse the same tag but distinct (src,dist)
+    // pairs, and recv matches on source, so rounds cannot cross-match
+    // unless p is a power of two *and* two rounds share a source — which
+    // cannot happen since distances are distinct powers of two < p.
+  }
+}
+
+void Comm::broadcast_bytes(std::vector<std::byte>& data, int root) {
+  const int tag = next_internal_tag();
+  const int p = size();
+  PEACHY_CHECK(root >= 0 && root < p, "broadcast: bad root");
+  if (p == 1) return;
+  const int vrank = (rank_ - root + p) % p;
+  // Receive phase: find the lowest set bit position where we get our copy.
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int vsrc = vrank - mask;
+      const int src = (vsrc + root) % p;
+      data = recv_bytes(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Send phase: forward to the subtree below us.
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vrank & mask) == 0 && vrank + mask < p) {
+      const int dest = (vrank + mask + root) % p;
+      machine_->post(rank_, dest, tag, data);
+    }
+    mask >>= 1;
+  }
+}
+
+TrafficStats run(int nranks, const std::function<void(Comm&)>& fn) {
+  PEACHY_CHECK(nranks >= 1, "run: need at least one rank");
+  PEACHY_CHECK(fn != nullptr, "run: null rank function");
+  detail::Machine machine{nranks};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&machine, &fn, &err_mu, &first_error, r] {
+      Comm comm{machine, r};
+      try {
+        fn(comm);
+      } catch (...) {
+        {
+          std::lock_guard lock{err_mu};
+          if (!first_error) first_error = std::current_exception();
+        }
+        machine.abort("rank " + std::to_string(r) + " threw");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return machine.stats();
+}
+
+}  // namespace peachy::mpi

@@ -1,0 +1,368 @@
+#pragma once
+/// \file mpi.hpp
+/// \brief mini-MPI: a message-passing runtime with MPI semantics.
+///
+/// The paper's kNN, k-means, and HPO assignments are written against MPI.
+/// This container has no MPI implementation, so peachy provides one whose
+/// *programming model* is faithful: ranks with private data, explicit
+/// tagged point-to-point messages, and the collectives the assignments use
+/// (barrier, bcast, scatter, gather, allgather, reduce, allreduce,
+/// alltoall).  Ranks execute as OS threads inside one process; message
+/// payloads are copied through mailboxes, never shared, so all the
+/// ordering/matching hazards of real MPI code are preserved.
+///
+/// Collectives are implemented *on top of point-to-point* with the
+/// classic algorithms (dissemination barrier, binomial-tree bcast/reduce,
+/// ring allgather), so the runtime's message/byte counters have the same
+/// shape as a real MPI trace — several experiments report them.
+///
+/// Usage:
+///   auto stats = peachy::mpi::run(4, [](peachy::mpi::Comm& comm) {
+///     std::vector<double> part = comm.scatter_blocks<double>(all, /*root=*/0);
+///     double local = work(part);
+///     std::vector<double> total = comm.allreduce<double>({&local, 1}, std::plus<>{});
+///   });
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/parallel_for.hpp"
+
+namespace peachy::mpi {
+
+/// Wildcards for recv matching (analogues of MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Metadata of a received message (analogue of MPI_Status).
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Aggregate traffic counters for one run().
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+namespace detail {
+
+struct Message {
+  int source;
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+/// Shared state for one group of ranks.
+class Machine {
+ public:
+  explicit Machine(int nranks);
+
+  void post(int source, int dest, int tag, std::span<const std::byte> payload);
+  Message take(int self, int source, int tag);
+  bool try_peek(int self, int source, int tag, Status& st);
+
+  void abort(const std::string& why);
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(boxes_.size()); }
+  [[nodiscard]] TrafficStats stats() const noexcept;
+
+ private:
+  static bool matches(const Message& m, int source, int tag) noexcept {
+    return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::atomic<bool> aborted_{false};
+  std::string abort_reason_;
+  std::mutex abort_mu_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace detail
+
+/// Communicator handle passed to every rank's function.  All methods are
+/// callable from that rank's thread only.
+class Comm {
+ public:
+  Comm(detail::Machine& machine, int rank) noexcept : machine_{&machine}, rank_{rank} {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return machine_->size(); }
+
+  // ---- point to point ----------------------------------------------------
+
+  /// Buffered send: copies the payload into dest's mailbox; never blocks.
+  void send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+    PEACHY_CHECK(dest >= 0 && dest < size(), "send: bad destination rank");
+    PEACHY_CHECK(tag >= 0 && tag < kInternalTagBase,
+                 "send: user tags must be in [0, 2^30)");
+    machine_->post(rank_, dest, tag, payload);
+  }
+
+  /// Blocking receive matching (source, tag); wildcards allowed.
+  std::vector<std::byte> recv_bytes(int source, int tag, Status* st = nullptr) {
+    detail::Message m = machine_->take(rank_, source, tag);
+    if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
+    return std::move(m.payload);
+  }
+
+  /// Non-blocking probe: true if a matching message is waiting.
+  bool probe(int source, int tag, Status* st = nullptr) {
+    Status tmp;
+    const bool ok = machine_->try_peek(rank_, source, tag, tmp);
+    if (ok && st != nullptr) *st = tmp;
+    return ok;
+  }
+
+  /// Typed send of a span of trivially copyable elements.
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+
+  /// Typed send of one value.
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    send<T>(dest, tag, std::span<const T>{&v, 1});
+  }
+
+  /// Typed receive: returns however many elements the sender sent.
+  template <typename T>
+  std::vector<T> recv(int source, int tag, Status* st = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw = recv_bytes(source, tag, st);
+    PEACHY_CHECK(raw.size() % sizeof(T) == 0, "recv: payload size not a multiple of sizeof(T)");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// Typed receive of exactly one value.
+  template <typename T>
+  T recv_value(int source, int tag, Status* st = nullptr) {
+    std::vector<T> v = recv<T>(source, tag, st);
+    PEACHY_CHECK(v.size() == 1, "recv_value: expected exactly one element");
+    return v.front();
+  }
+
+  // ---- collectives ---------------------------------------------------------
+  // Every rank of the communicator must call each collective in the same
+  // order (as in MPI).  Internal tags are sequenced per call so distinct
+  // collectives cannot cross-match.
+
+  /// Dissemination barrier: ceil(log2 p) rounds of pairwise tokens.
+  void barrier();
+
+  /// Binomial-tree broadcast of a byte buffer from `root`.
+  void broadcast_bytes(std::vector<std::byte>& data, int root);
+
+  /// Typed broadcast: after the call every rank holds root's vector.
+  template <typename T>
+  void broadcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw;
+    if (rank_ == root) {
+      raw.resize(data.size() * sizeof(T));
+      std::memcpy(raw.data(), data.data(), raw.size());
+    }
+    broadcast_bytes(raw, root);
+    if (rank_ != root) {
+      PEACHY_CHECK(raw.size() % sizeof(T) == 0, "broadcast: size mismatch");
+      data.resize(raw.size() / sizeof(T));
+      std::memcpy(data.data(), raw.data(), raw.size());
+    }
+  }
+
+  /// Typed broadcast of one value.
+  template <typename T>
+  [[nodiscard]] T broadcast_value(T v, int root) {
+    std::vector<T> buf{v};
+    broadcast(buf, root);
+    return buf.front();
+  }
+
+  /// Binomial-tree reduction with element-wise op; result valid at root
+  /// only (other ranks get an empty vector).  `op(a,b)` must be
+  /// commutative and associative.
+  template <typename T, typename Op>
+  std::vector<T> reduce(std::span<const T> local, Op op, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = next_internal_tag();
+    const int p = size();
+    std::vector<T> acc(local.begin(), local.end());
+    const int vrank = (rank_ - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if ((vrank & mask) == 0) {
+        const int vsrc = vrank | mask;
+        if (vsrc < p) {
+          const int src = (vsrc + root) % p;
+          std::vector<T> part = recv<T>(src, tag);
+          PEACHY_CHECK(part.size() == acc.size(), "reduce: contribution size mismatch");
+          for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], part[i]);
+        }
+      } else {
+        const int dest = ((vrank & ~mask) + root) % p;
+        coll_send<T>(dest, tag, acc);
+        return {};
+      }
+      mask <<= 1;
+    }
+    return acc;  // only reached by root
+  }
+
+  /// Reduce-then-broadcast allreduce; every rank gets the combined vector.
+  template <typename T, typename Op>
+  std::vector<T> allreduce(std::span<const T> local, Op op) {
+    std::vector<T> total = reduce<T, Op>(local, op, 0);
+    broadcast(total, 0);
+    return total;
+  }
+
+  /// Allreduce of one value.
+  template <typename T, typename Op>
+  [[nodiscard]] T allreduce_value(T v, Op op) {
+    return allreduce<T, Op>(std::span<const T>{&v, 1}, op).front();
+  }
+
+  /// Gather variable-size contributions; root receives the concatenation
+  /// in rank order (gatherv semantics).  Non-root ranks get {}.
+  template <typename T>
+  std::vector<T> gather(std::span<const T> local, int root) {
+    const int tag = next_internal_tag();
+    if (rank_ != root) {
+      coll_send<T>(root, tag, local);
+      return {};
+    }
+    std::vector<std::vector<T>> parts(size());
+    parts[rank_].assign(local.begin(), local.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      parts[r] = recv<T>(r, tag);
+    }
+    std::vector<T> all;
+    for (auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+    return all;
+  }
+
+  /// Ring allgather of variable-size contributions: p−1 rounds, each rank
+  /// forwarding the block it received in the previous round.  Returns the
+  /// concatenation in rank order on every rank.
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> local) {
+    const int tag = next_internal_tag();
+    const int p = size();
+    std::vector<std::vector<T>> blocks(p);
+    blocks[rank_].assign(local.begin(), local.end());
+    const int right = (rank_ + 1) % p;
+    const int left = (rank_ - 1 + p) % p;
+    for (int step = 0; step < p - 1; ++step) {
+      const int send_block = (rank_ - step + p) % p;
+      const int recv_block = (rank_ - step - 1 + p) % p;
+      coll_send<T>(right, tag, blocks[send_block]);
+      blocks[recv_block] = recv<T>(left, tag);
+    }
+    std::vector<T> all;
+    for (auto& b : blocks) all.insert(all.end(), b.begin(), b.end());
+    return all;
+  }
+
+  /// Scatter near-even static blocks of root's vector; returns this
+  /// rank's block (OpenMP/Chapel block-partition rule).
+  template <typename T>
+  std::vector<T> scatter_blocks(std::span<const T> all, int root) {
+    const int tag = next_internal_tag();
+    const int p = size();
+    if (rank_ == root) {
+      const std::size_t n = all.size();
+      std::vector<T> mine;
+      for (int r = 0; r < p; ++r) {
+        const auto blk = support::static_block(n, p, static_cast<std::size_t>(r));
+        std::span<const T> piece = all.subspan(blk.begin, blk.end - blk.begin);
+        if (r == root) {
+          mine.assign(piece.begin(), piece.end());
+        } else {
+          coll_send<T>(r, tag, piece);
+        }
+      }
+      return mine;
+    }
+    return recv<T>(root, tag);
+  }
+
+  /// All-to-all of variable-size buffers: sendbufs[r] goes to rank r;
+  /// returns recvbufs where recvbufs[r] came from rank r (alltoallv).
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& sendbufs) {
+    PEACHY_CHECK(static_cast<int>(sendbufs.size()) == size(),
+                 "alltoall: need one send buffer per rank");
+    const int tag = next_internal_tag();
+    const int p = size();
+    std::vector<std::vector<T>> recvbufs(p);
+    recvbufs[rank_] = sendbufs[rank_];
+    // Buffered sends never block, so post all sends then drain receives.
+    for (int k = 1; k < p; ++k) {
+      const int dest = (rank_ + k) % p;
+      coll_send<T>(dest, tag, sendbufs[dest]);
+    }
+    for (int k = 1; k < p; ++k) {
+      const int src = (rank_ - k + p) % p;
+      recvbufs[src] = recv<T>(src, tag);
+    }
+    return recvbufs;
+  }
+
+  /// Traffic counters of the whole machine so far.
+  [[nodiscard]] TrafficStats traffic() const noexcept { return machine_->stats(); }
+
+ private:
+  // Internal tags live above the user tag space and advance per collective
+  // call; ranks call collectives in identical order so the tags agree.
+  static constexpr int kInternalTagBase = 1 << 30;
+  int next_internal_tag() noexcept {
+    return kInternalTagBase + (coll_seq_++ % (1 << 20));
+  }
+
+  // raw send that bypasses the user-tag validation (collectives use tags
+  // >= kInternalTagBase).
+  template <typename T>
+  void coll_send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    machine_->post(rank_, dest, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  void coll_send(int dest, int tag, const std::vector<T>& data) {
+    coll_send<T>(dest, tag, std::span<const T>{data.data(), data.size()});
+  }
+
+  detail::Machine* machine_;
+  int rank_;
+  int coll_seq_ = 0;
+};
+
+/// Execute `fn(comm)` on `nranks` rank-threads; blocks until all complete.
+/// If any rank throws, the machine aborts (waking blocked receivers) and
+/// the first exception is rethrown here.  Returns aggregate traffic stats.
+TrafficStats run(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace peachy::mpi

@@ -1,0 +1,154 @@
+#include "nn/digits.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "support/check.hpp"
+
+namespace peachy::nn {
+
+namespace {
+
+// Seven-segment encoding: bit 0..6 = A(top), B(top-right), C(bottom-right),
+// D(bottom), E(bottom-left), F(top-left), G(middle).
+constexpr unsigned kSegments[10] = {
+    0b0111111,  // 0: A B C D E F
+    0b0000110,  // 1: B C
+    0b1011011,  // 2: A B G E D
+    0b1001111,  // 3: A B G C D
+    0b1100110,  // 4: F G B C
+    0b1101101,  // 5: A F G C D
+    0b1111101,  // 6: A F G E D C
+    0b0000111,  // 7: A B C
+    0b1111111,  // 8: all
+    0b1101111,  // 9: A B C D F G
+};
+
+}  // namespace
+
+SyntheticDigits::SyntheticDigits(DigitsSpec spec) : spec_{spec} {
+  PEACHY_CHECK(spec_.side >= 8, "digits: side must be at least 8 pixels");
+  PEACHY_CHECK(spec_.noise >= 0.0, "digits: negative noise");
+  PEACHY_CHECK(spec_.max_shift >= 0, "digits: negative shift");
+  PEACHY_CHECK(spec_.stroke_jitter >= 0.0 && spec_.stroke_jitter < 1.0,
+               "digits: stroke jitter must be in [0,1)");
+}
+
+void SyntheticDigits::draw_segments(std::vector<double>& img, int digit, int dx, int dy,
+                                    double intensity) const {
+  PEACHY_CHECK(digit >= 0 && digit <= 9, "digits: digit must be 0..9");
+  const auto s = static_cast<int>(spec_.side);
+  // Glyph box occupies the central ~70% of the image.
+  const int left = s / 4;
+  const int right = s - 1 - s / 4;
+  const int top = s / 8;
+  const int bottom = s - 1 - s / 8;
+  const int mid = (top + bottom) / 2;
+  const int thick = std::max(1, s / 10);
+
+  const auto put = [&](int x, int y) {
+    x += dx;
+    y += dy;
+    if (x < 0 || y < 0 || x >= s || y >= s) return;
+    auto& px = img[static_cast<std::size_t>(y) * spec_.side + static_cast<std::size_t>(x)];
+    px = std::min(1.0, px + intensity);
+  };
+  const auto hline = [&](int y, int x0, int x1) {
+    for (int t = 0; t < thick; ++t) {
+      for (int x = x0; x <= x1; ++x) put(x, y + t - thick / 2);
+    }
+  };
+  const auto vline = [&](int x, int y0, int y1) {
+    for (int t = 0; t < thick; ++t) {
+      for (int y = y0; y <= y1; ++y) put(x + t - thick / 2, y);
+    }
+  };
+
+  const unsigned seg = kSegments[digit];
+  if (seg & 0b0000001) hline(top, left, right);          // A
+  if (seg & 0b0000010) vline(right, top, mid);           // B
+  if (seg & 0b0000100) vline(right, mid, bottom);        // C
+  if (seg & 0b0001000) hline(bottom, left, right);       // D
+  if (seg & 0b0010000) vline(left, mid, bottom);         // E
+  if (seg & 0b0100000) vline(left, top, mid);            // F
+  if (seg & 0b1000000) hline(mid, left, right);          // G
+}
+
+std::vector<double> SyntheticDigits::clean_template(int digit) const {
+  std::vector<double> img(features(), 0.0);
+  draw_segments(img, digit, 0, 0, 1.0);
+  return img;
+}
+
+std::vector<double> SyntheticDigits::render(int digit, rng::SplitMix64& gen) const {
+  std::vector<double> img(features(), 0.0);
+  const int dx = spec_.max_shift == 0
+                     ? 0
+                     : static_cast<int>(rng::uniform_int(gen, -spec_.max_shift, spec_.max_shift));
+  const int dy = spec_.max_shift == 0
+                     ? 0
+                     : static_cast<int>(rng::uniform_int(gen, -spec_.max_shift, spec_.max_shift));
+  const double intensity =
+      1.0 - spec_.stroke_jitter * rng::uniform01(gen);
+  draw_segments(img, digit, dx, dy, intensity);
+  if (spec_.noise > 0.0) {
+    for (double& px : img) {
+      px = std::clamp(px + rng::normal(gen, 0.0, spec_.noise), 0.0, 1.0);
+    }
+  }
+  return img;
+}
+
+std::vector<double> SyntheticDigits::render_morph(int digit_a, int digit_b, double alpha,
+                                                  rng::SplitMix64& gen) const {
+  PEACHY_CHECK(alpha >= 0.0 && alpha <= 1.0, "digits: morph alpha outside [0,1]");
+  std::vector<double> img(features(), 0.0);
+  const int dx = spec_.max_shift == 0
+                     ? 0
+                     : static_cast<int>(rng::uniform_int(gen, -spec_.max_shift, spec_.max_shift));
+  const int dy = spec_.max_shift == 0
+                     ? 0
+                     : static_cast<int>(rng::uniform_int(gen, -spec_.max_shift, spec_.max_shift));
+  draw_segments(img, digit_a, dx, dy, 1.0 - alpha);
+  draw_segments(img, digit_b, dx, dy, alpha);
+  if (spec_.noise > 0.0) {
+    for (double& px : img) {
+      px = std::clamp(px + rng::normal(gen, 0.0, spec_.noise), 0.0, 1.0);
+    }
+  }
+  return img;
+}
+
+Dataset SyntheticDigits::make_dataset(std::size_t n, std::uint64_t seed) const {
+  PEACHY_CHECK(n > 0, "digits: empty dataset requested");
+  Dataset ds;
+  ds.x = Matrix{n, features()};
+  ds.y.resize(n);
+  ds.classes = 10;
+  rng::SplitMix64 gen{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(i % 10);
+    const auto img = render(digit, gen);
+    std::copy(img.begin(), img.end(), ds.x.row(i).begin());
+    ds.y[i] = digit;
+  }
+  return ds;
+}
+
+std::string SyntheticDigits::ascii_art(std::span<const double> image, std::size_t side) {
+  PEACHY_CHECK(image.size() == side * side, "ascii_art: image size != side^2");
+  static constexpr char kShades[] = " .:-=+*#%@";
+  std::string out;
+  out.reserve((side + 1) * side);
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      const double v = std::clamp(image[y * side + x], 0.0, 1.0);
+      out.push_back(kShades[static_cast<std::size_t>(v * 9.999)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace peachy::nn

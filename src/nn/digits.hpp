@@ -1,0 +1,63 @@
+#pragma once
+/// \file digits.hpp
+/// \brief Synthetic MNIST-like digit generator (paper §7 substitution).
+///
+/// The HPO assignment classifies MNIST handwritten digits; no dataset
+/// files exist in this container, so peachy renders procedural digits:
+/// seven-segment glyphs on a small grayscale grid with random translation,
+/// stroke-intensity variation, and pixel noise.  The generator also
+/// produces *morphs* — pixel blends of two digits — the controllable
+/// ambiguous inputs that reproduce Fig. 4's high-uncertainty example
+/// (a glyph between a 4 and a 9).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "rng/splitmix.hpp"
+
+namespace peachy::nn {
+
+/// Generator parameters.
+struct DigitsSpec {
+  std::size_t side = 16;   ///< image is side × side pixels
+  double noise = 0.08;     ///< per-pixel Gaussian noise stddev
+  int max_shift = 1;       ///< uniform random translation in ±max_shift
+  double stroke_jitter = 0.15;  ///< per-sample stroke intensity variation
+};
+
+/// Procedural digit renderer and dataset factory.
+class SyntheticDigits {
+ public:
+  explicit SyntheticDigits(DigitsSpec spec = {});
+
+  [[nodiscard]] std::size_t side() const noexcept { return spec_.side; }
+  [[nodiscard]] std::size_t features() const noexcept { return spec_.side * spec_.side; }
+
+  /// Render one noisy sample of `digit` (0–9).  Pixels in [0,1].
+  [[nodiscard]] std::vector<double> render(int digit, rng::SplitMix64& gen) const;
+
+  /// Render a pixel blend: (1−alpha)·digit_a + alpha·digit_b, with shared
+  /// translation and independent noise.  alpha=0.5 is maximally ambiguous.
+  [[nodiscard]] std::vector<double> render_morph(int digit_a, int digit_b, double alpha,
+                                                 rng::SplitMix64& gen) const;
+
+  /// Balanced labelled dataset of n samples (labels 0–9, cycling).
+  [[nodiscard]] Dataset make_dataset(std::size_t n, std::uint64_t seed) const;
+
+  /// Clean template of a digit (no noise/translation) — for tests/demos.
+  [[nodiscard]] std::vector<double> clean_template(int digit) const;
+
+  /// ASCII rendering of an image (teaching output; Fig. 4 reproduction).
+  [[nodiscard]] static std::string ascii_art(std::span<const double> image, std::size_t side);
+
+ private:
+  void draw_segments(std::vector<double>& img, int digit, int dx, int dy,
+                     double intensity) const;
+
+  DigitsSpec spec_;
+};
+
+}  // namespace peachy::nn

@@ -1,0 +1,102 @@
+#include "nn/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace peachy::nn {
+
+void EnsembleClassifier::add(std::shared_ptr<const Mlp> member) {
+  PEACHY_CHECK(member != nullptr, "ensemble: null member");
+  if (!members_.empty()) {
+    PEACHY_CHECK(member->features() == members_.front()->features() &&
+                     member->classes() == members_.front()->classes(),
+                 "ensemble: member shape mismatch");
+  }
+  members_.push_back(std::move(member));
+}
+
+const Mlp& EnsembleClassifier::member(std::size_t i) const {
+  PEACHY_CHECK(i < members_.size(), "ensemble: member index out of range");
+  return *members_[i];
+}
+
+Matrix EnsembleClassifier::predict_proba(const Matrix& x) const {
+  PEACHY_CHECK(!members_.empty(), "ensemble: no members");
+  Matrix mean{x.rows(), members_.front()->classes()};
+  for (const auto& m : members_) {
+    const Matrix p = m->predict_proba(x);
+    axpy(mean, p, 1.0 / static_cast<double>(members_.size()));
+  }
+  return mean;
+}
+
+std::vector<UncertainPrediction> EnsembleClassifier::predict_uncertain(const Matrix& x) const {
+  PEACHY_CHECK(!members_.empty(), "ensemble: no members");
+  const std::size_t n = x.rows();
+  const std::size_t c = members_.front()->classes();
+  const std::size_t m = members_.size();
+
+  // Per-member probabilities.
+  std::vector<Matrix> probs;
+  probs.reserve(m);
+  for (const auto& member : members_) probs.push_back(member->predict_proba(x));
+
+  std::vector<UncertainPrediction> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mean distribution and mean per-member entropy.
+    std::vector<double> mean(c, 0.0);
+    double mean_member_entropy = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto row = probs[k].row(i);
+      double h = 0.0;
+      for (std::size_t j = 0; j < c; ++j) {
+        mean[j] += row[j] / static_cast<double>(m);
+        if (row[j] > 0.0) h -= row[j] * std::log(row[j]);
+      }
+      mean_member_entropy += h / static_cast<double>(m);
+    }
+    UncertainPrediction& p = out[i];
+    const auto best = std::max_element(mean.begin(), mean.end());
+    p.label = static_cast<std::int32_t>(best - mean.begin());
+    p.mean_probability = *best;
+
+    // stddev across members of the winning class's probability.
+    double ss = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const double d = probs[k](i, static_cast<std::size_t>(p.label)) - p.mean_probability;
+      ss += d * d;
+    }
+    p.uncertainty = m > 1 ? std::sqrt(ss / static_cast<double>(m - 1)) : 0.0;
+
+    double entropy = 0.0;
+    for (double q : mean) {
+      if (q > 0.0) entropy -= q * std::log(q);
+    }
+    p.entropy = entropy;
+    p.mutual_information = std::max(0.0, entropy - mean_member_entropy);
+
+    p.member_votes.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto row = probs[k].row(i);
+      p.member_votes[k] =
+          static_cast<std::int32_t>(std::max_element(row.begin(), row.end()) - row.begin());
+    }
+  }
+  return out;
+}
+
+double EnsembleClassifier::accuracy(const Dataset& data) const {
+  PEACHY_CHECK(data.size() > 0, "ensemble accuracy: empty dataset");
+  const Matrix p = predict_proba(data.x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    const auto row = p.row(i);
+    const auto pred = std::max_element(row.begin(), row.end()) - row.begin();
+    hits += static_cast<std::int32_t>(pred) == data.y[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(p.rows());
+}
+
+}  // namespace peachy::nn

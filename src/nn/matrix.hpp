@@ -1,0 +1,71 @@
+#pragma once
+/// \file matrix.hpp
+/// \brief Minimal dense row-major matrix for the neural-network module.
+///
+/// Deliberately small: the HPO assignment (paper §7) needs batched
+/// matrix–matrix products, transposed products for backprop, and row-wise
+/// reductions — nothing more.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace peachy::nn {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_{rows}, cols_{cols}, a_(rows * cols, 0.0) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> values)
+      : rows_{rows}, cols_{cols}, a_{std::move(values)} {
+    PEACHY_CHECK(a_.size() == rows * cols, "matrix: values size != rows*cols");
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    PEACHY_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return a_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    PEACHY_CHECK(r < rows_ && c < cols_, "matrix index out of range");
+    return a_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    PEACHY_CHECK(r < rows_, "matrix row out of range");
+    return {a_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    PEACHY_CHECK(r < rows_, "matrix row out of range");
+    return {a_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::vector<double>& values() noexcept { return a_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return a_; }
+
+  void fill(double v) { std::fill(a_.begin(), a_.end(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> a_;
+};
+
+/// C = A·B.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ·B (used for weight gradients without materializing Aᵀ).
+[[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A·Bᵀ (used for input gradients without materializing Bᵀ).
+[[nodiscard]] Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// out += scale * m, element-wise (shapes must match).
+void axpy(Matrix& out, const Matrix& m, double scale);
+
+}  // namespace peachy::nn

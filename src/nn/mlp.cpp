@@ -1,0 +1,212 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "rng/distributions.hpp"
+#include "rng/splitmix.hpp"
+#include "support/check.hpp"
+
+namespace peachy::nn {
+
+std::string TrainConfig::to_string() const {
+  std::ostringstream os;
+  os << "h=[";
+  for (std::size_t i = 0; i < hidden.size(); ++i) os << (i ? "," : "") << hidden[i];
+  os << "] lr=" << learning_rate << " mom=" << momentum << " ep=" << epochs
+     << " bs=" << batch_size;
+  return os.str();
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  Matrix out{logits.rows(), logits.cols()};
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const auto in = logits.row(i);
+    const auto o = out.row(i);
+    const double mx = *std::max_element(in.begin(), in.end());
+    double sum = 0.0;
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      o[j] = std::exp(in[j] - mx);
+      sum += o[j];
+    }
+    for (std::size_t j = 0; j < in.size(); ++j) o[j] /= sum;
+  }
+  return out;
+}
+
+double cross_entropy(const Matrix& proba, std::span<const std::int32_t> labels) {
+  PEACHY_CHECK(proba.rows() == labels.size(), "cross_entropy: size mismatch");
+  PEACHY_CHECK(proba.rows() > 0, "cross_entropy: empty batch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < proba.rows(); ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    PEACHY_CHECK(y < proba.cols(), "cross_entropy: label out of range");
+    total += -std::log(std::max(proba(i, y), 1e-12));
+  }
+  return total / static_cast<double>(proba.rows());
+}
+
+Mlp::Mlp(std::size_t features, std::size_t classes, const TrainConfig& cfg)
+    : features_{features}, classes_{classes}, cfg_{cfg} {
+  PEACHY_CHECK(features > 0 && classes >= 2, "mlp: need features>0 and classes>=2");
+  PEACHY_CHECK(cfg.learning_rate > 0.0, "mlp: learning rate must be positive");
+  PEACHY_CHECK(cfg.momentum >= 0.0 && cfg.momentum < 1.0, "mlp: momentum must be in [0,1)");
+  PEACHY_CHECK(cfg.batch_size > 0, "mlp: batch size must be positive");
+  for (std::size_t h : cfg.hidden) PEACHY_CHECK(h > 0, "mlp: zero-width hidden layer");
+
+  std::vector<std::size_t> sizes{features};
+  sizes.insert(sizes.end(), cfg.hidden.begin(), cfg.hidden.end());
+  sizes.push_back(classes);
+
+  rng::SplitMix64 gen{cfg.seed};
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.w = Matrix{sizes[l], sizes[l + 1]};
+    layer.b = Matrix{1, sizes[l + 1]};
+    layer.vw = Matrix{sizes[l], sizes[l + 1]};
+    layer.vb = Matrix{1, sizes[l + 1]};
+    // He-normal initialization: std = sqrt(2/fan_in).
+    const double std_dev = std::sqrt(2.0 / static_cast<double>(sizes[l]));
+    for (double& w : layer.w.values()) w = rng::normal(gen, 0.0, std_dev);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+void Mlp::forward(const Matrix& x, std::vector<Matrix>& activations) const {
+  PEACHY_CHECK(x.cols() == features_, "mlp: input feature mismatch");
+  activations.clear();
+  activations.reserve(layers_.size() + 1);
+  activations.push_back(x);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Matrix z = matmul(activations.back(), layers_[l].w);
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+      const auto zr = z.row(i);
+      const auto br = layers_[l].b.row(0);
+      for (std::size_t j = 0; j < zr.size(); ++j) zr[j] += br[j];
+    }
+    if (l + 1 < layers_.size()) {
+      for (double& v : z.values()) v = std::max(v, 0.0);  // ReLU
+      activations.push_back(std::move(z));
+    } else {
+      activations.push_back(softmax_rows(z));
+    }
+  }
+}
+
+Matrix Mlp::predict_proba(const Matrix& x) const {
+  std::vector<Matrix> acts;
+  forward(x, acts);
+  return std::move(acts.back());
+}
+
+std::vector<std::int32_t> Mlp::predict(const Matrix& x) const {
+  const Matrix p = predict_proba(x);
+  std::vector<std::int32_t> out(p.rows());
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    const auto row = p.row(i);
+    out[i] = static_cast<std::int32_t>(std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+double Mlp::accuracy(const Dataset& data) const {
+  PEACHY_CHECK(data.size() > 0, "accuracy: empty dataset");
+  const auto pred = predict(data.x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) hits += pred[i] == data.y[i];
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+double Mlp::loss(const Dataset& data) const {
+  return cross_entropy(predict_proba(data.x), data.y);
+}
+
+double Mlp::train(const Dataset& data) {
+  PEACHY_CHECK(data.size() > 0, "train: empty dataset");
+  PEACHY_CHECK(data.y.size() == data.size(), "train: labels/examples mismatch");
+  const std::size_t n = data.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng::SplitMix64 shuffler{rng::derive_seed(cfg_.seed, 0x51u)};
+
+  double final_epoch_loss = 0.0;
+  std::vector<Matrix> acts;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    // Fisher–Yates with the library generator: deterministic everywhere.
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(rng::uniform_below(shuffler, i + 1));
+      std::swap(order[i], order[j]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += cfg_.batch_size) {
+      const std::size_t bsz = std::min(cfg_.batch_size, n - start);
+      Matrix bx{bsz, features_};
+      std::vector<std::int32_t> by(bsz);
+      for (std::size_t i = 0; i < bsz; ++i) {
+        const std::size_t src = order[start + i];
+        const auto srow = data.x.row(src);
+        std::copy(srow.begin(), srow.end(), bx.row(i).begin());
+        by[i] = data.y[src];
+      }
+
+      forward(bx, acts);
+      epoch_loss += cross_entropy(acts.back(), by);
+      ++batches;
+
+      // Backprop: delta at softmax+CE output is (p - onehot)/batch.
+      Matrix delta = acts.back();
+      for (std::size_t i = 0; i < bsz; ++i) {
+        delta(i, static_cast<std::size_t>(by[i])) -= 1.0;
+      }
+      for (double& v : delta.values()) v /= static_cast<double>(bsz);
+
+      for (std::size_t l = layers_.size(); l-- > 0;) {
+        Layer& layer = layers_[l];
+        const Matrix& input = acts[l];
+        const Matrix grad_w = matmul_at_b(input, delta);
+        Matrix grad_b{1, delta.cols()};
+        for (std::size_t i = 0; i < delta.rows(); ++i) {
+          const auto dr = delta.row(i);
+          const auto gb = grad_b.row(0);
+          for (std::size_t j = 0; j < dr.size(); ++j) gb[j] += dr[j];
+        }
+        if (l > 0) {
+          Matrix next_delta = matmul_a_bt(delta, layer.w);
+          // ReLU derivative gate on the hidden activation.
+          for (std::size_t i = 0; i < next_delta.rows(); ++i) {
+            const auto ndr = next_delta.row(i);
+            const auto ar = acts[l].row(i);
+            for (std::size_t j = 0; j < ndr.size(); ++j) {
+              if (ar[j] <= 0.0) ndr[j] = 0.0;
+            }
+          }
+          delta = std::move(next_delta);
+        }
+        // Momentum SGD update.
+        if (cfg_.momentum > 0.0) {
+          for (std::size_t i = 0; i < layer.vw.values().size(); ++i) {
+            layer.vw.values()[i] =
+                cfg_.momentum * layer.vw.values()[i] - cfg_.learning_rate * grad_w.values()[i];
+            layer.w.values()[i] += layer.vw.values()[i];
+          }
+          for (std::size_t i = 0; i < layer.vb.values().size(); ++i) {
+            layer.vb.values()[i] =
+                cfg_.momentum * layer.vb.values()[i] - cfg_.learning_rate * grad_b.values()[i];
+            layer.b.values()[i] += layer.vb.values()[i];
+          }
+        } else {
+          axpy(layer.w, grad_w, -cfg_.learning_rate);
+          axpy(layer.b, grad_b, -cfg_.learning_rate);
+        }
+      }
+    }
+    final_epoch_loss = epoch_loss / static_cast<double>(batches);
+  }
+  return final_epoch_loss;
+}
+
+}  // namespace peachy::nn

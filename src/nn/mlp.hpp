@@ -1,0 +1,94 @@
+#pragma once
+/// \file mlp.hpp
+/// \brief Fully connected classifier (the paper §7 "simple Fully Connected
+/// Neural Network that classifies ... handwritten digits").
+///
+/// ReLU hidden layers, softmax output, cross-entropy loss, SGD with
+/// momentum.  Training is deterministic for a fixed seed, which the HPO
+/// module relies on: the same (hyperparameters, seed) pair must produce
+/// the same model no matter which mini-MPI rank trains it.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace peachy::nn {
+
+/// A labelled dataset: one row per example, labels in [0, classes).
+struct Dataset {
+  Matrix x;                          ///< examples × features
+  std::vector<std::int32_t> y;       ///< one label per example
+  std::size_t classes = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.rows(); }
+  [[nodiscard]] std::size_t features() const noexcept { return x.cols(); }
+};
+
+/// Training hyper-parameters (the HPO assignment's search space).
+struct TrainConfig {
+  std::vector<std::size_t> hidden{32};  ///< hidden layer widths
+  double learning_rate = 0.1;
+  double momentum = 0.0;
+  std::size_t epochs = 5;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 1;
+
+  /// Stable one-line description, e.g. "h=[32,16] lr=0.1 mom=0.9 ep=5 bs=32".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Multi-layer perceptron classifier.
+class Mlp {
+ public:
+  /// Initialize with He-normal weights for `features` inputs and
+  /// `classes` outputs.
+  Mlp(std::size_t features, std::size_t classes, const TrainConfig& cfg);
+
+  /// One SGD pass over `data` for cfg.epochs epochs; returns the final
+  /// epoch's mean training loss.  Deterministic given cfg.seed.
+  double train(const Dataset& data);
+
+  /// Class probabilities for a batch (rows sum to 1).
+  [[nodiscard]] Matrix predict_proba(const Matrix& x) const;
+
+  /// argmax class per row.
+  [[nodiscard]] std::vector<std::int32_t> predict(const Matrix& x) const;
+
+  /// Fraction of correct predictions on a dataset.
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+
+  /// Mean cross-entropy on a dataset.
+  [[nodiscard]] double loss(const Dataset& data) const;
+
+  [[nodiscard]] const TrainConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t features() const noexcept { return features_; }
+  [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+
+ private:
+  struct Layer {
+    Matrix w;   // in × out
+    Matrix b;   // 1 × out
+    Matrix vw;  // momentum buffers
+    Matrix vb;
+  };
+
+  /// Forward pass keeping activations (for backprop).  activations[0]=x,
+  /// activations[i+1]=output of layer i (post-ReLU for hidden, softmax for
+  /// the last).
+  void forward(const Matrix& x, std::vector<Matrix>& activations) const;
+
+  std::size_t features_;
+  std::size_t classes_;
+  TrainConfig cfg_;
+  std::vector<Layer> layers_;
+};
+
+/// Row-wise softmax (numerically stabilized).  Exposed for tests.
+[[nodiscard]] Matrix softmax_rows(const Matrix& logits);
+
+/// Mean cross-entropy of probability rows vs integer labels.
+[[nodiscard]] double cross_entropy(const Matrix& proba, std::span<const std::int32_t> labels);
+
+}  // namespace peachy::nn

@@ -1,0 +1,85 @@
+#pragma once
+/// \file crime.hpp
+/// \brief The Fig. 2 crime-analysis workflow (paper §4).
+///
+/// Reproduces the student project the paper showcases: "the number of
+/// arrests in distinct neighborhoods of New York City", built from four
+/// datasets — arrests (historic and current year), NTA boundaries, and
+/// NTA population — through a pipeline that "identifies the spatial
+/// positions of all arrests, accumulates the number of arrests in each
+/// neighborhood, and plots a heat map" of arrests per 100,000 citizens.
+///
+/// Data flow (all on the spark RDD engine, per Fig. 2):
+///   ingest 4 CSVs → clean/filter to the target year → spatial join
+///   (point-in-NTA) → reduce_by_key per NTA → join population →
+///   per-100k normalization → heat map + ranked table.
+///
+/// The project brief requires ≥3 analysis problems over the datasets;
+/// this workflow answers three: (1) arrests per 100k per NTA, (2) the
+/// offense-category distribution, (3) year-over-year arrests per borough.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geo/city.hpp"
+#include "geo/raster.hpp"
+#include "pipeline/pipeline.hpp"
+#include "spark/context.hpp"
+
+namespace peachy::pipeline {
+
+/// Workflow parameters.
+struct CrimeConfig {
+  geo::CitySpec city;                  ///< synthetic city standing in for NYC
+  std::size_t historic_arrests = 40000;  ///< events in the "historic" dataset
+  std::size_t current_arrests = 20000;   ///< events in the "current year" dataset
+  std::int32_t target_year = 2021;     ///< Fig. 2 analyzes 2021
+  std::uint64_t seed = 7;
+  std::size_t partitions = 8;          ///< spark partitions
+  std::size_t threads = 4;             ///< spark worker threads
+  std::size_t raster_width = 96;
+  std::size_t raster_height = 64;
+};
+
+/// One row of the ranked output table.
+struct NtaRate {
+  std::string nta;
+  std::string borough;
+  std::int64_t arrests = 0;
+  std::int64_t population = 0;
+  double per_100k = 0.0;
+};
+
+/// Everything the workflow produces.
+struct CrimeReport {
+  // Problem 1: arrests per 100k per NTA (Fig. 2's deliverable).
+  std::vector<NtaRate> rates;          ///< sorted by per_100k descending
+  std::string heat_map_pgm;            ///< the Fig. 2 heat map (binary PGM)
+  std::string heat_map_ascii;          ///< terminal rendering of the same map
+
+  // Problem 2: offense-category distribution over the target year.
+  std::map<std::string, std::int64_t> offenses;
+
+  // Problem 3: year-over-year arrests per borough (all years ingested).
+  std::map<std::string, std::map<std::int32_t, std::int64_t>> borough_by_year;
+
+  // Pipeline health/telemetry.
+  std::vector<StageTiming> stage_timings;
+  spark::EngineStats engine;
+  std::size_t events_ingested = 0;     ///< rows parsed from the two arrest CSVs
+  std::size_t events_in_target_year = 0;
+  std::size_t events_located = 0;      ///< events matched to an NTA
+};
+
+/// Run the full workflow.  The four input datasets are generated from
+/// `cfg.city`, serialized to CSV, and re-parsed — so the ingest stage
+/// exercises the real text path.  Deterministic in cfg.seed.
+[[nodiscard]] CrimeReport run_crime_pipeline(const CrimeConfig& cfg);
+
+/// Serial oracle for problem 1 (no spark, no pipeline) — used by tests
+/// and the bench harness to validate the distributed result.
+[[nodiscard]] std::vector<NtaRate> crime_rates_serial(const CrimeConfig& cfg);
+
+}  // namespace peachy::pipeline

@@ -1,0 +1,50 @@
+#include "pipeline/pipeline.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace peachy::pipeline {
+
+Pipeline& Pipeline::stage(std::string name, std::function<void()> body) {
+  PEACHY_CHECK(!name.empty(), "pipeline: empty stage name");
+  PEACHY_CHECK(body != nullptr, "pipeline: null stage body");
+  PEACHY_CHECK(!ran_, "pipeline: cannot add stages after run()");
+  stages_.push_back({std::move(name), std::move(body)});
+  return *this;
+}
+
+void Pipeline::run() {
+  PEACHY_CHECK(!ran_, "pipeline: run() called twice");
+  PEACHY_CHECK(!stages_.empty(), "pipeline: no stages");
+  ran_ = true;
+  timings_.reserve(stages_.size());
+  for (const Stage& st : stages_) {
+    support::Stopwatch sw;
+    try {
+      st.body();
+    } catch (const std::exception& e) {
+      throw Error{"pipeline stage '" + st.name + "' failed: " + e.what()};
+    }
+    timings_.push_back({st.name, sw.elapsed_s()});
+  }
+}
+
+double Pipeline::total_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& t : timings_) total += t.seconds;
+  return total;
+}
+
+std::string Pipeline::report() const {
+  std::ostringstream os;
+  os << "pipeline stages:\n";
+  for (const auto& t : timings_) {
+    os << "  " << t.name << ": " << t.seconds * 1e3 << " ms\n";
+  }
+  os << "  total: " << total_seconds() * 1e3 << " ms\n";
+  return os.str();
+}
+
+}  // namespace peachy::pipeline

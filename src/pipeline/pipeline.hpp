@@ -1,0 +1,54 @@
+#pragma once
+/// \file pipeline.hpp
+/// \brief Generic data-analysis pipeline runner (paper §4).
+///
+/// The programming project teaches "designing, constructing, and
+/// improving true data analysis pipelines": named stages, executed in
+/// order, each timed — so students can see where their workflow spends
+/// its time and iterate.  The Fig. 2 crime workflow (crime.hpp) is built
+/// on this runner.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace peachy::pipeline {
+
+/// Wall-clock timing of one executed stage.
+struct StageTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
+/// An ordered list of named stages.  Stages run sequentially (each stage
+/// may be internally parallel — e.g. spark actions); failures propagate
+/// with the stage name attached.
+class Pipeline {
+ public:
+  /// Append a stage.  Returns *this for chaining.
+  Pipeline& stage(std::string name, std::function<void()> body);
+
+  /// Execute all stages in order.  Throws peachy::Error naming the stage
+  /// if a body throws.  May be called once per instance.
+  void run();
+
+  /// Per-stage wall times (valid after run()).
+  [[nodiscard]] const std::vector<StageTiming>& timings() const noexcept { return timings_; }
+
+  /// Total seconds across stages.
+  [[nodiscard]] double total_seconds() const noexcept;
+
+  /// Render a per-stage timing table.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct Stage {
+    std::string name;
+    std::function<void()> body;
+  };
+  std::vector<Stage> stages_;
+  std::vector<StageTiming> timings_;
+  bool ran_ = false;
+};
+
+}  // namespace peachy::pipeline

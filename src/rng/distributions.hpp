@@ -1,0 +1,85 @@
+#pragma once
+/// \file distributions.hpp
+/// \brief Distribution adaptors over any peachy generator.
+///
+/// Generators expose `next_u64()/next_u32()/next_double()`; these free
+/// functions turn raw draws into the distributions the assignments use.
+/// Every function documents *exactly how many raw draws it consumes*,
+/// because the traffic assignment's fast-forward arithmetic depends on a
+/// fixed draw budget per simulation event.
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace peachy::rng {
+
+/// Uniform double in [0,1).  Consumes exactly 1 draw.
+template <typename Gen>
+[[nodiscard]] double uniform01(Gen& g) {
+  return g.next_double();
+}
+
+/// Uniform double in [lo,hi).  Consumes exactly 1 draw.
+template <typename Gen>
+[[nodiscard]] double uniform_real(Gen& g, double lo, double hi) {
+  PEACHY_CHECK(lo <= hi, "uniform_real: lo > hi");
+  return lo + (hi - lo) * g.next_double();
+}
+
+/// Uniform integer in [0,bound).  Consumes exactly 1 draw.
+///
+/// Uses the multiply-shift (Lemire) method *without* rejection: the tiny
+/// modulo bias (≤ bound/2^64) is acceptable for simulation workloads and
+/// the fixed draw count is required for reproducible fast-forwarding.
+template <typename Gen>
+[[nodiscard]] std::uint64_t uniform_below(Gen& g, std::uint64_t bound) {
+  PEACHY_CHECK(bound > 0, "uniform_below: bound must be positive");
+  const std::uint64_t x = g.next_u64();
+  // 64x64 -> high 64 bits of the 128-bit product.
+  __extension__ using Wide = unsigned __int128;
+  return static_cast<std::uint64_t>((static_cast<Wide>(x) * bound) >> 64);
+}
+
+/// Uniform integer in [lo,hi] inclusive.  Consumes exactly 1 draw.
+template <typename Gen>
+[[nodiscard]] std::int64_t uniform_int(Gen& g, std::int64_t lo, std::int64_t hi) {
+  PEACHY_CHECK(lo <= hi, "uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(g, span));
+}
+
+/// Bernoulli trial with probability p.  Consumes exactly 1 draw.
+template <typename Gen>
+[[nodiscard]] bool bernoulli(Gen& g, double p) {
+  PEACHY_CHECK(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+  return g.next_double() < p;
+}
+
+/// One standard-normal pair via Box–Muller.  Consumes exactly 2 draws.
+/// A pair interface (instead of a cached single) keeps the draw budget
+/// explicit for reproducible parallel use.
+struct NormalPair {
+  double first, second;
+};
+
+template <typename Gen>
+[[nodiscard]] NormalPair normal_pair(Gen& g) {
+  // Avoid log(0): shift u1 into (0,1].
+  const double u1 = 1.0 - g.next_double();
+  const double u2 = g.next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  return {r * std::cos(theta), r * std::sin(theta)};
+}
+
+/// Single standard-normal draw (discards the pair's second value).
+/// Consumes exactly 2 draws.
+template <typename Gen>
+[[nodiscard]] double normal(Gen& g, double mean = 0.0, double stddev = 1.0) {
+  PEACHY_CHECK(stddev >= 0.0, "normal: negative stddev");
+  return mean + stddev * normal_pair(g).first;
+}
+
+}  // namespace peachy::rng

@@ -1,0 +1,135 @@
+#pragma once
+/// \file lcg.hpp
+/// \brief Linear congruential generators with O(log n) fast-forward.
+///
+/// The traffic assignment (paper §5) requires that a *shared* logical
+/// random sequence be consumed by many threads such that the parallel
+/// output is bit-identical to the serial output for any thread count.
+/// The enabling primitive is "moving ahead" in the sequence quickly:
+/// an LCG state update x' = a·x + c (mod m) is an affine map, and the
+/// n-fold composition of an affine map can be computed with
+/// square-and-multiply in O(log n) multiplications (F. Brown,
+/// "Random number generation with arbitrary strides", 1994).
+///
+/// Two generators are provided:
+///  * `Lcg64`   — modulus 2^64 (Knuth MMIX constants); fastest, the default
+///                generator for the traffic simulation.
+///  * `Minstd`  — the C++ standard library's minstd_rand parameters
+///                (a=48271, m=2^31−1, c=0), matching the paper's reference
+///                to "one of the C++ linearly congruent generators".
+
+#include <cstdint>
+
+namespace peachy::rng {
+
+/// LCG modulo 2^64 with Knuth's MMIX multiplier.
+///
+/// `next_u64()` advances once and returns the new state.  The low bits of a
+/// power-of-two-modulus LCG have short periods, so prefer `next_u32()`
+/// (the high 32 bits) or `next_double()` (the high 53 bits) for anything
+/// statistical.
+class Lcg64 {
+ public:
+  using result_type = std::uint64_t;
+
+  static constexpr std::uint64_t kMul = 6364136223846793005ULL;
+  static constexpr std::uint64_t kInc = 1442695040888963407ULL;
+
+  explicit constexpr Lcg64(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+      : state_{seed} {}
+
+  /// Advance one step; returns the new raw state (full 64 bits).
+  constexpr std::uint64_t next_u64() noexcept {
+    state_ = state_ * kMul + kInc;
+    return state_;
+  }
+
+  /// Advance one step; returns the high 32 bits (the statistically good part).
+  constexpr std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
+
+  /// Advance one step; returns a double uniform in [0,1) using the top 53 bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fast-forward the generator by `n` steps in O(log n) time.  After
+  /// `g.discard(n)`, `g` is in exactly the state reached by calling
+  /// `next_u64()` n times.
+  constexpr void discard(std::uint64_t n) noexcept {
+    // Square-and-multiply on the affine map x -> a·x + c (mod 2^64):
+    // composing f with itself doubles the stride: (a,c) -> (a², (a+1)·c).
+    std::uint64_t acc_mul = 1, acc_inc = 0;
+    std::uint64_t cur_mul = kMul, cur_inc = kInc;
+    while (n > 0) {
+      if (n & 1ULL) {
+        acc_mul *= cur_mul;
+        acc_inc = acc_inc * cur_mul + cur_inc;
+      }
+      cur_inc = (cur_mul + 1) * cur_inc;
+      cur_mul *= cur_mul;
+      n >>= 1;
+    }
+    state_ = state_ * acc_mul + acc_inc;
+  }
+
+  /// Current raw state (for checkpointing).
+  [[nodiscard]] constexpr std::uint64_t state() const noexcept { return state_; }
+
+  /// Restore a checkpointed state.
+  constexpr void set_state(std::uint64_t s) noexcept { state_ = s; }
+
+  friend constexpr bool operator==(const Lcg64&, const Lcg64&) = default;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// minstd_rand-compatible LCG: x' = 48271·x mod (2^31 − 1).
+///
+/// State must be in [1, m−1]; a seed of 0 is mapped to 1 (matching the
+/// standard library's behaviour of rejecting degenerate seeds).
+class Minstd {
+ public:
+  using result_type = std::uint32_t;
+
+  static constexpr std::uint64_t kMul = 48271;
+  static constexpr std::uint64_t kMod = 2147483647;  // 2^31 - 1 (prime)
+
+  explicit constexpr Minstd(std::uint32_t seed = 1) noexcept
+      : state_{static_cast<std::uint32_t>(seed % kMod == 0 ? 1 : seed % kMod)} {}
+
+  /// Advance one step; returns the new state, uniform in [1, m−1].
+  constexpr std::uint32_t next_u32() noexcept {
+    state_ = static_cast<std::uint32_t>((static_cast<std::uint64_t>(state_) * kMul) % kMod);
+    return state_;
+  }
+
+  /// Advance one step; returns a double uniform in [0,1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u32() - 1) / static_cast<double>(kMod - 1);
+  }
+
+  /// Fast-forward by n steps: state *= 48271^n mod m, via modular
+  /// exponentiation — O(log n).
+  constexpr void discard(std::uint64_t n) noexcept {
+    std::uint64_t mult = 1, base = kMul;
+    while (n > 0) {
+      if (n & 1ULL) mult = (mult * base) % kMod;
+      base = (base * base) % kMod;
+      n >>= 1;
+    }
+    state_ = static_cast<std::uint32_t>((static_cast<std::uint64_t>(state_) * mult) % kMod);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t state() const noexcept { return state_; }
+  constexpr void set_state(std::uint32_t s) noexcept { state_ = s % kMod == 0 ? 1 : s % kMod; }
+
+  friend constexpr bool operator==(const Minstd&, const Minstd&) = default;
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace peachy::rng

@@ -1,0 +1,103 @@
+#pragma once
+/// \file philox.hpp
+/// \brief Philox4x32-10 counter-based PRNG (Salmon et al., SC'11).
+///
+/// Counter-based generators make the traffic assignment's reproducibility
+/// requirement *structural*: the i-th random number is a pure function of
+/// (key, i), so "fast-forward" is just setting the counter — O(1).  peachy
+/// ships Philox alongside the LCG so the bench harness can compare the two
+/// fast-forward strategies (experiment T-RNG-1).
+
+#include <array>
+#include <cstdint>
+
+namespace peachy::rng {
+
+/// Philox4x32 with 10 rounds.  Produces 4×32-bit outputs per counter tick.
+class Philox4x32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit constexpr Philox4x32(std::uint64_t key = 0, std::uint64_t start_index = 0) noexcept
+      : key_{static_cast<std::uint32_t>(key), static_cast<std::uint32_t>(key >> 32)} {
+    set_index(start_index);
+  }
+
+  /// Position the generator so the next draw is the `i`-th of the stream.
+  constexpr void set_index(std::uint64_t i) noexcept {
+    counter_ = i / 4;
+    sub_ = static_cast<std::uint32_t>(i % 4);
+    if (sub_ != 0) block_ = generate_block(counter_);
+  }
+
+  /// Stream position of the next draw.
+  [[nodiscard]] constexpr std::uint64_t index() const noexcept { return counter_ * 4 + sub_; }
+
+  /// Fast-forward by n draws — O(1).
+  constexpr void discard(std::uint64_t n) noexcept { set_index(index() + n); }
+
+  constexpr std::uint32_t next_u32() noexcept {
+    if (sub_ == 0) block_ = generate_block(counter_);
+    const std::uint32_t out = block_[sub_];
+    if (++sub_ == 4) {
+      sub_ = 0;
+      ++counter_;
+    }
+    return out;
+  }
+
+  constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t hi = next_u32();
+    return (hi << 32) | next_u32();
+  }
+
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// The i-th output of the stream as a pure function — does not disturb
+  /// the generator's position.
+  [[nodiscard]] constexpr std::uint32_t at(std::uint64_t i) const noexcept {
+    return generate_block(i / 4)[i % 4];
+  }
+
+  friend constexpr bool operator==(const Philox4x32& a, const Philox4x32& b) noexcept {
+    return a.key_ == b.key_ && a.index() == b.index();
+  }
+
+ private:
+  static constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;
+
+  static constexpr void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                                std::uint32_t& lo) noexcept {
+    const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+    hi = static_cast<std::uint32_t>(p >> 32);
+    lo = static_cast<std::uint32_t>(p);
+  }
+
+  [[nodiscard]] constexpr std::array<std::uint32_t, 4> generate_block(
+      std::uint64_t counter) const noexcept {
+    std::array<std::uint32_t, 4> x{static_cast<std::uint32_t>(counter),
+                                   static_cast<std::uint32_t>(counter >> 32), 0u, 0u};
+    std::uint32_t k0 = key_[0], k1 = key_[1];
+    for (int round = 0; round < 10; ++round) {
+      std::uint32_t hi0, lo0, hi1, lo1;
+      mulhilo(kMul0, x[0], hi0, lo0);
+      mulhilo(kMul1, x[2], hi1, lo1);
+      x = {hi1 ^ x[1] ^ k0, lo1, hi0 ^ x[3] ^ k1, lo0};
+      k0 += kWeyl0;
+      k1 += kWeyl1;
+    }
+    return x;
+  }
+
+  std::array<std::uint32_t, 2> key_;
+  std::uint64_t counter_ = 0;
+  std::uint32_t sub_ = 0;
+  std::array<std::uint32_t, 4> block_{};
+};
+
+}  // namespace peachy::rng

@@ -1,0 +1,81 @@
+#include "rng/selftest.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace peachy::rng::detail {
+
+namespace {
+
+SelfTestResult check(std::string name, double stat, double low, double high) {
+  SelfTestResult r;
+  r.name = std::move(name);
+  r.statistic = stat;
+  r.low = low;
+  r.high = high;
+  r.pass = stat >= low && stat <= high;
+  return r;
+}
+
+}  // namespace
+
+SelfTestReport run_battery_on_samples(const double* xs, std::size_t n) {
+  PEACHY_CHECK(n >= 1024, "self test needs at least 1024 samples");
+  SelfTestReport rep;
+
+  // Chi-squared uniformity over 256 bins.  For k-1 = 255 degrees of
+  // freedom the statistic is ~N(255, sqrt(510)); accept within ±5 sigma.
+  constexpr std::size_t kBins = 256;
+  std::vector<std::uint64_t> hist(kBins, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto b = static_cast<std::size_t>(xs[i] * kBins);
+    if (b >= kBins) b = kBins - 1;
+    ++hist[b];
+  }
+  const double chi2 = support::chi_squared_uniform(hist);
+  const double df = kBins - 1;
+  const double sigma = std::sqrt(2.0 * df);
+  rep.uniformity = check("chi2-uniformity", chi2, df - 5 * sigma, df + 5 * sigma);
+
+  // Sample mean vs 0.5: standard error sqrt(1/12n); accept ±5 SE.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += xs[i];
+  const double m = sum / static_cast<double>(n);
+  const double se_mean = std::sqrt(1.0 / 12.0 / static_cast<double>(n));
+  rep.mean = check("mean", m, 0.5 - 5 * se_mean, 0.5 + 5 * se_mean);
+
+  // Sample variance vs 1/12; the variance of the variance estimator for
+  // U(0,1) is (E[X^4]-centered...) — use a generous ±10% band.
+  double ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) ss += (xs[i] - m) * (xs[i] - m);
+  const double var = ss / static_cast<double>(n - 1);
+  rep.variance = check("variance", var, 1.0 / 12.0 * 0.9, 1.0 / 12.0 * 1.1);
+
+  // Lag-1 serial correlation; for iid the estimator is ~N(0, 1/sqrt(n)).
+  double num = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) num += (xs[i] - m) * (xs[i + 1] - m);
+  const double corr = num / ss;
+  const double se_corr = 1.0 / std::sqrt(static_cast<double>(n));
+  rep.serial_corr = check("lag1-correlation", corr, -5 * se_corr, 5 * se_corr);
+
+  return rep;
+}
+
+}  // namespace peachy::rng::detail
+
+namespace peachy::rng {
+
+std::string SelfTestReport::to_string() const {
+  std::ostringstream os;
+  for (const SelfTestResult* r : {&uniformity, &mean, &variance, &serial_corr}) {
+    os << (r->pass ? "[pass] " : "[FAIL] ") << r->name << " = " << r->statistic << " (accept ["
+       << r->low << ", " << r->high << "])\n";
+  }
+  return os.str();
+}
+
+}  // namespace peachy::rng

@@ -1,0 +1,50 @@
+#pragma once
+/// \file selftest.hpp
+/// \brief Statistical self-tests for peachy generators.
+///
+/// These are not TestU01 — they are the sanity battery an instructor runs
+/// to demonstrate that a generator "should nonetheless be nearly
+/// indistinguishable from being uniformly distributed" (paper §5): bin
+/// uniformity (chi-squared), sample moments, and lag-1 serial correlation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace peachy::rng {
+
+/// Result of one statistical check.
+struct SelfTestResult {
+  std::string name;
+  double statistic = 0.0;  ///< test statistic value
+  double low = 0.0;        ///< acceptance interval lower bound
+  double high = 0.0;       ///< acceptance interval upper bound
+  bool pass = false;
+};
+
+/// Full battery output.
+struct SelfTestReport {
+  SelfTestResult uniformity;   ///< chi-squared over 256 bins
+  SelfTestResult mean;         ///< sample mean vs 0.5
+  SelfTestResult variance;     ///< sample variance vs 1/12
+  SelfTestResult serial_corr;  ///< lag-1 autocorrelation vs 0
+  [[nodiscard]] bool all_pass() const noexcept {
+    return uniformity.pass && mean.pass && variance.pass && serial_corr.pass;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+namespace detail {
+SelfTestReport run_battery_on_samples(const double* xs, std::size_t n);
+}
+
+/// Run the battery on `n` draws from generator `g` (consumes n draws).
+template <typename Gen>
+[[nodiscard]] SelfTestReport self_test(Gen& g, std::size_t n = 1u << 16) {
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = g.next_double();
+  return detail::run_battery_on_samples(xs.data(), xs.size());
+}
+
+}  // namespace peachy::rng

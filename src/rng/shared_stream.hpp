@@ -1,0 +1,89 @@
+#pragma once
+/// \file shared_stream.hpp
+/// \brief The reproducible shared-sequence abstraction (paper §5).
+///
+/// The traffic assignment's central idea: all threads consume *one logical
+/// random sequence*, indexed globally, so output is bit-identical for any
+/// thread count.  `SharedStream` wraps a fast-forwardable generator and
+/// hands out positioned cursors:
+///
+///   SharedStream<Lcg64> stream{seed};
+///   // thread t, owning global events [lo,hi):
+///   auto cur = stream.cursor(lo);        // O(log lo) fast-forward
+///   for (i in lo..hi) use(cur.next_double());
+///
+/// `ff_calls()` counts fast-forwards issued — the serial-overhead metric
+/// the paper says limits scaling ("depends highly on how well they reduced
+/// the cost of fast-forwarding").
+
+#include <atomic>
+#include <cstdint>
+
+namespace peachy::rng {
+
+/// A view into one logical random sequence, positionable in O(log n).
+template <typename Gen>
+class SharedStream {
+ public:
+  explicit SharedStream(std::uint64_t seed) noexcept : seed_{seed} {}
+
+  /// A generator positioned at global index `pos` of the logical sequence.
+  /// Each cursor() call counts as one fast-forward.
+  [[nodiscard]] Gen cursor(std::uint64_t pos) const {
+    ff_calls_.fetch_add(1, std::memory_order_relaxed);
+    Gen g{seed_};
+    g.discard(pos);
+    return g;
+  }
+
+  /// The value at global index `pos` without keeping a cursor.
+  [[nodiscard]] double value_at(std::uint64_t pos) const {
+    Gen g = cursor(pos);
+    return g.next_double();
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Number of cursor() fast-forwards issued so far (telemetry).
+  [[nodiscard]] std::uint64_t ff_calls() const noexcept {
+    return ff_calls_.load(std::memory_order_relaxed);
+  }
+
+  void reset_counters() noexcept { ff_calls_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::uint64_t seed_;
+  mutable std::atomic<std::uint64_t> ff_calls_{0};
+};
+
+/// Leapfrog view: thread t of T sees elements t, t+T, t+2T, … of the
+/// underlying sequence.  The classic alternative decomposition to
+/// block-fast-forwarding; provided for the assignment's "variations".
+template <typename Gen>
+class LeapfrogView {
+ public:
+  LeapfrogView(std::uint64_t seed, std::uint64_t lane, std::uint64_t lanes)
+      : gen_{seed}, stride_{lanes} {
+    gen_.discard(lane);
+    first_ = true;
+  }
+
+  double next_double() {
+    if (!first_) gen_.discard(stride_ - 1);
+    first_ = false;
+    return gen_.next_double();
+  }
+
+  std::uint64_t next_u64() {
+    if (!first_) gen_.discard(stride_ - 1);
+    first_ = false;
+    return gen_.next_u64();
+  }
+
+ private:
+  Gen gen_;
+  std::uint64_t stride_;
+  bool first_;
+};
+
+}  // namespace peachy::rng

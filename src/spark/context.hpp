@@ -1,0 +1,68 @@
+#pragma once
+/// \file context.hpp
+/// \brief Execution context for the spark-like RDD engine.
+///
+/// Analogue of SparkContext: owns the worker pool, default partition
+/// count, and the engine-wide telemetry (tasks run, shuffles performed,
+/// records moved through shuffles) used by the pipeline benchmarks.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace peachy::spark {
+
+/// Engine-wide counters (telemetry for bench_pipeline / bench_spark).
+struct EngineStats {
+  std::uint64_t tasks = 0;             ///< partition-compute tasks executed
+  std::uint64_t shuffles = 0;          ///< wide dependencies materialized
+  std::uint64_t shuffle_records = 0;   ///< records hashed across a shuffle
+};
+
+/// Shared execution context.  Create one per application; RDDs keep a
+/// shared_ptr so the context outlives every derived RDD.
+class Context : public std::enable_shared_from_this<Context> {
+ public:
+  /// `threads` pool workers; `default_partitions` used when a source does
+  /// not specify a partition count.
+  static std::shared_ptr<Context> create(std::size_t threads = 4,
+                                         std::size_t default_partitions = 4) {
+    PEACHY_CHECK(default_partitions > 0, "context: need at least one partition");
+    return std::shared_ptr<Context>(new Context{threads, default_partitions});
+  }
+
+  [[nodiscard]] support::ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] std::size_t default_partitions() const noexcept { return default_partitions_; }
+
+  [[nodiscard]] EngineStats stats() const noexcept {
+    return {tasks_.load(std::memory_order_relaxed), shuffles_.load(std::memory_order_relaxed),
+            shuffle_records_.load(std::memory_order_relaxed)};
+  }
+  void reset_stats() noexcept {
+    tasks_.store(0, std::memory_order_relaxed);
+    shuffles_.store(0, std::memory_order_relaxed);
+    shuffle_records_.store(0, std::memory_order_relaxed);
+  }
+
+  // Telemetry hooks (called by the RDD machinery).
+  void note_task() noexcept { tasks_.fetch_add(1, std::memory_order_relaxed); }
+  void note_shuffle(std::uint64_t records) noexcept {
+    shuffles_.fetch_add(1, std::memory_order_relaxed);
+    shuffle_records_.fetch_add(records, std::memory_order_relaxed);
+  }
+
+ private:
+  Context(std::size_t threads, std::size_t default_partitions)
+      : pool_{threads}, default_partitions_{default_partitions} {}
+
+  support::ThreadPool pool_;
+  std::size_t default_partitions_;
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> shuffles_{0};
+  std::atomic<std::uint64_t> shuffle_records_{0};
+};
+
+}  // namespace peachy::spark

@@ -1,0 +1,164 @@
+#pragma once
+/// \file pair_rdd.hpp
+/// \brief Key-value operations on Rdd<std::pair<K,V>> (Spark's PairRDD).
+///
+/// These are the wide operations the pipeline assignment's workflows are
+/// built from: reduce_by_key, group_by_key, join, count_by_key, plus the
+/// narrow conveniences keys/values/map_values.  All wide ops co-partition
+/// by `stable_hash(key)` so joins align buckets on both sides.
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "spark/rdd.hpp"
+
+namespace peachy::spark {
+
+/// Narrow: drop values.
+template <typename K, typename V>
+[[nodiscard]] Rdd<K> keys(const Rdd<std::pair<K, V>>& rdd) {
+  return rdd.map([](const std::pair<K, V>& kv) { return kv.first; }, "keys");
+}
+
+/// Narrow: drop keys.
+template <typename K, typename V>
+[[nodiscard]] Rdd<V> values(const Rdd<std::pair<K, V>>& rdd) {
+  return rdd.map([](const std::pair<K, V>& kv) { return kv.second; }, "values");
+}
+
+/// Narrow: transform values, keep keys.
+template <typename K, typename V, typename F,
+          typename U = std::invoke_result_t<F, const V&>>
+[[nodiscard]] Rdd<std::pair<K, U>> map_values(const Rdd<std::pair<K, V>>& rdd, F f) {
+  return rdd.map(
+      [f](const std::pair<K, V>& kv) { return std::pair<K, U>{kv.first, f(kv.second)}; },
+      "map_values");
+}
+
+namespace detail {
+
+/// Shuffle a pair RDD into key-hashed buckets; shared by the wide pair ops.
+template <typename K, typename V>
+std::vector<std::vector<std::pair<K, V>>> shuffle_pairs(const Rdd<std::pair<K, V>>& rdd,
+                                                        std::size_t nparts) {
+  auto parts = materialize(rdd.node());
+  std::uint64_t n = 0;
+  for (const auto& p : parts) n += p.size();
+  rdd.context()->note_shuffle(n);
+  return hash_partition(std::move(parts), nparts,
+                        [](const std::pair<K, V>& kv) { return kv.first; });
+}
+
+}  // namespace detail
+
+/// Wide: fold all values of each key with an associative+commutative op.
+/// Output has one record per distinct key, in deterministic (sorted key)
+/// order within each partition.
+template <typename K, typename V, typename Op>
+[[nodiscard]] Rdd<std::pair<K, V>> reduce_by_key(const Rdd<std::pair<K, V>>& rdd, Op op,
+                                                 std::size_t nparts = 0) {
+  using KV = std::pair<K, V>;
+  if (nparts == 0) nparts = rdd.partitions();
+  auto ctx = rdd.context();
+  auto state = std::make_shared<detail::ShuffleState<KV>>();
+  auto source = rdd;  // copy keeps lineage alive inside the closure
+  return Rdd<KV>::make(ctx, nparts, rdd.child_lineage("reduce_by_key (shuffle)"),
+                       [source, nparts, state, op](std::size_t p) {
+                         std::call_once(state->once, [&] {
+                           auto buckets = detail::shuffle_pairs(source, nparts);
+                           state->buckets.resize(nparts);
+                           for (std::size_t b = 0; b < nparts; ++b) {
+                             std::map<K, V> acc;
+                             for (auto& kv : buckets[b]) {
+                               auto [it, inserted] = acc.try_emplace(kv.first, kv.second);
+                               if (!inserted) it->second = op(std::move(it->second),
+                                                              std::move(kv.second));
+                             }
+                             for (auto& [k, v] : acc) {
+                               state->buckets[b].emplace_back(k, std::move(v));
+                             }
+                           }
+                         });
+                         return state->buckets[p];
+                       });
+}
+
+/// Wide: collect all values of each key into a vector (sorted key order
+/// within each partition; value order follows partition order).
+template <typename K, typename V>
+[[nodiscard]] Rdd<std::pair<K, std::vector<V>>> group_by_key(const Rdd<std::pair<K, V>>& rdd,
+                                                             std::size_t nparts = 0) {
+  using KV = std::pair<K, V>;
+  using KG = std::pair<K, std::vector<V>>;
+  if (nparts == 0) nparts = rdd.partitions();
+  auto ctx = rdd.context();
+  auto state = std::make_shared<detail::ShuffleState<KG>>();
+  auto source = rdd;
+  return Rdd<KG>::make(ctx, nparts, rdd.child_lineage("group_by_key (shuffle)"),
+                       [source, nparts, state](std::size_t p) {
+                         std::call_once(state->once, [&] {
+                           auto buckets = detail::shuffle_pairs(source, nparts);
+                           state->buckets.resize(nparts);
+                           for (std::size_t b = 0; b < nparts; ++b) {
+                             std::map<K, std::vector<V>> groups;
+                             for (KV& kv : buckets[b]) {
+                               groups[kv.first].push_back(std::move(kv.second));
+                             }
+                             for (auto& [k, vs] : groups) {
+                               state->buckets[b].emplace_back(k, std::move(vs));
+                             }
+                           }
+                         });
+                         return state->buckets[p];
+                       });
+}
+
+/// Wide: inner join.  Output pairs every (v1, v2) whose keys match, in
+/// deterministic (sorted key) order within each partition.
+template <typename K, typename V1, typename V2>
+[[nodiscard]] Rdd<std::pair<K, std::pair<V1, V2>>> join(const Rdd<std::pair<K, V1>>& left,
+                                                        const Rdd<std::pair<K, V2>>& right,
+                                                        std::size_t nparts = 0) {
+  using Out = std::pair<K, std::pair<V1, V2>>;
+  PEACHY_CHECK(left.context() == right.context(), "join: RDDs from different contexts");
+  if (nparts == 0) nparts = std::max(left.partitions(), right.partitions());
+  auto ctx = left.context();
+  auto state = std::make_shared<detail::ShuffleState<Out>>();
+  auto l = left;
+  auto r = right;
+  auto lin = left.child_lineage("join (shuffle)");
+  return Rdd<Out>::make(
+      ctx, nparts, std::move(lin), [l, r, nparts, state](std::size_t p) {
+        std::call_once(state->once, [&] {
+          auto lbuckets = detail::shuffle_pairs(l, nparts);
+          auto rbuckets = detail::shuffle_pairs(r, nparts);
+          state->buckets.resize(nparts);
+          for (std::size_t b = 0; b < nparts; ++b) {
+            std::map<K, std::vector<V2>> rindex;
+            for (auto& kv : rbuckets[b]) rindex[kv.first].push_back(std::move(kv.second));
+            std::map<K, std::vector<std::pair<V1, V2>>> matched;
+            for (auto& kv : lbuckets[b]) {
+              const auto it = rindex.find(kv.first);
+              if (it == rindex.end()) continue;
+              for (const V2& v2 : it->second) matched[kv.first].emplace_back(kv.second, v2);
+            }
+            for (auto& [k, pairs] : matched) {
+              for (auto& pr : pairs) state->buckets[b].emplace_back(k, std::move(pr));
+            }
+          }
+        });
+        return state->buckets[p];
+      });
+}
+
+/// Action: count records per key (exact, returned on the driver).
+template <typename K, typename V>
+[[nodiscard]] std::map<K, std::size_t> count_by_key(const Rdd<std::pair<K, V>>& rdd) {
+  std::map<K, std::size_t> counts;
+  for (const auto& kv : rdd.collect()) ++counts[kv.first];
+  return counts;
+}
+
+}  // namespace peachy::spark

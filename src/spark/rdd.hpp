@@ -1,0 +1,386 @@
+#pragma once
+/// \file rdd.hpp
+/// \brief Lazy, lineage-tracked, partitioned datasets (the Spark model).
+///
+/// The pipeline assignment (paper §4) teaches "designing, constructing,
+/// and improving true data analysis pipelines" on Spark.  This engine
+/// reproduces Spark's programming model in C++:
+///
+///  * an `Rdd<T>` is an immutable, partitioned dataset defined by its
+///    *lineage* (how to compute each partition from its parents), not by
+///    stored data;
+///  * *narrow* transformations (`map`, `filter`, `flat_map`, `sample`,
+///    `union_with`, `zip_with_index`) compose per-partition and stay lazy;
+///  * *wide* transformations (`reduce_by_key`, `group_by_key`, `join`,
+///    `distinct`, `sort_by`, `repartition`) introduce a shuffle boundary:
+///    all parent partitions are materialized, records are hash- (or
+///    range-) partitioned, and a new stage begins — exactly Spark's stage
+///    split;
+///  * *actions* (`collect`, `count`, `reduce`, `take`, `count_by_key`)
+///    trigger execution; partitions are evaluated in parallel on the
+///    context's pool.
+///
+/// `lineage()` renders the DAG chain for teaching ("toDebugString").
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rng/splitmix.hpp"
+#include "spark/context.hpp"
+#include "support/check.hpp"
+#include "support/hash.hpp"
+#include "support/parallel_for.hpp"
+
+namespace peachy::spark {
+
+namespace detail {
+
+/// Type-erased-free node: each Rdd<T> owns a Node<T> with a compute
+/// closure over its parents' nodes (captured inside the closure via
+/// shared_ptr, keeping the whole lineage alive).
+template <typename T>
+struct Node {
+  std::shared_ptr<Context> ctx;
+  std::size_t nparts = 0;
+  std::function<std::vector<T>(std::size_t part)> compute;
+  std::vector<std::string> lineage;  // root-first chain of op descriptions
+
+  // Optional memoization (enabled by Rdd::cache()).
+  bool cache_enabled = false;
+  std::mutex cache_mu;
+  std::optional<std::vector<std::vector<T>>> cached;
+};
+
+/// Evaluate every partition of a node in parallel; respects the cache.
+template <typename T>
+std::vector<std::vector<T>> materialize(const std::shared_ptr<Node<T>>& node) {
+  if (node->cache_enabled) {
+    std::lock_guard lock{node->cache_mu};
+    if (node->cached) return *node->cached;
+  }
+  std::vector<std::vector<T>> parts(node->nparts);
+  support::parallel_for(node->ctx->pool(), 0, node->nparts, [&](std::size_t p) {
+    node->ctx->note_task();
+    parts[p] = node->compute(p);
+  });
+  if (node->cache_enabled) {
+    std::lock_guard lock{node->cache_mu};
+    node->cached = parts;
+  }
+  return parts;
+}
+
+/// Hash-partition a materialized dataset's records by key into nparts
+/// buckets.  KeyFn maps a record to its partition key.
+template <typename T, typename KeyFn>
+std::vector<std::vector<T>> hash_partition(std::vector<std::vector<T>>&& parts,
+                                           std::size_t nparts, KeyFn&& keyfn) {
+  std::vector<std::vector<T>> buckets(nparts);
+  for (auto& part : parts) {
+    for (auto& rec : part) {
+      const std::size_t b =
+          static_cast<std::size_t>(support::stable_hash(keyfn(rec)) % nparts);
+      buckets[b].push_back(std::move(rec));
+    }
+  }
+  return buckets;
+}
+
+/// A shuffle stage: materializes `producer()` once (thread-safe), then
+/// serves per-partition buckets.
+template <typename T>
+struct ShuffleState {
+  std::once_flag once;
+  std::vector<std::vector<T>> buckets;
+};
+
+}  // namespace detail
+
+template <typename T>
+class Rdd;
+
+/// Create an RDD from in-memory data split into `nparts` near-even blocks
+/// (Spark's `parallelize`).
+template <typename T>
+Rdd<T> parallelize(std::shared_ptr<Context> ctx, std::vector<T> data, std::size_t nparts = 0);
+
+/// An immutable, lazy, partitioned dataset.
+template <typename T>
+class Rdd {
+ public:
+  using value_type = T;
+
+  [[nodiscard]] std::size_t partitions() const noexcept { return node_->nparts; }
+  [[nodiscard]] std::shared_ptr<Context> context() const noexcept { return node_->ctx; }
+
+  /// Human-readable lineage chain, root first (Spark's toDebugString).
+  [[nodiscard]] std::string lineage() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < node_->lineage.size(); ++i) {
+      os << std::string(i * 2, ' ') << node_->lineage[i] << '\n';
+    }
+    return os.str();
+  }
+
+  /// Memoize partitions on first evaluation (Spark's cache/persist).
+  Rdd<T>& cache() {
+    node_->cache_enabled = true;
+    return *this;
+  }
+
+  // ---- narrow transformations (lazy, per-partition) -----------------------
+
+  /// Element-wise transform.
+  template <typename F, typename U = std::invoke_result_t<F, const T&>>
+  [[nodiscard]] Rdd<U> map(F f, const std::string& label = "map") const {
+    auto parent = node_;
+    return Rdd<U>::make(node_->ctx, node_->nparts, child_lineage(label),
+                        [parent, f](std::size_t p) {
+                          const std::vector<T> in = parent->compute(p);
+                          std::vector<U> out;
+                          out.reserve(in.size());
+                          for (const T& x : in) out.push_back(f(x));
+                          return out;
+                        });
+  }
+
+  /// Keep elements where pred(x) is true.
+  template <typename F>
+  [[nodiscard]] Rdd<T> filter(F pred, const std::string& label = "filter") const {
+    auto parent = node_;
+    return Rdd<T>::make(node_->ctx, node_->nparts, child_lineage(label),
+                        [parent, pred](std::size_t p) {
+                          std::vector<T> out;
+                          for (T& x : parent->compute(p)) {
+                            if (pred(std::as_const(x))) out.push_back(std::move(x));
+                          }
+                          return out;
+                        });
+  }
+
+  /// Expand each element into zero or more outputs.
+  template <typename F, typename C = std::invoke_result_t<F, const T&>,
+            typename U = typename C::value_type>
+  [[nodiscard]] Rdd<U> flat_map(F f, const std::string& label = "flat_map") const {
+    auto parent = node_;
+    return Rdd<U>::make(node_->ctx, node_->nparts, child_lineage(label),
+                        [parent, f](std::size_t p) {
+                          std::vector<U> out;
+                          for (const T& x : parent->compute(p)) {
+                            for (auto& y : f(x)) out.push_back(std::move(y));
+                          }
+                          return out;
+                        });
+  }
+
+  /// Bernoulli sample of each partition (deterministic per partition).
+  [[nodiscard]] Rdd<T> sample(double fraction, std::uint64_t seed) const {
+    PEACHY_CHECK(fraction >= 0.0 && fraction <= 1.0, "sample: fraction outside [0,1]");
+    auto parent = node_;
+    return Rdd<T>::make(node_->ctx, node_->nparts, child_lineage("sample"),
+                        [parent, fraction, seed](std::size_t p) {
+                          rng::SplitMix64 gen{rng::derive_seed(seed, p)};
+                          std::vector<T> out;
+                          for (T& x : parent->compute(p)) {
+                            if (gen.next_double() < fraction) out.push_back(std::move(x));
+                          }
+                          return out;
+                        });
+  }
+
+  /// Concatenate two RDDs (their partitions are appended).
+  [[nodiscard]] Rdd<T> union_with(const Rdd<T>& other) const {
+    auto a = node_;
+    auto b = other.node_;
+    PEACHY_CHECK(a->ctx == b->ctx, "union: RDDs from different contexts");
+    auto lin = child_lineage("union");
+    return Rdd<T>::make(node_->ctx, a->nparts + b->nparts, std::move(lin),
+                        [a, b](std::size_t p) {
+                          return p < a->nparts ? a->compute(p) : b->compute(p - a->nparts);
+                        });
+  }
+
+  // ---- wide transformations (shuffle boundary) ------------------------------
+
+  /// Redistribute records into `nparts` hash partitions.
+  [[nodiscard]] Rdd<T> repartition(std::size_t nparts) const {
+    PEACHY_CHECK(nparts > 0, "repartition: need at least one partition");
+    return shuffle_by(nparts, [](const T& x) { return support::stable_hash(x); },
+                      "repartition");
+  }
+
+  /// Remove duplicates (requires operator== and stable_hash support).
+  [[nodiscard]] Rdd<T> distinct() const {
+    auto shuffled = shuffle_by(node_->nparts, [](const T& x) { return support::stable_hash(x); },
+                               "distinct");
+    auto parent = shuffled.node_;
+    return Rdd<T>::make(node_->ctx, parent->nparts, shuffled.node_->lineage,
+                        [parent](std::size_t p) {
+                          std::vector<T> in = parent->compute(p);
+                          std::sort(in.begin(), in.end());
+                          in.erase(std::unique(in.begin(), in.end()), in.end());
+                          return in;
+                        });
+  }
+
+  /// Globally sort by key(x) ascending; output keeps the partition count
+  /// (range-partitioned, so concatenating partitions yields sorted order).
+  template <typename KeyFn>
+  [[nodiscard]] Rdd<T> sort_by(KeyFn key, bool desc = false) const {
+    auto parent = node_;
+    auto ctx = node_->ctx;
+    const std::size_t nparts = node_->nparts;
+    auto state = std::make_shared<detail::ShuffleState<T>>();
+    return Rdd<T>::make(
+        ctx, nparts, child_lineage(desc ? "sort_by desc (shuffle)" : "sort_by (shuffle)"),
+        [parent, ctx, nparts, state, key, desc](std::size_t p) {
+          std::call_once(state->once, [&] {
+            auto parts = detail::materialize(parent);
+            std::vector<T> all;
+            std::uint64_t n = 0;
+            for (auto& part : parts) {
+              n += part.size();
+              all.insert(all.end(), std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+            }
+            std::stable_sort(all.begin(), all.end(), [&](const T& a, const T& b) {
+              return desc ? key(b) < key(a) : key(a) < key(b);
+            });
+            ctx->note_shuffle(n);
+            // Range partition: contiguous sorted slices.
+            state->buckets.resize(nparts);
+            for (std::size_t t = 0; t < nparts; ++t) {
+              const auto blk = support::static_block(all.size(), nparts, t);
+              state->buckets[t].assign(std::make_move_iterator(all.begin() + blk.begin),
+                                       std::make_move_iterator(all.begin() + blk.end));
+            }
+          });
+          return state->buckets[p];
+        });
+  }
+
+  // ---- actions (trigger execution) -------------------------------------------
+
+  /// All records, partition order preserved.
+  [[nodiscard]] std::vector<T> collect() const {
+    auto parts = detail::materialize(node_);
+    std::vector<T> out;
+    for (auto& p : parts) {
+      out.insert(out.end(), std::make_move_iterator(p.begin()),
+                 std::make_move_iterator(p.end()));
+    }
+    return out;
+  }
+
+  /// Number of records.
+  [[nodiscard]] std::size_t count() const {
+    auto parts = detail::materialize(node_);
+    std::size_t n = 0;
+    for (const auto& p : parts) n += p.size();
+    return n;
+  }
+
+  /// Fold all records with an associative+commutative op.  Throws on an
+  /// empty dataset (as Spark does).
+  template <typename Op>
+  [[nodiscard]] T reduce(Op op) const {
+    auto parts = detail::materialize(node_);
+    std::optional<T> acc;
+    for (auto& p : parts) {
+      for (auto& x : p) {
+        if (acc) {
+          acc = op(std::move(*acc), std::move(x));
+        } else {
+          acc = std::move(x);
+        }
+      }
+    }
+    PEACHY_CHECK(acc.has_value(), "reduce of empty RDD");
+    return std::move(*acc);
+  }
+
+  /// First n records in partition order.
+  [[nodiscard]] std::vector<T> take(std::size_t n) const {
+    auto all = collect();  // teaching engine: no incremental evaluation
+    if (all.size() > n) all.resize(n);
+    return all;
+  }
+
+  // ---- plumbing ---------------------------------------------------------------
+
+  /// Construct from raw parts (used by the factory functions and pair ops).
+  static Rdd<T> make(std::shared_ptr<Context> ctx, std::size_t nparts,
+                     std::vector<std::string> lineage,
+                     std::function<std::vector<T>(std::size_t)> compute) {
+    PEACHY_CHECK(nparts > 0, "rdd: need at least one partition");
+    auto node = std::make_shared<detail::Node<T>>();
+    node->ctx = std::move(ctx);
+    node->nparts = nparts;
+    node->compute = std::move(compute);
+    node->lineage = std::move(lineage);
+    return Rdd<T>{std::move(node)};
+  }
+
+  [[nodiscard]] std::vector<std::string> child_lineage(const std::string& label) const {
+    auto lin = node_->lineage;
+    lin.push_back(label);
+    return lin;
+  }
+
+  [[nodiscard]] const std::shared_ptr<detail::Node<T>>& node() const noexcept { return node_; }
+
+ private:
+  template <typename KeyHashFn>
+  [[nodiscard]] Rdd<T> shuffle_by(std::size_t nparts, KeyHashFn hashfn,
+                                  const std::string& label) const {
+    auto parent = node_;
+    auto ctx = node_->ctx;
+    auto state = std::make_shared<detail::ShuffleState<T>>();
+    return Rdd<T>::make(ctx, nparts, child_lineage(label + " (shuffle)"),
+                        [parent, ctx, nparts, state, hashfn](std::size_t p) {
+                          std::call_once(state->once, [&] {
+                            auto parts = detail::materialize(parent);
+                            std::uint64_t n = 0;
+                            for (const auto& part : parts) n += part.size();
+                            ctx->note_shuffle(n);
+                            state->buckets.resize(nparts);
+                            for (auto& part : parts) {
+                              for (auto& rec : part) {
+                                const auto b = static_cast<std::size_t>(hashfn(rec) % nparts);
+                                state->buckets[b].push_back(std::move(rec));
+                              }
+                            }
+                          });
+                          return state->buckets[p];
+                        });
+  }
+
+  explicit Rdd(std::shared_ptr<detail::Node<T>> node) : node_{std::move(node)} {}
+
+  template <typename U>
+  friend class Rdd;
+
+  std::shared_ptr<detail::Node<T>> node_;
+};
+
+template <typename T>
+Rdd<T> parallelize(std::shared_ptr<Context> ctx, std::vector<T> data, std::size_t nparts) {
+  PEACHY_CHECK(ctx != nullptr, "parallelize: null context");
+  if (nparts == 0) nparts = ctx->default_partitions();
+  auto shared = std::make_shared<std::vector<T>>(std::move(data));
+  std::ostringstream label;
+  label << "parallelize[" << shared->size() << " records, " << nparts << " partitions]";
+  return Rdd<T>::make(ctx, nparts, {label.str()}, [shared, nparts](std::size_t p) {
+    const auto blk = support::static_block(shared->size(), nparts, p);
+    return std::vector<T>(shared->begin() + blk.begin, shared->begin() + blk.end);
+  });
+}
+
+}  // namespace peachy::spark

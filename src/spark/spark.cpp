@@ -1,0 +1,6 @@
+// peachy::spark is header-only (templates); this anchor gives the static
+// library a translation unit and validates the headers compile standalone.
+#include "spark/pair_rdd.hpp"
+#include "spark/rdd.hpp"
+
+namespace peachy::spark {}

@@ -1,0 +1,55 @@
+#pragma once
+/// \file barrier.hpp
+/// \brief A reusable cyclic barrier.
+///
+/// This is the synchronization primitive behind `peachy::chapel::Barrier`
+/// (heat-equation Part 2) and the mini-MPI collective implementations.  It
+/// is a classic sense-reversing barrier: unlike std::barrier it allows the
+/// participant count to be chosen at runtime and the same object to be
+/// reused for an unbounded number of phases.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "support/check.hpp"
+
+namespace peachy::support {
+
+/// Cyclic barrier for `parties` threads.  `arrive_and_wait()` blocks until
+/// all parties have arrived, then releases every waiter and resets.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties) : parties_{parties} {
+    PEACHY_CHECK(parties > 0, "barrier needs at least one party");
+  }
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Block until all parties arrive.  Returns the phase index that just
+  /// completed (useful for debugging lockstep algorithms).
+  std::size_t arrive_and_wait() {
+    std::unique_lock lock{mu_};
+    const std::size_t my_phase = phase_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return phase_ != my_phase; });
+    }
+    return my_phase;
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::size_t phase_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace peachy::support

@@ -1,0 +1,48 @@
+#pragma once
+/// \file check.hpp
+/// \brief Error handling primitives shared by every peachy module.
+///
+/// peachy follows the C++ Core Guidelines' advice to use exceptions for
+/// errors (E.2) and to state preconditions (I.5).  `PEACHY_CHECK` is the
+/// precondition/invariant gate used across the library: it is always on
+/// (assignments are teaching code — silent corruption is worse than a
+/// throw), and it produces a message that names the failing expression and
+/// source location.
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace peachy {
+
+/// Exception thrown by `PEACHY_CHECK` and by explicit library validation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const std::string& msg,
+                                      const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error{os.str()};
+}
+
+}  // namespace detail
+
+}  // namespace peachy
+
+/// Validate a condition; throws peachy::Error with location info on failure.
+/// Usage: PEACHY_CHECK(k > 0, "k must be positive, got " + std::to_string(k));
+#define PEACHY_CHECK(expr, ...)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::peachy::detail::check_failed(                                        \
+          #expr, ::std::string{__VA_OPT__(__VA_ARGS__)},                     \
+          ::std::source_location::current());                                \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,66 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace peachy::support {
+
+Cli::Cli(int argc, const char* const* argv) {
+  PEACHY_CHECK(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    PEACHY_CHECK(arg.rfind("--", 0) == 0, "expected --key[=value], got '" + arg + "'");
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      pending_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      pending_[arg] = argv[++i];
+    } else {
+      pending_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> Cli::take(const std::string& key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return std::nullopt;
+  std::string v = it->second;
+  pending_.erase(it);
+  return v;
+}
+
+void Cli::describe(const std::string& key, const std::string& def, const std::string& help) {
+  described_.push_back({key, def, help});
+}
+
+bool Cli::flag(const std::string& key, const std::string& help) {
+  describe(key, "false", help);
+  const auto raw = take(key);
+  if (!raw) return false;
+  return *raw == "true" || *raw == "1" || *raw == "yes";
+}
+
+void Cli::finish() {
+  if (help_requested_) {
+    std::cout << "usage: " << program_ << " [--key=value ...]\n\noptions:\n";
+    for (const auto& d : described_) {
+      std::cout << "  --" << d.key << " (default: " << d.def << ")";
+      if (!d.help.empty()) std::cout << "  " << d.help;
+      std::cout << '\n';
+    }
+    std::exit(0);
+  }
+  if (!pending_.empty()) {
+    std::string unknown;
+    for (const auto& [k, v] : pending_) unknown += " --" + k;
+    throw Error{"unknown option(s):" + unknown + " (try --help)"};
+  }
+}
+
+}  // namespace peachy::support

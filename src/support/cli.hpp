@@ -1,0 +1,83 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Chapel-style `config const` command-line parsing.
+///
+/// Chapel programs expose tunables as `config const n = 1000;` settable via
+/// `./prog --n=2000`.  peachy's examples and bench harnesses use the same
+/// convention so that every experiment's parameters are overridable:
+///
+///   peachy::support::Cli cli{argc, argv};
+///   const auto n    = cli.get<std::size_t>("n", 1000, "grid points");
+///   const auto rate = cli.get<double>("rate", 0.13, "randomization p");
+///   cli.finish();  // rejects unknown flags, handles --help
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace peachy::support {
+
+/// Minimal `--key=value` / `--key value` / `--flag` parser.
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Read a typed option with a default; records it for --help.
+  template <typename T>
+  [[nodiscard]] T get(const std::string& key, T def, const std::string& help = "") {
+    describe(key, to_display(def), help);
+    const std::optional<std::string> raw = take(key);
+    if (!raw) return def;
+    return parse_as<T>(key, *raw);
+  }
+
+  /// True if `--key` was passed (as a bare flag or with a truthy value).
+  [[nodiscard]] bool flag(const std::string& key, const std::string& help = "");
+
+  /// Call after all get()/flag() calls: prints usage and exits on --help,
+  /// throws peachy::Error on unrecognized options.
+  void finish();
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  template <typename T>
+  static std::string to_display(const T& v) {
+    std::ostringstream os;
+    os << std::boolalpha << v;
+    return os.str();
+  }
+
+  template <typename T>
+  T parse_as(const std::string& key, const std::string& raw) {
+    std::istringstream is{raw};
+    T v{};
+    is >> std::boolalpha >> v;
+    PEACHY_CHECK(!is.fail(), "bad value for --" + key + ": '" + raw + "'");
+    return v;
+  }
+
+  std::optional<std::string> take(const std::string& key);
+  void describe(const std::string& key, const std::string& def, const std::string& help);
+
+  std::string program_;
+  std::map<std::string, std::string> pending_;  // parsed but not yet consumed
+  bool help_requested_ = false;
+  struct Described {
+    std::string key, def, help;
+  };
+  std::vector<Described> described_;
+};
+
+template <>
+inline std::string Cli::parse_as<std::string>(const std::string&, const std::string& raw) {
+  return raw;
+}
+
+}  // namespace peachy::support

@@ -1,0 +1,71 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Deterministic hashing utilities.
+///
+/// MapReduce's shuffle and spark's hash partitioner must place the same key
+/// on the same partition on every run and on every build, so peachy never
+/// uses std::hash (whose values are unspecified and may be salted).  These
+/// hashes are fixed algorithms with published constants.
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+namespace peachy::support {
+
+/// 64-bit FNV-1a over a byte range.  Stable across platforms and runs.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(const char* data, std::size_t n,
+                                              std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  return fnv1a64(s.data(), s.size());
+}
+
+/// SplitMix64 finalizer: a strong 64->64 bit mixer (Steele et al. 2014).
+/// Used to turn trivially-hashable integers into well-distributed hashes.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two hashes (boost::hash_combine recipe extended to 64 bits).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Stable hash dispatcher: integers via mix64, strings via FNV-1a,
+/// floating point via bit pattern, anything else must provide
+/// `std::uint64_t stable_hash_value(const T&)` via ADL.
+template <typename T>
+[[nodiscard]] std::uint64_t stable_hash(const T& v) noexcept {
+  if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+    return mix64(static_cast<std::uint64_t>(v));
+  } else if constexpr (std::is_floating_point_v<T>) {
+    std::uint64_t bits = 0;
+    double d = static_cast<double>(v);
+    static_assert(sizeof(bits) >= sizeof(d));
+    std::memcpy(&bits, &d, sizeof(d));
+    return mix64(bits);
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    return fnv1a64(std::string_view{v});
+  } else {
+    return stable_hash_value(v);  // ADL extension point
+  }
+}
+
+template <typename A, typename B>
+[[nodiscard]] std::uint64_t stable_hash(const std::pair<A, B>& p) noexcept {
+  return hash_combine(stable_hash(p.first), stable_hash(p.second));
+}
+
+}  // namespace peachy::support

@@ -1,0 +1,81 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace peachy::support {
+
+double mean(std::span<const double> xs) {
+  PEACHY_CHECK(!xs.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  PEACHY_CHECK(xs.size() >= 2, "variance needs at least 2 samples");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double percentile(std::span<const double> xs, double q) {
+  PEACHY_CHECK(!xs.empty(), "percentile of empty sample");
+  PEACHY_CHECK(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  PEACHY_CHECK(!xs.empty(), "summarize of empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? std::sqrt(variance(xs)) : 0.0;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.p50 = percentile(xs, 0.50);
+  s.p95 = percentile(xs, 0.95);
+  return s;
+}
+
+double chi_squared_uniform(std::span<const std::uint64_t> observed) {
+  PEACHY_CHECK(!observed.empty(), "chi-squared of empty histogram");
+  std::uint64_t total = 0;
+  for (std::uint64_t c : observed) total += c;
+  PEACHY_CHECK(total > 0, "chi-squared of all-zero histogram");
+  const double expected = static_cast<double>(total) / static_cast<double>(observed.size());
+  double chi2 = 0.0;
+  for (std::uint64_t c : observed) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+double load_imbalance_cv(std::span<const double> loads) {
+  PEACHY_CHECK(!loads.empty(), "imbalance of empty load vector");
+  if (loads.size() == 1) return 0.0;
+  const double m = mean(loads);
+  if (m == 0.0) return 0.0;
+  return std::sqrt(variance(loads)) / m;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os << "n=" << s.count << " mean=" << s.mean << " sd=" << s.stddev << " min=" << s.min
+     << " p50=" << s.p50 << " p95=" << s.p95 << " max=" << s.max;
+  return os.str();
+}
+
+}  // namespace peachy::support

@@ -1,0 +1,49 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Small descriptive-statistics helpers for harness reporting and
+/// for the PRNG statistical self-tests.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace peachy::support {
+
+/// Summary of a sample: count, mean, unbiased stddev, min/max, percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< unbiased (n-1) sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Compute a Summary over a sample.  Throws peachy::Error on empty input.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean.  Throws on empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (divides by n-1).  Throws if n < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0,1].  Throws on empty input or
+/// q outside [0,1].
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Pearson chi-squared statistic of observed counts vs a uniform
+/// expectation.  Used by the PRNG uniformity self-tests.
+[[nodiscard]] double chi_squared_uniform(std::span<const std::uint64_t> observed);
+
+/// Coefficient of variation of a set of per-worker loads: stddev/mean.
+/// 0 means perfectly balanced.  This is the imbalance measure reported by
+/// the HPO scheduler benchmark (experiment T-HPO-1).
+[[nodiscard]] double load_imbalance_cv(std::span<const double> loads);
+
+/// Render a Summary on one line, e.g. "n=30 mean=1.2ms sd=0.1 p50=1.1 p95=1.4".
+[[nodiscard]] std::string to_string(const Summary& s);
+
+}  // namespace peachy::support

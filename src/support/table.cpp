@@ -1,0 +1,87 @@
+#include "support/table.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace peachy::support {
+
+Table& Table::header(std::vector<std::string> cols) {
+  PEACHY_CHECK(!cols.empty(), "empty header");
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<Cell> cells) {
+  PEACHY_CHECK(header_.empty() || cells.size() == header_.size(),
+               "row arity does not match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render_cell(const Cell& c) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using V = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<V, std::string>) {
+          return v;
+        } else if constexpr (std::is_same_v<V, double>) {
+          std::ostringstream os;
+          const double a = std::fabs(v);
+          if (v == 0.0) {
+            os << "0";
+          } else if (a >= 1e6 || a < 1e-3) {
+            os.precision(3);
+            os << std::scientific << v;
+          } else {
+            os.precision(a >= 100 ? 1 : 3);
+            os << std::fixed << v;
+          }
+          return os.str();
+        } else {
+          return std::to_string(v);
+        }
+      },
+      c);
+}
+
+std::string Table::to_string() const {
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size() + 1);
+  std::size_t ncols = header_.size();
+  if (!header_.empty()) rendered.push_back(header_);
+  for (const auto& r : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (const auto& c : r) cells.push_back(render_cell(c));
+    ncols = std::max(ncols, cells.size());
+    rendered.push_back(std::move(cells));
+  }
+  std::vector<std::size_t> width(ncols, 0);
+  for (const auto& r : rendered) {
+    for (std::size_t i = 0; i < r.size(); ++i) width[i] = std::max(width[i], r[i].size());
+  }
+  std::ostringstream os;
+  for (std::size_t ri = 0; ri < rendered.size(); ++ri) {
+    const auto& r = rendered[ri];
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << (i ? " | " : "");
+      os << r[i] << std::string(width[i] - r[i].size(), ' ');
+    }
+    os << '\n';
+    if (ri == 0 && !header_.empty()) {
+      for (std::size_t i = 0; i < ncols; ++i) {
+        os << (i ? "-+-" : "") << std::string(width[i], '-');
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace peachy::support

@@ -1,0 +1,41 @@
+#pragma once
+/// \file table.hpp
+/// \brief Fixed-width console table writer used by the experiment harnesses
+/// to print paper-style result tables.
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace peachy::support {
+
+/// Accumulates rows of heterogeneous cells and renders an aligned ASCII
+/// table.  Numbers are formatted with sensible precision.
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t, std::uint64_t>;
+
+  /// Set (or replace) the header row.
+  Table& header(std::vector<std::string> cols);
+
+  /// Append a data row; its arity must match the header if one was set.
+  Table& row(std::vector<Cell> cells);
+
+  /// Render with column alignment, `|` separators, and a rule under the
+  /// header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// to_string() + write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string render_cell(const Cell& c);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace peachy::support

@@ -1,0 +1,116 @@
+#include "support/thread_pool.hpp"
+
+#include "support/check.hpp"
+
+namespace peachy::support {
+
+namespace {
+// Which pool (if any) the current thread works for, and its index.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = static_cast<std::size_t>(-1);
+}  // namespace
+
+std::size_t ThreadPool::default_concurrency() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  PEACHY_CHECK(threads >= 1, "thread pool needs at least one worker");
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{idle_mu_};
+    stop_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::worker_index() const noexcept {
+  return tls_pool == this ? tls_index : static_cast<std::size_t>(-1);
+}
+
+void ThreadPool::submit(Task task) {
+  PEACHY_CHECK(task != nullptr, "null task submitted");
+  // Prefer the caller's own deque when the caller is one of our workers
+  // (LIFO locality); otherwise distribute round-robin.
+  std::size_t target = worker_index();
+  if (target == static_cast<std::size_t>(-1)) {
+    target = rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock{queues_[target]->mu};
+    queues_[target]->deque.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_local(std::size_t self, Task& out) {
+  auto& q = *queues_[self];
+  std::lock_guard lock{q.mu};
+  if (q.deque.empty()) return false;
+  out = std::move(q.deque.back());  // LIFO end: freshest task, best locality
+  q.deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t self, Task& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    auto& q = *queues_[(self + off) % n];
+    std::lock_guard lock{q.mu};
+    if (!q.deque.empty()) {
+      out = std::move(q.deque.front());  // FIFO end: oldest task, biggest chunk
+      q.deque.pop_front();
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_pool = this;
+  tls_index = self;
+  for (;;) {
+    Task task;
+    if (try_pop_local(self, task) || try_steal(self, task)) {
+      task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock lock{idle_mu_};
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (pending_.load(std::memory_order_acquire) == 0) {
+      idle_cv_.notify_all();
+    }
+    work_cv_.wait_for(lock, std::chrono::milliseconds{1});
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  PEACHY_CHECK(worker_index() == static_cast<std::size_t>(-1),
+               "wait_idle() must not be called from a pool worker (deadlock)");
+  std::unique_lock lock{idle_mu_};
+  idle_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace peachy::support

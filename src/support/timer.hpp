@@ -1,0 +1,57 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing helpers used by the benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace peachy::support {
+
+/// Monotonic stopwatch.  `elapsed_s()` may be called repeatedly; `reset()`
+/// restarts the epoch.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_{Clock::now()} {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction or last reset().
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+
+  /// Nanoseconds since construction or last reset().
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Time a callable once and return seconds.
+template <typename F>
+[[nodiscard]] double time_once(F&& f) {
+  Stopwatch sw;
+  f();
+  return sw.elapsed_s();
+}
+
+/// Time a callable `reps` times and return the *minimum* per-rep seconds
+/// (minimum is the standard noise-robust estimator for microbenchmarks).
+template <typename F>
+[[nodiscard]] double time_best_of(int reps, F&& f) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const double t = time_once(f);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace peachy::support

@@ -1,0 +1,87 @@
+#include "traffic/diagram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace peachy::traffic {
+
+std::string spacetime_ascii(const Spec& spec, const std::vector<State>& snapshots,
+                            std::size_t stride) {
+  PEACHY_CHECK(stride >= 1, "spacetime: stride must be positive");
+  std::string out;
+  const std::size_t width = (spec.road_length + stride - 1) / stride;
+  out.reserve(snapshots.size() * (width + 1));
+  for (const State& st : snapshots) {
+    std::string row(width, ' ');
+    for (std::size_t i = 0; i < st.pos.size(); ++i) {
+      const auto x = static_cast<std::size_t>(st.pos[i]) / stride;
+      const char mark = st.vel[i] == 0 ? '#' : (st.vel[i] < spec.v_max ? 'o' : '.');
+      // Keep the most congested marker when downsampling collapses cells.
+      if (row[x] == ' ' || mark == '#' || (mark == 'o' && row[x] == '.')) row[x] = mark;
+    }
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string spacetime_pgm(const Spec& spec, const std::vector<State>& snapshots) {
+  PEACHY_CHECK(!snapshots.empty(), "spacetime: no snapshots");
+  std::ostringstream os;
+  os << "P5\n" << spec.road_length << ' ' << snapshots.size() << "\n255\n";
+  for (const State& st : snapshots) {
+    std::string row(spec.road_length, static_cast<char>(255));  // empty road = white
+    for (std::size_t i = 0; i < st.pos.size(); ++i) {
+      // Stopped cars black; faster cars lighter gray.
+      const double shade =
+          160.0 * static_cast<double>(st.vel[i]) / static_cast<double>(spec.v_max);
+      row[static_cast<std::size_t>(st.pos[i])] = static_cast<char>(
+          static_cast<unsigned char>(shade));
+    }
+    os.write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+  return os.str();
+}
+
+std::vector<FlowPoint> fundamental_diagram(const Spec& base, const std::vector<double>& densities,
+                                           std::size_t steps) {
+  PEACHY_CHECK(!densities.empty(), "fundamental_diagram: no densities");
+  PEACHY_CHECK(steps >= 2, "fundamental_diagram: need at least 2 steps");
+  std::vector<FlowPoint> out;
+  out.reserve(densities.size());
+  for (double rho : densities) {
+    PEACHY_CHECK(rho > 0.0 && rho <= 1.0, "fundamental_diagram: density outside (0,1]");
+    Spec spec = base;
+    spec.cars = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                             std::round(rho * static_cast<double>(
+                                                                  spec.road_length))));
+    std::vector<State> snapshots;
+    (void)run_serial(spec, steps, &snapshots);
+    double v_sum = 0.0;
+    std::size_t rows = 0;
+    for (std::size_t s = steps / 2; s < snapshots.size(); ++s) {  // skip warmup
+      v_sum += mean_velocity(snapshots[s]);
+      ++rows;
+    }
+    FlowPoint pt;
+    pt.density = spec.density();
+    pt.mean_velocity = v_sum / static_cast<double>(rows);
+    pt.flow = pt.density * pt.mean_velocity;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+double jam_fraction(const std::vector<State>& snapshots) {
+  PEACHY_CHECK(!snapshots.empty(), "jam_fraction: no snapshots");
+  double total = 0.0;
+  for (const State& st : snapshots) {
+    total += static_cast<double>(stopped_cars(st)) / static_cast<double>(st.vel.size());
+  }
+  return total / static_cast<double>(snapshots.size());
+}
+
+}  // namespace peachy::traffic

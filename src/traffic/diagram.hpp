@@ -1,0 +1,49 @@
+#pragma once
+/// \file diagram.hpp
+/// \brief Space–time diagrams and flow measurements (Fig. 3 reproduction).
+///
+/// Fig. 3 shows a "one-dimensional simulation of the Nagel–Schreckenberg
+/// traffic model (200 cars, length 1000, probability p = 0.13 and maximum
+/// velocity 5) that shows irregularities ('traffic jams') in the flow of
+/// vehicles and how they propagate".  `spacetime_*` render exactly that
+/// picture (time on the vertical axis, road position horizontal, one row
+/// per step); `fundamental_diagram` sweeps density and measures flow,
+/// and `jam_fraction` quantifies the jams the figure shows.
+
+#include <string>
+#include <vector>
+
+#include "traffic/traffic.hpp"
+
+namespace peachy::traffic {
+
+/// ASCII space–time diagram: one output row per recorded step; cars are
+/// marked (stopped cars '#', slow cars 'o', free-flowing '.'), empty road
+/// is ' '.  `stride` downsamples the road for terminal width.
+[[nodiscard]] std::string spacetime_ascii(const Spec& spec, const std::vector<State>& snapshots,
+                                          std::size_t stride = 1);
+
+/// Binary PGM space–time diagram (darker = slower), one pixel per cell
+/// per step — the publication-quality version of Fig. 3.
+[[nodiscard]] std::string spacetime_pgm(const Spec& spec, const std::vector<State>& snapshots);
+
+/// One row of the fundamental diagram.
+struct FlowPoint {
+  double density = 0.0;        ///< cars / road length
+  double mean_velocity = 0.0;  ///< time-averaged after warmup
+  double flow = 0.0;           ///< density × mean velocity
+};
+
+/// Measure flow across a density sweep (the model's classic validation:
+/// flow rises linearly in free flow, collapses past the critical
+/// density).  Each density runs `steps` steps, averaging velocity over
+/// the second half.
+[[nodiscard]] std::vector<FlowPoint> fundamental_diagram(const Spec& base,
+                                                         const std::vector<double>& densities,
+                                                         std::size_t steps);
+
+/// Fraction of cars with velocity 0, averaged over the given snapshots —
+/// the jam metric used by tests ("without randomness, these do not occur").
+[[nodiscard]] double jam_fraction(const std::vector<State>& snapshots);
+
+}  // namespace peachy::traffic

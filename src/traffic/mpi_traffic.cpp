@@ -1,0 +1,70 @@
+#include "traffic/mpi_traffic.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace peachy::traffic {
+
+State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficStats* stats) {
+  // Every rank derives the identical initial state (deterministic in the
+  // seed), as if root had broadcast the input file.
+  State st = initial_state(spec);
+  const std::size_t n = st.pos.size();
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto me = static_cast<std::size_t>(comm.rank());
+  const rng::SharedStream<rng::Lcg64> stream{spec.seed};
+  const auto L = static_cast<std::int64_t>(spec.road_length);
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    // My block of canonical car indices this step.
+    const auto blk = support::static_block(n, p, me);
+
+    // Local phase: velocities + moves for my cars only, drawing from the
+    // shared logical sequence at [s*n + blk.begin, s*n + blk.end).
+    std::vector<std::int64_t> my_pos(blk.end - blk.begin);
+    std::vector<std::int32_t> my_vel(blk.end - blk.begin);
+    if (blk.begin < blk.end) {
+      auto gen = stream.cursor(static_cast<std::uint64_t>(s) * n + blk.begin);
+      for (std::size_t i = blk.begin; i < blk.end; ++i) {
+        const double draw = gen.next_double();
+        int v = std::min(st.vel[i] + 1, spec.v_max);
+        v = static_cast<int>(std::min<std::int64_t>(v, gap_ahead(spec, st, i)));
+        if (draw < spec.p_slow && v > 0) --v;
+        std::int64_t pos = st.pos[i] + v;
+        if (pos >= L) pos -= L;
+        my_pos[i - blk.begin] = pos;
+        my_vel[i - blk.begin] = v;
+      }
+    }
+
+    // Exchange: rebuild the replicated state (ring allgather keeps rank
+    // order, which is canonical-index order).
+    const auto all_pos = comm.allgather<std::int64_t>(my_pos);
+    const auto all_vel = comm.allgather<std::int32_t>(my_vel);
+    PEACHY_CHECK(all_pos.size() == n && all_vel.size() == n,
+                 "traffic mpi: exchange lost cars");
+    st.pos = all_pos;
+    st.vel.assign(all_vel.begin(), all_vel.end());
+
+    // Canonicalize identically on every rank (pure local computation on
+    // identical replicated data -> identical result everywhere).
+    if (n > 1) {
+      const auto min_it = std::min_element(st.pos.begin(), st.pos.end());
+      const auto k = min_it - st.pos.begin();
+      if (k != 0) {
+        std::rotate(st.pos.begin(), st.pos.begin() + k, st.pos.end());
+        std::rotate(st.vel.begin(), st.vel.begin() + k, st.vel.end());
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->messages = comm.traffic().messages;
+    stats->bytes = comm.traffic().bytes;
+    stats->fast_forwards = stream.ff_calls();
+  }
+  return st;
+}
+
+}  // namespace peachy::traffic

@@ -1,0 +1,202 @@
+#include "traffic/traffic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "rng/splitmix.hpp"
+#include "support/check.hpp"
+#include "support/parallel_for.hpp"
+#include "support/timer.hpp"
+
+namespace peachy::traffic {
+
+namespace {
+
+void validate(const Spec& spec) {
+  PEACHY_CHECK(spec.road_length >= 1, "traffic: empty road");
+  PEACHY_CHECK(spec.cars >= 1, "traffic: need at least one car");
+  PEACHY_CHECK(spec.cars <= spec.road_length, "traffic: more cars than cells");
+  PEACHY_CHECK(spec.v_max >= 1, "traffic: v_max must be at least 1");
+  PEACHY_CHECK(spec.p_slow >= 0.0 && spec.p_slow <= 1.0, "traffic: p outside [0,1]");
+}
+
+/// New velocity of car i given the gap ahead and its random draw.
+int nasch_velocity(const Spec& spec, int v, std::int64_t gap, double draw) {
+  v = std::min(v + 1, spec.v_max);                          // 1. accelerate
+  v = static_cast<int>(std::min<std::int64_t>(v, gap));     // 2. brake to the gap
+  if (draw < spec.p_slow && v > 0) --v;                     // 3. random slowdown
+  return v;
+}
+
+/// Rotate the (rotation-of-sorted) position array so index order equals
+/// ascending-position order again, carrying velocities along.
+void canonicalize(State& state) {
+  if (state.pos.size() < 2) return;
+  const auto min_it = std::min_element(state.pos.begin(), state.pos.end());
+  if (min_it == state.pos.begin()) return;
+  const auto k = min_it - state.pos.begin();
+  std::rotate(state.pos.begin(), state.pos.begin() + k, state.pos.end());
+  std::rotate(state.vel.begin(), state.vel.begin() + k, state.vel.end());
+}
+
+}  // namespace
+
+State initial_state(const Spec& spec) {
+  validate(spec);
+  // Seeded partial Fisher–Yates over cell indices: the first `cars`
+  // entries are distinct uniform cells.  A separate generator keeps the
+  // simulation stream's indexing at exactly one draw per car per step.
+  std::vector<std::int64_t> cells(spec.road_length);
+  std::iota(cells.begin(), cells.end(), 0);
+  rng::SplitMix64 gen{rng::derive_seed(spec.seed, 0xCA25u)};
+  for (std::size_t i = 0; i < spec.cars; ++i) {
+    const auto j = i + static_cast<std::size_t>(
+                           rng::uniform_below(gen, spec.road_length - i));
+    std::swap(cells[i], cells[j]);
+  }
+  State st;
+  st.pos.assign(cells.begin(), cells.begin() + static_cast<std::ptrdiff_t>(spec.cars));
+  std::sort(st.pos.begin(), st.pos.end());
+  st.vel.assign(spec.cars, 0);
+  return st;
+}
+
+std::int64_t gap_ahead(const Spec& spec, const State& state, std::size_t i) {
+  PEACHY_CHECK(i < state.pos.size(), "traffic: car index out of range");
+  const std::size_t n = state.pos.size();
+  if (n == 1) return static_cast<std::int64_t>(spec.road_length) - 1;
+  const std::size_t ahead = (i + 1) % n;
+  std::int64_t gap = state.pos[ahead] - state.pos[i] - 1;
+  if (ahead == 0) gap += static_cast<std::int64_t>(spec.road_length);
+  return gap;
+}
+
+void step_reference(const Spec& spec, State& state, const rng::SharedStream<rng::Lcg64>& stream,
+                    std::size_t step) {
+  const std::size_t n = state.pos.size();
+  auto gen = stream.cursor(static_cast<std::uint64_t>(step) * n);
+  std::vector<int> new_vel(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double draw = gen.next_double();  // exactly one draw per car
+    new_vel[i] = nasch_velocity(spec, state.vel[i], gap_ahead(spec, state, i), draw);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    state.vel[i] = new_vel[i];
+    state.pos[i] += new_vel[i];
+    if (state.pos[i] >= static_cast<std::int64_t>(spec.road_length)) {
+      state.pos[i] -= static_cast<std::int64_t>(spec.road_length);
+    }
+  }
+  // Keep car 0 the minimum position so the index order always equals the
+  // ascending-position order.  Cars cannot overtake, so after a step the
+  // array is a rotation of a sorted array (several tail cars may wrap in
+  // one step); rotate the unique minimum back to the front.
+  canonicalize(state);
+}
+
+State run_serial(const Spec& spec, std::size_t steps, std::vector<State>* snapshots) {
+  validate(spec);
+  State st = initial_state(spec);
+  const rng::SharedStream<rng::Lcg64> stream{spec.seed};
+  for (std::size_t s = 0; s < steps; ++s) {
+    step_reference(spec, st, stream, s);
+    if (snapshots != nullptr) snapshots->push_back(st);
+  }
+  return st;
+}
+
+State run_parallel(const Spec& spec, std::size_t steps, support::ThreadPool& pool,
+                   std::size_t threads, ParallelStats* stats, std::vector<State>* snapshots) {
+  validate(spec);
+  PEACHY_CHECK(threads >= 1, "traffic: threads must be at least 1");
+  support::Stopwatch sw;
+  State st = initial_state(spec);
+  const rng::SharedStream<rng::Lcg64> stream{spec.seed};
+  const std::size_t n = st.pos.size();
+  std::vector<int> new_vel(n);
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    // Phase A (parallel, read-only on state): each thread owns a car
+    // block, fast-forwards the shared stream to its first draw, and
+    // computes new velocities.
+    support::parallel_for_threads(
+        pool, n, threads, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          if (lo >= hi) return;
+          auto gen = stream.cursor(static_cast<std::uint64_t>(s) * n + lo);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const double draw = gen.next_double();
+            new_vel[i] = nasch_velocity(spec, st.vel[i], gap_ahead(spec, st, i), draw);
+          }
+        });
+    // Phase B (parallel, disjoint writes): move.
+    support::parallel_for_threads(
+        pool, n, threads, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            st.vel[i] = new_vel[i];
+            st.pos[i] += new_vel[i];
+            if (st.pos[i] >= static_cast<std::int64_t>(spec.road_length)) {
+              st.pos[i] -= static_cast<std::int64_t>(spec.road_length);
+            }
+          }
+        });
+    canonicalize(st);
+    if (snapshots != nullptr) snapshots->push_back(st);
+  }
+
+  if (stats != nullptr) {
+    stats->fast_forwards = stream.ff_calls();
+    stats->seconds = sw.elapsed_s();
+  }
+  return st;
+}
+
+State run_parallel_independent_rngs(const Spec& spec, std::size_t steps,
+                                    support::ThreadPool& pool, std::size_t threads) {
+  validate(spec);
+  PEACHY_CHECK(threads >= 1, "traffic: threads must be at least 1");
+  State st = initial_state(spec);
+  const std::size_t n = st.pos.size();
+  std::vector<int> new_vel(n);
+  // One private generator per thread, seeded differently — the tempting
+  // shortcut whose output depends on the thread count.
+  std::vector<rng::Lcg64> gens;
+  gens.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    gens.emplace_back(rng::derive_seed(spec.seed, t));
+  }
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    support::parallel_for_threads(
+        pool, n, threads, [&](std::size_t t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const double draw = gens[t].next_double();
+            new_vel[i] = nasch_velocity(spec, st.vel[i], gap_ahead(spec, st, i), draw);
+          }
+        });
+    for (std::size_t i = 0; i < n; ++i) {
+      st.vel[i] = new_vel[i];
+      st.pos[i] += new_vel[i];
+      if (st.pos[i] >= static_cast<std::int64_t>(spec.road_length)) {
+        st.pos[i] -= static_cast<std::int64_t>(spec.road_length);
+      }
+    }
+    canonicalize(st);
+  }
+  return st;
+}
+
+double mean_velocity(const State& state) {
+  PEACHY_CHECK(!state.vel.empty(), "traffic: empty state");
+  double sum = 0.0;
+  for (int v : state.vel) sum += v;
+  return sum / static_cast<double>(state.vel.size());
+}
+
+std::size_t stopped_cars(const State& state) {
+  std::size_t n = 0;
+  for (int v : state.vel) n += v == 0;
+  return n;
+}
+
+}  // namespace peachy::traffic

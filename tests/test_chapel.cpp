@@ -1,0 +1,247 @@
+// Tests for the Chapel-analogue constructs: forall/coforall semantics,
+// locale tracking, Block distribution layout (experiment T-HT-2), remote
+// access accounting, and barrier-coordinated task teams.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "chapel/chapel.hpp"
+#include "support/check.hpp"
+
+namespace pc = peachy::chapel;
+
+// ---- domains -------------------------------------------------------------------
+
+TEST(Domain1D, SizeAndContains) {
+  pc::Domain1D d{3, 10};
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_TRUE(d.contains(3));
+  EXPECT_TRUE(d.contains(9));
+  EXPECT_FALSE(d.contains(10));
+  EXPECT_FALSE(d.contains(2));
+}
+
+// ---- forall ---------------------------------------------------------------------
+
+TEST(Forall, VisitsEveryIndexExactlyOnce) {
+  pc::LocaleGrid grid{3, 2};
+  std::vector<std::atomic<int>> hits(500);
+  grid.forall({0, 500}, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Forall, RespectsDomainOffset) {
+  pc::LocaleGrid grid{2, 1};
+  std::atomic<std::size_t> sum{0};
+  grid.forall({10, 15}, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 10u + 11 + 12 + 13 + 14);
+}
+
+TEST(Forall, EmptyDomainSpawnsNothing) {
+  pc::LocaleGrid grid{2, 2};
+  grid.reset_counters();
+  grid.forall({5, 5}, [](std::size_t) { FAIL(); });
+  EXPECT_EQ(grid.tasks_spawned(), 0u);
+}
+
+TEST(Forall, SpawnsTasksEveryCall) {
+  // The Part-1 overhead: each forall call creates fresh tasks.
+  pc::LocaleGrid grid{2, 2};
+  grid.reset_counters();
+  for (int step = 0; step < 10; ++step) {
+    grid.forall({0, 100}, [](std::size_t) {});
+  }
+  EXPECT_EQ(grid.tasks_spawned(), 10u * 2 * 2);
+}
+
+TEST(Forall, IterationRunsOnOwnerLocale) {
+  // forall over a block-distributed view must execute index i on
+  // locale_of(i) — the affinity Chapel's Block distribution guarantees.
+  pc::LocaleGrid grid{4, 1};
+  pc::BlockDist1D<double> arr{grid, 103};
+  std::atomic<bool> wrong{false};
+  grid.forall(arr.domain(), [&](std::size_t i) {
+    if (pc::LocaleGrid::here() != arr.locale_of(i)) wrong.store(true);
+  });
+  EXPECT_FALSE(wrong.load());
+}
+
+// ---- coforall -------------------------------------------------------------------
+
+TEST(Coforall, OneTaskPerIteration) {
+  pc::LocaleGrid grid{2, 3};
+  grid.reset_counters();
+  std::vector<std::atomic<int>> hits(6);
+  grid.coforall(6, [&](std::size_t t) { hits[t].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(grid.tasks_spawned(), 6u);
+}
+
+TEST(Coforall, TasksRunConcurrentlyEnoughForBarriers) {
+  // A barrier inside coforall tasks only works if all tasks are live at
+  // once — this is the Part-2 execution model.
+  constexpr std::size_t kTasks = 4;
+  pc::LocaleGrid grid{kTasks, 1};
+  pc::Barrier bar{kTasks};
+  std::vector<int> phase_log(kTasks, -1);
+  grid.coforall(kTasks, [&](std::size_t t) {
+    phase_log[t] = 0;
+    bar.arrive_and_wait();
+    // After the barrier every task must have logged phase 0.
+    for (std::size_t o = 0; o < kTasks; ++o) EXPECT_EQ(phase_log[o] >= 0, true);
+    bar.arrive_and_wait();
+  });
+}
+
+TEST(CoforallLocales, RunsOnEachLocale) {
+  pc::LocaleGrid grid{5, 1};
+  std::mutex mu;
+  std::set<std::size_t> heres;
+  grid.coforall_locales([&](std::size_t l) {
+    EXPECT_EQ(pc::LocaleGrid::here(), l);
+    std::lock_guard lock{mu};
+    heres.insert(l);
+  });
+  EXPECT_EQ(heres.size(), 5u);
+}
+
+TEST(OnLocale, SetsAndRestoresHere) {
+  pc::LocaleGrid grid{3, 1};
+  EXPECT_EQ(pc::LocaleGrid::here(), 0u);
+  grid.on_locale(2, [&] {
+    EXPECT_EQ(pc::LocaleGrid::here(), 2u);
+    grid.on_locale(1, [&] { EXPECT_EQ(pc::LocaleGrid::here(), 1u); });
+    EXPECT_EQ(pc::LocaleGrid::here(), 2u);
+  });
+  EXPECT_EQ(pc::LocaleGrid::here(), 0u);
+  EXPECT_THROW(grid.on_locale(7, [] {}), peachy::Error);
+}
+
+TEST(Foreach, SerialInOrder) {
+  std::vector<std::size_t> order;
+  pc::foreach({2, 6}, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 3, 4, 5}));
+}
+
+// ---- grid validation ----------------------------------------------------------------
+
+TEST(LocaleGrid, RejectsDegenerateShapes) {
+  EXPECT_THROW((pc::LocaleGrid{0, 1}), peachy::Error);
+  EXPECT_THROW((pc::LocaleGrid{1, 0}), peachy::Error);
+}
+
+// ---- block distribution ---------------------------------------------------------------
+
+class BlockDistShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BlockDistShapes, LocaleOfMatchesLocalSubdomain) {
+  const auto [n, locales] = GetParam();
+  pc::LocaleGrid grid{locales, 1};
+  pc::BlockDist1D<int> arr{grid, n};
+  // Every index belongs to exactly the locale whose subdomain contains it.
+  std::size_t covered = 0;
+  for (std::size_t l = 0; l < locales; ++l) {
+    const auto sub = arr.local_subdomain(l);
+    covered += sub.size();
+    for (std::size_t i = sub.lo; i < sub.hi; ++i) EXPECT_EQ(arr.locale_of(i), l);
+    EXPECT_EQ(arr.local_block(l).size(), sub.size());
+  }
+  EXPECT_EQ(covered, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockDistShapes,
+                         ::testing::Values(std::tuple{100u, 4u}, std::tuple{103u, 4u},
+                                           std::tuple{7u, 3u}, std::tuple{5u, 8u},
+                                           std::tuple{1u, 1u}, std::tuple{64u, 64u}));
+
+TEST(BlockDist, ElementAccessReadsAndWrites) {
+  pc::LocaleGrid grid{3, 1};
+  pc::BlockDist1D<double> arr{grid, 10, 1.5};
+  EXPECT_DOUBLE_EQ(arr[9], 1.5);
+  arr[4] = 42.0;
+  EXPECT_DOUBLE_EQ(arr[4], 42.0);
+  EXPECT_THROW((void)arr[10], peachy::Error);
+}
+
+TEST(BlockDist, CountsRemoteAccesses) {
+  pc::LocaleGrid grid{2, 1};
+  pc::BlockDist1D<int> arr{grid, 10};  // locale 0 owns 0..4, locale 1 owns 5..9
+  arr.reset_counters();
+  grid.on_locale(0, [&] {
+    (void)arr[0];  // local
+    (void)arr[7];  // remote
+    (void)arr[9];  // remote
+  });
+  grid.on_locale(1, [&] {
+    (void)arr[7];  // local
+    (void)arr[0];  // remote
+  });
+  EXPECT_EQ(arr.remote_accesses(), 3u);
+}
+
+TEST(BlockDist, LocalBlockBypassesAccounting) {
+  pc::LocaleGrid grid{2, 1};
+  pc::BlockDist1D<int> arr{grid, 8};
+  arr.reset_counters();
+  auto blk = arr.local_block(1);
+  for (auto& x : blk) x = 3;
+  EXPECT_EQ(arr.remote_accesses(), 0u);
+  EXPECT_EQ(arr[4], 3);  // index 4 is locale 1's first element
+}
+
+TEST(BlockDist, SwapExchangesContents) {
+  pc::LocaleGrid grid{2, 1};
+  pc::BlockDist1D<int> a{grid, 6, 1};
+  pc::BlockDist1D<int> b{grid, 6, 2};
+  a.swap(b);
+  EXPECT_EQ(a[0], 2);
+  EXPECT_EQ(b[0], 1);
+  pc::BlockDist1D<int> c{grid, 7};
+  EXPECT_THROW(a.swap(c), peachy::Error);
+}
+
+TEST(BlockDist, InteriorExcludesBoundary) {
+  pc::LocaleGrid grid{2, 1};
+  pc::BlockDist1D<int> arr{grid, 10};
+  EXPECT_EQ(arr.interior(), (pc::Domain1D{1, 9}));
+  pc::BlockDist1D<int> tiny{grid, 1};
+  EXPECT_EQ(tiny.interior().size(), 0u);
+}
+
+// ---- the Part-1 vs Part-2 structural contrast -------------------------------------------
+
+TEST(TaskCounters, CoforallReusesTasksAcrossSteps) {
+  // Part 1 (forall per step) spawns O(steps × tasks); Part 2 (one coforall
+  // with an internal step loop + barrier) spawns O(tasks).  This asymmetry
+  // is experiment T-HT-1's mechanism.
+  constexpr std::size_t kSteps = 50;
+  constexpr std::size_t kLocales = 4;
+
+  pc::LocaleGrid grid1{kLocales, 1};
+  std::vector<double> data(200, 0.0);
+  for (std::size_t s = 0; s < kSteps; ++s) {
+    grid1.forall({0, data.size()}, [&](std::size_t i) { data[i] += 1.0; });
+  }
+  const auto spawned_forall = grid1.tasks_spawned();
+
+  pc::LocaleGrid grid2{kLocales, 1};
+  pc::Barrier bar{kLocales};
+  grid2.coforall(kLocales, [&](std::size_t t) {
+    const auto blk = peachy::support::static_block(data.size(), kLocales, t);
+    for (std::size_t s = 0; s < kSteps; ++s) {
+      for (std::size_t i = blk.begin; i < blk.end; ++i) data[i] += 1.0;
+      bar.arrive_and_wait();
+    }
+  });
+  const auto spawned_coforall = grid2.tasks_spawned();
+
+  EXPECT_EQ(spawned_forall, kSteps * kLocales);
+  EXPECT_EQ(spawned_coforall, kLocales);
+  for (double x : data) EXPECT_DOUBLE_EQ(x, 2.0 * kSteps);
+}

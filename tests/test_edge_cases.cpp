@@ -1,0 +1,309 @@
+// Edge-case and stress tests across modules: boundary parameters, empty
+// and degenerate inputs, wildcard messaging under load, and behaviours at
+// the limits the assignments' specs allow.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "data/points.hpp"
+#include "heat/heat.hpp"
+#include "kmeans/kmeans.hpp"
+#include "mpi/mpi.hpp"
+#include "nn/mlp.hpp"
+#include "rng/lcg.hpp"
+#include "rng/philox.hpp"
+#include "rng/shared_stream.hpp"
+#include "spark/pair_rdd.hpp"
+#include "spark/rdd.hpp"
+#include "support/check.hpp"
+#include "traffic/traffic.hpp"
+
+namespace pm = peachy::mpi;
+
+// ---- mini-MPI under load --------------------------------------------------------
+
+TEST(MpiStress, ManyInterleavedTagsAndSources) {
+  // 4 ranks flood rank 0 with tagged messages; rank 0 drains them with
+  // wildcard source but specific tags, in a tag order different from the
+  // send order.
+  pm::run(4, [](pm::Comm& c) {
+    constexpr int kPerTag = 25;
+    if (c.rank() != 0) {
+      for (int t = 0; t < 4; ++t) {
+        for (int i = 0; i < kPerTag; ++i) {
+          c.send_value<int>(0, t, c.rank() * 1000 + t * 100 + i);
+        }
+      }
+    } else {
+      for (int t = 3; t >= 0; --t) {  // reverse tag order
+        for (int i = 0; i < 3 * kPerTag; ++i) {
+          const int v = c.recv_value<int>(pm::kAnySource, t);
+          EXPECT_EQ((v / 100) % 10, t);  // tag encoded in the payload
+        }
+      }
+      EXPECT_FALSE(c.probe(pm::kAnySource, pm::kAnyTag));  // all drained
+    }
+  });
+}
+
+TEST(MpiStress, LargePayloadBroadcast) {
+  pm::run(4, [](pm::Comm& c) {
+    std::vector<double> data;
+    if (c.rank() == 0) data.assign(1 << 18, 1.25);  // 2 MB
+    c.broadcast(data, 0);
+    ASSERT_EQ(data.size(), 1u << 18);
+    EXPECT_DOUBLE_EQ(data.front(), 1.25);
+    EXPECT_DOUBLE_EQ(data.back(), 1.25);
+  });
+}
+
+TEST(MpiEdge, EmptyPayloadsTravel) {
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      c.send<int>(1, 0, std::span<const int>{});
+    } else {
+      EXPECT_TRUE(c.recv<int>(0, 0).empty());
+    }
+    // Collectives with empty contributions.
+    const auto all = c.allgather<int>(std::span<const int>{});
+    EXPECT_TRUE(all.empty());
+    std::vector<int> empty;
+    const auto mine = c.scatter_blocks<int>(empty, 0);
+    EXPECT_TRUE(mine.empty());
+  });
+}
+
+TEST(MpiEdge, AnyTagReceivesInPostOrder) {
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 5, 50);
+      c.send_value<int>(1, 9, 90);
+    } else {
+      pm::Status st;
+      EXPECT_EQ(c.recv_value<int>(0, pm::kAnyTag, &st), 50);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(c.recv_value<int>(0, pm::kAnyTag, &st), 90);
+      EXPECT_EQ(st.tag, 9);
+    }
+  });
+}
+
+// ---- rng at the limits ------------------------------------------------------------
+
+TEST(RngEdge, SharedStreamHugePositions) {
+  // Positions beyond 2^40 must still be consistent with composition.
+  const peachy::rng::SharedStream<peachy::rng::Lcg64> stream{7};
+  auto a = stream.cursor((1ULL << 40) + 12345);
+  peachy::rng::Lcg64 b{7};
+  b.discard(1ULL << 40);
+  b.discard(12345);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(RngEdge, PhiloxIndexBeyond32Bits) {
+  peachy::rng::Philox4x32 g{3};
+  const std::uint64_t pos = (1ULL << 36) + 5;
+  g.set_index(pos);
+  EXPECT_EQ(g.index(), pos);
+  EXPECT_EQ(g.next_u32(), g.at(pos));
+}
+
+TEST(RngEdge, LeapfrogSingleLaneIsIdentity) {
+  peachy::rng::LeapfrogView<peachy::rng::Lcg64> view{11, 0, 1};
+  peachy::rng::Lcg64 plain{11};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(view.next_u64(), plain.next_u64());
+}
+
+// ---- k-means boundary parameters -----------------------------------------------------
+
+TEST(KmeansEdge, KEqualsOneAndKEqualsN) {
+  peachy::data::BlobsSpec spec;
+  spec.points_per_class = 10;
+  spec.classes = 2;
+  spec.dims = 2;
+  const auto points = peachy::data::gaussian_blobs(spec).points;
+
+  peachy::kmeans::Options opts;
+  opts.k = 1;
+  const auto one = peachy::kmeans::cluster_sequential(points, opts);
+  for (auto a : one.assignment) EXPECT_EQ(a, 0);
+  // The single centroid is the global mean.
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) mean += points.at(i, j);
+    mean /= static_cast<double>(points.size());
+    EXPECT_NEAR(one.centroids.at(0, j), mean, 1e-9);
+  }
+
+  opts.k = points.size();
+  const auto all = peachy::kmeans::cluster_sequential(points, opts);
+  // Every point its own cluster: inertia 0 (centroids are the points).
+  EXPECT_NEAR(all.inertia, 0.0, 1e-18);
+}
+
+TEST(KmeansEdge, EmptyClusterKeepsItsCentroid) {
+  // Two far-apart points, k=2 with seeds that place both centroids; then
+  // force a degenerate case: three identical points with k=2 — one
+  // cluster must go empty and its centroid must not move to NaN.
+  peachy::data::PointSet points{3, 1, {5.0, 5.0, 5.0}};
+  peachy::kmeans::Options opts;
+  opts.k = 2;
+  opts.max_iterations = 5;
+  const auto res = peachy::kmeans::cluster_sequential(points, opts);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_FALSE(std::isnan(res.centroids.at(c, 0)));
+  }
+  EXPECT_NEAR(res.inertia, 0.0, 1e-18);
+}
+
+// ---- heat boundary parameters ----------------------------------------------------------
+
+TEST(HeatEdge, StabilityBoundaryAlphaHalf) {
+  peachy::heat::Spec spec;
+  spec.nx = 51;
+  spec.nt = 2000;
+  spec.alpha = 0.5;  // the stability limit: still non-divergent
+  const auto u = peachy::heat::solve_serial(spec, peachy::heat::sine_mode(1));
+  for (double v : u) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::fabs(v), 1.0 + 1e-9);
+  }
+}
+
+TEST(HeatEdge, ZeroStepsReturnsInitialConditions) {
+  peachy::heat::Spec spec;
+  spec.nx = 11;
+  spec.nt = 0;
+  const auto u = peachy::heat::solve_serial(spec, [](double s) { return s; });
+  EXPECT_DOUBLE_EQ(u[5], 0.5);
+  EXPECT_DOUBLE_EQ(u.front(), spec.left_bc);
+}
+
+TEST(HeatEdge, MinimumGridThreePoints) {
+  peachy::heat::Spec spec;
+  spec.nx = 3;
+  spec.nt = 10;
+  spec.left_bc = 1.0;
+  spec.right_bc = 3.0;
+  spec.alpha = 0.5;
+  const auto u = peachy::heat::solve_serial(spec, [](double) { return 0.0; });
+  // One interior point relaxes to the average of the boundaries.
+  EXPECT_NEAR(u[1], 2.0, 1e-9);
+}
+
+// ---- traffic boundary parameters ----------------------------------------------------------
+
+TEST(TrafficEdge, AlwaysSlowdownStillValid) {
+  peachy::traffic::Spec spec;
+  spec.road_length = 100;
+  spec.cars = 30;
+  spec.p_slow = 1.0;  // every car brakes every step
+  std::vector<peachy::traffic::State> snaps;
+  (void)peachy::traffic::run_serial(spec, 50, &snaps);
+  // p=1 caps achievable speed at v_max-1 (accelerate then always slow).
+  for (const auto& st : snaps) {
+    for (int v : st.vel) EXPECT_LE(v, spec.v_max - 1);
+  }
+}
+
+TEST(TrafficEdge, VmaxOneBehavesLikeASEP) {
+  // v_max=1 reduces NaSch to the asymmetric exclusion process: cars only
+  // hop one cell into empty space.
+  peachy::traffic::Spec spec;
+  spec.road_length = 60;
+  spec.cars = 20;
+  spec.v_max = 1;
+  std::vector<peachy::traffic::State> snaps;
+  (void)peachy::traffic::run_serial(spec, 40, &snaps);
+  for (const auto& st : snaps) {
+    for (int v : st.vel) EXPECT_LE(v, 1);
+  }
+}
+
+// ---- spark degenerate shapes --------------------------------------------------------------
+
+TEST(SparkEdge, MorePartitionsThanRecords) {
+  auto ctx = peachy::spark::Context::create(2, 4);
+  auto rdd = peachy::spark::parallelize(ctx, std::vector<int>{1, 2}, 16);
+  EXPECT_EQ(rdd.partitions(), 16u);
+  EXPECT_EQ(rdd.collect(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(rdd.map([](const int& x) { return x + 1; }).count(), 2u);
+}
+
+TEST(SparkEdge, FlatMapToNothing) {
+  auto ctx = peachy::spark::Context::create(2, 2);
+  auto rdd = peachy::spark::parallelize(ctx, std::vector<int>{1, 2, 3})
+                 .flat_map([](const int&) { return std::vector<int>{}; });
+  EXPECT_EQ(rdd.count(), 0u);
+}
+
+TEST(SparkEdge, ReduceByKeyAllSameKey) {
+  auto ctx = peachy::spark::Context::create(2, 4);
+  std::vector<std::pair<int, int>> data(100, {7, 1});
+  const auto out =
+      peachy::spark::reduce_by_key(peachy::spark::parallelize(ctx, data), std::plus<>{})
+          .collect();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 7);
+  EXPECT_EQ(out[0].second, 100);
+}
+
+TEST(SparkEdge, JoinWithEmptySideIsEmpty) {
+  auto ctx = peachy::spark::Context::create(2, 3);
+  std::vector<std::pair<int, int>> left{{1, 10}, {2, 20}};
+  std::vector<std::pair<int, double>> right;
+  const auto joined =
+      peachy::spark::join(peachy::spark::parallelize(ctx, left),
+                          peachy::spark::parallelize(ctx, right, 3));
+  EXPECT_EQ(joined.count(), 0u);
+}
+
+// ---- nn degenerate shapes --------------------------------------------------------------------
+
+TEST(NnEdge, BatchSizeLargerThanDataset) {
+  peachy::nn::Dataset data;
+  data.classes = 2;
+  data.x = peachy::nn::Matrix{5, 3};
+  data.y = {0, 1, 0, 1, 0};
+  peachy::rng::Lcg64 gen{2};
+  for (double& v : data.x.values()) v = gen.next_double();
+  peachy::nn::TrainConfig cfg;
+  cfg.hidden = {4};
+  cfg.batch_size = 100;  // larger than n: a single batch per epoch
+  cfg.epochs = 3;
+  peachy::nn::Mlp net{3, 2, cfg};
+  EXPECT_NO_THROW((void)net.train(data));
+  EXPECT_EQ(net.predict(data.x).size(), 5u);
+}
+
+TEST(NnEdge, SingleExampleTraining) {
+  peachy::nn::Dataset data;
+  data.classes = 2;
+  data.x = peachy::nn::Matrix{1, 2, {0.5, -0.5}};
+  data.y = {1};
+  peachy::nn::TrainConfig cfg;
+  cfg.hidden = {3};
+  cfg.epochs = 50;
+  cfg.learning_rate = 0.5;
+  peachy::nn::Mlp net{2, 2, cfg};
+  (void)net.train(data);
+  EXPECT_EQ(net.predict(data.x)[0], 1);  // memorizes the one example
+}
+
+// ---- data split determinism across sizes ---------------------------------------------------
+
+TEST(DataEdge, SplitAlwaysKeepsBothSidesNonEmpty) {
+  peachy::data::BlobsSpec spec;
+  spec.points_per_class = 2;
+  spec.classes = 1;
+  spec.dims = 1;
+  const auto tiny = peachy::data::gaussian_blobs(spec);  // 2 points
+  for (double frac : {0.01, 0.5, 0.99}) {
+    const auto split = peachy::data::train_test_split(tiny, frac, 1);
+    EXPECT_GE(split.train.size(), 1u) << frac;
+    EXPECT_GE(split.test.size(), 1u) << frac;
+  }
+}

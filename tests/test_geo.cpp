@@ -1,0 +1,258 @@
+// Tests for peachy::geo — point-in-polygon against brute force, polygon
+// metrics, the uniform-grid index, the synthetic city's tiling/ground
+// truth, and the choropleth rasterizer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <numeric>
+
+#include "geo/city.hpp"
+#include "geo/geometry.hpp"
+#include "geo/raster.hpp"
+#include "rng/distributions.hpp"
+#include "rng/lcg.hpp"
+#include "support/check.hpp"
+
+namespace pg = peachy::geo;
+
+namespace {
+
+pg::Polygon unit_square() {
+  return pg::Polygon{{{0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+}
+
+pg::Polygon triangle() {
+  return pg::Polygon{{{0, 0}, {4, 0}, {0, 4}}};
+}
+
+}  // namespace
+
+// ---- polygon ---------------------------------------------------------------------
+
+TEST(Polygon, ContainsBasic) {
+  const auto sq = unit_square();
+  EXPECT_TRUE(sq.contains({0.5, 0.5}));
+  EXPECT_FALSE(sq.contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.contains({-0.1, 0.5}));
+  EXPECT_FALSE(sq.contains({0.5, 2.0}));
+}
+
+TEST(Polygon, ContainsTriangleEdgeCases) {
+  const auto tri = triangle();
+  EXPECT_TRUE(tri.contains({1.0, 1.0}));
+  EXPECT_FALSE(tri.contains({3.0, 3.0}));  // outside the hypotenuse
+  EXPECT_FALSE(tri.contains({4.1, 0.0}));
+}
+
+TEST(Polygon, ContainsNonConvex) {
+  // An L-shape: the notch must be outside.
+  pg::Polygon ell{{{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}}};
+  EXPECT_TRUE(ell.contains({0.5, 2.5}));
+  EXPECT_TRUE(ell.contains({2.5, 0.5}));
+  EXPECT_FALSE(ell.contains({2.5, 2.5}));  // in the notch
+}
+
+TEST(Polygon, AreaAndCentroid) {
+  EXPECT_DOUBLE_EQ(unit_square().signed_area(), 1.0);
+  EXPECT_DOUBLE_EQ(triangle().signed_area(), 8.0);
+  const auto c = unit_square().centroid();
+  EXPECT_DOUBLE_EQ(c.x, 0.5);
+  EXPECT_DOUBLE_EQ(c.y, 0.5);
+}
+
+TEST(Polygon, ClockwiseRingHasNegativeArea) {
+  pg::Polygon cw{{{0, 0}, {0, 1}, {1, 1}, {1, 0}}};
+  EXPECT_DOUBLE_EQ(cw.signed_area(), -1.0);
+  EXPECT_TRUE(cw.contains({0.5, 0.5}));  // containment is orientation-free
+}
+
+TEST(Polygon, RejectsDegenerateRing) {
+  EXPECT_THROW((pg::Polygon{{{0, 0}, {1, 1}}}), peachy::Error);
+}
+
+TEST(Polygon, BboxIsTight) {
+  const auto tri = triangle();
+  EXPECT_DOUBLE_EQ(tri.bbox().min_x, 0.0);
+  EXPECT_DOUBLE_EQ(tri.bbox().max_x, 4.0);
+  EXPECT_DOUBLE_EQ(tri.bbox().max_y, 4.0);
+}
+
+// ---- index -----------------------------------------------------------------------
+
+TEST(PolygonIndex, AgreesWithBruteForceOnRandomPoints) {
+  // A small city gives a realistic polygon soup.
+  pg::CitySpec spec;
+  spec.rows = 4;
+  spec.cols = 4;
+  const pg::SyntheticCity city{spec};
+  const auto& index = city.index();
+
+  peachy::rng::Lcg64 gen{77};
+  for (int i = 0; i < 2000; ++i) {
+    const pg::Point p{peachy::rng::uniform_real(gen, -1.0, 11.0),
+                      peachy::rng::uniform_real(gen, -1.0, 11.0)};
+    EXPECT_EQ(index.locate(p), index.locate_brute(p)) << "(" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST(PolygonIndex, PrunesCandidates) {
+  pg::CitySpec spec;
+  spec.rows = 8;
+  spec.cols = 8;
+  const pg::SyntheticCity city{spec};
+  const auto& index = city.index();
+  int located = 0;
+  peachy::rng::Lcg64 gen{5};
+  for (int i = 0; i < 500; ++i) {
+    const pg::Point p{peachy::rng::uniform_real(gen, 0.0, 10.0),
+                      peachy::rng::uniform_real(gen, 0.0, 10.0)};
+    located += index.locate(p).has_value();
+  }
+  EXPECT_GT(located, 450);
+  // 64 polygons; the grid must examine far fewer than 64 per query.
+  EXPECT_LT(index.candidates_examined(), 500ull * 8);
+}
+
+TEST(PolygonIndex, RejectsEmptySet) {
+  EXPECT_THROW((pg::PolygonIndex{{}}), peachy::Error);
+}
+
+TEST(PolygonIndex, OutsideExtentIsNullopt) {
+  pg::PolygonIndex idx{{unit_square()}};
+  EXPECT_FALSE(idx.locate({5.0, 5.0}).has_value());
+  EXPECT_TRUE(idx.locate({0.5, 0.5}).has_value());
+}
+
+// ---- city ------------------------------------------------------------------------
+
+TEST(City, TilesTheExtentAlmostEverywhere) {
+  // Random interior points must land in exactly one NTA (tessellation).
+  const pg::SyntheticCity city;
+  peachy::rng::Lcg64 gen{3};
+  int misses = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const pg::Point p{peachy::rng::uniform_real(gen, 0.01, 9.99),
+                      peachy::rng::uniform_real(gen, 0.01, 9.99)};
+    misses += !city.locate(p).has_value();
+  }
+  // Edge-parity can drop points exactly on shared edges; random doubles
+  // essentially never hit an edge.
+  EXPECT_LE(misses, 2);
+}
+
+TEST(City, NtaCodesAreUniqueAndBoroughGrouped) {
+  const pg::SyntheticCity city;
+  std::set<std::string> codes;
+  std::set<std::string> boroughs;
+  for (const auto& nta : city.ntas()) {
+    codes.insert(nta.code);
+    boroughs.insert(nta.borough);
+    EXPECT_GT(nta.population, 0);
+  }
+  EXPECT_EQ(codes.size(), city.ntas().size());
+  EXPECT_EQ(boroughs.size(), 4u);
+}
+
+TEST(City, DeterministicForSeed) {
+  pg::CitySpec spec;
+  const pg::SyntheticCity a{spec};
+  const pg::SyntheticCity b{spec};
+  ASSERT_EQ(a.ntas().size(), b.ntas().size());
+  for (std::size_t i = 0; i < a.ntas().size(); ++i) {
+    EXPECT_EQ(a.ntas()[i].population, b.ntas()[i].population);
+    EXPECT_EQ(a.ntas()[i].polygon.ring(), b.ntas()[i].polygon.ring());
+  }
+}
+
+TEST(City, ArrestsFollowIntensity) {
+  pg::CitySpec spec;
+  spec.rows = 4;
+  spec.cols = 4;
+  const pg::SyntheticCity city{spec};
+  const auto events = city.generate_arrests(20000, 11);
+  EXPECT_EQ(events.size(), 20000u);
+  const auto counts = city.count_by_nta(events);
+  // Empirical share must track the intensity share (within sampling noise).
+  const double total_intensity =
+      std::accumulate(city.intensity().begin(), city.intensity().end(), 0.0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double expect = city.intensity()[i] / total_intensity;
+    const double got = static_cast<double>(counts[i]) / 20000.0;
+    EXPECT_NEAR(got, expect, 0.02) << "nta " << i;
+  }
+}
+
+TEST(City, ArrestYearsAndOffensesFromVocabulary) {
+  const pg::SyntheticCity city;
+  const auto events = city.generate_arrests(500, 9, {2019, 2021});
+  const auto& vocab = pg::offense_categories();
+  for (const auto& ev : events) {
+    EXPECT_TRUE(ev.year == 2019 || ev.year == 2021);
+    EXPECT_NE(std::find(vocab.begin(), vocab.end(), ev.offense), vocab.end());
+  }
+}
+
+TEST(City, RejectsBadSpecs) {
+  pg::CitySpec bad;
+  bad.rows = 1;
+  EXPECT_THROW((pg::SyntheticCity{bad}), peachy::Error);
+  bad = {};
+  bad.jitter = 0.7;
+  EXPECT_THROW((pg::SyntheticCity{bad}), peachy::Error);
+  const pg::SyntheticCity city;
+  EXPECT_THROW((void)city.generate_arrests(5, 1, {}), peachy::Error);
+}
+
+// ---- raster ------------------------------------------------------------------------
+
+TEST(Raster, PixelAccessAndBounds) {
+  pg::Raster img{4, 3};
+  img.at(3, 2) = 0.5;
+  EXPECT_DOUBLE_EQ(img.at(3, 2), 0.5);
+  EXPECT_THROW((void)img.at(4, 0), peachy::Error);
+  EXPECT_THROW((pg::Raster{0, 5}), peachy::Error);
+}
+
+TEST(Raster, PgmHeaderAndSize) {
+  pg::Raster img{10, 5};
+  const auto pgm = img.to_pgm();
+  EXPECT_EQ(pgm.rfind("P5\n10 5\n255\n", 0), 0u);
+  EXPECT_EQ(pgm.size(), std::string{"P5\n10 5\n255\n"}.size() + 50);
+}
+
+TEST(Raster, AsciiShadesScaleWithValue) {
+  pg::Raster img{2, 1};
+  img.at(0, 0) = 0.0;
+  img.at(1, 0) = 1.0;
+  const auto art = img.to_ascii();
+  EXPECT_EQ(art, " @\n");
+}
+
+TEST(Choropleth, HotPolygonIsBrighter) {
+  // Two side-by-side unit squares; right one has the max value.
+  pg::PolygonIndex idx{{pg::Polygon{{{0, 0}, {1, 0}, {1, 1}, {0, 1}}},
+                        pg::Polygon{{{1, 0}, {2, 0}, {2, 1}, {1, 1}}}}};
+  const std::vector<double> values{1.0, 10.0};
+  const auto img = pg::rasterize_choropleth(idx, values, 20, 10);
+  // Sample pixel centers well inside each square.
+  const double left = img.at(5, 5);
+  const double right = img.at(15, 5);
+  EXPECT_GT(right, left);
+  EXPECT_NEAR(right, 1.0, 1e-9);
+  EXPECT_GT(left, 0.0);  // still visible
+}
+
+TEST(Choropleth, UniformValuesRenderMidGray) {
+  pg::PolygonIndex idx{{unit_square()}};
+  const std::vector<double> values{7.0};
+  const auto img = pg::rasterize_choropleth(idx, values, 8, 8);
+  EXPECT_NEAR(img.at(4, 4), 0.08 + 0.92 * 0.5, 1e-9);
+}
+
+TEST(Choropleth, RequiresOneValuePerPolygon) {
+  pg::PolygonIndex idx{{unit_square()}};
+  EXPECT_THROW((void)pg::rasterize_choropleth(idx, std::vector<double>{}, 4, 4), peachy::Error);
+}

@@ -1,0 +1,167 @@
+// Tests for the 1D heat assignment: the serial scheme against the exact
+// discrete eigenmode solution, Part 1 (forall) and Part 2 (coforall)
+// against the serial reference for several locale grids, boundary
+// handling, and the task-spawn asymmetry between the two parts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "heat/heat.hpp"
+#include "support/check.hpp"
+
+namespace ph = peachy::heat;
+namespace pc = peachy::chapel;
+
+namespace {
+
+ph::Spec small_spec() {
+  ph::Spec spec;
+  spec.nx = 101;
+  spec.nt = 50;
+  spec.alpha = 0.25;
+  return spec;
+}
+
+}  // namespace
+
+// ---- serial reference ---------------------------------------------------------------
+
+TEST(HeatSerial, MatchesDiscreteEigenmodeExactly) {
+  // The sine mode is an exact eigenvector of the update matrix, so the
+  // numerical solution must match λ^nt · sin(...) to round-off.
+  for (int m : {1, 2, 3}) {
+    const auto spec = small_spec();
+    const auto got = ph::solve_serial(spec, ph::sine_mode(m));
+    const auto exact = ph::discrete_sine_solution(spec, m);
+    EXPECT_LT(ph::max_abs_diff(got, exact), 1e-12) << "mode " << m;
+  }
+}
+
+TEST(HeatSerial, DecaysTowardZero) {
+  ph::Spec spec = small_spec();
+  // λ ≈ 0.999753 for mode 1 on 101 points → λ^60000 ≈ 4e-7.
+  spec.nt = 60000;
+  const auto u = ph::solve_serial(spec, ph::sine_mode(1));
+  for (double v : u) EXPECT_NEAR(v, 0.0, 1e-5);
+}
+
+TEST(HeatSerial, DirichletBoundariesHeld) {
+  ph::Spec spec = small_spec();
+  spec.left_bc = 2.0;
+  spec.right_bc = -1.0;
+  const auto u = ph::solve_serial(spec, [](double) { return 0.0; });
+  EXPECT_DOUBLE_EQ(u.front(), 2.0);
+  EXPECT_DOUBLE_EQ(u.back(), -1.0);
+}
+
+TEST(HeatSerial, SteadyStateIsLinearProfile) {
+  // With fixed unequal boundaries the solution converges to the linear
+  // interpolation between them.
+  ph::Spec spec;
+  spec.nx = 21;
+  spec.nt = 20000;
+  spec.alpha = 0.5;
+  spec.left_bc = 0.0;
+  spec.right_bc = 1.0;
+  const auto u = ph::solve_serial(spec, [](double) { return 0.0; });
+  for (std::size_t j = 0; j < spec.nx; ++j) {
+    EXPECT_NEAR(u[j], static_cast<double>(j) / 20.0, 1e-9);
+  }
+}
+
+TEST(HeatSerial, ConservesEnergyWithZeroAlphaLimitBehaviour) {
+  // Small alpha: after one step the change is proportional to alpha.
+  ph::Spec spec = small_spec();
+  spec.nt = 1;
+  spec.alpha = 0.001;
+  const auto u0 = ph::solve_serial({spec.nx, 0, 0.25, 0, 0}, ph::sine_mode(1));
+  const auto u1 = ph::solve_serial(spec, ph::sine_mode(1));
+  EXPECT_LT(ph::max_abs_diff(u0, u1), 4 * 0.001);
+}
+
+TEST(HeatSerial, ValidatesSpec) {
+  ph::Spec spec = small_spec();
+  spec.alpha = 0.6;
+  EXPECT_THROW((void)ph::solve_serial(spec, ph::sine_mode(1)), peachy::Error);
+  spec = small_spec();
+  spec.nx = 2;
+  EXPECT_THROW((void)ph::solve_serial(spec, ph::sine_mode(1)), peachy::Error);
+  EXPECT_THROW((void)ph::sine_mode(0), peachy::Error);
+}
+
+// ---- distributed versions ----------------------------------------------------------
+
+class HeatGrids : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(HeatGrids, ForallMatchesSerial) {
+  const auto [locales, tpl] = GetParam();
+  const auto spec = small_spec();
+  const auto expect = ph::solve_serial(spec, ph::sine_mode(2));
+  pc::LocaleGrid grid{locales, tpl};
+  const auto got = ph::solve_forall(spec, ph::sine_mode(2), grid);
+  EXPECT_LT(ph::max_abs_diff(got, expect), 1e-14);
+}
+
+TEST_P(HeatGrids, CoforallMatchesSerial) {
+  const auto [locales, tpl] = GetParam();
+  const auto spec = small_spec();
+  const auto expect = ph::solve_serial(spec, ph::sine_mode(2));
+  pc::LocaleGrid grid{locales, tpl};
+  const auto got = ph::solve_coforall(spec, ph::sine_mode(2), grid);
+  EXPECT_LT(ph::max_abs_diff(got, expect), 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(LocaleShapes, HeatGrids,
+                         ::testing::Values(std::tuple{1u, 1u}, std::tuple{2u, 1u},
+                                           std::tuple{3u, 2u}, std::tuple{4u, 1u},
+                                           std::tuple{8u, 1u}));
+
+TEST(HeatDistributed, NonuniformBoundariesMatchToo) {
+  ph::Spec spec = small_spec();
+  spec.left_bc = 5.0;
+  spec.right_bc = -3.0;
+  const auto initial = [](double s) { return s * (1 - s) * 4.0; };
+  const auto expect = ph::solve_serial(spec, initial);
+  pc::LocaleGrid grid{3, 1};
+  EXPECT_LT(ph::max_abs_diff(ph::solve_forall(spec, initial, grid), expect), 1e-14);
+  EXPECT_LT(ph::max_abs_diff(ph::solve_coforall(spec, initial, grid), expect), 1e-14);
+}
+
+TEST(HeatDistributed, CoforallSpawnsFarFewerTasks) {
+  // T-HT-1's mechanism: Part 1 spawns tasks every step; Part 2 spawns one
+  // per locale for the whole solve.
+  const auto spec = small_spec();  // nt = 50
+  pc::LocaleGrid grid1{4, 1};
+  ph::SolveStats forall_stats;
+  (void)ph::solve_forall(spec, ph::sine_mode(1), grid1, &forall_stats);
+
+  pc::LocaleGrid grid2{4, 1};
+  ph::SolveStats coforall_stats;
+  (void)ph::solve_coforall(spec, ph::sine_mode(1), grid2, &coforall_stats);
+
+  EXPECT_EQ(coforall_stats.tasks_spawned, 4u);
+  EXPECT_EQ(forall_stats.tasks_spawned, spec.nt * 4u);
+  EXPECT_GT(forall_stats.tasks_spawned, 10 * coforall_stats.tasks_spawned);
+}
+
+TEST(HeatDistributed, ForallCountsImplicitRemoteTraffic) {
+  const auto spec = small_spec();
+  pc::LocaleGrid grid{4, 1};
+  ph::SolveStats stats;
+  (void)ph::solve_forall(spec, ph::sine_mode(1), grid, &stats);
+  // Each step, each internal block edge reads across a locale boundary.
+  EXPECT_GT(stats.remote_accesses, 0u);
+}
+
+TEST(HeatDistributed, RejectsTooManyLocales) {
+  ph::Spec spec;
+  spec.nx = 5;  // 3 interior points
+  pc::LocaleGrid grid{8, 1};
+  EXPECT_THROW((void)ph::solve_coforall(spec, ph::sine_mode(1), grid), peachy::Error);
+}
+
+TEST(MaxAbsDiff, Validates) {
+  EXPECT_THROW((void)ph::max_abs_diff({1.0}, {1.0, 2.0}), peachy::Error);
+  EXPECT_DOUBLE_EQ(ph::max_abs_diff({1.0, 2.0}, {1.5, 2.0}), 0.5);
+}

@@ -1,0 +1,248 @@
+// Cross-module integration tests: the same computation expressed through
+// different peachy engines must agree — spark vs MapReduce word count,
+// Frame vs spark aggregation, kNN through CSV files and MapReduce vs the
+// k-d tree, k-means over the synthetic city's events, and the ensemble
+// uncertainty curve over a morph sweep.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+
+#include "data/csv.hpp"
+#include "data/frame.hpp"
+#include "data/points.hpp"
+#include "geo/city.hpp"
+#include "hpo/hpo.hpp"
+#include "kmeans/kmeans.hpp"
+#include "knn/kdtree.hpp"
+#include "knn/knn.hpp"
+#include "knn/mapreduce_knn.hpp"
+#include "mapreduce/wordcount.hpp"
+#include "nn/digits.hpp"
+#include "spark/pair_rdd.hpp"
+#include "spark/rdd.hpp"
+#include "support/check.hpp"
+#include "traffic/traffic.hpp"
+
+namespace {
+
+/// Word count on the spark engine (flat_map → reduce_by_key).
+std::map<std::string, std::uint64_t> spark_word_count(const std::string& corpus) {
+  auto ctx = peachy::spark::Context::create(3, 6);
+  // Split into lines as the parallel records.
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : corpus) {
+    if (c == '\n') {
+      lines.push_back(std::move(line));
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) lines.push_back(std::move(line));
+
+  auto words = peachy::spark::parallelize(ctx, lines)
+                   .flat_map([](const std::string& l) {
+                     std::vector<std::pair<std::string, std::uint64_t>> out;
+                     std::string word;
+                     for (char c : l) {
+                       if (std::isalnum(static_cast<unsigned char>(c))) {
+                         word.push_back(static_cast<char>(
+                             std::tolower(static_cast<unsigned char>(c))));
+                       } else if (!word.empty()) {
+                         out.emplace_back(std::move(word), 1);
+                         word.clear();
+                       }
+                     }
+                     if (!word.empty()) out.emplace_back(std::move(word), 1);
+                     return out;
+                   });
+  std::map<std::string, std::uint64_t> result;
+  for (const auto& [w, c] : peachy::spark::reduce_by_key(words, std::plus<>{}).collect()) {
+    result[w] = c;
+  }
+  return result;
+}
+
+}  // namespace
+
+// ---- spark vs MapReduce: two engines, one answer --------------------------------
+
+TEST(Integration, SparkAndMapReduceWordCountsAgree) {
+  const auto corpus = peachy::mapreduce::synthetic_corpus(3000, 17);
+  const auto via_spark = spark_word_count(corpus);
+
+  std::map<std::string, std::uint64_t> via_mr;
+  peachy::mpi::run(3, [&](peachy::mpi::Comm& comm) {
+    for (const auto& wc : peachy::mapreduce::word_count(comm, corpus)) {
+      if (comm.rank() == 0) via_mr[wc.word] = wc.count;
+    }
+  });
+  EXPECT_EQ(via_spark, via_mr);
+}
+
+// ---- Frame vs spark aggregation ---------------------------------------------------
+
+TEST(Integration, FrameGroupByMatchesSparkReduceByKey) {
+  // Same borough→arrest aggregation through the dataframe and the RDD
+  // engine.
+  std::vector<std::pair<std::string, std::int64_t>> records;
+  peachy::data::Frame frame{{"borough", "arrests"},
+                            {peachy::data::ColType::kString, peachy::data::ColType::kInt}};
+  const char* boroughs[] = {"BK", "MN", "QN", "BX"};
+  for (int i = 0; i < 200; ++i) {
+    const std::string b = boroughs[i % 4];
+    const std::int64_t v = (i * 7) % 23;
+    records.emplace_back(b, v);
+    frame.push_row({b, v});
+  }
+  const auto grouped = frame.group_by("borough", peachy::data::Frame::Agg::kSum, "arrests");
+  std::map<std::string, double> via_frame;
+  for (std::size_t r = 0; r < grouped.rows(); ++r) {
+    via_frame[grouped.str(r, "borough")] = grouped.num(r, "sum_arrests");
+  }
+
+  auto ctx = peachy::spark::Context::create(2, 5);
+  std::map<std::string, double> via_spark;
+  for (const auto& [k, v] :
+       peachy::spark::reduce_by_key(peachy::spark::parallelize(ctx, records), std::plus<>{})
+           .collect()) {
+    via_spark[k] = static_cast<double>(v);
+  }
+  EXPECT_EQ(via_frame, via_spark);
+}
+
+// ---- kNN end-to-end through the filesystem -----------------------------------------
+
+TEST(Integration, KnnFromCsvFileThroughMapReduce) {
+  // Write a dataset to an actual CSV file, read it back, classify with
+  // MapReduce over 3 ranks, validate against the k-d tree.
+  peachy::data::BlobsSpec spec;
+  spec.points_per_class = 40;
+  spec.classes = 3;
+  spec.dims = 4;
+  spec.spread = 0.8;
+  spec.seed = 77;
+  const auto dataset = peachy::data::gaussian_blobs(spec);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "peachy_knn_integration.csv").string();
+  peachy::data::write_csv_file(path, peachy::data::to_csv(dataset));
+  const auto loaded = peachy::data::from_csv(peachy::data::read_csv_file(path));
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), dataset.size());
+
+  const auto split = peachy::data::train_test_split(loaded, 0.25, 5);
+  // Serial oracle via the k-d tree.
+  peachy::knn::ClassifyOptions tree_opts;
+  tree_opts.k = 5;
+  tree_opts.selection = peachy::knn::Selection::kKdTree;
+  const auto oracle = peachy::knn::classify(split.train, split.test.points, tree_opts);
+
+  peachy::mpi::run(3, [&](peachy::mpi::Comm& comm) {
+    peachy::knn::MrKnnOptions opts;
+    opts.k = 5;
+    opts.local_combine = true;
+    const auto got =
+        peachy::knn::mapreduce_classify(comm, split.train, split.test.points, opts);
+    EXPECT_EQ(got, oracle);
+  });
+  EXPECT_GT(peachy::knn::accuracy(oracle, split.test.labels), 0.9);
+}
+
+// ---- k-means over the city's arrest events -------------------------------------------
+
+TEST(Integration, KmeansFindsCityHotspots) {
+  // Cluster raw arrest coordinates; with k = NTA count the per-cluster
+  // spread must be far below the city scale (clusters latch onto the
+  // intensity hotspots).
+  peachy::geo::CitySpec cspec;
+  cspec.rows = 3;
+  cspec.cols = 3;
+  const peachy::geo::SyntheticCity city{cspec};
+  const auto events = city.generate_arrests(3000, 21);
+
+  peachy::data::PointSet points(events.size(), 2);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    points.at(i, 0) = events[i].location.x;
+    points.at(i, 1) = events[i].location.y;
+  }
+  peachy::kmeans::Options opts;
+  opts.k = 9;
+  opts.seed = 3;
+  opts.init = peachy::kmeans::Init::kPlusPlus;
+  const auto res = peachy::kmeans::cluster_sequential(points, opts);
+  // Mean within-cluster distance << city width (10): inertia/n is the
+  // mean squared distance to the assigned centroid.
+  EXPECT_LT(res.inertia / static_cast<double>(points.size()), 4.0);
+  // All centroids are inside the city.
+  for (std::size_t c = 0; c < res.centroids.size(); ++c) {
+    EXPECT_GE(res.centroids.at(c, 0), 0.0);
+    EXPECT_LE(res.centroids.at(c, 0), 10.0);
+  }
+}
+
+// ---- ensemble uncertainty as a function of ambiguity ------------------------------------
+
+class MorphSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MorphSweep, EntropyGrowsTowardMaximalAmbiguity) {
+  // Property: predictive entropy at morph level alpha is at least the
+  // clean-digit entropy (alpha in {0, 1} are clean digits).
+  static const auto shared = [] {
+    struct Shared {
+      peachy::nn::SyntheticDigits digits;
+      peachy::hpo::SearchSpace space;
+      peachy::nn::Dataset train;
+      std::vector<peachy::nn::TrainConfig> configs;
+      peachy::nn::EnsembleClassifier ens;
+    };
+    auto s = std::make_shared<Shared>();
+    s->train = s->digits.make_dataset(400, 51);
+    s->space.hidden_layouts = {{24}};
+    s->space.learning_rates = {0.1, 0.2};
+    s->space.momenta = {0.0, 0.9};
+    s->space.epochs = 10;
+    s->space.base_seed = 51;
+    s->configs = s->space.enumerate();
+    const auto results = peachy::hpo::serial_search(s->train, s->train, s->configs);
+    s->ens = peachy::hpo::build_ensemble(s->train, s->configs, results, 4);
+    return s;
+  }();
+
+  const double alpha = GetParam();
+  peachy::rng::SplitMix64 gen{99};
+  peachy::nn::Matrix batch{2, shared->digits.features()};
+  const auto clean = shared->digits.render_morph(4, 9, 0.0, gen);
+  const auto morph = shared->digits.render_morph(4, 9, alpha, gen);
+  std::copy(clean.begin(), clean.end(), batch.row(0).begin());
+  std::copy(morph.begin(), morph.end(), batch.row(1).begin());
+  const auto preds = shared->ens.predict_uncertain(batch);
+  // Mid-morphs must be at least as uncertain as the clean digit (allow a
+  // small slack for noise).
+  EXPECT_GE(preds[1].entropy, preds[0].entropy - 0.05) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, MorphSweep, ::testing::Values(0.3, 0.5, 0.7));
+
+// ---- the full Fig. 3 configuration actually jams ------------------------------------------
+
+TEST(Integration, Fig3ConfigurationProducesJams) {
+  // Paper Fig. 3: 200 cars, length 1000, p=0.13, v_max=5.  Density 0.2 is
+  // above critical (~1/6), so jams must persist.
+  peachy::traffic::Spec spec;  // defaults == Fig. 3
+  spec.seed = 1234;
+  std::vector<peachy::traffic::State> snaps;
+  (void)peachy::traffic::run_serial(spec, 500, &snaps);
+  std::size_t steps_with_jams = 0;
+  for (std::size_t s = 250; s < snaps.size(); ++s) {
+    steps_with_jams += peachy::traffic::stopped_cars(snaps[s]) > 0;
+  }
+  // Jams present in the vast majority of steady-state steps.
+  EXPECT_GT(steps_with_jams, 200u);
+}

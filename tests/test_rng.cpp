@@ -1,0 +1,321 @@
+// Unit + property tests for peachy::rng — the reproducibility substrate of
+// the traffic assignment (paper §5).  The central property: discard(n) must
+// be exactly equivalent to n sequential steps, for every generator.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/lcg.hpp"
+#include "rng/philox.hpp"
+#include "rng/selftest.hpp"
+#include "rng/shared_stream.hpp"
+#include "rng/splitmix.hpp"
+
+namespace pr = peachy::rng;
+
+// ---- fast-forward equivalence (the paper's key primitive) -------------------
+
+// Property sweep: for many jump distances, discard(n) == n manual steps.
+class FastForward : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastForward, Lcg64DiscardEqualsStepping) {
+  const std::uint64_t n = GetParam();
+  pr::Lcg64 jumped{12345}, stepped{12345};
+  jumped.discard(n);
+  for (std::uint64_t i = 0; i < n; ++i) (void)stepped.next_u64();
+  EXPECT_EQ(jumped.state(), stepped.state()) << "n=" << n;
+}
+
+TEST_P(FastForward, MinstdDiscardEqualsStepping) {
+  const std::uint64_t n = GetParam();
+  pr::Minstd jumped{777}, stepped{777};
+  jumped.discard(n);
+  for (std::uint64_t i = 0; i < n; ++i) (void)stepped.next_u32();
+  EXPECT_EQ(jumped.state(), stepped.state()) << "n=" << n;
+}
+
+TEST_P(FastForward, PhiloxDiscardEqualsStepping) {
+  const std::uint64_t n = GetParam();
+  pr::Philox4x32 jumped{42}, stepped{42};
+  jumped.discard(n);
+  for (std::uint64_t i = 0; i < n; ++i) (void)stepped.next_u32();
+  EXPECT_EQ(jumped.next_u32(), stepped.next_u32()) << "n=" << n;
+}
+
+TEST_P(FastForward, SplitMixDiscardEqualsStepping) {
+  const std::uint64_t n = GetParam();
+  pr::SplitMix64 jumped{9}, stepped{9};
+  jumped.discard(n);
+  for (std::uint64_t i = 0; i < n; ++i) (void)stepped.next_u64();
+  EXPECT_EQ(jumped.next_u64(), stepped.next_u64()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(JumpDistances, FastForward,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 3ULL, 7ULL, 64ULL, 1000ULL, 4097ULL,
+                                           65536ULL, 99991ULL));
+
+TEST(FastForwardLarge, LcgHugeJumpIsComposable) {
+  // discard(a); discard(b) == discard(a+b) — affine composition property,
+  // checkable even for jumps too large to step manually.
+  pr::Lcg64 a{5}, b{5};
+  a.discard(0x123456789ULL);
+  a.discard(0x987654321ULL);
+  b.discard(0x123456789ULL + 0x987654321ULL);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(FastForwardLarge, MinstdHugeJumpIsComposable) {
+  pr::Minstd a{5}, b{5};
+  a.discard(1ULL << 40);
+  a.discard(12345);
+  b.discard((1ULL << 40) + 12345);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+// ---- Minstd matches the C++ standard library --------------------------------
+
+TEST(Minstd, MatchesStdMinstdRand) {
+  pr::Minstd ours{1};
+  std::minstd_rand theirs{1};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ours.next_u32(), static_cast<std::uint32_t>(theirs()));
+  }
+}
+
+TEST(Minstd, TenThousandthValueIsKnown) {
+  // The C++ standard requires minstd_rand's 10000th value from seed 1.
+  pr::Minstd g{1};
+  std::uint32_t v = 0;
+  for (int i = 0; i < 10000; ++i) v = g.next_u32();
+  EXPECT_EQ(v, 399268537u);
+}
+
+TEST(Minstd, ZeroSeedIsSanitized) {
+  pr::Minstd g{0};
+  EXPECT_NE(g.state(), 0u);
+  (void)g.next_u32();
+  EXPECT_NE(g.state(), 0u);
+}
+
+// ---- determinism & checkpointing --------------------------------------------
+
+TEST(Lcg64, SameSeedSameSequence) {
+  pr::Lcg64 a{99}, b{99};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Lcg64, CheckpointRestore) {
+  pr::Lcg64 g{4};
+  (void)g.next_u64();
+  const auto saved = g.state();
+  const auto v1 = g.next_u64();
+  g.set_state(saved);
+  EXPECT_EQ(g.next_u64(), v1);
+}
+
+TEST(Philox, AtIsPureAndPositionIndependent) {
+  pr::Philox4x32 g{7};
+  const auto v5 = g.at(5);
+  for (int i = 0; i < 5; ++i) (void)g.next_u32();
+  EXPECT_EQ(g.next_u32(), v5);
+  EXPECT_EQ(g.at(5), v5);  // at() did not disturb position
+}
+
+TEST(Philox, IndexTracksDraws) {
+  pr::Philox4x32 g{7};
+  EXPECT_EQ(g.index(), 0u);
+  for (int i = 0; i < 9; ++i) (void)g.next_u32();
+  EXPECT_EQ(g.index(), 9u);
+  g.set_index(100);
+  EXPECT_EQ(g.index(), 100u);
+}
+
+TEST(Philox, DistinctKeysDistinctStreams) {
+  pr::Philox4x32 a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u32() == b.next_u32();
+  EXPECT_LT(same, 4);
+}
+
+// ---- distributions -----------------------------------------------------------
+
+TEST(Distributions, Uniform01InRange) {
+  pr::Lcg64 g{1};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = pr::uniform01(g);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Distributions, UniformBelowInRange) {
+  pr::Lcg64 g{2};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(pr::uniform_below(g, 17), 17u);
+}
+
+TEST(Distributions, UniformBelowCoversAllValues) {
+  pr::Lcg64 g{3};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(pr::uniform_below(g, 5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Distributions, UniformIntInclusiveBounds) {
+  pr::Lcg64 g{4};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = pr::uniform_int(g, -3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Distributions, BernoulliMatchesProbability) {
+  pr::Lcg64 g{5};
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += pr::bernoulli(g, 0.13);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.13, 0.01);
+}
+
+TEST(Distributions, BernoulliDegenerateProbabilities) {
+  pr::Lcg64 g{6};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(pr::bernoulli(g, 0.0));
+    EXPECT_TRUE(pr::bernoulli(g, 1.0));
+  }
+}
+
+TEST(Distributions, NormalMoments) {
+  pr::Lcg64 g{7};
+  double sum = 0, ss = 0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto [x, y] = pr::normal_pair(g);
+    sum += x + y;
+    ss += x * x + y * y;
+  }
+  const double m = sum / (2 * n);
+  const double var = ss / (2 * n) - m * m;
+  EXPECT_NEAR(m, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Distributions, RejectsBadParameters) {
+  pr::Lcg64 g{8};
+  EXPECT_THROW((void)pr::uniform_below(g, 0), peachy::Error);
+  EXPECT_THROW((void)pr::uniform_real(g, 2.0, 1.0), peachy::Error);
+  EXPECT_THROW((void)pr::bernoulli(g, 1.5), peachy::Error);
+  EXPECT_THROW((void)pr::normal(g, 0.0, -1.0), peachy::Error);
+}
+
+TEST(Distributions, FixedDrawBudget) {
+  // The traffic model's fast-forward arithmetic relies on exactly one draw
+  // per bernoulli / uniform call.
+  // One "logical draw" = one next_double()/next_u64() = two 32-bit Philox
+  // ticks.  The budget must be constant per call, whatever its value.
+  pr::Philox4x32 g{11};
+  (void)pr::bernoulli(g, 0.5);
+  EXPECT_EQ(g.index(), 2u);
+  (void)pr::uniform_below(g, 10);
+  EXPECT_EQ(g.index(), 4u);
+  (void)pr::normal(g);  // documented: exactly 2 logical draws
+  EXPECT_EQ(g.index(), 8u);
+}
+
+// ---- shared stream ------------------------------------------------------------
+
+TEST(SharedStream, CursorMatchesSerialConsumption) {
+  pr::SharedStream<pr::Lcg64> stream{2024};
+  pr::Lcg64 serial{2024};
+  std::vector<double> expect(100);
+  for (auto& x : expect) x = serial.next_double();
+
+  // Consume the same logical sequence from 4 simulated "threads".
+  for (int t = 0; t < 4; ++t) {
+    const std::uint64_t lo = t * 25, hi = lo + 25;
+    auto cur = stream.cursor(lo);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      EXPECT_DOUBLE_EQ(cur.next_double(), expect[i]) << "i=" << i;
+    }
+  }
+  EXPECT_EQ(stream.ff_calls(), 4u);
+}
+
+TEST(SharedStream, ValueAtIsConsistent) {
+  pr::SharedStream<pr::Lcg64> stream{5};
+  auto cur = stream.cursor(41);
+  EXPECT_DOUBLE_EQ(stream.value_at(41), cur.next_double());
+}
+
+TEST(LeapfrogView, LanesPartitionTheSequence) {
+  constexpr std::uint64_t kLanes = 3;
+  pr::Lcg64 serial{88};
+  std::vector<std::uint64_t> expect(30);
+  for (auto& x : expect) x = serial.next_u64();
+
+  for (std::uint64_t lane = 0; lane < kLanes; ++lane) {
+    pr::LeapfrogView<pr::Lcg64> view{88, lane, kLanes};
+    for (std::uint64_t k = lane; k < expect.size(); k += kLanes) {
+      EXPECT_EQ(view.next_u64(), expect[k]) << "lane=" << lane << " k=" << k;
+    }
+  }
+}
+
+// ---- seed derivation ----------------------------------------------------------
+
+TEST(DeriveSeed, DistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(pr::derive_seed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(pr::derive_seed(1, 0), pr::derive_seed(2, 0));
+}
+
+// ---- statistical battery ---------------------------------------------------------
+
+TEST(SelfTest, Lcg64PassesBattery) {
+  pr::Lcg64 g{20230712};
+  const auto rep = pr::self_test(g, 1u << 16);
+  EXPECT_TRUE(rep.all_pass()) << rep.to_string();
+}
+
+TEST(SelfTest, MinstdPassesBattery) {
+  pr::Minstd g{20230712};
+  const auto rep = pr::self_test(g, 1u << 16);
+  EXPECT_TRUE(rep.all_pass()) << rep.to_string();
+}
+
+TEST(SelfTest, PhiloxPassesBattery) {
+  pr::Philox4x32 g{20230712};
+  const auto rep = pr::self_test(g, 1u << 16);
+  EXPECT_TRUE(rep.all_pass()) << rep.to_string();
+}
+
+TEST(SelfTest, SplitMixPassesBattery) {
+  pr::SplitMix64 g{20230712};
+  const auto rep = pr::self_test(g, 1u << 16);
+  EXPECT_TRUE(rep.all_pass()) << rep.to_string();
+}
+
+TEST(SelfTest, CatchesConstantGenerator) {
+  // A degenerate "generator" must fail the battery — guards against the
+  // battery accepting anything.
+  struct Constant {
+    double next_double() { return 0.5; }
+  } g;
+  const auto rep = pr::self_test(g, 4096);
+  EXPECT_FALSE(rep.all_pass());
+}
+
+TEST(SelfTest, RejectsTinySamples) {
+  pr::Lcg64 g{1};
+  EXPECT_THROW((void)pr::self_test(g, 16), peachy::Error);
+}

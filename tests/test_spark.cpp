@@ -1,0 +1,313 @@
+// Tests for the spark-like RDD engine: laziness, narrow/wide semantics,
+// partition-count independence (the key correctness property of a shuffle
+// engine), pair operations against serial oracles, caching, and lineage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "spark/pair_rdd.hpp"
+#include "spark/rdd.hpp"
+#include "support/check.hpp"
+
+namespace sp = peachy::spark;
+
+namespace {
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+}  // namespace
+
+// ---- sources & actions --------------------------------------------------------
+
+TEST(Rdd, ParallelizeCollectRoundTrips) {
+  auto ctx = sp::Context::create(2, 4);
+  const auto data = iota_vec(100);
+  auto rdd = sp::parallelize(ctx, data);
+  EXPECT_EQ(rdd.collect(), data);
+  EXPECT_EQ(rdd.count(), 100u);
+  EXPECT_EQ(rdd.partitions(), 4u);
+}
+
+TEST(Rdd, ParallelizeHonorsExplicitPartitions) {
+  auto ctx = sp::Context::create(2);
+  auto rdd = sp::parallelize(ctx, iota_vec(10), 7);
+  EXPECT_EQ(rdd.partitions(), 7u);
+  EXPECT_EQ(rdd.collect(), iota_vec(10));
+}
+
+TEST(Rdd, EmptyDatasetWorks) {
+  auto ctx = sp::Context::create(2, 3);
+  auto rdd = sp::parallelize(ctx, std::vector<int>{});
+  EXPECT_EQ(rdd.count(), 0u);
+  EXPECT_TRUE(rdd.collect().empty());
+  EXPECT_THROW((void)rdd.reduce(std::plus<>{}), peachy::Error);
+}
+
+TEST(Rdd, ReduceAndTake) {
+  auto ctx = sp::Context::create(2, 4);
+  auto rdd = sp::parallelize(ctx, iota_vec(101));
+  EXPECT_EQ(rdd.reduce(std::plus<>{}), 101 * 100 / 2);
+  EXPECT_EQ(rdd.take(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(rdd.take(1000).size(), 101u);
+}
+
+// ---- laziness --------------------------------------------------------------------
+
+TEST(Rdd, TransformationsAreLazy) {
+  auto ctx = sp::Context::create(2, 2);
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  auto rdd = sp::parallelize(ctx, iota_vec(10)).map([counter](const int& x) {
+    counter->fetch_add(1);
+    return x * 2;
+  });
+  EXPECT_EQ(counter->load(), 0);  // nothing ran yet
+  (void)rdd.collect();
+  EXPECT_EQ(counter->load(), 10);
+}
+
+TEST(Rdd, CacheAvoidsRecomputation) {
+  auto ctx = sp::Context::create(2, 2);
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  auto rdd = sp::parallelize(ctx, iota_vec(10)).map([counter](const int& x) {
+    counter->fetch_add(1);
+    return x;
+  });
+  rdd.cache();
+  (void)rdd.collect();
+  (void)rdd.collect();
+  (void)rdd.count();
+  EXPECT_EQ(counter->load(), 10);  // computed exactly once
+}
+
+TEST(Rdd, WithoutCacheEachActionRecomputes) {
+  auto ctx = sp::Context::create(2, 2);
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  auto rdd = sp::parallelize(ctx, iota_vec(10)).map([counter](const int& x) {
+    counter->fetch_add(1);
+    return x;
+  });
+  (void)rdd.collect();
+  (void)rdd.collect();
+  EXPECT_EQ(counter->load(), 20);
+}
+
+// ---- narrow transformations ---------------------------------------------------------
+
+TEST(Rdd, MapFilterFlatMapChain) {
+  auto ctx = sp::Context::create(2, 3);
+  auto result = sp::parallelize(ctx, iota_vec(10))
+                    .map([](const int& x) { return x * 10; })
+                    .filter([](const int& x) { return x >= 30; })
+                    .flat_map([](const int& x) { return std::vector<int>{x, x + 1}; })
+                    .collect();
+  std::vector<int> expect;
+  for (int x = 30; x <= 90; x += 10) {
+    expect.push_back(x);
+    expect.push_back(x + 1);
+  }
+  EXPECT_EQ(result, expect);
+}
+
+TEST(Rdd, MapChangesElementType) {
+  auto ctx = sp::Context::create(2, 2);
+  auto strs = sp::parallelize(ctx, iota_vec(3))
+                  .map([](const int& x) { return std::to_string(x); })
+                  .collect();
+  EXPECT_EQ(strs, (std::vector<std::string>{"0", "1", "2"}));
+}
+
+TEST(Rdd, UnionConcatenates) {
+  auto ctx = sp::Context::create(2, 2);
+  auto a = sp::parallelize(ctx, std::vector<int>{1, 2});
+  auto b = sp::parallelize(ctx, std::vector<int>{3, 4, 5});
+  auto u = a.union_with(b);
+  EXPECT_EQ(u.partitions(), 4u);
+  EXPECT_EQ(u.collect(), (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Rdd, SampleFractionBounds) {
+  auto ctx = sp::Context::create(2, 4);
+  auto rdd = sp::parallelize(ctx, iota_vec(2000));
+  EXPECT_EQ(rdd.sample(0.0, 1).count(), 0u);
+  EXPECT_EQ(rdd.sample(1.0, 1).count(), 2000u);
+  const auto half = rdd.sample(0.5, 1).count();
+  EXPECT_GT(half, 800u);
+  EXPECT_LT(half, 1200u);
+  EXPECT_THROW((void)rdd.sample(1.5, 1), peachy::Error);
+}
+
+TEST(Rdd, SampleIsDeterministic) {
+  auto ctx = sp::Context::create(2, 4);
+  auto rdd = sp::parallelize(ctx, iota_vec(500));
+  EXPECT_EQ(rdd.sample(0.3, 9).collect(), rdd.sample(0.3, 9).collect());
+}
+
+// ---- wide transformations -------------------------------------------------------------
+
+TEST(Rdd, DistinctRemovesDuplicates) {
+  auto ctx = sp::Context::create(2, 3);
+  auto rdd = sp::parallelize(ctx, std::vector<int>{5, 1, 5, 2, 1, 5});
+  auto out = rdd.distinct().collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 5}));
+}
+
+TEST(Rdd, RepartitionPreservesMultiset) {
+  auto ctx = sp::Context::create(2, 2);
+  auto rdd = sp::parallelize(ctx, iota_vec(50)).repartition(7);
+  EXPECT_EQ(rdd.partitions(), 7u);
+  auto out = rdd.collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, iota_vec(50));
+}
+
+TEST(Rdd, SortByOrdersGlobally) {
+  auto ctx = sp::Context::create(2, 4);
+  std::vector<int> data{9, 3, 7, 1, 8, 2, 6, 0, 5, 4};
+  auto asc = sp::parallelize(ctx, data).sort_by([](const int& x) { return x; }).collect();
+  EXPECT_EQ(asc, iota_vec(10));
+  auto desc =
+      sp::parallelize(ctx, data).sort_by([](const int& x) { return x; }, true).collect();
+  std::vector<int> expect = iota_vec(10);
+  std::reverse(expect.begin(), expect.end());
+  EXPECT_EQ(desc, expect);
+}
+
+// The shuffle-correctness property: results must not depend on the
+// partition count.
+class PartitionCounts : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionCounts, ReduceByKeyIndependentOfPartitioning) {
+  const std::size_t nparts = GetParam();
+  auto ctx = sp::Context::create(3, nparts);
+  std::vector<std::pair<std::string, int>> data;
+  for (int i = 0; i < 200; ++i) data.emplace_back("k" + std::to_string(i % 7), i);
+  std::map<std::string, int> oracle;
+  for (const auto& [k, v] : data) oracle[k] += v;
+
+  auto rdd = sp::reduce_by_key(sp::parallelize(ctx, data), std::plus<>{});
+  std::map<std::string, int> got;
+  for (const auto& [k, v] : rdd.collect()) {
+    EXPECT_FALSE(got.contains(k)) << "duplicate key " << k;
+    got[k] = v;
+  }
+  EXPECT_EQ(got, oracle);
+}
+
+TEST_P(PartitionCounts, GroupByKeyCollectsAllValues) {
+  const std::size_t nparts = GetParam();
+  auto ctx = sp::Context::create(3, nparts);
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 60; ++i) data.emplace_back(i % 5, i);
+
+  auto grouped = sp::group_by_key(sp::parallelize(ctx, data));
+  std::map<int, std::multiset<int>> got;
+  for (const auto& [k, vs] : grouped.collect()) {
+    got[k] = std::multiset<int>(vs.begin(), vs.end());
+  }
+  std::map<int, std::multiset<int>> oracle;
+  for (const auto& [k, v] : data) oracle[k].insert(v);
+  EXPECT_EQ(got, oracle);
+}
+
+TEST_P(PartitionCounts, JoinMatchesSerialOracle) {
+  const std::size_t nparts = GetParam();
+  auto ctx = sp::Context::create(3, nparts);
+  std::vector<std::pair<std::string, int>> arrests;
+  std::vector<std::pair<std::string, int>> population;
+  for (int i = 0; i < 30; ++i) arrests.emplace_back("nta" + std::to_string(i % 10), i);
+  for (int i = 0; i < 8; ++i) population.emplace_back("nta" + std::to_string(i), 1000 * (i + 1));
+
+  auto joined = sp::join(sp::parallelize(ctx, arrests), sp::parallelize(ctx, population));
+  std::multiset<std::string> got;
+  for (const auto& [k, vv] : joined.collect()) {
+    got.insert(k + ":" + std::to_string(vv.first) + ":" + std::to_string(vv.second));
+  }
+  std::multiset<std::string> oracle;
+  for (const auto& [ka, va] : arrests) {
+    for (const auto& [kp, vp] : population) {
+      if (ka == kp) oracle.insert(ka + ":" + std::to_string(va) + ":" + std::to_string(vp));
+    }
+  }
+  EXPECT_EQ(got, oracle);  // keys nta8/nta9 have no population → dropped
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionCounts, ::testing::Values(1u, 2u, 3u, 5u, 16u));
+
+// ---- pair conveniences -----------------------------------------------------------------
+
+TEST(PairRdd, KeysValuesMapValues) {
+  auto ctx = sp::Context::create(2, 2);
+  std::vector<std::pair<std::string, int>> data{{"a", 1}, {"b", 2}};
+  auto rdd = sp::parallelize(ctx, data);
+  EXPECT_EQ(sp::keys(rdd).collect(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(sp::values(rdd).collect(), (std::vector<int>{1, 2}));
+  auto doubled = sp::map_values(rdd, [](const int& v) { return v * 2.5; }).collect();
+  EXPECT_DOUBLE_EQ(doubled[1].second, 5.0);
+}
+
+TEST(PairRdd, CountByKey) {
+  auto ctx = sp::Context::create(2, 3);
+  std::vector<std::pair<std::string, int>> data{
+      {"x", 1}, {"y", 2}, {"x", 3}, {"x", 4}, {"z", 5}};
+  const auto counts = sp::count_by_key(sp::parallelize(ctx, data));
+  EXPECT_EQ(counts.at("x"), 3u);
+  EXPECT_EQ(counts.at("y"), 1u);
+  EXPECT_EQ(counts.at("z"), 1u);
+}
+
+// ---- lineage & telemetry ---------------------------------------------------------------
+
+TEST(Rdd, LineageRecordsOperatorChain) {
+  auto ctx = sp::Context::create(2, 2);
+  auto rdd = sp::parallelize(ctx, iota_vec(4))
+                 .map([](const int& x) { return std::pair<int, int>{x % 2, x}; });
+  auto reduced = sp::reduce_by_key(rdd, std::plus<>{});
+  const std::string lin = reduced.lineage();
+  EXPECT_NE(lin.find("parallelize"), std::string::npos);
+  EXPECT_NE(lin.find("map"), std::string::npos);
+  EXPECT_NE(lin.find("reduce_by_key (shuffle)"), std::string::npos);
+}
+
+TEST(Context, CountsTasksAndShuffles) {
+  auto ctx = sp::Context::create(2, 4);
+  auto rdd = sp::parallelize(ctx, iota_vec(40))
+                 .map([](const int& x) { return std::pair<int, int>{x % 3, x}; });
+  const auto before = ctx->stats();
+  EXPECT_EQ(before.shuffles, 0u);
+  (void)sp::reduce_by_key(rdd, std::plus<>{}).collect();
+  const auto after = ctx->stats();
+  EXPECT_EQ(after.shuffles, 1u);
+  EXPECT_EQ(after.shuffle_records, 40u);
+  EXPECT_GT(after.tasks, 0u);
+  ctx->reset_stats();
+  EXPECT_EQ(ctx->stats().tasks, 0u);
+}
+
+TEST(Rdd, UnionAcrossContextsRejected) {
+  auto ctx1 = sp::Context::create(1, 2);
+  auto ctx2 = sp::Context::create(1, 2);
+  auto a = sp::parallelize(ctx1, iota_vec(3));
+  auto b = sp::parallelize(ctx2, iota_vec(3));
+  EXPECT_THROW((void)a.union_with(b), peachy::Error);
+}
+
+// ---- exception propagation ---------------------------------------------------------------
+
+TEST(Rdd, UserFunctionExceptionPropagatesFromAction) {
+  auto ctx = sp::Context::create(2, 4);
+  auto rdd = sp::parallelize(ctx, iota_vec(10)).map([](const int& x) {
+    if (x == 7) throw std::runtime_error{"bad record"};
+    return x;
+  });
+  EXPECT_THROW((void)rdd.collect(), std::runtime_error);
+}

@@ -1,0 +1,159 @@
+// Second-pass coverage for the support utilities: Table formatting
+// branches, Cli duplicate/last-wins semantics, PRNG self-test acceptance
+// bands, Status metadata, Frame display, and raster file I/O errors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/frame.hpp"
+#include "geo/raster.hpp"
+#include "mpi/mpi.hpp"
+#include "rng/lcg.hpp"
+#include "rng/selftest.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace ps = peachy::support;
+
+// ---- table formatting branches ---------------------------------------------------
+
+TEST(TableFormat, ScientificForExtremeDoubles) {
+  ps::Table t;
+  t.header({"v"});
+  t.row({1.5e9});    // >= 1e6: scientific
+  t.row({2.5e-7});   // < 1e-3: scientific
+  t.row({0.0});      // exactly zero: "0"
+  t.row({123.456});  // >= 100: one decimal
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("e+09"), std::string::npos);
+  EXPECT_NE(s.find("e-07"), std::string::npos);
+  EXPECT_NE(s.find("123.5"), std::string::npos);
+}
+
+TEST(TableFormat, HeaderlessTableRenders) {
+  ps::Table t;
+  t.row({std::string{"a"}, std::int64_t{1}});
+  t.row({std::string{"bb"}, std::int64_t{22}});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_EQ(s.find("---"), std::string::npos);  // no header rule
+}
+
+TEST(TableFormat, UnsignedCells) {
+  ps::Table t;
+  t.header({"count"});
+  t.row({std::uint64_t{18446744073709551615ULL}});
+  EXPECT_NE(t.to_string().find("18446744073709551615"), std::string::npos);
+}
+
+// ---- cli semantics ------------------------------------------------------------------
+
+TEST(CliExtra, LastDuplicateWins) {
+  const char* argv[] = {"prog", "--n=1", "--n=2"};
+  ps::Cli cli{3, argv};
+  EXPECT_EQ(cli.get<int>("n", 0), 2);  // std::map keeps one entry; last parse wins
+  EXPECT_NO_THROW(cli.finish());
+}
+
+TEST(CliExtra, NegativeNumbersAsValues) {
+  const char* argv[] = {"prog", "--x=-5", "--y", "-3.5"};
+  ps::Cli cli{4, argv};
+  EXPECT_EQ(cli.get<int>("x", 0), -5);
+  // "-3.5" does not start with "--", so it is consumed as y's value.
+  EXPECT_DOUBLE_EQ(cli.get<double>("y", 0.0), -3.5);
+  EXPECT_NO_THROW(cli.finish());
+}
+
+TEST(CliExtra, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW((ps::Cli{2, argv}), peachy::Error);
+}
+
+TEST(CliExtra, BooleanOptionParsing) {
+  const char* argv[] = {"prog", "--on=true", "--off=false"};
+  ps::Cli cli{3, argv};
+  EXPECT_TRUE(cli.get<bool>("on", false));
+  EXPECT_FALSE(cli.get<bool>("off", true));
+}
+
+// ---- self-test battery report --------------------------------------------------------
+
+TEST(SelfTestReport, RendersPassAndFailLines) {
+  peachy::rng::Lcg64 good{123};
+  const auto rep = peachy::rng::self_test(good, 1u << 14);
+  const auto text = rep.to_string();
+  EXPECT_NE(text.find("[pass]"), std::string::npos);
+  EXPECT_NE(text.find("chi2-uniformity"), std::string::npos);
+  EXPECT_NE(text.find("lag1-correlation"), std::string::npos);
+}
+
+// ---- mpi status metadata ---------------------------------------------------------------
+
+TEST(MpiStatus, ProbeReportsSourceTagBytes) {
+  peachy::mpi::run(3, [](peachy::mpi::Comm& c) {
+    if (c.rank() == 2) {
+      const std::vector<double> payload(7, 1.0);
+      c.send<double>(0, 42, payload);
+      c.barrier();
+    } else if (c.rank() == 0) {
+      c.barrier();
+      peachy::mpi::Status st;
+      ASSERT_TRUE(c.probe(peachy::mpi::kAnySource, peachy::mpi::kAnyTag, &st));
+      EXPECT_EQ(st.source, 2);
+      EXPECT_EQ(st.tag, 42);
+      EXPECT_EQ(st.bytes, 7 * sizeof(double));
+      (void)c.recv<double>(st.source, st.tag);
+    } else {
+      c.barrier();
+    }
+  });
+}
+
+// ---- frame display ------------------------------------------------------------------------
+
+TEST(FrameDisplay, TruncatesLongTables) {
+  peachy::data::Frame f{{"i"}, {peachy::data::ColType::kInt}};
+  for (std::int64_t i = 0; i < 30; ++i) f.push_row({i});
+  const auto s = f.to_string(5);
+  EXPECT_NE(s.find("25 more rows"), std::string::npos);
+  EXPECT_EQ(s.find("29"), std::string::npos);  // truncated rows absent
+}
+
+// ---- raster file i/o ------------------------------------------------------------------------
+
+TEST(RasterIo, WritesPgmFileAndRejectsBadPath) {
+  peachy::geo::Raster img{4, 2};
+  img.at(0, 0) = 1.0;
+  const auto path = (std::filesystem::temp_directory_path() / "peachy_raster_io.pgm").string();
+  img.write_pgm(path);
+  EXPECT_GT(std::filesystem::file_size(path), 10u);
+  std::remove(path.c_str());
+  EXPECT_THROW(img.write_pgm("/nonexistent-dir/x.pgm"), peachy::Error);
+}
+
+// ---- stats acceptance edges ----------------------------------------------------------------
+
+TEST(StatsExtra, SummaryOfSingleton) {
+  const std::vector<double> one{5.0};
+  const auto s = ps::summarize(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95, 5.0);
+}
+
+TEST(StatsExtra, ChiSquaredRejectsAllZero) {
+  const std::vector<std::uint64_t> zeros(8, 0);
+  EXPECT_THROW((void)ps::chi_squared_uniform(zeros), peachy::Error);
+}
+
+TEST(StatsExtra, SummaryToStringMentionsFields) {
+  const std::vector<double> xs{1, 2, 3};
+  const auto text = ps::to_string(ps::summarize(xs));
+  EXPECT_NE(text.find("mean="), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+}
