@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_chapel.dir/src/chapel/chapel.cpp.o"
+  "CMakeFiles/peachy_chapel.dir/src/chapel/chapel.cpp.o.d"
+  "libpeachy_chapel.a"
+  "libpeachy_chapel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_chapel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "CMakeFiles/peachy_data.dir/src/data/csv.cpp.o" "gcc" "CMakeFiles/peachy_data.dir/src/data/csv.cpp.o.d"
+  "/root/repo/src/data/frame.cpp" "CMakeFiles/peachy_data.dir/src/data/frame.cpp.o" "gcc" "CMakeFiles/peachy_data.dir/src/data/frame.cpp.o.d"
+  "/root/repo/src/data/points.cpp" "CMakeFiles/peachy_data.dir/src/data/points.cpp.o" "gcc" "CMakeFiles/peachy_data.dir/src/data/points.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/peachy_support.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

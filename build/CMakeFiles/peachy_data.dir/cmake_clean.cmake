@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_data.dir/src/data/csv.cpp.o"
+  "CMakeFiles/peachy_data.dir/src/data/csv.cpp.o.d"
+  "CMakeFiles/peachy_data.dir/src/data/frame.cpp.o"
+  "CMakeFiles/peachy_data.dir/src/data/frame.cpp.o.d"
+  "CMakeFiles/peachy_data.dir/src/data/points.cpp.o"
+  "CMakeFiles/peachy_data.dir/src/data/points.cpp.o.d"
+  "libpeachy_data.a"
+  "libpeachy_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

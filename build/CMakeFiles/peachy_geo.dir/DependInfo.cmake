@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/city.cpp" "CMakeFiles/peachy_geo.dir/src/geo/city.cpp.o" "gcc" "CMakeFiles/peachy_geo.dir/src/geo/city.cpp.o.d"
+  "/root/repo/src/geo/geometry.cpp" "CMakeFiles/peachy_geo.dir/src/geo/geometry.cpp.o" "gcc" "CMakeFiles/peachy_geo.dir/src/geo/geometry.cpp.o.d"
+  "/root/repo/src/geo/raster.cpp" "CMakeFiles/peachy_geo.dir/src/geo/raster.cpp.o" "gcc" "CMakeFiles/peachy_geo.dir/src/geo/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/peachy_support.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

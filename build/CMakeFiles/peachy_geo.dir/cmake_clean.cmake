@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_geo.dir/src/geo/city.cpp.o"
+  "CMakeFiles/peachy_geo.dir/src/geo/city.cpp.o.d"
+  "CMakeFiles/peachy_geo.dir/src/geo/geometry.cpp.o"
+  "CMakeFiles/peachy_geo.dir/src/geo/geometry.cpp.o.d"
+  "CMakeFiles/peachy_geo.dir/src/geo/raster.cpp.o"
+  "CMakeFiles/peachy_geo.dir/src/geo/raster.cpp.o.d"
+  "libpeachy_geo.a"
+  "libpeachy_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

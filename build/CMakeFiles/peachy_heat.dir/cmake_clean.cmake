@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_heat.dir/src/heat/heat.cpp.o"
+  "CMakeFiles/peachy_heat.dir/src/heat/heat.cpp.o.d"
+  "libpeachy_heat.a"
+  "libpeachy_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpo/halving.cpp" "CMakeFiles/peachy_hpo.dir/src/hpo/halving.cpp.o" "gcc" "CMakeFiles/peachy_hpo.dir/src/hpo/halving.cpp.o.d"
+  "/root/repo/src/hpo/hpo.cpp" "CMakeFiles/peachy_hpo.dir/src/hpo/hpo.cpp.o" "gcc" "CMakeFiles/peachy_hpo.dir/src/hpo/hpo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/peachy_support.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

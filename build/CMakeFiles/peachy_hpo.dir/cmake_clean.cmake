@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_hpo.dir/src/hpo/halving.cpp.o"
+  "CMakeFiles/peachy_hpo.dir/src/hpo/halving.cpp.o.d"
+  "CMakeFiles/peachy_hpo.dir/src/hpo/hpo.cpp.o"
+  "CMakeFiles/peachy_hpo.dir/src/hpo/hpo.cpp.o.d"
+  "libpeachy_hpo.a"
+  "libpeachy_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpeachy_hpo.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_kmeans.dir/src/kmeans/kmeans.cpp.o"
+  "CMakeFiles/peachy_kmeans.dir/src/kmeans/kmeans.cpp.o.d"
+  "CMakeFiles/peachy_kmeans.dir/src/kmeans/mpi_kmeans.cpp.o"
+  "CMakeFiles/peachy_kmeans.dir/src/kmeans/mpi_kmeans.cpp.o.d"
+  "CMakeFiles/peachy_kmeans.dir/src/kmeans/simt_kmeans.cpp.o"
+  "CMakeFiles/peachy_kmeans.dir/src/kmeans/simt_kmeans.cpp.o.d"
+  "CMakeFiles/peachy_kmeans.dir/src/kmeans/variants.cpp.o"
+  "CMakeFiles/peachy_kmeans.dir/src/kmeans/variants.cpp.o.d"
+  "libpeachy_kmeans.a"
+  "libpeachy_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

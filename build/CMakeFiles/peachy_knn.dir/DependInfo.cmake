@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knn/kdtree.cpp" "CMakeFiles/peachy_knn.dir/src/knn/kdtree.cpp.o" "gcc" "CMakeFiles/peachy_knn.dir/src/knn/kdtree.cpp.o.d"
+  "/root/repo/src/knn/knn.cpp" "CMakeFiles/peachy_knn.dir/src/knn/knn.cpp.o" "gcc" "CMakeFiles/peachy_knn.dir/src/knn/knn.cpp.o.d"
+  "/root/repo/src/knn/mapreduce_knn.cpp" "CMakeFiles/peachy_knn.dir/src/knn/mapreduce_knn.cpp.o" "gcc" "CMakeFiles/peachy_knn.dir/src/knn/mapreduce_knn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/peachy_support.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_data.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_knn.dir/src/knn/kdtree.cpp.o"
+  "CMakeFiles/peachy_knn.dir/src/knn/kdtree.cpp.o.d"
+  "CMakeFiles/peachy_knn.dir/src/knn/knn.cpp.o"
+  "CMakeFiles/peachy_knn.dir/src/knn/knn.cpp.o.d"
+  "CMakeFiles/peachy_knn.dir/src/knn/mapreduce_knn.cpp.o"
+  "CMakeFiles/peachy_knn.dir/src/knn/mapreduce_knn.cpp.o.d"
+  "libpeachy_knn.a"
+  "libpeachy_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

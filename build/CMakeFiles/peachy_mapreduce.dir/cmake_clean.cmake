@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_mapreduce.dir/src/mapreduce/mapreduce.cpp.o"
+  "CMakeFiles/peachy_mapreduce.dir/src/mapreduce/mapreduce.cpp.o.d"
+  "CMakeFiles/peachy_mapreduce.dir/src/mapreduce/wordcount.cpp.o"
+  "CMakeFiles/peachy_mapreduce.dir/src/mapreduce/wordcount.cpp.o.d"
+  "libpeachy_mapreduce.a"
+  "libpeachy_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

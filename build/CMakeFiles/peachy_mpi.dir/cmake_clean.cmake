@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_mpi.dir/src/mpi/machine.cpp.o"
+  "CMakeFiles/peachy_mpi.dir/src/mpi/machine.cpp.o.d"
+  "libpeachy_mpi.a"
+  "libpeachy_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

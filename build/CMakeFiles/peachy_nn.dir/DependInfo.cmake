@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/digits.cpp" "CMakeFiles/peachy_nn.dir/src/nn/digits.cpp.o" "gcc" "CMakeFiles/peachy_nn.dir/src/nn/digits.cpp.o.d"
+  "/root/repo/src/nn/ensemble.cpp" "CMakeFiles/peachy_nn.dir/src/nn/ensemble.cpp.o" "gcc" "CMakeFiles/peachy_nn.dir/src/nn/ensemble.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "CMakeFiles/peachy_nn.dir/src/nn/matrix.cpp.o" "gcc" "CMakeFiles/peachy_nn.dir/src/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "CMakeFiles/peachy_nn.dir/src/nn/mlp.cpp.o" "gcc" "CMakeFiles/peachy_nn.dir/src/nn/mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/peachy_support.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

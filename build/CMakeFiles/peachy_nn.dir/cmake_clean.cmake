@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_nn.dir/src/nn/digits.cpp.o"
+  "CMakeFiles/peachy_nn.dir/src/nn/digits.cpp.o.d"
+  "CMakeFiles/peachy_nn.dir/src/nn/ensemble.cpp.o"
+  "CMakeFiles/peachy_nn.dir/src/nn/ensemble.cpp.o.d"
+  "CMakeFiles/peachy_nn.dir/src/nn/matrix.cpp.o"
+  "CMakeFiles/peachy_nn.dir/src/nn/matrix.cpp.o.d"
+  "CMakeFiles/peachy_nn.dir/src/nn/mlp.cpp.o"
+  "CMakeFiles/peachy_nn.dir/src/nn/mlp.cpp.o.d"
+  "libpeachy_nn.a"
+  "libpeachy_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/crime.cpp" "CMakeFiles/peachy_pipeline.dir/src/pipeline/crime.cpp.o" "gcc" "CMakeFiles/peachy_pipeline.dir/src/pipeline/crime.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "CMakeFiles/peachy_pipeline.dir/src/pipeline/pipeline.cpp.o" "gcc" "CMakeFiles/peachy_pipeline.dir/src/pipeline/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/peachy_support.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_spark.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_geo.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_data.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

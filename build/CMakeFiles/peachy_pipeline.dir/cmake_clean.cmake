@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_pipeline.dir/src/pipeline/crime.cpp.o"
+  "CMakeFiles/peachy_pipeline.dir/src/pipeline/crime.cpp.o.d"
+  "CMakeFiles/peachy_pipeline.dir/src/pipeline/pipeline.cpp.o"
+  "CMakeFiles/peachy_pipeline.dir/src/pipeline/pipeline.cpp.o.d"
+  "libpeachy_pipeline.a"
+  "libpeachy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

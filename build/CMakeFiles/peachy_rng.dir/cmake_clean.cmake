@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_rng.dir/src/rng/selftest.cpp.o"
+  "CMakeFiles/peachy_rng.dir/src/rng/selftest.cpp.o.d"
+  "libpeachy_rng.a"
+  "libpeachy_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

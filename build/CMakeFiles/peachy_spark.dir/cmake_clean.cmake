@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_spark.dir/src/spark/spark.cpp.o"
+  "CMakeFiles/peachy_spark.dir/src/spark/spark.cpp.o.d"
+  "libpeachy_spark.a"
+  "libpeachy_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

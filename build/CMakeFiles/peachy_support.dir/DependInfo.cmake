@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cpp" "CMakeFiles/peachy_support.dir/src/support/cli.cpp.o" "gcc" "CMakeFiles/peachy_support.dir/src/support/cli.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "CMakeFiles/peachy_support.dir/src/support/stats.cpp.o" "gcc" "CMakeFiles/peachy_support.dir/src/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/peachy_support.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/peachy_support.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "CMakeFiles/peachy_support.dir/src/support/thread_pool.cpp.o" "gcc" "CMakeFiles/peachy_support.dir/src/support/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_support.dir/src/support/cli.cpp.o"
+  "CMakeFiles/peachy_support.dir/src/support/cli.cpp.o.d"
+  "CMakeFiles/peachy_support.dir/src/support/stats.cpp.o"
+  "CMakeFiles/peachy_support.dir/src/support/stats.cpp.o.d"
+  "CMakeFiles/peachy_support.dir/src/support/table.cpp.o"
+  "CMakeFiles/peachy_support.dir/src/support/table.cpp.o.d"
+  "CMakeFiles/peachy_support.dir/src/support/thread_pool.cpp.o"
+  "CMakeFiles/peachy_support.dir/src/support/thread_pool.cpp.o.d"
+  "libpeachy_support.a"
+  "libpeachy_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

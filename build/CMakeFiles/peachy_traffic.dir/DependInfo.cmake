@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/diagram.cpp" "CMakeFiles/peachy_traffic.dir/src/traffic/diagram.cpp.o" "gcc" "CMakeFiles/peachy_traffic.dir/src/traffic/diagram.cpp.o.d"
+  "/root/repo/src/traffic/grid.cpp" "CMakeFiles/peachy_traffic.dir/src/traffic/grid.cpp.o" "gcc" "CMakeFiles/peachy_traffic.dir/src/traffic/grid.cpp.o.d"
+  "/root/repo/src/traffic/mpi_traffic.cpp" "CMakeFiles/peachy_traffic.dir/src/traffic/mpi_traffic.cpp.o" "gcc" "CMakeFiles/peachy_traffic.dir/src/traffic/mpi_traffic.cpp.o.d"
+  "/root/repo/src/traffic/traffic.cpp" "CMakeFiles/peachy_traffic.dir/src/traffic/traffic.cpp.o" "gcc" "CMakeFiles/peachy_traffic.dir/src/traffic/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/peachy_support.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peachy_traffic.dir/src/traffic/diagram.cpp.o"
+  "CMakeFiles/peachy_traffic.dir/src/traffic/diagram.cpp.o.d"
+  "CMakeFiles/peachy_traffic.dir/src/traffic/grid.cpp.o"
+  "CMakeFiles/peachy_traffic.dir/src/traffic/grid.cpp.o.d"
+  "CMakeFiles/peachy_traffic.dir/src/traffic/mpi_traffic.cpp.o"
+  "CMakeFiles/peachy_traffic.dir/src/traffic/mpi_traffic.cpp.o.d"
+  "CMakeFiles/peachy_traffic.dir/src/traffic/traffic.cpp.o"
+  "CMakeFiles/peachy_traffic.dir/src/traffic/traffic.cpp.o.d"
+  "libpeachy_traffic.a"
+  "libpeachy_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peachy_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

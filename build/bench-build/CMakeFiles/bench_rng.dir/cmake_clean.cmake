@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rng"
+  "../bench/bench_rng.pdb"
+  "CMakeFiles/bench_rng.dir/bench_rng.cpp.o"
+  "CMakeFiles/bench_rng.dir/bench_rng.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spark"
+  "../bench/bench_spark.pdb"
+  "CMakeFiles/bench_spark.dir/bench_spark.cpp.o"
+  "CMakeFiles/bench_spark.dir/bench_spark.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

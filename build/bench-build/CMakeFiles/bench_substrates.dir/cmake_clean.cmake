@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_substrates"
+  "../bench/bench_substrates.pdb"
+  "CMakeFiles/bench_substrates.dir/bench_substrates.cpp.o"
+  "CMakeFiles/bench_substrates.dir/bench_substrates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_heat"
+  "../bench/exp_heat.pdb"
+  "CMakeFiles/exp_heat.dir/exp_heat.cpp.o"
+  "CMakeFiles/exp_heat.dir/exp_heat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

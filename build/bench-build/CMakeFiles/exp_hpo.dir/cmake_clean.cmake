@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_hpo"
+  "../bench/exp_hpo.pdb"
+  "CMakeFiles/exp_hpo.dir/exp_hpo.cpp.o"
+  "CMakeFiles/exp_hpo.dir/exp_hpo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

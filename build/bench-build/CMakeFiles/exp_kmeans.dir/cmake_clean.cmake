@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_kmeans"
+  "../bench/exp_kmeans.pdb"
+  "CMakeFiles/exp_kmeans.dir/exp_kmeans.cpp.o"
+  "CMakeFiles/exp_kmeans.dir/exp_kmeans.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_kmeans_mpi"
+  "../bench/exp_kmeans_mpi.pdb"
+  "CMakeFiles/exp_kmeans_mpi.dir/exp_kmeans_mpi.cpp.o"
+  "CMakeFiles/exp_kmeans_mpi.dir/exp_kmeans_mpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_kmeans_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_kmeans_simt"
+  "../bench/exp_kmeans_simt.pdb"
+  "CMakeFiles/exp_kmeans_simt.dir/exp_kmeans_simt.cpp.o"
+  "CMakeFiles/exp_kmeans_simt.dir/exp_kmeans_simt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_kmeans_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

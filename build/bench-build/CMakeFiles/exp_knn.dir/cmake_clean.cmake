@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_knn"
+  "../bench/exp_knn.pdb"
+  "CMakeFiles/exp_knn.dir/exp_knn.cpp.o"
+  "CMakeFiles/exp_knn.dir/exp_knn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

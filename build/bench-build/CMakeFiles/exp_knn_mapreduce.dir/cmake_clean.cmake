@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_knn_mapreduce"
+  "../bench/exp_knn_mapreduce.pdb"
+  "CMakeFiles/exp_knn_mapreduce.dir/exp_knn_mapreduce.cpp.o"
+  "CMakeFiles/exp_knn_mapreduce.dir/exp_knn_mapreduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_knn_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

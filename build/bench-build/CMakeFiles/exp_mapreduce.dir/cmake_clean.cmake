@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_mapreduce"
+  "../bench/exp_mapreduce.pdb"
+  "CMakeFiles/exp_mapreduce.dir/exp_mapreduce.cpp.o"
+  "CMakeFiles/exp_mapreduce.dir/exp_mapreduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_pipeline"
+  "../bench/exp_pipeline.pdb"
+  "CMakeFiles/exp_pipeline.dir/exp_pipeline.cpp.o"
+  "CMakeFiles/exp_pipeline.dir/exp_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

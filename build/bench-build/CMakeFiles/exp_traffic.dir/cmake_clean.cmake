@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_traffic"
+  "../bench/exp_traffic.pdb"
+  "CMakeFiles/exp_traffic.dir/exp_traffic.cpp.o"
+  "CMakeFiles/exp_traffic.dir/exp_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

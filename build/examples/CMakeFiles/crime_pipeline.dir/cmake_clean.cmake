@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_pipeline.dir/crime_pipeline.cpp.o"
+  "CMakeFiles/crime_pipeline.dir/crime_pipeline.cpp.o.d"
+  "crime_pipeline"
+  "crime_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

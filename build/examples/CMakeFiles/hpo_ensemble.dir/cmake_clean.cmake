@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpo_ensemble.dir/hpo_ensemble.cpp.o"
+  "CMakeFiles/hpo_ensemble.dir/hpo_ensemble.cpp.o.d"
+  "hpo_ensemble"
+  "hpo_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpo_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

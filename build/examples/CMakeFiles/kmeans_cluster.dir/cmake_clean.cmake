@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_cluster.dir/kmeans_cluster.cpp.o"
+  "CMakeFiles/kmeans_cluster.dir/kmeans_cluster.cpp.o.d"
+  "kmeans_cluster"
+  "kmeans_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

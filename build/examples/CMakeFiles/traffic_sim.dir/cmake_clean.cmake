@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_sim.dir/traffic_sim.cpp.o"
+  "CMakeFiles/traffic_sim.dir/traffic_sim.cpp.o.d"
+  "traffic_sim"
+  "traffic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chapel.dir/test_chapel.cpp.o"
+  "CMakeFiles/test_chapel.dir/test_chapel.cpp.o.d"
+  "test_chapel"
+  "test_chapel.pdb"
+  "test_chapel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chapel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

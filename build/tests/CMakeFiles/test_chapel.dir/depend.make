@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chapel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_spark.cpp" "tests/CMakeFiles/test_spark.dir/test_spark.cpp.o" "gcc" "tests/CMakeFiles/test_spark.dir/test_spark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/peachy_knn.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_kmeans.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_heat.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_chapel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_data.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_spark.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_geo.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/peachy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_extra.dir/test_support_extra.cpp.o"
+  "CMakeFiles/test_support_extra.dir/test_support_extra.cpp.o.d"
+  "test_support_extra"
+  "test_support_extra.pdb"
+  "test_support_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
