@@ -90,6 +90,26 @@ void BM_Mpi_Allreduce(benchmark::State& state) {
 }
 BENCHMARK(BM_Mpi_Allreduce)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+void BM_Mpi_Allreduce_Checked(benchmark::State& state) {
+  // Same workload as BM_Mpi_Allreduce but at CheckLevel::full: the delta
+  // between the two is the cost of the deadlock / collective-matching
+  // checker (the default CheckLevel::off path stays untouched).
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto stats = peachy::mpi::run(
+        ranks,
+        [](peachy::mpi::Comm& comm) {
+          std::vector<double> local(256, 1.0);
+          for (int round = 0; round < 20; ++round) {
+            local = comm.allreduce<double>(local, std::plus<>{});
+          }
+        },
+        peachy::analysis::CheckLevel::full);
+    state.counters["msgs"] = static_cast<double>(stats.messages);
+  }
+}
+BENCHMARK(BM_Mpi_Allreduce_Checked)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_Mpi_Alltoall(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
   for (auto _ : state) {

@@ -1,0 +1,99 @@
+/// \file grading_demo.cpp
+/// \brief Instructor-facing tour of peachy::analysis.
+///
+/// Runs four classic buggy "student submissions" — a send/recv deadlock, a
+/// mismatched collective sequence, a leaked message, and a racing
+/// parallel_for accumulator — under the checker and prints each report,
+/// then shows the corrected accumulator coming back clean.  This is the
+/// grading workflow: wrap the submission in mpi::run_checked() (or hand a
+/// SharedArray to the kernel) and read the findings instead of staring at
+/// a hung process or a flaky wrong answer.
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+
+#include "analysis/race.hpp"
+#include "mpi/mpi.hpp"
+#include "support/parallel_for.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pa = peachy::analysis;
+namespace pm = peachy::mpi;
+namespace ps = peachy::support;
+
+namespace {
+
+int failures = 0;
+
+void show(const std::string& title, const pa::Report& report, bool expect_clean) {
+  std::cout << "== " << title << " ==\n" << report.to_string() << '\n';
+  if (report.clean() != expect_clean) ++failures;
+}
+
+}  // namespace
+
+int main() {
+  // 1. Deadlock: every rank receives before anyone sends.
+  show("submission 1: head-to-head recv (deadlock)",
+       pm::run_checked(2,
+                       [](pm::Comm& c) {
+                         const auto msg = c.recv<int>(1 - c.rank(), 7);
+                         c.send<int>(1 - c.rank(), 7, msg);
+                       })
+           .report,
+       /*expect_clean=*/false);
+
+  // 2. Collective mismatch: rank 0 takes an early exit around a barrier.
+  show("submission 2: divergent collective sequence",
+       pm::run_checked(4,
+                       [](pm::Comm& c) {
+                         if (c.rank() != 0) c.barrier();  // rank 0 skipped it
+                         (void)c.allreduce_value(1, std::plus<>{});
+                       })
+           .report,
+       /*expect_clean=*/false);
+
+  // 3. Message leak: a reply is posted that nobody ever receives.
+  show("submission 3: unreceived reply (message leak)",
+       pm::run_checked(2,
+                       [](pm::Comm& c) {
+                         if (c.rank() == 0) {
+                           c.send_value<int>(1, 1, 42);
+                         } else {
+                           const int v = c.recv_value<int>(0, 1);
+                           c.send_value<int>(0, 2, v + 1);  // rank 0 never asks
+                         }
+                       })
+           .report,
+       /*expect_clean=*/false);
+
+  // 4. Data race: a reduction written as a bare shared update.
+  ps::ThreadPool pool{4};
+  {
+    pa::SharedArray<long> total{"total", 1};
+    ps::parallel_for(pool, 0, 4,
+                     [&](std::size_t i) { total.update(0, [i](long v) { return v + long(i); }); });
+    show("submission 4: racing parallel_for accumulator", total.report(),
+         /*expect_clean=*/false);
+  }
+
+  // 5. The fix the grader wants to see: same update under a TrackedMutex.
+  {
+    pa::SharedArray<long> total{"total", 1};
+    pa::TrackedMutex mu;
+    ps::parallel_for(pool, 0, 4, [&](std::size_t i) {
+      const std::lock_guard lock{mu};
+      total.update(0, [i](long v) { return v + long(i); });
+    });
+    show("submission 4 (corrected): locked accumulator", total.report(),
+         /*expect_clean=*/true);
+  }
+
+  if (failures != 0) {
+    std::cerr << "grading_demo: " << failures << " report(s) had unexpected verdicts\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "grading_demo: all submissions diagnosed as expected\n";
+  return EXIT_SUCCESS;
+}

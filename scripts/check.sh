@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Sanitizer + analysis matrix — the CI entry point for correctness builds.
+#
+# Runs the full test suite under three configurations, each in its own
+# build tree (the options are mutually exclusive per tree):
+#
+#   asan-ubsan — AddressSanitizer + UndefinedBehaviorSanitizer
+#                (memory errors, UB in the numeric kernels)
+#   tsan       — ThreadSanitizer
+#                (physical data races across the thread pool / mini-MPI)
+#   analysis   — -DPEACHY_ANALYSIS=ON grading build: every mpi::run()
+#                executes at CheckLevel::full, proving the checker raises
+#                zero false positives on the whole suite
+#
+# Usage: scripts/check.sh [config ...]     (default: all three)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="$ROOT/build-check-$name"
+  echo "==== [$name] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPEACHY_BUILD_BENCH=OFF -DPEACHY_BUILD_EXAMPLES=OFF \
+    "$@"
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] test ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  echo "==== [$name] OK ===="
+}
+
+configs=("$@")
+if [ "${#configs[@]}" -eq 0 ]; then
+  configs=(asan-ubsan tsan analysis)
+fi
+
+for cfg in "${configs[@]}"; do
+  case "$cfg" in
+    asan-ubsan) run_config asan-ubsan -DPEACHY_SANITIZE=ON ;;
+    tsan)       run_config tsan -DPEACHY_TSAN=ON ;;
+    analysis)   run_config analysis -DPEACHY_ANALYSIS=ON ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis)" >&2; exit 2 ;;
+  esac
+done
+
+echo "all configurations passed"

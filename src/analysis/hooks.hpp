@@ -1,0 +1,115 @@
+#pragma once
+/// \file hooks.hpp
+/// \brief Substrate instrumentation hooks for `peachy::analysis`.
+///
+/// Header-only, dependency-free identity layer.  The execution substrates
+/// (parallel_for blocks, Chapel forall/coforall tasks, spark partitions,
+/// raw ThreadPool tasks) publish *which logical task is running* through a
+/// thread-local `TaskIdentity`; analysis tools (`RaceDetector`) read it
+/// whenever an instrumented access happens.  Publishing costs two
+/// thread-local stores per task block — not per element — so it is always
+/// compiled in and detectors work in every build configuration.
+///
+/// Epochs encode the fork-join structure the detectors reason about: each
+/// structured parallel region (parallel_for / forall / coforall / spark
+/// stage) gets a fresh epoch, and only accesses in the *same* epoch can
+/// race — regions are separated by joins, which establish happens-before.
+/// `kSerialEpoch` (0) is code outside any region; `kUnstructuredEpoch`
+/// marks raw `ThreadPool::submit` tasks, which carry no join information
+/// and therefore race only among themselves.
+///
+/// The lockset half mirrors the classic Eraser algorithm: `TrackedMutex`
+/// registers itself in a thread-local set of held locks, and the race
+/// detector declares two conflicting accesses benign when their locksets
+/// intersect — so the canonical student fix (a mutex around the shared
+/// accumulator) is recognized as correct.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace peachy::analysis {
+
+inline constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+inline constexpr std::uint64_t kSerialEpoch = 0;
+inline constexpr std::uint64_t kUnstructuredEpoch = ~std::uint64_t{0};
+
+/// Identity of the logical task executing on the current thread.
+struct TaskIdentity {
+  std::size_t worker = kNoWorker;  ///< logical task id within its region
+  std::uint64_t epoch = kSerialEpoch;
+};
+
+namespace detail {
+inline thread_local TaskIdentity tls_task{};
+inline thread_local std::vector<const void*> tls_lockset{};
+inline std::atomic<std::uint64_t> g_epoch{kSerialEpoch};
+}  // namespace detail
+
+[[nodiscard]] inline TaskIdentity current_task() noexcept { return detail::tls_task; }
+
+/// Allocate a fresh epoch for one structured parallel region.
+[[nodiscard]] inline std::uint64_t begin_parallel_region() noexcept {
+  return detail::g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// RAII publication of a logical task identity; nests (inner scopes win,
+/// e.g. a parallel_for block overriding the pool worker's identity).
+class TaskScope {
+ public:
+  TaskScope(std::size_t worker, std::uint64_t epoch) noexcept : saved_{detail::tls_task} {
+    detail::tls_task = TaskIdentity{worker, epoch};
+  }
+  ~TaskScope() { detail::tls_task = saved_; }
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  TaskIdentity saved_;
+};
+
+// ---- lockset tracking -------------------------------------------------------
+
+inline void lockset_acquired(const void* m) { detail::tls_lockset.push_back(m); }
+
+inline void lockset_released(const void* m) noexcept {
+  auto& ls = detail::tls_lockset;
+  for (auto it = ls.rbegin(); it != ls.rend(); ++it) {
+    if (*it == m) {
+      ls.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+/// Locks held by the current thread (registration order).
+[[nodiscard]] inline const std::vector<const void*>& current_lockset() noexcept {
+  return detail::tls_lockset;
+}
+
+/// Drop-in `std::mutex` replacement that reports to the thread's lockset,
+/// making critical sections visible to the race detector.  Satisfies the
+/// Lockable requirements, so it works with std::lock_guard / scoped_lock.
+class TrackedMutex {
+ public:
+  void lock() {
+    mu_.lock();
+    lockset_acquired(this);
+  }
+  void unlock() {
+    lockset_released(this);
+    mu_.unlock();
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    lockset_acquired(this);
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace peachy::analysis

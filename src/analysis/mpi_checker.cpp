@@ -1,0 +1,221 @@
+#include "analysis/mpi_checker.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace peachy::analysis {
+
+namespace {
+// Wildcard values mirrored from peachy::mpi (kAnySource / kAnyTag).
+constexpr int kAny = -1;
+}  // namespace
+
+std::string format_tag(int tag) {
+  if (tag == kAny) return "tag=any";
+  if (tag >= kMpiInternalTagBase) {
+    return "collective #" + std::to_string(tag - kMpiInternalTagBase);
+  }
+  return "tag=" + std::to_string(tag);
+}
+
+std::string format_source(int source) {
+  return source == kAny ? "src=any" : "src=" + std::to_string(source);
+}
+
+MpiChecker::MpiChecker(int nranks, CheckLevel level)
+    : level_{level}, ranks_(static_cast<std::size_t>(nranks)) {}
+
+void MpiChecker::on_post(int source, int dest, int tag) {
+  (void)source;
+  std::lock_guard lock{mu_};
+  RankInfo& d = ranks_[static_cast<std::size_t>(dest)];
+  if (d.state != RankState::blocked || d.satisfied) return;
+  const bool src_ok = d.want_src == kAny || d.want_src == source;
+  const bool tag_ok = d.want_tag == kAny || d.want_tag == tag;
+  if (src_ok && tag_ok) d.satisfied = true;
+}
+
+std::optional<std::string> MpiChecker::on_block(int rank, int source, int tag) {
+  std::lock_guard lock{mu_};
+  RankInfo& r = ranks_[static_cast<std::size_t>(rank)];
+  r.state = RankState::blocked;
+  r.want_src = source;
+  r.want_tag = tag;
+  r.satisfied = false;
+  return detect_deadlock_locked();
+}
+
+void MpiChecker::on_unblock(int rank) {
+  std::lock_guard lock{mu_};
+  ranks_[static_cast<std::size_t>(rank)].state = RankState::running;
+}
+
+std::optional<std::string> MpiChecker::on_exit(int rank) {
+  std::lock_guard lock{mu_};
+  ranks_[static_cast<std::size_t>(rank)].state = RankState::exited;
+  return detect_deadlock_locked();
+}
+
+std::string MpiChecker::describe_wait_locked(int rank) const {
+  const RankInfo& r = ranks_[static_cast<std::size_t>(rank)];
+  std::ostringstream os;
+  os << "rank " << rank << " blocked in recv(" << format_source(r.want_src) << ", "
+     << format_tag(r.want_tag) << ")";
+  return os.str();
+}
+
+std::optional<std::string> MpiChecker::fire_deadlock_locked(const std::string& message,
+                                                            const std::vector<int>& involved) {
+  deadlock_fired_ = true;
+  Finding f{FindingKind::deadlock, Severity::error, message, {}};
+  for (int r : involved) f.details.push_back(describe_wait_locked(r));
+  report_.add(f);
+  // The abort reason / exception text carries the kind explicitly; the
+  // finding doesn't (Report::to_string already prefixes it).
+  return "deadlock: " + message;
+}
+
+std::optional<std::string> MpiChecker::detect_deadlock_locked() {
+  if (deadlock_fired_) return std::nullopt;
+  const int n = static_cast<int>(ranks_.size());
+  auto stuck = [&](int r) {
+    const RankInfo& ri = ranks_[static_cast<std::size_t>(r)];
+    return ri.state == RankState::blocked && !ri.satisfied;
+  };
+
+  // 1) A rank waiting on a specific source that has already exited can
+  //    never be satisfied (the source's sends were all posted before it
+  //    exited, and none matched when the wait registered).
+  for (int r = 0; r < n; ++r) {
+    if (!stuck(r)) continue;
+    const int src = ranks_[static_cast<std::size_t>(r)].want_src;
+    if (src >= 0 && ranks_[static_cast<std::size_t>(src)].state == RankState::exited) {
+      std::ostringstream os;
+      os << describe_wait_locked(r) << ", but rank " << src
+         << " has already finished and will send nothing more";
+      return fire_deadlock_locked(os.str(), {r});
+    }
+  }
+
+  // 2) Cycle of specific-source waits: r0 waits on r1 waits on ... on r0.
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 new, 1 on path, 2 done
+  for (int s = 0; s < n; ++s) {
+    if (!stuck(s) || color[static_cast<std::size_t>(s)] != 0) continue;
+    std::vector<int> path;
+    int cur = s;
+    while (cur >= 0 && stuck(cur) && color[static_cast<std::size_t>(cur)] == 0) {
+      color[static_cast<std::size_t>(cur)] = 1;
+      path.push_back(cur);
+      cur = ranks_[static_cast<std::size_t>(cur)].want_src;  // kAny (-1) ends the walk
+    }
+    if (cur >= 0 && color[static_cast<std::size_t>(cur)] == 1) {
+      std::vector<int> cycle;
+      bool in_cycle = false;
+      for (int r : path) {
+        if (r == cur) in_cycle = true;
+        if (in_cycle) cycle.push_back(r);
+      }
+      std::ostringstream os;
+      os << "cyclic recv dependency among ranks {";
+      for (std::size_t i = 0; i < cycle.size(); ++i) os << (i ? ", " : "") << cycle[i];
+      os << "}";
+      return fire_deadlock_locked(os.str(), cycle);
+    }
+    for (int r : path) color[static_cast<std::size_t>(r)] = 2;
+  }
+
+  // 3) Whole-machine deadlock: every rank has exited or is stuck (covers
+  //    wildcard receives, which have edges to every live rank).
+  int nstuck = 0, nexited = 0;
+  for (int r = 0; r < n; ++r) {
+    if (stuck(r)) ++nstuck;
+    if (ranks_[static_cast<std::size_t>(r)].state == RankState::exited) ++nexited;
+  }
+  if (nstuck > 0 && nstuck + nexited == n) {
+    std::vector<int> involved;
+    for (int r = 0; r < n; ++r) {
+      if (stuck(r)) involved.push_back(r);
+    }
+    std::ostringstream os;
+    os << "all " << nstuck << " still-running rank(s) are blocked in recv and no "
+       << "message can arrive";
+    return fire_deadlock_locked(os.str(), involved);
+  }
+  return std::nullopt;
+}
+
+namespace {
+std::string describe_collective(const CollectiveDesc& d) {
+  std::ostringstream os;
+  os << d.op << "(";
+  bool comma = false;
+  if (d.root >= 0) {
+    os << "root=" << d.root;
+    comma = true;
+  }
+  os << (comma ? ", " : "") << "elem=" << d.elem_size << "B";
+  if (d.count >= 0) os << ", count=" << d.count;
+  os << ")";
+  return os.str();
+}
+}  // namespace
+
+std::optional<std::string> MpiChecker::on_collective(int rank, std::uint64_t index,
+                                                     const CollectiveDesc& d) {
+  if (level_ != CheckLevel::full) return std::nullopt;
+  std::lock_guard lock{mu_};
+  const auto [it, inserted] = colls_.try_emplace(index, CollRecord{d, rank});
+  if (inserted) return std::nullopt;
+  const CollRecord& ref = it->second;
+  std::string why;
+  if (std::strcmp(ref.desc.op, d.op) != 0) {
+    why = "operation differs";
+  } else if (ref.desc.root != d.root) {
+    why = "root differs";
+  } else if (ref.desc.elem_size != d.elem_size) {
+    why = "element size differs";
+  } else if (ref.desc.count >= 0 && d.count >= 0 && ref.desc.count != d.count) {
+    why = "contribution length differs";
+  } else {
+    return std::nullopt;
+  }
+  std::ostringstream os;
+  os << "collective mismatch at position " << index << " (" << why << "): rank " << ref.first_rank
+     << " called " << describe_collective(ref.desc) << " but rank " << rank << " called "
+     << describe_collective(d);
+  report_.add(Finding{FindingKind::collective_mismatch,
+                      Severity::error,
+                      os.str(),
+                      {"rank " + std::to_string(ref.first_rank) + ": " +
+                           describe_collective(ref.desc),
+                       "rank " + std::to_string(rank) + ": " + describe_collective(d)}});
+  return os.str();
+}
+
+void MpiChecker::note_leak(int source, int dest, int tag, std::size_t bytes) {
+  if (level_ != CheckLevel::full) return;
+  std::lock_guard lock{mu_};
+  ++leaks_reported_;
+  if (leaks_reported_ > kMaxLeakFindings) return;
+  const bool internal = tag >= kMpiInternalTagBase;
+  std::ostringstream os;
+  os << "message from rank " << source << " to rank " << dest << " (" << format_tag(tag) << ", "
+     << bytes << " bytes) was never received";
+  if (internal) os << " [collective-internal: protocol bug]";
+  report_.add(Finding{FindingKind::message_leak,
+                      internal ? Severity::warning : Severity::error, os.str(), {}});
+}
+
+Report MpiChecker::report() const {
+  std::lock_guard lock{mu_};
+  Report rep = report_;
+  if (leaks_reported_ > kMaxLeakFindings) {
+    rep.add(Finding{FindingKind::message_leak, Severity::info,
+                    std::to_string(leaks_reported_ - kMaxLeakFindings) +
+                        " further leaked message(s) suppressed",
+                    {}});
+  }
+  return rep;
+}
+
+}  // namespace peachy::analysis

@@ -1,0 +1,113 @@
+#pragma once
+/// \file mpi_checker.hpp
+/// \brief MUST-style correctness checker for the mini-MPI machine.
+///
+/// Event-driven: `peachy::mpi::detail::Machine` feeds it post / block /
+/// unblock / exit / collective events, and the checker maintains
+///
+///  * a **wait-for graph** of blocked ranks — a rank blocked in
+///    `recv(src, tag)` with no satisfying message pending is an edge to
+///    `src`; a cycle, a wait on an already-exited rank, or an all-blocked
+///    machine is a deadlock, reported with a per-rank
+///    "rank 0 blocked in recv(src=2, tag=7)" trace and converted into a
+///    machine abort so the run terminates instead of hanging;
+///  * the **collective call sequence** of every rank — the i-th collective
+///    must agree across ranks on operation, root, and element size (and
+///    contribution length where MPI requires it), as the MUST tool checks
+///    for real MPI;
+///  * **message leaks** — messages still sitting in a mailbox when the
+///    program exits cleanly.
+///
+/// The checker never takes mailbox locks; callers may hold them.  All
+/// methods are internally synchronized.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace peachy::analysis {
+
+/// First tag value reserved for collective-internal messages (mirrored by
+/// peachy::mpi::Comm, which lives above this module).
+inline constexpr int kMpiInternalTagBase = 1 << 30;
+
+/// Shape signature of one collective call, recorded at entry.
+struct CollectiveDesc {
+  const char* op;            ///< static name: "barrier", "broadcast", ...
+  int root = -1;             ///< -1 for rootless collectives
+  std::uint32_t elem_size = 1;
+  std::int64_t count = -1;   ///< -1 when unknown or legitimately variable
+};
+
+class MpiChecker {
+ public:
+  MpiChecker(int nranks, CheckLevel level);
+
+  [[nodiscard]] CheckLevel level() const noexcept { return level_; }
+
+  /// A message (source → dest, tag) was placed in dest's mailbox.
+  void on_post(int source, int dest, int tag);
+
+  /// `rank` scanned its mailbox, found no match for (source, tag), and is
+  /// about to block.  Returns a deadlock diagnosis if registering this
+  /// wait completes a deadlock.
+  [[nodiscard]] std::optional<std::string> on_block(int rank, int source, int tag);
+
+  /// `rank` received a matching message after having blocked.
+  void on_unblock(int rank);
+
+  /// `rank`'s program function returned normally.  Returns a deadlock
+  /// diagnosis if the remaining ranks can no longer make progress.
+  [[nodiscard]] std::optional<std::string> on_exit(int rank);
+
+  /// `rank` entered its `index`-th collective.  Returns a mismatch
+  /// diagnosis if it disagrees with what other ranks called at `index`.
+  [[nodiscard]] std::optional<std::string> on_collective(int rank, std::uint64_t index,
+                                                         const CollectiveDesc& d);
+
+  /// A message was never received by the time the machine shut down.
+  void note_leak(int source, int dest, int tag, std::size_t bytes);
+
+  /// Snapshot of everything diagnosed so far.
+  [[nodiscard]] Report report() const;
+
+ private:
+  enum class RankState { running, blocked, exited };
+  struct RankInfo {
+    RankState state = RankState::running;
+    int want_src = 0;
+    int want_tag = 0;
+    bool satisfied = false;  ///< a matching message arrived since blocking
+  };
+  struct CollRecord {
+    CollectiveDesc desc;
+    int first_rank;
+  };
+
+  [[nodiscard]] std::optional<std::string> detect_deadlock_locked();
+  [[nodiscard]] std::string describe_wait_locked(int rank) const;
+  [[nodiscard]] std::optional<std::string> fire_deadlock_locked(const std::string& message,
+                                                                const std::vector<int>& involved);
+
+  CheckLevel level_;
+  mutable std::mutex mu_;
+  std::vector<RankInfo> ranks_;
+  std::unordered_map<std::uint64_t, CollRecord> colls_;  // by sequence index
+  Report report_;
+  bool deadlock_fired_ = false;
+  std::size_t leaks_reported_ = 0;
+
+  static constexpr std::size_t kMaxLeakFindings = 32;
+};
+
+/// Render a tag for humans: user tags print as numbers, internal tags as
+/// the collective sequence number they belong to, wildcards as "any".
+[[nodiscard]] std::string format_tag(int tag);
+[[nodiscard]] std::string format_source(int source);
+
+}  // namespace peachy::analysis

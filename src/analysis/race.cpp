@@ -1,0 +1,131 @@
+#include "analysis/race.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace peachy::analysis {
+
+RaceDetector::RaceDetector(std::string array_name) : name_{std::move(array_name)} {}
+
+void RaceDetector::record_read(std::size_t lo, std::size_t hi) { record(false, lo, hi); }
+void RaceDetector::record_write(std::size_t lo, std::size_t hi) { record(true, lo, hi); }
+
+void RaceDetector::record(bool write, std::size_t lo, std::size_t hi) {
+  if (lo >= hi) return;
+  const TaskIdentity id = current_task();
+  const auto& locks = current_lockset();
+  std::lock_guard lock{mu_};
+  if (log_.size() >= kMaxLog) {
+    ++dropped_;
+    return;
+  }
+  log_.push_back(Access{id.epoch, id.worker, lo, hi, write, locks});
+}
+
+void RaceDetector::reset() {
+  std::lock_guard lock{mu_};
+  log_.clear();
+  dropped_ = 0;
+}
+
+std::uint64_t RaceDetector::recorded() const {
+  std::lock_guard lock{mu_};
+  return log_.size();
+}
+
+std::uint64_t RaceDetector::dropped() const {
+  std::lock_guard lock{mu_};
+  return dropped_;
+}
+
+bool RaceDetector::conflict(const Access& a, const Access& b) noexcept {
+  if (a.epoch != b.epoch) return false;       // separated by a region join
+  if (a.worker == b.worker) return false;     // program order within a task
+  if (!a.write && !b.write) return false;     // read/read is fine
+  if (a.lo >= b.hi || b.lo >= a.hi) return false;  // disjoint ranges
+  for (const void* la : a.locks) {            // Eraser rule: common lock?
+    for (const void* lb : b.locks) {
+      if (la == lb) return false;
+    }
+  }
+  return true;
+}
+
+Finding RaceDetector::make_finding(const Access& a, const Access& b) const {
+  const Access& first = a.worker < b.worker ? a : b;
+  const Access& second = a.worker < b.worker ? b : a;
+  auto describe = [](const Access& x) {
+    std::ostringstream os;
+    os << "worker " << x.worker << ' ' << (x.write ? "wrote" : "read") << " [" << x.lo << ", "
+       << x.hi << ')';
+    if (x.locks.empty()) {
+      os << " holding no lock";
+    } else {
+      os << " holding " << x.locks.size() << " lock(s)";
+    }
+    return os.str();
+  };
+  std::ostringstream msg;
+  msg << "data race on '" << name_ << "': worker " << first.worker << " and worker "
+      << second.worker << " access overlapping range [" << std::max(first.lo, second.lo) << ", "
+      << std::min(first.hi, second.hi) << ") in the same parallel region (epoch " << first.epoch
+      << ") with no common lock";
+  return Finding{FindingKind::data_race, Severity::error, msg.str(),
+                 {describe(first), describe(second)}};
+}
+
+Report RaceDetector::report() const {
+  std::lock_guard lock{mu_};
+  Report rep;
+
+  // Sweep: sort by (epoch, lo) and compare each access against the still-
+  // open intervals of its epoch.  For disjoint access patterns the active
+  // set stays tiny, so clean programs are analysed in ~n log n.
+  std::vector<const Access*> order;
+  order.reserve(log_.size());
+  for (const Access& a : log_) order.push_back(&a);
+  std::sort(order.begin(), order.end(), [](const Access* a, const Access* b) {
+    if (a->epoch != b->epoch) return a->epoch < b->epoch;
+    if (a->lo != b->lo) return a->lo < b->lo;
+    return a->hi < b->hi;
+  });
+
+  std::vector<const Access*> active;
+  std::uint64_t active_epoch = kSerialEpoch;
+  std::size_t conflicts = 0;
+  bool truncated = false;
+  for (const Access* a : order) {
+    if (a->epoch != active_epoch) {
+      active.clear();
+      active_epoch = a->epoch;
+    }
+    std::erase_if(active, [&](const Access* b) { return b->hi <= a->lo; });
+    for (const Access* b : active) {
+      if (!conflict(*a, *b)) continue;
+      if (conflicts < kMaxFindings) {
+        rep.add(make_finding(*a, *b));
+      } else {
+        truncated = true;
+      }
+      ++conflicts;
+    }
+    if (truncated) break;  // enough evidence; stop the quadratic blow-up
+    active.push_back(a);
+  }
+
+  if (truncated) {
+    rep.add(Finding{FindingKind::data_race, Severity::info,
+                    "analysis truncated after " + std::to_string(kMaxFindings) +
+                        " conflicting pairs on '" + name_ + "' (more exist)",
+                    {}});
+  }
+  if (dropped_ > 0) {
+    rep.add(Finding{FindingKind::data_race, Severity::warning,
+                    "access log for '" + name_ + "' overflowed; " + std::to_string(dropped_) +
+                        " accesses were not analysed",
+                    {}});
+  }
+  return rep;
+}
+
+}  // namespace peachy::analysis

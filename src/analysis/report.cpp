@@ -1,0 +1,64 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+namespace peachy::analysis {
+
+std::string_view to_string(FindingKind k) noexcept {
+  switch (k) {
+    case FindingKind::deadlock: return "deadlock";
+    case FindingKind::collective_mismatch: return "collective-mismatch";
+    case FindingKind::message_leak: return "message-leak";
+    case FindingKind::data_race: return "data-race";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::info: return "info";
+    case Severity::warning: return "warning";
+    case Severity::error: return "error";
+  }
+  return "unknown";
+}
+
+void Report::add(Finding f) { findings_.push_back(std::move(f)); }
+
+bool Report::clean() const noexcept {
+  for (const Finding& f : findings_) {
+    if (f.severity == Severity::error) return false;
+  }
+  return true;
+}
+
+std::size_t Report::count(FindingKind k) const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings_) {
+    if (f.kind == k) ++n;
+  }
+  return n;
+}
+
+bool Report::mentions(std::string_view needle) const {
+  for (const Finding& f : findings_) {
+    if (f.message.find(needle) != std::string::npos) return true;
+    for (const std::string& d : f.details) {
+      if (d.find(needle) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+std::string Report::to_string() const {
+  if (findings_.empty()) return "analysis: clean (no findings)\n";
+  std::ostringstream os;
+  for (const Finding& f : findings_) {
+    os << '[' << analysis::to_string(f.severity) << "] " << analysis::to_string(f.kind) << ": "
+       << f.message << '\n';
+    for (const std::string& d : f.details) os << "    " << d << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace peachy::analysis

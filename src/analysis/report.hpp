@@ -1,0 +1,79 @@
+#pragma once
+/// \file report.hpp
+/// \brief Structured findings shared by every peachy correctness checker.
+///
+/// The analysis layer exists so an instructor can grade *why* a submission
+/// misbehaves, not just that it does.  Every checker — the mini-MPI
+/// deadlock/collective/leak checker and the lockset race detector — emits
+/// its diagnoses as `Finding`s collected in a `Report`: a one-line
+/// machine-checkable message plus per-rank / per-access evidence lines.
+/// Tests assert on `Report::count()` / `mentions()`; the grading demo
+/// prints `Report::to_string()`.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace peachy::analysis {
+
+/// How much checking the mini-MPI machine performs.
+///  * `off`      — zero-overhead production path (default).
+///  * `deadlock` — wait-for-graph deadlock detection only.
+///  * `full`     — deadlock + collective call-order/shape matching +
+///                 unreceived-message reporting at exit.
+enum class CheckLevel { off, deadlock, full };
+
+enum class FindingKind {
+  deadlock,             ///< cycle or all-blocked state in the wait-for graph
+  collective_mismatch,  ///< ranks disagree on collective sequence/shape/root
+  message_leak,         ///< message still undelivered when run() exited
+  data_race,            ///< overlapping unordered accesses, disjoint locksets
+};
+
+enum class Severity { info, warning, error };
+
+[[nodiscard]] std::string_view to_string(FindingKind k) noexcept;
+[[nodiscard]] std::string_view to_string(Severity s) noexcept;
+
+/// One diagnosed defect.
+struct Finding {
+  FindingKind kind;
+  Severity severity = Severity::error;
+  std::string message;                ///< one-line diagnosis
+  std::vector<std::string> details;   ///< per-rank / per-access evidence
+};
+
+/// Ordered collection of findings from one checked execution.
+class Report {
+ public:
+  void add(Finding f);
+
+  /// True when no error-severity finding was recorded.
+  [[nodiscard]] bool clean() const noexcept;
+
+  [[nodiscard]] std::size_t count(FindingKind k) const noexcept;
+
+  /// True if any finding's message or detail lines contain `needle`.
+  [[nodiscard]] bool mentions(std::string_view needle) const;
+
+  [[nodiscard]] const std::vector<Finding>& findings() const noexcept { return findings_; }
+
+  /// Human-readable rendering, one block per finding.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+/// Thrown when a checker turns an error finding into a hard failure (e.g.
+/// a detected deadlock aborts the machine).  Subclasses peachy::Error so
+/// existing catch sites keep working.
+class CheckFailure : public peachy::Error {
+ public:
+  explicit CheckFailure(const std::string& what) : Error(what) {}
+};
+
+}  // namespace peachy::analysis

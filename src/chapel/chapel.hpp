@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/hooks.hpp"
 #include "support/barrier.hpp"
 #include "support/check.hpp"
 #include "support/parallel_for.hpp"
@@ -77,12 +78,14 @@ class LocaleGrid {
   template <typename F>
   void coforall(std::size_t n, F&& body) {
     const std::size_t parent = tls_here_;
+    const std::uint64_t epoch = analysis::begin_parallel_region();
     spawned_.fetch_add(n, std::memory_order_relaxed);
     std::vector<std::future<void>> futs;
     futs.reserve(n);
     for (std::size_t t = 0; t < n; ++t) {
-      futs.push_back(pool_.submit_future([&body, parent, t] {
+      futs.push_back(pool_.submit_future([&body, parent, t, epoch] {
         const HereScope scope{parent};
+        const analysis::TaskScope task{t, epoch};
         body(t);
       }));
     }
@@ -93,12 +96,14 @@ class LocaleGrid {
   /// locale, each executing "on" its locale.
   template <typename F>
   void coforall_locales(F&& body) {
+    const std::uint64_t epoch = analysis::begin_parallel_region();
     spawned_.fetch_add(nlocales_, std::memory_order_relaxed);
     std::vector<std::future<void>> futs;
     futs.reserve(nlocales_);
     for (std::size_t l = 0; l < nlocales_; ++l) {
-      futs.push_back(pool_.submit_future([&body, l] {
+      futs.push_back(pool_.submit_future([&body, l, epoch] {
         const HereScope scope{l};
+        const analysis::TaskScope task{l, epoch};
         body(l);
       }));
     }
@@ -114,6 +119,8 @@ class LocaleGrid {
   void forall(Domain1D dom, F&& body) {
     const std::size_t n = dom.size();
     if (n == 0) return;
+    const std::uint64_t epoch = analysis::begin_parallel_region();
+    std::size_t task_id = 0;
     std::vector<std::future<void>> futs;
     for (std::size_t l = 0; l < nlocales_; ++l) {
       const auto lb = support::static_block(n, nlocales_, l);
@@ -125,8 +132,10 @@ class LocaleGrid {
         const std::size_t lo = dom.lo + lb.begin + tb.begin;
         const std::size_t hi = dom.lo + lb.begin + tb.end;
         spawned_.fetch_add(1, std::memory_order_relaxed);
-        futs.push_back(pool_.submit_future([&body, l, lo, hi] {
+        const std::size_t id = task_id++;
+        futs.push_back(pool_.submit_future([&body, l, lo, hi, id, epoch] {
           const HereScope scope{l};
+          const analysis::TaskScope task{id, epoch};
           for (std::size_t i = lo; i < hi; ++i) body(i);
         }));
       }

@@ -7,10 +7,13 @@ namespace peachy::mpi {
 
 namespace detail {
 
-Machine::Machine(int nranks) {
+Machine::Machine(int nranks, analysis::CheckLevel check) {
   PEACHY_CHECK(nranks >= 1, "machine needs at least one rank");
   boxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  if (check != analysis::CheckLevel::off) {
+    checker_ = std::make_unique<analysis::MpiChecker>(nranks, check);
+  }
 }
 
 void Machine::post(int source, int dest, int tag, std::span<const std::byte> payload) {
@@ -23,6 +26,10 @@ void Machine::post(int source, int dest, int tag, std::span<const std::byte> pay
     m.tag = tag;
     m.payload.assign(payload.begin(), payload.end());
     box.queue.push_back(std::move(m));
+    // Under the same mailbox lock as the queue push, so the checker's
+    // "a satisfying message arrived" flag can never lag a blocked
+    // receiver's registration.
+    if (checker_) checker_->on_post(source, dest, tag);
   }
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
@@ -33,21 +40,36 @@ Message Machine::take(int self, int source, int tag) {
   PEACHY_CHECK(self >= 0 && self < size(), "take: bad rank");
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   std::unique_lock lock{box.mu};
+  bool registered = false;
   for (;;) {
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (matches(*it, source, tag)) {
         Message m = std::move(*it);
         box.queue.erase(it);
+        if (checker_ && registered) checker_->on_unblock(self);
         return m;
       }
     }
     if (aborted_.load(std::memory_order_acquire)) {
       std::lock_guard alock{abort_mu_};
       throw Error{"mpi machine aborted while rank " + std::to_string(self) +
-                  " was blocked in recv: " + abort_reason_};
+                  " was blocked in recv(" + analysis::format_source(source) + ", " +
+                  analysis::format_tag(tag) + "): " + abort_reason_};
     }
-    // Wait with a timeout so an abort raised after our scan is noticed.
-    box.cv.wait_for(lock, std::chrono::milliseconds{5});
+    if (checker_ && !registered) {
+      registered = true;
+      const auto deadlock = checker_->on_block(self, source, tag);
+      if (deadlock) {
+        // Wake everyone with the diagnosis; drop the mailbox lock first
+        // because abort() touches every mailbox in turn.
+        lock.unlock();
+        abort(*deadlock);
+        throw analysis::CheckFailure{*deadlock};
+      }
+    }
+    // abort() takes the mailbox lock before notifying, so a plain wait
+    // cannot miss the wakeup; spurious wakeups just rescan.
+    box.cv.wait(lock);
   }
 }
 
@@ -70,7 +92,47 @@ void Machine::abort(const std::string& why) {
     if (!aborted_.load(std::memory_order_acquire)) abort_reason_ = why;
   }
   aborted_.store(true, std::memory_order_release);
-  for (auto& box : boxes_) box->cv.notify_all();
+  // Acquire each mailbox lock before notifying: a receiver that checked
+  // the abort flag and is between "scan found nothing" and "wait" holds
+  // the lock, so this synchronizes with every waiter and reliably wakes
+  // all of them (the old lock-free notify could race such a receiver into
+  // a missed wakeup).
+  for (auto& box : boxes_) {
+    { std::lock_guard lock{box->mu}; }
+    box->cv.notify_all();
+  }
+}
+
+void Machine::note_collective(int rank, std::uint64_t index, const analysis::CollectiveDesc& d) {
+  if (!checker_) return;
+  const auto mismatch = checker_->on_collective(rank, index, d);
+  if (mismatch) {
+    abort(*mismatch);
+    throw analysis::CheckFailure{*mismatch};
+  }
+}
+
+void Machine::note_exit(int rank) {
+  if (!checker_) return;
+  const auto deadlock = checker_->on_exit(rank);
+  // The exiting rank finished cleanly; the diagnosis is delivered to the
+  // still-blocked ranks by aborting the machine.
+  if (deadlock) abort(*deadlock);
+}
+
+void Machine::scan_leaks() {
+  if (!checker_) return;
+  for (int dest = 0; dest < size(); ++dest) {
+    Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+    std::lock_guard lock{box.mu};
+    for (const Message& m : box.queue) {
+      checker_->note_leak(m.source, dest, m.tag, m.payload.size());
+    }
+  }
+}
+
+analysis::Report Machine::report() const {
+  return checker_ ? checker_->report() : analysis::Report{};
 }
 
 TrafficStats Machine::stats() const noexcept {
@@ -80,7 +142,7 @@ TrafficStats Machine::stats() const noexcept {
 }  // namespace detail
 
 void Comm::barrier() {
-  const int tag = next_internal_tag();
+  const int tag = begin_collective({"barrier", -1, 1, -1});
   const int p = size();
   const std::byte token{0};
   for (int dist = 1; dist < p; dist <<= 1) {
@@ -97,9 +159,11 @@ void Comm::barrier() {
 }
 
 void Comm::broadcast_bytes(std::vector<std::byte>& data, int root) {
-  const int tag = next_internal_tag();
   const int p = size();
   PEACHY_CHECK(root >= 0 && root < p, "broadcast: bad root");
+  const int tag = begin_collective(
+      {"broadcast", root, 1,
+       rank_ == root ? static_cast<std::int64_t>(data.size()) : std::int64_t{-1}});
   if (p == 1) return;
   const int vrank = (rank_ - root + p) % p;
   // Receive phase: find the lowest set bit position where we get our copy.
@@ -124,10 +188,13 @@ void Comm::broadcast_bytes(std::vector<std::byte>& data, int root) {
   }
 }
 
-TrafficStats run(int nranks, const std::function<void(Comm&)>& fn) {
+namespace {
+
+TrafficStats run_impl(int nranks, analysis::CheckLevel level,
+                      const std::function<void(Comm&)>& fn, analysis::Report* out) {
   PEACHY_CHECK(nranks >= 1, "run: need at least one rank");
   PEACHY_CHECK(fn != nullptr, "run: null rank function");
-  detail::Machine machine{nranks};
+  detail::Machine machine{nranks, level};
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -139,6 +206,13 @@ TrafficStats run(int nranks, const std::function<void(Comm&)>& fn) {
       Comm comm{machine, r};
       try {
         fn(comm);
+        machine.note_exit(r);
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard lock{err_mu};
+          if (!first_error) first_error = std::current_exception();
+        }
+        machine.abort("rank " + std::to_string(r) + " threw: " + e.what());
       } catch (...) {
         {
           std::lock_guard lock{err_mu};
@@ -149,8 +223,34 @@ TrafficStats run(int nranks, const std::function<void(Comm&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+
+  if (!machine.aborted()) machine.scan_leaks();
+  const analysis::Report report = machine.report();
+  if (out != nullptr) *out = report;
+
+  if (first_error) {
+    // In checked mode a non-clean report *is* the outcome; secondary
+    // "machine aborted" errors from the other ranks are just echoes.
+    const bool captured = out != nullptr && !report.clean();
+    if (!captured) std::rethrow_exception(first_error);
+  } else if (out == nullptr && !report.clean()) {
+    // Unchecked surface: exit-time findings (leaks) become hard failures.
+    throw analysis::CheckFailure{report.to_string()};
+  }
   return machine.stats();
+}
+
+}  // namespace
+
+TrafficStats run(int nranks, const std::function<void(Comm&)>& fn, analysis::CheckLevel level) {
+  return run_impl(nranks, level, fn, nullptr);
+}
+
+CheckedRun run_checked(int nranks, const std::function<void(Comm&)>& fn,
+                       analysis::CheckLevel level) {
+  CheckedRun result;
+  result.stats = run_impl(nranks, level, fn, &result.report);
+  return result;
 }
 
 }  // namespace peachy::mpi

@@ -29,12 +29,15 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "analysis/mpi_checker.hpp"
+#include "analysis/report.hpp"
 #include "support/check.hpp"
 #include "support/parallel_for.hpp"
 
@@ -71,10 +74,13 @@ struct Mailbox {
   std::deque<Message> queue;
 };
 
-/// Shared state for one group of ranks.
+/// Shared state for one group of ranks.  When constructed with a
+/// CheckLevel other than `off` it owns an analysis::MpiChecker that is fed
+/// post/block/exit/collective events and can abort the machine with a
+/// diagnosis (deadlock, collective mismatch) instead of hanging.
 class Machine {
  public:
-  explicit Machine(int nranks);
+  explicit Machine(int nranks, analysis::CheckLevel check = analysis::CheckLevel::off);
 
   void post(int source, int dest, int tag, std::span<const std::byte> payload);
   Message take(int self, int source, int tag);
@@ -83,6 +89,27 @@ class Machine {
   void abort(const std::string& why);
   [[nodiscard]] int size() const noexcept { return static_cast<int>(boxes_.size()); }
   [[nodiscard]] TrafficStats stats() const noexcept;
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  // ---- checker integration (no-ops when the check level is `off`) ----------
+
+  /// Validate rank's `index`-th collective against the other ranks'
+  /// records; aborts and throws analysis::CheckFailure on mismatch.
+  void note_collective(int rank, std::uint64_t index, const analysis::CollectiveDesc& d);
+
+  /// Rank's program function returned normally; may detect that the
+  /// remaining ranks are deadlocked (and abort them).
+  void note_exit(int rank);
+
+  /// Report every message still undelivered (call after all ranks joined).
+  void scan_leaks();
+
+  [[nodiscard]] analysis::Report report() const;
+  [[nodiscard]] analysis::CheckLevel check_level() const noexcept {
+    return checker_ ? checker_->level() : analysis::CheckLevel::off;
+  }
 
  private:
   static bool matches(const Message& m, int source, int tag) noexcept {
@@ -90,6 +117,7 @@ class Machine {
   }
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::unique_ptr<analysis::MpiChecker> checker_;
   std::atomic<bool> aborted_{false};
   std::string abort_reason_;
   std::mutex abort_mu_;
@@ -207,7 +235,8 @@ class Comm {
   template <typename T, typename Op>
   std::vector<T> reduce(std::span<const T> local, Op op, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const int tag = next_internal_tag();
+    const int tag = begin_collective({"reduce", root, sizeof(T),
+                                      static_cast<std::int64_t>(local.size())});
     const int p = size();
     std::vector<T> acc(local.begin(), local.end());
     const int vrank = (rank_ - root + p) % p;
@@ -249,7 +278,7 @@ class Comm {
   /// in rank order (gatherv semantics).  Non-root ranks get {}.
   template <typename T>
   std::vector<T> gather(std::span<const T> local, int root) {
-    const int tag = next_internal_tag();
+    const int tag = begin_collective({"gather", root, sizeof(T), -1});
     if (rank_ != root) {
       coll_send<T>(root, tag, local);
       return {};
@@ -270,7 +299,7 @@ class Comm {
   /// concatenation in rank order on every rank.
   template <typename T>
   std::vector<T> allgather(std::span<const T> local) {
-    const int tag = next_internal_tag();
+    const int tag = begin_collective({"allgather", -1, sizeof(T), -1});
     const int p = size();
     std::vector<std::vector<T>> blocks(p);
     blocks[rank_].assign(local.begin(), local.end());
@@ -291,7 +320,9 @@ class Comm {
   /// rank's block (OpenMP/Chapel block-partition rule).
   template <typename T>
   std::vector<T> scatter_blocks(std::span<const T> all, int root) {
-    const int tag = next_internal_tag();
+    const int tag = begin_collective(
+        {"scatter", root, sizeof(T),
+         rank_ == root ? static_cast<std::int64_t>(all.size()) : std::int64_t{-1}});
     const int p = size();
     if (rank_ == root) {
       const std::size_t n = all.size();
@@ -316,7 +347,7 @@ class Comm {
   std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& sendbufs) {
     PEACHY_CHECK(static_cast<int>(sendbufs.size()) == size(),
                  "alltoall: need one send buffer per rank");
-    const int tag = next_internal_tag();
+    const int tag = begin_collective({"alltoall", -1, sizeof(T), -1});
     const int p = size();
     std::vector<std::vector<T>> recvbufs(p);
     recvbufs[rank_] = sendbufs[rank_];
@@ -335,12 +366,36 @@ class Comm {
   /// Traffic counters of the whole machine so far.
   [[nodiscard]] TrafficStats traffic() const noexcept { return machine_->stats(); }
 
+  /// Number of collectives this rank has entered so far.
+  [[nodiscard]] std::uint64_t collective_seq() const noexcept { return coll_seq_; }
+
+  /// Test/debug hook: jump the collective sequence counter (must be called
+  /// identically on every rank, outside any in-flight collective).  Used
+  /// by regression tests that exercise the tag-space boundary.
+  void debug_set_collective_seq(std::uint64_t seq) noexcept { coll_seq_ = seq; }
+
  private:
   // Internal tags live above the user tag space and advance per collective
   // call; ranks call collectives in identical order so the tags agree.
-  static constexpr int kInternalTagBase = 1 << 30;
-  int next_internal_tag() noexcept {
-    return kInternalTagBase + (coll_seq_++ % (1 << 20));
+  // The sequence is never wrapped: wrapping could alias a live tag in a
+  // long-running program and cross-match two distinct collectives, so the
+  // full 2^30 tag values above the base are used and exhaustion is a hard
+  // error instead of a silent hazard.
+  static constexpr int kInternalTagBase = analysis::kMpiInternalTagBase;
+  static constexpr std::uint64_t kInternalSeqLimit = (std::uint64_t{1} << 30) - 1;
+  int next_internal_tag() {
+    PEACHY_CHECK(coll_seq_ <= kInternalSeqLimit,
+                 "collective sequence space exhausted (2^30 collectives in one run)");
+    return kInternalTagBase + static_cast<int>(coll_seq_++);
+  }
+
+  /// Allocate the collective's tag and (when checking is on) validate the
+  /// call against the other ranks' collective sequences.
+  int begin_collective(const analysis::CollectiveDesc& d) {
+    const std::uint64_t index = coll_seq_;
+    const int tag = next_internal_tag();
+    machine_->note_collective(rank_, index, d);
+    return tag;
   }
 
   // raw send that bypasses the user-tag validation (collectives use tags
@@ -357,12 +412,42 @@ class Comm {
 
   detail::Machine* machine_;
   int rank_;
-  int coll_seq_ = 0;
+  std::uint64_t coll_seq_ = 0;
 };
+
+/// Check level `run()` applies when none is requested.  `CheckLevel::off`
+/// in normal builds; grading builds configured with -DPEACHY_ANALYSIS=ON
+/// check every run at `CheckLevel::full` with no code changes.
+[[nodiscard]] constexpr analysis::CheckLevel default_check_level() noexcept {
+#if defined(PEACHY_ANALYSIS) && PEACHY_ANALYSIS
+  return analysis::CheckLevel::full;
+#else
+  return analysis::CheckLevel::off;
+#endif
+}
 
 /// Execute `fn(comm)` on `nranks` rank-threads; blocks until all complete.
 /// If any rank throws, the machine aborts (waking blocked receivers) and
 /// the first exception is rethrown here.  Returns aggregate traffic stats.
-TrafficStats run(int nranks, const std::function<void(Comm&)>& fn);
+///
+/// With a check level other than `off`, checker diagnoses (deadlock,
+/// collective mismatch, message leak) are thrown as analysis::CheckFailure.
+TrafficStats run(int nranks, const std::function<void(Comm&)>& fn,
+                 analysis::CheckLevel level = default_check_level());
+
+/// Result of a checked execution: traffic stats plus the checker's report.
+struct CheckedRun {
+  TrafficStats stats;
+  analysis::Report report;
+};
+
+/// Like run(), but collects the checker's findings instead of throwing
+/// them: if the report is not clean, the findings *are* the outcome and
+/// any secondary exception (e.g. "machine aborted") is swallowed.  User
+/// exceptions from runs with a clean report are rethrown as usual.  This
+/// is the grading entry point: feed it a student's rank function and
+/// inspect / print the report.
+CheckedRun run_checked(int nranks, const std::function<void(Comm&)>& fn,
+                       analysis::CheckLevel level = analysis::CheckLevel::full);
 
 }  // namespace peachy::mpi

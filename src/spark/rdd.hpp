@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/hooks.hpp"
 #include "rng/splitmix.hpp"
 #include "spark/context.hpp"
 #include "support/check.hpp"
@@ -67,6 +68,10 @@ std::vector<std::vector<T>> materialize(const std::shared_ptr<Node<T>>& node) {
   }
   std::vector<std::vector<T>> parts(node->nparts);
   support::parallel_for(node->ctx->pool(), 0, node->nparts, [&](std::size_t p) {
+    // Re-publish the task identity as the *partition* id (parallel_for's
+    // blocks may cover several partitions) so user closures racing across
+    // partitions are attributed correctly by the analysis layer.
+    const analysis::TaskScope scope{p, analysis::current_task().epoch};
     node->ctx->note_task();
     parts[p] = node->compute(p);
   });

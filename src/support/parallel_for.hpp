@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "analysis/hooks.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -50,6 +51,12 @@ struct BlockRange {
 template <typename Body>
 void parallel_for_threads(ThreadPool& pool, std::size_t n, std::size_t threads, Body&& body) {
   PEACHY_CHECK(threads > 0, "parallel_for_threads: threads must be positive");
+  // One epoch per region: blocks of the same region may race with each
+  // other, blocks of different regions are separated by the join below.
+  // Identities are published even on the inline path — the analysis layer
+  // reasons about the *logical* parallel structure, so a race is caught
+  // regardless of how many cores actually ran the blocks.
+  const std::uint64_t epoch = analysis::begin_parallel_region();
   // Nested parallelism guard: a pool worker blocking on futures that only
   // its own pool can run is the classic fork-join deadlock.  When the
   // caller is already one of this pool's workers, run the blocks inline —
@@ -57,6 +64,7 @@ void parallel_for_threads(ThreadPool& pool, std::size_t n, std::size_t threads, 
   if (threads == 1 || pool.worker_index() != static_cast<std::size_t>(-1)) {
     for (std::size_t t = 0; t < threads; ++t) {
       const BlockRange r = static_block(n, threads, t);
+      const analysis::TaskScope scope{t, epoch};
       body(t, r.begin, r.end);
     }
     return;
@@ -65,7 +73,10 @@ void parallel_for_threads(ThreadPool& pool, std::size_t n, std::size_t threads, 
   futs.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     const BlockRange r = static_block(n, threads, t);
-    futs.push_back(pool.submit_future([&body, t, r] { body(t, r.begin, r.end); }));
+    futs.push_back(pool.submit_future([&body, t, r, epoch] {
+      const analysis::TaskScope scope{t, epoch};
+      body(t, r.begin, r.end);
+    }));
   }
   for (auto& f : futs) f.get();  // rethrows the first worker exception
 }

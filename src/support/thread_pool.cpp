@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include "analysis/hooks.hpp"
 #include "support/check.hpp"
 
 namespace peachy::support {
@@ -89,7 +90,13 @@ void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     Task task;
     if (try_pop_local(self, task) || try_steal(self, task)) {
-      task();
+      {
+        // Default identity for raw submits: this worker, in the shared
+        // "unstructured" epoch (no join information).  Structured regions
+        // (parallel_for / forall) override it with their own TaskScope.
+        const analysis::TaskScope scope{self, analysis::kUnstructuredEpoch};
+        task();
+      }
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         idle_cv_.notify_all();

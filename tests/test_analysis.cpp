@@ -1,0 +1,371 @@
+// Tests for peachy::analysis: the mini-MPI correctness checker (deadlock /
+// collective-matching / message-leak detection) and the lockset race
+// detector.  The true-positive fixtures are the four classic student bugs
+// the graders care about — each must be *detected and named*; the clean
+// fixtures prove representative correct programs produce zero findings at
+// CheckLevel::full.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "analysis/race.hpp"
+#include "chapel/chapel.hpp"
+#include "mpi/mpi.hpp"
+#include "support/barrier.hpp"
+#include "support/parallel_for.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pa = peachy::analysis;
+namespace pm = peachy::mpi;
+namespace ps = peachy::support;
+
+// ---- deadlock detection ----------------------------------------------------------
+
+TEST(AnalysisDeadlock, HeadToHeadRecvIsDetectedAndNamed) {
+  // The canonical bug: both ranks receive first, nobody has sent.
+  const auto res = pm::run_checked(2, [](pm::Comm& c) {
+    (void)c.recv<int>(1 - c.rank(), 7);
+  });
+  EXPECT_FALSE(res.report.clean());
+  EXPECT_EQ(res.report.count(pa::FindingKind::deadlock), 1u);
+  EXPECT_TRUE(res.report.mentions("cyclic recv dependency among ranks {0, 1}"))
+      << res.report.to_string();
+  EXPECT_TRUE(res.report.mentions("rank 0 blocked in recv(src=1, tag=7)"));
+  EXPECT_TRUE(res.report.mentions("rank 1 blocked in recv(src=0, tag=7)"));
+}
+
+TEST(AnalysisDeadlock, WaitOnFinishedRankIsDetected) {
+  // Rank 1 expects two messages; rank 0 only ever sends one and exits.
+  const auto res = pm::run_checked(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 3, 42);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 3), 42);
+      (void)c.recv_value<int>(0, 3);  // never satisfied
+    }
+  });
+  EXPECT_EQ(res.report.count(pa::FindingKind::deadlock), 1u);
+  EXPECT_TRUE(res.report.mentions("rank 1 blocked in recv(src=0, tag=3)"))
+      << res.report.to_string();
+  EXPECT_TRUE(res.report.mentions("has already finished"));
+}
+
+TEST(AnalysisDeadlock, AllRanksBlockedOnWildcardsIsDetected) {
+  // Wildcard waits have edges to every live rank, so no cycle exists; the
+  // whole-machine rule must catch the stall instead.
+  const auto res = pm::run_checked(3, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      (void)c.recv_bytes(pm::kAnySource, pm::kAnyTag);
+    } else {
+      (void)c.recv_bytes(pm::kAnySource, 5);
+    }
+  });
+  EXPECT_EQ(res.report.count(pa::FindingKind::deadlock), 1u);
+  EXPECT_TRUE(res.report.mentions("all 3 still-running rank(s)")) << res.report.to_string();
+  EXPECT_TRUE(res.report.mentions("rank 0 blocked in recv(src=any, tag=any)"));
+  EXPECT_TRUE(res.report.mentions("rank 1 blocked in recv(src=any, tag=5)"));
+}
+
+TEST(AnalysisDeadlock, SelfRecvWithoutSendIsDetected) {
+  const auto res = pm::run_checked(1, [](pm::Comm& c) {
+    (void)c.recv_bytes(0, 0);
+  });
+  EXPECT_EQ(res.report.count(pa::FindingKind::deadlock), 1u);
+  EXPECT_TRUE(res.report.mentions("rank 0 blocked in recv(src=0, tag=0)"))
+      << res.report.to_string();
+}
+
+TEST(AnalysisDeadlock, UncheckedRunThrowsCheckFailure) {
+  // Without run_checked() the diagnosis surfaces as an exception, so the
+  // hang still turns into a hard failure instead of a stuck process.
+  EXPECT_THROW(pm::run(
+                   2, [](pm::Comm& c) { (void)c.recv_bytes(1 - c.rank(), 0); },
+                   pa::CheckLevel::deadlock),
+               peachy::Error);
+}
+
+// ---- collective matching ----------------------------------------------------------
+
+TEST(AnalysisCollective, OperationMismatchIsDetectedAndNamed) {
+  const auto res = pm::run_checked(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      c.barrier();
+    } else {
+      (void)c.allreduce_value(1, std::plus<>{});
+    }
+  });
+  EXPECT_FALSE(res.report.clean());
+  EXPECT_EQ(res.report.count(pa::FindingKind::collective_mismatch), 1u);
+  EXPECT_TRUE(res.report.mentions("collective mismatch at position 0 (operation differs)"))
+      << res.report.to_string();
+  EXPECT_TRUE(res.report.mentions("barrier"));
+  EXPECT_TRUE(res.report.mentions("reduce"));
+}
+
+TEST(AnalysisCollective, RootMismatchIsDetected) {
+  const auto res = pm::run_checked(2, [](pm::Comm& c) {
+    std::vector<int> v{c.rank()};
+    c.broadcast(v, /*root=*/c.rank());  // each rank names itself root
+  });
+  EXPECT_EQ(res.report.count(pa::FindingKind::collective_mismatch), 1u);
+  EXPECT_TRUE(res.report.mentions("root differs")) << res.report.to_string();
+}
+
+TEST(AnalysisCollective, ElementSizeMismatchIsDetected) {
+  const auto res = pm::run_checked(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      (void)c.allreduce_value(1, std::plus<>{});  // int
+    } else {
+      (void)c.allreduce_value(1.0, std::plus<>{});  // double
+    }
+  });
+  EXPECT_EQ(res.report.count(pa::FindingKind::collective_mismatch), 1u);
+  EXPECT_TRUE(res.report.mentions("element size differs")) << res.report.to_string();
+}
+
+TEST(AnalysisCollective, ContributionLengthMismatchIsDetected) {
+  const auto res = pm::run_checked(2, [](pm::Comm& c) {
+    const std::vector<int> local(c.rank() == 0 ? 1 : 2, 5);
+    (void)c.allreduce<int>(local, std::plus<>{});
+  });
+  EXPECT_EQ(res.report.count(pa::FindingKind::collective_mismatch), 1u);
+  EXPECT_TRUE(res.report.mentions("contribution length differs")) << res.report.to_string();
+}
+
+// ---- message leaks ----------------------------------------------------------------
+
+TEST(AnalysisLeak, UnreceivedMessageIsReportedAtExit) {
+  const auto res = pm::run_checked(2, [](pm::Comm& c) {
+    if (c.rank() == 0) c.send_value<int>(1, 7, 99);  // rank 1 never receives
+  });
+  EXPECT_FALSE(res.report.clean());
+  EXPECT_EQ(res.report.count(pa::FindingKind::message_leak), 1u);
+  EXPECT_TRUE(res.report.mentions("message from rank 0 to rank 1 (tag=7, 4 bytes)"))
+      << res.report.to_string();
+  EXPECT_TRUE(res.report.mentions("never received"));
+}
+
+TEST(AnalysisLeak, UncheckedRunTurnsLeakIntoHardFailure) {
+  EXPECT_THROW(pm::run(
+                   2, [](pm::Comm& c) {
+                     if (c.rank() == 0) c.send_value<int>(1, 7, 99);
+                   },
+                   pa::CheckLevel::full),
+               pa::CheckFailure);
+}
+
+// ---- zero false positives ---------------------------------------------------------
+
+TEST(AnalysisClean, CorrectProgramUsingEverythingRunsClean) {
+  // A representative correct program: ring p2p, wildcard fan-in, and every
+  // collective.  CheckLevel::full must report nothing at all.
+  const auto res = pm::run_checked(4, [](pm::Comm& c) {
+    const int p = c.size();
+    const int me = c.rank();
+
+    c.send_value<int>((me + 1) % p, 1, me);
+    EXPECT_EQ(c.recv_value<int>((me - 1 + p) % p, 1), (me - 1 + p) % p);
+
+    if (me == 0) {
+      int sum = 0;
+      for (int i = 1; i < p; ++i) sum += c.recv_value<int>(pm::kAnySource, 2);
+      EXPECT_EQ(sum, 1 + 2 + 3);
+    } else {
+      c.send_value<int>(0, 2, me);
+    }
+
+    c.barrier();
+    EXPECT_EQ(c.broadcast_value(me == 2 ? 99 : 0, /*root=*/2), 99);
+    EXPECT_EQ(c.allreduce_value(me + 1, std::plus<>{}), 10);
+
+    const std::vector<int> mine{me, me};
+    const auto gathered = c.gather<int>(mine, /*root=*/1);
+    if (me == 1) {
+      EXPECT_EQ(gathered.size(), 8u);
+    }
+    EXPECT_EQ(c.allgather<int>(mine).size(), 8u);
+
+    std::vector<int> src(8);
+    std::iota(src.begin(), src.end(), 0);
+    EXPECT_EQ(c.scatter_blocks<int>(src, /*root=*/0).size(), 2u);
+
+    std::vector<std::vector<int>> outs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) outs[static_cast<std::size_t>(r)] = {me * 10 + r};
+    const auto ins = c.alltoall(outs);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(ins[static_cast<std::size_t>(r)], (std::vector<int>{r * 10 + me}));
+    }
+  });
+  EXPECT_TRUE(res.report.clean()) << res.report.to_string();
+  EXPECT_TRUE(res.report.findings().empty()) << res.report.to_string();
+}
+
+TEST(AnalysisClean, UserExceptionStillPropagatesWhenReportIsClean) {
+  // run_checked() swallows *echo* exceptions of diagnosed findings, never
+  // genuine user bugs the checker has nothing to say about.
+  try {
+    (void)pm::run_checked(2, [](pm::Comm& c) {
+      if (c.rank() == 0) throw peachy::Error{"user bug"};
+    });
+    FAIL() << "expected throw";
+  } catch (const peachy::Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("user bug"), std::string::npos);
+  }
+}
+
+// ---- race detector: true positives ------------------------------------------------
+
+TEST(AnalysisRace, RacingParallelForAccumulatorIsDetectedAndNamed) {
+  ps::ThreadPool pool{4};
+  pa::SharedArray<int> sum{"global_sum", 1};
+  // Four blocks, each read-modify-writing element 0 with no lock: the
+  // classic reduction-written-as-a-loop bug.
+  ps::parallel_for(pool, 0, 4, [&](std::size_t) { sum.update(0, [](int v) { return v + 1; }); });
+  const pa::Report rep = sum.report();
+  EXPECT_FALSE(rep.clean());
+  EXPECT_GE(rep.count(pa::FindingKind::data_race), 1u);
+  EXPECT_TRUE(rep.mentions("data race on 'global_sum'")) << rep.to_string();
+  EXPECT_TRUE(rep.mentions("no common lock"));
+  // The detector is schedule-independent: this run may well have produced
+  // the correct answer (storage is internally serialized), yet the logical
+  // race is still reported.
+  EXPECT_EQ(sum.values()[0], 4);
+}
+
+TEST(AnalysisRace, WriterRacingReadersIsDetected) {
+  ps::ThreadPool pool{4};
+  pa::SharedArray<int> arr{"arr", 8};
+  ps::parallel_for(pool, 0, 4, [&](std::size_t i) {
+    if (i == 0) {
+      arr.write(5, 1);
+    } else {
+      (void)arr.read(5);
+    }
+  });
+  const pa::Report rep = arr.report();
+  EXPECT_GE(rep.count(pa::FindingKind::data_race), 1u);
+  EXPECT_TRUE(rep.mentions("wrote [5, 6)")) << rep.to_string();
+  EXPECT_TRUE(rep.mentions("read [5, 6)"));
+}
+
+TEST(AnalysisRace, ChapelForallRaceIsDetected) {
+  peachy::chapel::LocaleGrid grid{2, 2};
+  pa::SharedArray<double> acc{"acc", 1};
+  grid.forall({0, 64}, [&](std::size_t) { acc.update(0, [](double v) { return v + 1.0; }); });
+  const pa::Report rep = acc.report();
+  EXPECT_GE(rep.count(pa::FindingKind::data_race), 1u);
+  EXPECT_TRUE(rep.mentions("data race on 'acc'")) << rep.to_string();
+}
+
+TEST(AnalysisRace, RawThreadPoolTasksRaceAmongThemselves) {
+  // Unstructured submits carry no join information, so they form one
+  // shared pseudo-epoch.  The barrier forces the two tasks onto distinct
+  // workers, giving them distinct identities.
+  ps::ThreadPool pool{2};
+  ps::CyclicBarrier rendezvous{2};
+  pa::SharedArray<int> x{"x", 1};
+  for (int t = 0; t < 2; ++t) {
+    pool.submit([&] {
+      rendezvous.arrive_and_wait();
+      x.update(0, [](int v) { return v + 1; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GE(x.report().count(pa::FindingKind::data_race), 1u) << x.report().to_string();
+}
+
+TEST(AnalysisRace, ManualScopesOverlapPartiallyAndReset) {
+  pa::RaceDetector det{"buf"};
+  const std::uint64_t epoch = pa::begin_parallel_region();
+  {
+    const pa::TaskScope t0{0, epoch};
+    det.record_write(0, 8);
+  }
+  {
+    const pa::TaskScope t1{1, epoch};
+    det.record_write(4, 12);
+  }
+  const pa::Report rep = det.report();
+  EXPECT_EQ(rep.count(pa::FindingKind::data_race), 1u);
+  EXPECT_TRUE(rep.mentions("overlapping range [4, 8)")) << rep.to_string();
+  EXPECT_EQ(det.recorded(), 2u);
+  det.reset();
+  EXPECT_EQ(det.recorded(), 0u);
+  EXPECT_TRUE(det.report().clean());
+}
+
+// ---- race detector: no false positives --------------------------------------------
+
+TEST(AnalysisRace, DisjointWritesAreClean) {
+  ps::ThreadPool pool{4};
+  pa::SharedArray<int> arr{"arr", 256};
+  arr.write(0, -1);  // serial-phase access must not conflict with anything
+  ps::parallel_for(pool, 0, 256, [&](std::size_t i) { arr.write(i, static_cast<int>(i)); });
+  arr.write(0, 0);
+  const pa::Report rep = arr.report();
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_TRUE(rep.findings().empty());
+  for (std::size_t i = 1; i < 256; ++i) EXPECT_EQ(arr.values()[i], static_cast<int>(i));
+}
+
+TEST(AnalysisRace, CommonTrackedMutexSuppressesTheRace) {
+  // The canonical student *fix*: same racy update, now under a mutex the
+  // detector can see.  The Eraser rule must declare it benign.
+  ps::ThreadPool pool{4};
+  pa::TrackedMutex mu;
+  pa::SharedArray<int> sum{"global_sum", 1};
+  ps::parallel_for(pool, 0, 4, [&](std::size_t) {
+    const std::lock_guard lock{mu};
+    sum.update(0, [](int v) { return v + 1; });
+  });
+  const pa::Report rep = sum.report();
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  EXPECT_EQ(sum.values()[0], 4);
+}
+
+TEST(AnalysisRace, ConsecutiveRegionsDoNotConflict) {
+  // The same ranges touched in back-to-back parallel_for calls are
+  // separated by the join — different epochs, no race.
+  ps::ThreadPool pool{4};
+  pa::SharedArray<int> arr{"arr", 64};
+  for (int round = 0; round < 3; ++round) {
+    ps::parallel_for(pool, 0, 64, [&](std::size_t i) { arr.write(i, round); });
+  }
+  const pa::Report rep = arr.report();
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+}
+
+TEST(AnalysisRace, ConcurrentReadsAreClean) {
+  ps::ThreadPool pool{4};
+  pa::SharedArray<int> arr{"arr", 8};
+  arr.write(3, 17);
+  ps::parallel_for(pool, 0, 4, [&](std::size_t) { EXPECT_EQ(arr.read(3), 17); });
+  EXPECT_TRUE(arr.report().clean()) << arr.report().to_string();
+}
+
+// ---- grading-build default --------------------------------------------------------
+
+TEST(AnalysisDefaults, DefaultCheckLevelMatchesBuildConfiguration) {
+#if defined(PEACHY_ANALYSIS) && PEACHY_ANALYSIS
+  EXPECT_EQ(pm::default_check_level(), pa::CheckLevel::full);
+#else
+  EXPECT_EQ(pm::default_check_level(), pa::CheckLevel::off);
+#endif
+}
+
+TEST(AnalysisDefaults, ReportRendersKindAndSeverity) {
+  pa::Report rep;
+  rep.add(pa::Finding{pa::FindingKind::deadlock, pa::Severity::error, "m", {"d1", "d2"}});
+  EXPECT_FALSE(rep.clean());
+  EXPECT_TRUE(rep.mentions("d2"));
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("deadlock"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  pa::Report info_only;
+  info_only.add(pa::Finding{pa::FindingKind::data_race, pa::Severity::info, "note", {}});
+  EXPECT_TRUE(info_only.clean());  // info/warning findings don't fail a run
+}

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <numeric>
 #include <set>
 
@@ -116,6 +117,88 @@ TEST(MpiP2P, SizeMismatchedRecvValueThrows) {
                peachy::Error);
 }
 
+TEST(MpiP2P, FullWildcardRecvDrainsSenderInOrder) {
+  // src=any + tag=any must match the *oldest* waiting message, so a
+  // single sender's stream is drained in posting order even when the
+  // tags vary.
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 10, 1);
+      c.send_value<int>(1, 20, 2);
+      c.send_value<int>(1, 10, 3);
+    } else {
+      pm::Status st;
+      EXPECT_EQ(c.recv_value<int>(pm::kAnySource, pm::kAnyTag, &st), 1);
+      EXPECT_EQ(st.tag, 10);
+      EXPECT_EQ(c.recv_value<int>(pm::kAnySource, pm::kAnyTag, &st), 2);
+      EXPECT_EQ(st.tag, 20);
+      EXPECT_EQ(c.recv_value<int>(pm::kAnySource, pm::kAnyTag, &st), 3);
+      EXPECT_EQ(st.source, 0);
+    }
+  });
+}
+
+TEST(MpiP2P, AnyTagFromSpecificSourceSkipsOtherSources) {
+  // Both messages are queued before rank 0 receives (their sends
+  // happen-before the barrier tokens), so matching must *skip* rank 1's
+  // older message to satisfy recv(src=2, tag=any).
+  pm::run(3, [](pm::Comm& c) {
+    if (c.rank() == 1) c.send_value<int>(0, 5, 111);
+    if (c.rank() == 2) c.send_value<int>(0, 6, 222);
+    c.barrier();
+    if (c.rank() == 0) {
+      pm::Status st;
+      EXPECT_EQ(c.recv_value<int>(2, pm::kAnyTag, &st), 222);
+      EXPECT_EQ(st.source, 2);
+      EXPECT_EQ(st.tag, 6);
+      EXPECT_EQ(c.recv_value<int>(pm::kAnySource, pm::kAnyTag, &st), 111);
+      EXPECT_EQ(st.source, 1);
+    }
+  });
+}
+
+TEST(MpiP2P, ProbeThenRecvIsConsistentUnderConcurrentTraffic) {
+  // The receiver polls with wildcards and immediately receives what it
+  // probed while two senders keep posting.  Since only the owner removes
+  // messages from its mailbox, a successful probe can never be
+  // invalidated by the racing sends.
+  pm::run(3, [](pm::Comm& c) {
+    constexpr int kEach = 25;
+    if (c.rank() > 0) {
+      for (int i = 0; i < kEach; ++i) c.send_value<int>(0, c.rank(), i);
+    } else {
+      int got = 0;
+      std::vector<int> next(3, 0);  // per-sender expected sequence number
+      while (got < 2 * kEach) {
+        pm::Status st;
+        if (!c.probe(pm::kAnySource, pm::kAnyTag, &st)) continue;
+        pm::Status rst;
+        const int v = c.recv_value<int>(st.source, st.tag, &rst);
+        EXPECT_EQ(rst.source, st.source);
+        EXPECT_EQ(rst.tag, st.tag);
+        EXPECT_EQ(rst.bytes, st.bytes);
+        EXPECT_EQ(v, next[static_cast<std::size_t>(st.source)]++);
+        ++got;
+      }
+    }
+  });
+}
+
+TEST(MpiP2P, PayloadNotAMultipleOfElementSizeThrows) {
+  // recv<T> must reject a byte payload whose length is not divisible by
+  // sizeof(T), instead of silently truncating.
+  EXPECT_THROW(pm::run(2,
+                       [](pm::Comm& c) {
+                         if (c.rank() == 0) {
+                           const std::array<std::byte, 5> odd{};
+                           c.send_bytes(1, 0, odd);
+                         } else {
+                           (void)c.recv<double>(0, 0);
+                         }
+                       }),
+               peachy::Error);
+}
+
 // ---- error propagation ----------------------------------------------------------
 
 TEST(MpiRun, RankExceptionPropagatesAndUnblocksReceivers) {
@@ -129,6 +212,22 @@ TEST(MpiRun, RankExceptionPropagatesAndUnblocksReceivers) {
     FAIL() << "expected throw";
   } catch (const peachy::Error& e) {
     EXPECT_NE(std::string{e.what()}.find("deliberate"), std::string::npos);
+  }
+}
+
+TEST(MpiRun, AbortWakesEveryBlockedReceiverAndNamesTheReason) {
+  // Rank 0 fails while three other ranks sit in receives that will never
+  // be satisfied.  abort() must reliably wake *all* of them (the join
+  // completing at all proves it), and the rethrown error must carry rank
+  // 0's original reason, not a bare "machine aborted".
+  try {
+    pm::run(4, [](pm::Comm& c) {
+      if (c.rank() == 0) throw peachy::Error{"boom at rank 0"};
+      (void)c.recv_bytes(0, 42);
+    });
+    FAIL() << "expected throw";
+  } catch (const peachy::Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("boom at rank 0"), std::string::npos);
   }
 }
 
@@ -311,4 +410,33 @@ TEST(MpiTraffic, TreeReduceSendsP_Minus_1_Messages) {
     });
     EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(p - 1)) << "p=" << p;
   }
+}
+
+// ---- internal collective tag sequencing -------------------------------------------
+
+TEST(MpiCollectiveTags, SequencePastOldWrapBoundaryDoesNotAlias) {
+  // Regression: the internal tag sequence used to wrap at 2^20, so
+  // collective #k and collective #(k + 2^20) shared a tag and could
+  // cross-match in a long run.  Jump the counter to just below the old
+  // boundary and drive collectives across it: results must stay correct
+  // and the sequence must keep growing monotonically.
+  pm::run(3, [](pm::Comm& c) {
+    c.debug_set_collective_seq((std::uint64_t{1} << 20) - 3);
+    for (int round = 0; round < 8; ++round) {
+      EXPECT_EQ(c.allreduce_value(1, std::plus<>{}), 3);
+      EXPECT_EQ(c.broadcast_value(c.rank() == 0 ? round : -1, 0), round);
+    }
+    EXPECT_GT(c.collective_seq(), std::uint64_t{1} << 20);
+  });
+}
+
+TEST(MpiCollectiveTags, ExhaustionIsAHardErrorNotSilentAliasing) {
+  // The full 2^30 tag values above the base are available; running out is
+  // diagnosed instead of wrapping onto live tags.
+  EXPECT_THROW(pm::run(1,
+                       [](pm::Comm& c) {
+                         c.debug_set_collective_seq(std::uint64_t{1} << 30);
+                         c.barrier();
+                       }),
+               peachy::Error);
 }
