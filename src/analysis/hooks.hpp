@@ -12,8 +12,15 @@
 ///
 /// Epochs encode the fork-join structure the detectors reason about: each
 /// structured parallel region (parallel_for / forall / coforall / spark
-/// stage) gets a fresh epoch, and only accesses in the *same* epoch can
-/// race — regions are separated by joins, which establish happens-before.
+/// stage) gets a fresh epoch.  Joins order regions that the *same* task
+/// opens one after another, but two regions opened by concurrent sibling
+/// tasks run with no join between them — so `begin_parallel_region`
+/// additionally records which task opened each nested region
+/// (`region_parent`), and detectors compare the resulting ancestor chains:
+/// two accesses are concurrent when the chains first diverge *within* one
+/// region (sibling tasks), and ordered when they diverge *across* epochs
+/// (sequentially-opened regions) or when one task is an ancestor of the
+/// other (fork/join suspends the opener).
 /// `kSerialEpoch` (0) is code outside any region; `kUnstructuredEpoch`
 /// marks raw `ThreadPool::submit` tasks, which carry no join information
 /// and therefore race only among themselves.
@@ -28,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace peachy::analysis {
@@ -46,13 +54,35 @@ namespace detail {
 inline thread_local TaskIdentity tls_task{};
 inline thread_local std::vector<const void*> tls_lockset{};
 inline std::atomic<std::uint64_t> g_epoch{kSerialEpoch};
+// Opening task of every *nested* region (one opened from inside another
+// region or from an unstructured task).  Top-level regions are omitted —
+// their parent is the serial identity — so the registry stays empty for
+// the common flat pattern and grows only with genuinely nested regions.
+inline std::mutex g_region_mu;
+inline std::unordered_map<std::uint64_t, TaskIdentity> g_region_parent;
 }  // namespace detail
 
 [[nodiscard]] inline TaskIdentity current_task() noexcept { return detail::tls_task; }
 
-/// Allocate a fresh epoch for one structured parallel region.
-[[nodiscard]] inline std::uint64_t begin_parallel_region() noexcept {
-  return detail::g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+/// Allocate a fresh epoch for one structured parallel region.  Must be
+/// called on the opening task's thread (before dispatching any work) so
+/// the region's parent identity is captured correctly.
+[[nodiscard]] inline std::uint64_t begin_parallel_region() {
+  const std::uint64_t epoch = detail::g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  const TaskIdentity opener = detail::tls_task;
+  if (opener.epoch != kSerialEpoch) {
+    const std::lock_guard lock{detail::g_region_mu};
+    detail::g_region_parent.emplace(epoch, opener);
+  }
+  return epoch;
+}
+
+/// Identity of the task that opened region `epoch`; the serial identity
+/// for top-level regions, unstructured tasks, and unknown epochs.
+[[nodiscard]] inline TaskIdentity region_parent(std::uint64_t epoch) {
+  const std::lock_guard lock{detail::g_region_mu};
+  const auto it = detail::g_region_parent.find(epoch);
+  return it == detail::g_region_parent.end() ? TaskIdentity{} : it->second;
 }
 
 /// RAII publication of a logical task identity; nests (inner scopes win,

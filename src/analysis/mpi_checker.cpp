@@ -26,7 +26,6 @@ MpiChecker::MpiChecker(int nranks, CheckLevel level)
     : level_{level}, ranks_(static_cast<std::size_t>(nranks)) {}
 
 void MpiChecker::on_post(int source, int dest, int tag) {
-  (void)source;
   std::lock_guard lock{mu_};
   RankInfo& d = ranks_[static_cast<std::size_t>(dest)];
   if (d.state != RankState::blocked || d.satisfied) return;
@@ -85,10 +84,13 @@ std::optional<std::string> MpiChecker::detect_deadlock_locked() {
 
   // 1) A rank waiting on a specific source that has already exited can
   //    never be satisfied (the source's sends were all posted before it
-  //    exited, and none matched when the wait registered).
+  //    exited, and none matched when the wait registered).  Out-of-range
+  //    sources (Machine::take rejects them, but direct event feeds may
+  //    not) are skipped rather than indexed.
   for (int r = 0; r < n; ++r) {
     if (!stuck(r)) continue;
     const int src = ranks_[static_cast<std::size_t>(r)].want_src;
+    if (src >= n) continue;
     if (src >= 0 && ranks_[static_cast<std::size_t>(src)].state == RankState::exited) {
       std::ostringstream os;
       os << describe_wait_locked(r) << ", but rank " << src
@@ -103,12 +105,12 @@ std::optional<std::string> MpiChecker::detect_deadlock_locked() {
     if (!stuck(s) || color[static_cast<std::size_t>(s)] != 0) continue;
     std::vector<int> path;
     int cur = s;
-    while (cur >= 0 && stuck(cur) && color[static_cast<std::size_t>(cur)] == 0) {
+    while (cur >= 0 && cur < n && stuck(cur) && color[static_cast<std::size_t>(cur)] == 0) {
       color[static_cast<std::size_t>(cur)] = 1;
       path.push_back(cur);
       cur = ranks_[static_cast<std::size_t>(cur)].want_src;  // kAny (-1) ends the walk
     }
-    if (cur >= 0 && color[static_cast<std::size_t>(cur)] == 1) {
+    if (cur >= 0 && cur < n && color[static_cast<std::size_t>(cur)] == 1) {
       std::vector<int> cycle;
       bool in_cycle = false;
       for (int r : path) {
@@ -164,8 +166,12 @@ std::optional<std::string> MpiChecker::on_collective(int rank, std::uint64_t ind
                                                      const CollectiveDesc& d) {
   if (level_ != CheckLevel::full) return std::nullopt;
   std::lock_guard lock{mu_};
+  const int nranks = static_cast<int>(ranks_.size());
   const auto [it, inserted] = colls_.try_emplace(index, CollRecord{d, rank});
-  if (inserted) return std::nullopt;
+  if (inserted) {
+    if (nranks == 1) colls_.erase(it);
+    return std::nullopt;
+  }
   const CollRecord& ref = it->second;
   std::string why;
   if (std::strcmp(ref.desc.op, d.op) != 0) {
@@ -177,6 +183,10 @@ std::optional<std::string> MpiChecker::on_collective(int rank, std::uint64_t ind
   } else if (ref.desc.count >= 0 && d.count >= 0 && ref.desc.count != d.count) {
     why = "contribution length differs";
   } else {
+    // All nranks checked in cleanly: the record can never mismatch again,
+    // so drop it — colls_ stays bounded by the number of *in-flight*
+    // collectives, not the run's total (the tag space allows 2^30).
+    if (++it->second.participants == nranks) colls_.erase(it);
     return std::nullopt;
   }
   std::ostringstream os;

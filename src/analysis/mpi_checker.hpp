@@ -87,6 +87,7 @@ class MpiChecker {
   struct CollRecord {
     CollectiveDesc desc;
     int first_rank;
+    int participants = 1;  ///< ranks seen at this index; erased at nranks
   };
 
   [[nodiscard]] std::optional<std::string> detect_deadlock_locked();

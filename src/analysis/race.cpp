@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 namespace peachy::analysis {
 
@@ -38,12 +39,37 @@ std::uint64_t RaceDetector::dropped() const {
   return dropped_;
 }
 
-bool RaceDetector::conflict(const Access& a, const Access& b) noexcept {
-  if (a.epoch != b.epoch) return false;       // separated by a region join
-  if (a.worker == b.worker) return false;     // program order within a task
-  if (!a.write && !b.write) return false;     // read/read is fine
+bool RaceDetector::concurrent(const std::vector<TaskIdentity>& aa, const Access& a,
+                              const std::vector<TaskIdentity>& ab,
+                              const Access& b) noexcept {
+  // Each access's chain is its epoch's region ancestors (outermost first)
+  // plus its own (worker, epoch) leaf.  Walking the two chains from the
+  // root, the first divergence decides the ordering:
+  //  * different workers in the same region — sibling tasks, nothing below
+  //    this point is joined, so the accesses are concurrent;
+  //  * different epochs under the same task — the task opened the regions
+  //    one after another, and the join of the first ordered them;
+  //  * one chain a prefix of the other — the shorter chain's task opened
+  //    (transitively) the longer one's region and is suspended across it.
+  const auto at = [](const std::vector<TaskIdentity>& anc, const Access& x, std::size_t i) {
+    return i < anc.size() ? anc[i] : TaskIdentity{x.worker, x.epoch};
+  };
+  const std::size_t n = std::min(aa.size(), ab.size()) + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskIdentity ta = at(aa, a, i);
+    const TaskIdentity tb = at(ab, b, i);
+    if (ta.epoch != tb.epoch) return false;
+    if (ta.worker != tb.worker) return true;
+  }
+  return false;
+}
+
+bool RaceDetector::conflict(const std::vector<TaskIdentity>& aa, const Access& a,
+                            const std::vector<TaskIdentity>& ab, const Access& b) noexcept {
+  if (!a.write && !b.write) return false;          // read/read is fine
   if (a.lo >= b.hi || b.lo >= a.hi) return false;  // disjoint ranges
-  for (const void* la : a.locks) {            // Eraser rule: common lock?
+  if (!concurrent(aa, a, ab, b)) return false;     // fork-join ordered
+  for (const void* la : a.locks) {                 // Eraser rule: common lock?
     for (const void* lb : b.locks) {
       if (la == lb) return false;
     }
@@ -52,12 +78,15 @@ bool RaceDetector::conflict(const Access& a, const Access& b) noexcept {
 }
 
 Finding RaceDetector::make_finding(const Access& a, const Access& b) const {
-  const Access& first = a.worker < b.worker ? a : b;
-  const Access& second = a.worker < b.worker ? b : a;
-  auto describe = [](const Access& x) {
+  const bool a_first = a.epoch != b.epoch ? a.epoch < b.epoch : a.worker < b.worker;
+  const Access& first = a_first ? a : b;
+  const Access& second = a_first ? b : a;
+  const bool same_region = first.epoch == second.epoch;
+  auto describe = [same_region](const Access& x) {
     std::ostringstream os;
-    os << "worker " << x.worker << ' ' << (x.write ? "wrote" : "read") << " [" << x.lo << ", "
-       << x.hi << ')';
+    os << "worker " << x.worker;
+    if (!same_region) os << " (epoch " << x.epoch << ')';
+    os << ' ' << (x.write ? "wrote" : "read") << " [" << x.lo << ", " << x.hi << ')';
     if (x.locks.empty()) {
       os << " holding no lock";
     } else {
@@ -68,8 +97,14 @@ Finding RaceDetector::make_finding(const Access& a, const Access& b) const {
   std::ostringstream msg;
   msg << "data race on '" << name_ << "': worker " << first.worker << " and worker "
       << second.worker << " access overlapping range [" << std::max(first.lo, second.lo) << ", "
-      << std::min(first.hi, second.hi) << ") in the same parallel region (epoch " << first.epoch
-      << ") with no common lock";
+      << std::min(first.hi, second.hi) << ") ";
+  if (same_region) {
+    msg << "in the same parallel region (epoch " << first.epoch << ")";
+  } else {
+    msg << "in concurrent nested parallel regions (epochs " << first.epoch << " and "
+        << second.epoch << ")";
+  }
+  msg << " with no common lock";
   return Finding{FindingKind::data_race, Severity::error, msg.str(),
                  {describe(first), describe(second)}};
 }
@@ -78,30 +113,42 @@ Report RaceDetector::report() const {
   std::lock_guard lock{mu_};
   Report rep;
 
-  // Sweep: sort by (epoch, lo) and compare each access against the still-
-  // open intervals of its epoch.  For disjoint access patterns the active
-  // set stays tiny, so clean programs are analysed in ~n log n.
+  // Resolve each epoch's region-ancestor chain once (outermost first,
+  // excluding the access's own leaf identity).  The chain is empty for
+  // top-level regions, unstructured tasks, and serial code; it is non-
+  // empty only for nested regions, whose openers begin_parallel_region
+  // recorded.
+  std::unordered_map<std::uint64_t, std::vector<TaskIdentity>> ancestors;
+  for (const Access& a : log_) {
+    if (ancestors.contains(a.epoch)) continue;
+    std::vector<TaskIdentity>& chain = ancestors[a.epoch];
+    for (TaskIdentity p = region_parent(a.epoch); p.epoch != kSerialEpoch;
+         p = region_parent(p.epoch)) {
+      chain.push_back(p);
+    }
+    std::reverse(chain.begin(), chain.end());
+  }
+
+  // Sweep: sort by lo and compare each access against the still-open
+  // intervals.  Accesses of *different* epochs stay in one sweep because
+  // sibling nested regions can race across epochs; conflict() sorts out
+  // the fork-join ordering.  For disjoint access patterns the active set
+  // stays tiny, so clean programs are analysed in ~n log n.
   std::vector<const Access*> order;
   order.reserve(log_.size());
   for (const Access& a : log_) order.push_back(&a);
   std::sort(order.begin(), order.end(), [](const Access* a, const Access* b) {
-    if (a->epoch != b->epoch) return a->epoch < b->epoch;
     if (a->lo != b->lo) return a->lo < b->lo;
     return a->hi < b->hi;
   });
 
   std::vector<const Access*> active;
-  std::uint64_t active_epoch = kSerialEpoch;
   std::size_t conflicts = 0;
   bool truncated = false;
   for (const Access* a : order) {
-    if (a->epoch != active_epoch) {
-      active.clear();
-      active_epoch = a->epoch;
-    }
     std::erase_if(active, [&](const Access* b) { return b->hi <= a->lo; });
     for (const Access* b : active) {
-      if (!conflict(*a, *b)) continue;
+      if (!conflict(ancestors.at(a->epoch), *a, ancestors.at(b->epoch), *b)) continue;
       if (conflicts < kMaxFindings) {
         rep.add(make_finding(*a, *b));
       } else {

@@ -7,8 +7,10 @@
 /// `forall`.  This detector catches it *schedule-independently*: workers
 /// record the index ranges they read/write on a named shared array, and
 /// two accesses conflict when they
-///   1. belong to the same parallel region (epoch — see hooks.hpp),
-///   2. come from different logical workers,
+///   1. are concurrent in the fork-join region tree — same parallel
+///      region, or nested regions opened by concurrent sibling tasks
+///      (epoch ancestor chains — see hooks.hpp),
+///   2. come from different logical tasks,
 ///   3. overlap as ranges, with at least one write, and
 ///   4. hold no common `TrackedMutex` (Eraser-style lockset rule).
 /// Because the rule is about the *program structure* and not the observed
@@ -65,7 +67,14 @@ class RaceDetector {
   };
 
   void record(bool write, std::size_t lo, std::size_t hi);
-  [[nodiscard]] static bool conflict(const Access& a, const Access& b) noexcept;
+  /// `aa` / `ab` are the region-ancestor identities of each access's epoch
+  /// (outermost first, excluding the access's own leaf identity).
+  [[nodiscard]] static bool concurrent(const std::vector<TaskIdentity>& aa, const Access& a,
+                                       const std::vector<TaskIdentity>& ab,
+                                       const Access& b) noexcept;
+  [[nodiscard]] static bool conflict(const std::vector<TaskIdentity>& aa, const Access& a,
+                                     const std::vector<TaskIdentity>& ab,
+                                     const Access& b) noexcept;
   [[nodiscard]] Finding make_finding(const Access& a, const Access& b) const;
 
   std::string name_;

@@ -38,6 +38,11 @@ void Machine::post(int source, int dest, int tag, std::span<const std::byte> pay
 
 Message Machine::take(int self, int source, int tag) {
   PEACHY_CHECK(self >= 0 && self < size(), "take: bad rank");
+  // Reject before the checker registers the wait: an out-of-range source
+  // is the grading layer's own input, and must become a named error — not
+  // a hang (unchecked) or an out-of-bounds wait-for-graph index (checked).
+  PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
+               "recv: bad source rank");
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   std::unique_lock lock{box.mu};
   bool registered = false;
@@ -75,6 +80,8 @@ Message Machine::take(int self, int source, int tag) {
 
 bool Machine::try_peek(int self, int source, int tag, Status& st) {
   PEACHY_CHECK(self >= 0 && self < size(), "probe: bad rank");
+  PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
+               "probe: bad source rank");
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   std::lock_guard lock{box.mu};
   for (const auto& m : box.queue) {

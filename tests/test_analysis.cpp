@@ -278,6 +278,43 @@ TEST(AnalysisRace, RawThreadPoolTasksRaceAmongThemselves) {
   EXPECT_GE(x.report().count(pa::FindingKind::data_race), 1u) << x.report().to_string();
 }
 
+TEST(AnalysisRace, SiblingNestedRegionsRaceIsDetected) {
+  // Two sibling tasks of an outer region each open an *inner* region that
+  // updates the same element.  The inner regions get distinct epochs, but
+  // no join separates them — the parent-chain model must still flag the
+  // race (a flat same-epoch rule would silently drop it).
+  ps::ThreadPool pool{2};
+  pa::SharedArray<int> sum{"nested_sum", 1};
+  ps::parallel_for_threads(pool, 2, 2, [&](std::size_t, std::size_t, std::size_t) {
+    ps::parallel_for_threads(pool, 1, 1, [&](std::size_t, std::size_t, std::size_t) {
+      sum.update(0, [](int v) { return v + 1; });
+    });
+  });
+  const pa::Report rep = sum.report();
+  EXPECT_GE(rep.count(pa::FindingKind::data_race), 1u) << rep.to_string();
+  EXPECT_TRUE(rep.mentions("concurrent nested parallel regions")) << rep.to_string();
+  EXPECT_EQ(sum.values()[0], 2);
+}
+
+TEST(AnalysisRace, SequentiallyNestedRegionsAreClean) {
+  // One task opens two inner regions back to back; the first inner join
+  // orders them, so identical ranges touched in both rounds are not a
+  // race.  (The inner blocks are dispatched to the pool: the parent chain
+  // is captured at the fork, not from the executing thread.)
+  ps::ThreadPool pool{2};
+  pa::SharedArray<int> arr{"arr", 8};
+  ps::parallel_for_threads(pool, 8, 1, [&](std::size_t, std::size_t, std::size_t) {
+    for (int round = 0; round < 2; ++round) {
+      ps::parallel_for_threads(pool, 8, 2, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) arr.write(i, round);
+      });
+    }
+  });
+  const pa::Report rep = arr.report();
+  EXPECT_TRUE(rep.clean()) << rep.to_string();
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(arr.values()[i], 1);
+}
+
 TEST(AnalysisRace, ManualScopesOverlapPartiallyAndReset) {
   pa::RaceDetector det{"buf"};
   const std::uint64_t epoch = pa::begin_parallel_region();

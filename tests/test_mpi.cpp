@@ -104,6 +104,27 @@ TEST(MpiP2P, RejectsBadDestinationAndTag) {
   });
 }
 
+TEST(MpiP2P, RejectsBadRecvAndProbeSource) {
+  // A recv/probe source outside [0, nranks) is the student bug the
+  // grading layer exists to diagnose: it must be a named error up front,
+  // not a silent hang (unchecked) or an out-of-range wait-for-graph
+  // index (checked).
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_THROW((void)c.recv_bytes(2, 0), peachy::Error);
+      EXPECT_THROW((void)c.recv_bytes(-7, 0), peachy::Error);
+      EXPECT_THROW((void)c.probe(2, 0), peachy::Error);
+    }
+  });
+  EXPECT_THROW(pm::run(
+                   2,
+                   [](pm::Comm& c) {
+                     if (c.rank() == 0) (void)c.recv_bytes(2, 0);
+                   },
+                   peachy::analysis::CheckLevel::full),
+               peachy::Error);
+}
+
 TEST(MpiP2P, SizeMismatchedRecvValueThrows) {
   EXPECT_THROW(pm::run(2,
                        [](pm::Comm& c) {
