@@ -39,7 +39,10 @@ void BM_ParallelFor_Overhead(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::vector<double> data(n, 1.0);
   for (auto _ : state) {
-    peachy::support::parallel_for(pool, 0, n, [&](std::size_t i) { data[i] *= 1.0000001; });
+    // Grain 0: this benchmark measures dispatch overhead itself, so the
+    // small-n inline shortcut must not kick in.
+    peachy::support::parallel_for(
+        pool, 0, n, [&](std::size_t i) { data[i] *= 1.0000001; }, /*grain=*/0);
     benchmark::DoNotOptimize(data.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Kernel benchmark runner — builds the Release bench tree and runs the
+# bench_kernels harness at full sizes, writing BENCH_kernels.json at the
+# repo root (the committed perf-regression baseline).
+#
+# Usage: scripts/bench.sh [extra bench_kernels args...]
+#   e.g. scripts/bench.sh --tiny            # smoke sizes
+#        scripts/bench.sh --out /tmp/b.json # alternate output path
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+DIR="$ROOT/build-bench"
+
+cmake -B "$DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DPEACHY_BUILD_BENCH=ON -DPEACHY_BUILD_TESTS=OFF -DPEACHY_BUILD_EXAMPLES=OFF
+cmake --build "$DIR" --target bench_kernels -j "$JOBS"
+
+if [ "$#" -gt 0 ]; then
+  exec "$DIR/bench/bench_kernels" "$@"
+fi
+exec "$DIR/bench/bench_kernels" --out "$ROOT/BENCH_kernels.json"

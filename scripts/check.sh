@@ -12,7 +12,13 @@
 #                executes at CheckLevel::full, proving the checker raises
 #                zero false positives on the whole suite
 #
-# Usage: scripts/check.sh [config ...]     (default: all three)
+# plus one perf-infrastructure smoke:
+#
+#   bench-smoke — Release build of the bench tree only; runs bench_kernels
+#                 at tiny sizes and validates the emitted JSON against the
+#                 "peachy-bench/1" schema (wiring check, not a perf gate)
+#
+# Usage: scripts/check.sh [config ...]     (default: all four)
 
 set -euo pipefail
 
@@ -35,17 +41,47 @@ run_config() {
   echo "==== [$name] OK ===="
 }
 
+run_bench_smoke() {
+  local dir="$ROOT/build-check-bench-smoke"
+  echo "==== [bench-smoke] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=ON -DPEACHY_BUILD_TESTS=OFF -DPEACHY_BUILD_EXAMPLES=OFF
+  echo "==== [bench-smoke] build ===="
+  cmake --build "$dir" --target bench_kernels -j "$JOBS"
+  echo "==== [bench-smoke] run ===="
+  local json="$dir/bench/BENCH_kernels_smoke.json"
+  "$dir/bench/bench_kernels" --tiny --out "$json"
+  echo "==== [bench-smoke] validate JSON ===="
+  python3 - "$json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "peachy-bench/1", doc.get("schema")
+assert doc["harness"] == "bench_kernels"
+assert isinstance(doc["isa"], str) and doc["isa"]
+assert isinstance(doc["benchmarks"], list) and doc["benchmarks"]
+for row in doc["benchmarks"]:
+    for key in ("name", "shape", "items", "scalar_ns", "kernel_ns", "speedup"):
+        assert key in row, (row, key)
+    assert row["scalar_ns"] > 0 and row["kernel_ns"] > 0
+print(f"schema OK: {len(doc['benchmarks'])} benchmarks, isa={doc['isa']}")
+EOF
+  echo "==== [bench-smoke] OK ===="
+}
+
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(asan-ubsan tsan analysis)
+  configs=(asan-ubsan tsan analysis bench-smoke)
 fi
 
 for cfg in "${configs[@]}"; do
   case "$cfg" in
-    asan-ubsan) run_config asan-ubsan -DPEACHY_SANITIZE=ON ;;
-    tsan)       run_config tsan -DPEACHY_TSAN=ON ;;
-    analysis)   run_config analysis -DPEACHY_ANALYSIS=ON ;;
-    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis)" >&2; exit 2 ;;
+    asan-ubsan)  run_config asan-ubsan -DPEACHY_SANITIZE=ON ;;
+    tsan)        run_config tsan -DPEACHY_TSAN=ON ;;
+    analysis)    run_config analysis -DPEACHY_ANALYSIS=ON ;;
+    bench-smoke) run_bench_smoke ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke)" >&2; exit 2 ;;
   esac
 done
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numeric>
 #include <set>
 
+#include "kernels/kernels.hpp"
 #include "rng/distributions.hpp"
 #include "rng/splitmix.hpp"
 #include "support/check.hpp"
@@ -17,7 +19,9 @@ PointSet::PointSet(std::size_t n, std::size_t d) : n_{n}, d_{d}, values_(n * d, 
 }
 
 PointSet::PointSet(std::size_t n, std::size_t d, std::vector<double> values)
-    : n_{n}, d_{d}, values_{std::move(values)} {
+    : n_{n}, d_{d}, values_{values.begin(), values.end()} {
+  // Copied, not moved: the backing store is re-homed into aligned memory
+  // so the kernel layer can assume 64-byte-aligned rows.
   PEACHY_CHECK(values_.size() == n * d, "PointSet: values size != n*d");
   PEACHY_CHECK(d > 0 || n == 0, "points need at least one dimension");
 }
@@ -52,13 +56,25 @@ void PointSet::push_back(std::span<const double> p) {
 
 double PointSet::squared_distance(std::size_t i, std::span<const double> q) const {
   PEACHY_CHECK(q.size() == d_, "squared_distance: dimension mismatch");
-  const double* a = values_.data() + i * d_;
-  double s = 0.0;
-  for (std::size_t j = 0; j < d_; ++j) {
-    const double diff = a[j] - q[j];
-    s += diff * diff;
+  return kernels::squared_distance(values_.data() + i * d_, q.data(), d_);
+}
+
+TransposedPanel PointSet::transposed_panel() const {
+  TransposedPanel panel;
+  panel.count = n_;
+  panel.dims = d_;
+  panel.padded = kernels::padded_count(n_);
+  // +inf padding: padded lanes are "centroids at infinity" that can never
+  // win a strict-< argmin, so kernels need no per-lane masking.
+  panel.values.assign(panel.padded * d_, std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < n_; ++c) {
+    const std::size_t g = c / kernels::kPanelLane;
+    const std::size_t lane = c % kernels::kPanelLane;
+    const double* src = values_.data() + c * d_;
+    double* grp = panel.values.data() + g * d_ * kernels::kPanelLane;
+    for (std::size_t j = 0; j < d_; ++j) grp[j * kernels::kPanelLane + lane] = src[j];
   }
-  return s;
+  return panel;
 }
 
 std::size_t LabeledPoints::num_classes() const {

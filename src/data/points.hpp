@@ -18,8 +18,24 @@
 
 #include "data/csv.hpp"
 #include "rng/lcg.hpp"
+#include "support/aligned.hpp"
 
 namespace peachy::data {
+
+/// SoA-transposed centroid panel in the peachy::kernels layout: centroids
+/// grouped kernels::kPanelLane at a time, each group dimension-major —
+/// `values[(g*dims + j)*lane_width + lane]` is coordinate j of centroid
+/// `g*lane_width + lane`.  Padded tail lanes hold +infinity so they can
+/// never win an argmin.  Built by PointSet::transposed_panel(); consumed
+/// by kernels::squared_distances_batch / argmin_batch / argmin_assign.
+struct TransposedPanel {
+  std::size_t count = 0;   ///< real centroids
+  std::size_t dims = 0;    ///< coordinates per centroid
+  std::size_t padded = 0;  ///< count rounded up to whole lane groups
+  support::aligned_vector<double> values;
+
+  [[nodiscard]] const double* data() const noexcept { return values.data(); }
+};
 
 /// Row-major dense matrix of n points in d dimensions.
 class PointSet {
@@ -43,7 +59,15 @@ class PointSet {
   [[nodiscard]] double& at(std::size_t i, std::size_t j);
   [[nodiscard]] double at(std::size_t i, std::size_t j) const;
 
-  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+  /// Backing storage: row-major, 64-byte aligned (kernel-layer contract).
+  [[nodiscard]] const support::aligned_vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Build the SoA-transposed panel of these points for the batched
+  /// distance kernels (centroid role: k-means calls this per iteration
+  /// on the current centroids).
+  [[nodiscard]] TransposedPanel transposed_panel() const;
 
   /// Append one point (dimension must match; first append fixes d for an
   /// empty set).
@@ -55,7 +79,7 @@ class PointSet {
  private:
   std::size_t n_ = 0;
   std::size_t d_ = 0;
-  std::vector<double> values_;
+  support::aligned_vector<double> values_;
 };
 
 /// Points plus one integer class label per point.

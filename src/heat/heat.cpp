@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/kernels.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -58,9 +59,9 @@ std::vector<double> solve_serial(const Spec& spec, const Initial& initial) {
   std::vector<double> un = u;
   for (std::size_t step = 0; step < spec.nt; ++step) {
     std::swap(u, un);  // step 4.1 of the assignment's algorithm
-    for (std::size_t j = 1; j + 1 < spec.nx; ++j) {  // step 4.2 over Ω̂
-      u[j] = un[j] + spec.alpha * (un[j - 1] - 2.0 * un[j] + un[j + 1]);
-    }
+    // Step 4.2 over Ω̂: the boundary cells u[0] / u[nx-1] are the halo the
+    // kernel reads at src[-1] / src[n].
+    kernels::stencil_row(u.data() + 1, un.data() + 1, spec.nx - 2, spec.alpha);
   }
   return u;
 }
@@ -149,10 +150,10 @@ std::vector<double> solve_coforall(const Spec& spec, const Initial& initial,
           l + 1 == L || blk.end == interior ? spec.right_bc : halo_left[l + 1];
       un[0] = left_in;
       un[len + 1] = right_in;
-      // Order-independent local update (the assignment's foreach).
-      chapel::foreach({1, len + 1}, [&](std::size_t i) {
-        u[i] = un[i] + spec.alpha * (un[i - 1] - 2.0 * un[i] + un[i + 1]);
-      });
+      // Order-independent local update — the assignment's foreach is a
+      // vectorization hint, honored literally with the stencil kernel
+      // (halo cells un[0] / un[len+1] are the src[-1] / src[n] reads).
+      kernels::stencil_row(u.data() + 1, un.data() + 1, len, spec.alpha);
       // Nobody may publish step+1 edges until all have read step's halos.
       barrier.arrive_and_wait();
     }

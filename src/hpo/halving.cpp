@@ -36,11 +36,16 @@ HalvingResult successive_halving(const nn::Dataset& train, const nn::Dataset& va
 
   for (std::size_t round = 0; round < rounds && !live.empty(); ++round) {
     ++out.rounds;
-    // Train all survivors for this round's budget, in parallel.
-    support::parallel_for(pool, 0, live.size(), [&](std::size_t i) {
-      (void)live[i].model->train(train);
-      live[i].accuracy = live[i].model->accuracy(val);
-    });
+    // Train all survivors for this round's budget, in parallel.  Grain 0:
+    // each iteration is a whole training round — always worth a task, no
+    // matter how few survivors remain.
+    support::parallel_for(
+        pool, 0, live.size(),
+        [&](std::size_t i) {
+          (void)live[i].model->train(train);
+          live[i].accuracy = live[i].model->accuracy(val);
+        },
+        /*grain=*/0);
     out.total_epochs_trained += live.size() * epochs_per_round;
     for (const Live& m : live) out.history[m.config].accuracy_per_round.push_back(m.accuracy);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "kernels/kernels.hpp"
 #include "kmeans/detail.hpp"
 #include "rng/distributions.hpp"
 #include "rng/lcg.hpp"
@@ -79,9 +80,8 @@ data::PointSet initial_centroids(const data::PointSet& points, const Options& op
   const auto first = static_cast<std::size_t>(rng::uniform_below(gen, points.size()));
   std::copy(points.point(first).begin(), points.point(first).end(),
             centroids.point(0).begin());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    d2[i] = points.squared_distance(i, centroids.point(0));
-  }
+  kernels::squared_distances_rows(points.values().data(), points.size(), points.dims(),
+                                  centroids.point(0).data(), d2.data());
   for (std::size_t c = 1; c < opts.k; ++c) {
     double total = 0.0;
     for (double v : d2) total += v;
@@ -101,24 +101,28 @@ data::PointSet initial_centroids(const data::PointSet& points, const Options& op
     }
     std::copy(points.point(pick).begin(), points.point(pick).end(),
               centroids.point(c).begin());
+    const double* pv = points.values().data();
+    const double* cv = centroids.point(c).data();
+    const std::size_t dims = points.dims();
     for (std::size_t i = 0; i < points.size(); ++i) {
-      d2[i] = std::min(d2[i], points.squared_distance(i, centroids.point(c)));
+      // Exact-duplicate guard: a point at distance 0 can never move
+      // closer, so skip its distance computation entirely.
+      if (d2[i] == 0.0) continue;
+      d2[i] = std::min(d2[i], kernels::squared_distance(pv + i * dims, cv, dims));
     }
   }
   return centroids;
 }
 
 std::size_t nearest_centroid(const data::PointSet& centroids, std::span<const double> point) {
-  std::size_t best = 0;
-  double best_d2 = centroids.squared_distance(0, point);
-  for (std::size_t c = 1; c < centroids.size(); ++c) {
-    const double d2 = centroids.squared_distance(c, point);
-    if (d2 < best_d2) {  // strict: ties keep the lower index
-      best_d2 = d2;
-      best = c;
-    }
-  }
-  return best;
+  PEACHY_CHECK(point.size() == centroids.dims(), "nearest_centroid: dimension mismatch");
+  // Convenience form: builds the panel per call.  The hot loops build it
+  // once per iteration and call kernels::argmin_batch directly — both
+  // paths share the kernel, so every k-means implementation agrees on
+  // assignments bit-for-bit (strict <, ties keep the lower index).
+  const auto panel = centroids.transposed_panel();
+  return kernels::argmin_batch(point.data(), centroids.dims(), panel.data(), panel.count,
+                               panel.padded);
 }
 
 double inertia(const data::PointSet& points, const data::PointSet& centroids,
@@ -148,17 +152,13 @@ Result cluster_sequential(const data::PointSet& points, const Options& opts) {
   for (res.iterations = 1; res.iterations <= opts.max_iterations; ++res.iterations) {
     std::fill(sums.begin(), sums.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
-    std::size_t changes = 0;
 
-    // Phase 1 (+ fused accumulation for phase 2): the starter-code loop.
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto c = static_cast<std::int32_t>(nearest_centroid(res.centroids, points.point(i)));
-      if (c != res.assignment[i]) ++changes;
-      res.assignment[i] = c;
-      ++counts[static_cast<std::size_t>(c)];
-      const auto p = points.point(i);
-      for (std::size_t j = 0; j < d; ++j) sums[static_cast<std::size_t>(c) * d + j] += p[j];
-    }
+    // Phase 1 (+ fused accumulation for phase 2): one pass of the fused
+    // assignment kernel over the current centroid panel.
+    const auto panel = res.centroids.transposed_panel();
+    const std::size_t changes =
+        kernels::argmin_assign(points.values().data(), n, d, panel.data(), k, panel.padded,
+                               res.assignment.data(), sums.data(), counts.data());
     res.changes_per_iteration.push_back(changes);
 
     // Phase 2: new centroid positions.

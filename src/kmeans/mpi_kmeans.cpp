@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.hpp"
 #include "kmeans/detail.hpp"
 #include "support/check.hpp"
 
@@ -50,9 +51,12 @@ Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points, const Options&
   const data::PointSet my_points{my_block.end - my_block.begin, shape.d, std::move(my_values)};
 
   // Identical initial centroids everywhere: root computes, broadcasts.
+  // (Copied out of the aligned backing store: the wire format is a plain
+  // std::vector.)
   std::vector<double> centroid_values;
   if (comm.rank() == root) {
-    centroid_values = initial_centroids(points, opts).values();
+    const data::PointSet init = initial_centroids(points, opts);
+    centroid_values.assign(init.values().begin(), init.values().end());
   }
   comm.broadcast(centroid_values, root);
   data::PointSet centroids{opts.k, shape.d, std::move(centroid_values)};
@@ -63,18 +67,15 @@ Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points, const Options&
   const std::size_t d = shape.d;
 
   for (res.iterations = 1; res.iterations <= opts.max_iterations; ++res.iterations) {
-    // Local phase: assign own points, accumulate private sums/counts.
+    // Local phase: one fused-kernel pass over this rank's block — the
+    // same kernel the shared-memory variants run, so assignments agree
+    // bit-for-bit with them.
     std::vector<double> sums(k * d, 0.0);
     std::vector<std::int64_t> counts(k, 0);
-    std::uint64_t changes = 0;
-    for (std::size_t i = 0; i < my_points.size(); ++i) {
-      const auto c = static_cast<std::int32_t>(nearest_centroid(centroids, my_points.point(i)));
-      if (c != res.assignment[i]) ++changes;
-      res.assignment[i] = c;
-      ++counts[static_cast<std::size_t>(c)];
-      const auto p = my_points.point(i);
-      for (std::size_t j = 0; j < d; ++j) sums[static_cast<std::size_t>(c) * d + j] += p[j];
-    }
+    const auto panel = centroids.transposed_panel();
+    auto changes = static_cast<std::uint64_t>(kernels::argmin_assign(
+        my_points.values().data(), my_points.size(), d, panel.data(), k, panel.padded,
+        res.assignment.data(), sums.data(), counts.data()));
 
     // The distributed reduction the assignment is about.
     sums = comm.allreduce<double>(sums, std::plus<>{});

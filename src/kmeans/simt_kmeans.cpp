@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "kernels/kernels.hpp"
 #include "kmeans/detail.hpp"
 #include "support/check.hpp"
 #include "support/parallel_for.hpp"
@@ -34,6 +35,9 @@ Result cluster_simt(const data::PointSet& points, const Options& opts, const Sim
     std::vector<std::atomic<std::int64_t>> g_counts(k);
     std::atomic<std::size_t> g_changes{0};
 
+    // One read-only centroid panel per iteration, shared by all blocks.
+    const auto panel = res.centroids.transposed_panel();
+
     // Kernel launch: one pool task per block; lanes are loop iterations.
     support::parallel_for(pool, 0, nblocks, [&](std::size_t block) {
       const std::size_t lo = block * cfg.block_size;
@@ -41,8 +45,8 @@ Result cluster_simt(const data::PointSet& points, const Options& opts, const Sim
 
       if (cfg.reduce == SimtReduce::kGlobalAtomic) {
         for (std::size_t i = lo; i < hi; ++i) {  // each lane: one point
-          const auto c =
-              static_cast<std::int32_t>(nearest_centroid(res.centroids, points.point(i)));
+          const auto c = static_cast<std::int32_t>(kernels::argmin_batch(
+              points.point(i).data(), d, panel.data(), k, panel.padded));
           if (c != res.assignment[i]) g_changes.fetch_add(1, std::memory_order_relaxed);
           res.assignment[i] = c;
           g_counts[static_cast<std::size_t>(c)].fetch_add(1, std::memory_order_relaxed);
@@ -54,21 +58,13 @@ Result cluster_simt(const data::PointSet& points, const Options& opts, const Sim
           atomic_updates.fetch_add(d + 1, std::memory_order_relaxed);
         }
       } else {
-        // Block-shared scratch ("__shared__"): accumulate locally first.
+        // Block-shared scratch ("__shared__"): the fused kernel runs the
+        // whole block into it, then one representative lane merges.
         std::vector<double> s_sums(k * d, 0.0);
         std::vector<std::int64_t> s_counts(k, 0);
-        std::size_t s_changes = 0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          const auto c =
-              static_cast<std::int32_t>(nearest_centroid(res.centroids, points.point(i)));
-          if (c != res.assignment[i]) ++s_changes;
-          res.assignment[i] = c;
-          ++s_counts[static_cast<std::size_t>(c)];
-          const auto p = points.point(i);
-          for (std::size_t j = 0; j < d; ++j) {
-            s_sums[static_cast<std::size_t>(c) * d + j] += p[j];
-          }
-        }
+        const std::size_t s_changes = kernels::argmin_assign(
+            points.values().data() + lo * d, hi - lo, d, panel.data(), k, panel.padded,
+            res.assignment.data() + lo, s_sums.data(), s_counts.data());
         // One representative lane merges the block partials globally.
         std::uint64_t merges = 0;
         for (std::size_t i = 0; i < k * d; ++i) {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "kernels/kernels.hpp"
 #include "kmeans/detail.hpp"
 #include "kmeans/kmeans.hpp"
 #include "support/check.hpp"
@@ -47,6 +48,11 @@ Result cluster_parallel(const data::PointSet& points, const Options& opts, Varia
     std::fill(counts.begin(), counts.end(), 0);
     std::size_t changes = 0;
 
+    // One centroid panel per iteration, shared read-only by all threads
+    // — the same kernel every other k-means implementation uses, so
+    // assignments agree bit-for-bit across variants.
+    const auto panel = res.centroids.transposed_panel();
+
     switch (variant) {
       case Variant::kCritical: {
         // Stage 2: every shared update inside one critical region.  The
@@ -55,8 +61,8 @@ Result cluster_parallel(const data::PointSet& points, const Options& opts, Varia
         support::parallel_for_threads(
             pool, n, threads, [&](std::size_t, std::size_t lo, std::size_t hi) {
               for (std::size_t i = lo; i < hi; ++i) {
-                const auto c =
-                    static_cast<std::int32_t>(nearest_centroid(res.centroids, points.point(i)));
+                const auto c = static_cast<std::int32_t>(kernels::argmin_batch(
+                    points.point(i).data(), d, panel.data(), k, panel.padded));
                 const auto p = points.point(i);
                 std::lock_guard guard{critical};
                 if (c != res.assignment[i]) ++changes;
@@ -80,8 +86,8 @@ Result cluster_parallel(const data::PointSet& points, const Options& opts, Varia
         support::parallel_for_threads(
             pool, n, threads, [&](std::size_t, std::size_t lo, std::size_t hi) {
               for (std::size_t i = lo; i < hi; ++i) {
-                const auto c =
-                    static_cast<std::int32_t>(nearest_centroid(res.centroids, points.point(i)));
+                const auto c = static_cast<std::int32_t>(kernels::argmin_batch(
+                    points.point(i).data(), d, panel.data(), k, panel.padded));
                 if (c != res.assignment[i]) a_changes.fetch_add(1, std::memory_order_relaxed);
                 res.assignment[i] = c;
                 a_counts[static_cast<std::size_t>(c)].fetch_add(1, std::memory_order_relaxed);
@@ -112,21 +118,15 @@ Result cluster_parallel(const data::PointSet& points, const Options& opts, Varia
         std::vector<PaddedCounter> t_changes(threads);
         support::parallel_for_threads(
             pool, n, threads, [&](std::size_t t, std::size_t lo, std::size_t hi) {
-              double* my_sums = t_sums.data() + t * stride;
-              std::int64_t* my_counts = t_counts.data() + t * k;
-              std::size_t my_changes = 0;
-              for (std::size_t i = lo; i < hi; ++i) {
-                const auto c =
-                    static_cast<std::int32_t>(nearest_centroid(res.centroids, points.point(i)));
-                if (c != res.assignment[i]) ++my_changes;
-                res.assignment[i] = c;
-                ++my_counts[static_cast<std::size_t>(c)];
-                const auto p = points.point(i);
-                for (std::size_t j = 0; j < d; ++j) {
-                  my_sums[static_cast<std::size_t>(c) * d + j] += p[j];
-                }
-              }
-              t_changes[t].value = my_changes;
+              // The fused kernel runs the whole block: assignment writes
+              // land in this thread's slice of res.assignment, sums and
+              // counts in its private accumulators (point order, then
+              // dimension order — the sequential reference order, so the
+              // thread-ordered merge below is deterministic).
+              t_changes[t].value = kernels::argmin_assign(
+                  points.values().data() + lo * d, hi - lo, d, panel.data(), k, panel.padded,
+                  res.assignment.data() + lo, t_sums.data() + t * stride,
+                  t_counts.data() + t * k);
             });
         for (std::size_t t = 0; t < threads; ++t) {
           changes += t_changes[t].value;

@@ -4,6 +4,7 @@
 #include <future>
 #include <numeric>
 
+#include "kernels/kernels.hpp"
 #include "support/check.hpp"
 
 namespace peachy::knn {
@@ -179,9 +180,15 @@ void KdTree::search(std::int32_t node_id, std::span<const double> q, std::size_t
   if (heap.size() == k && box_lower_bound(node, q) > heap.front().dist2) return;
 
   if (node.left < 0) {  // leaf
+    // Straight to the pair kernel: the leaf scan is the kd-tree's hot
+    // loop, and the span/precondition wrapper costs more than the
+    // distance at small d.
+    const double* pts = db_->points.values().data();
+    const std::size_t dims = db_->points.dims();
     for (std::uint32_t i = node.begin; i < node.end; ++i) {
       const std::uint32_t idx = order_[i];
-      const Neighbor cand{db_->points.squared_distance(idx, q), idx, db_->labels[idx]};
+      const Neighbor cand{kernels::squared_distance(pts + idx * dims, q.data(), dims), idx,
+                          db_->labels[idx]};
       distance_evals_.fetch_add(1, std::memory_order_relaxed);
       if (heap.size() < k) {
         heap.push_back(cand);

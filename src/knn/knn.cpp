@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "kernels/kernels.hpp"
 #include "knn/kdtree.hpp"
 #include "support/check.hpp"
 #include "support/parallel_for.hpp"
@@ -24,10 +25,13 @@ void validate(const data::LabeledPoints& db, std::span<const double> query, std:
 std::vector<Neighbor> query_sort(const data::LabeledPoints& db, std::span<const double> query,
                                  std::size_t k) {
   validate(db, query, k);
+  // Batch all n distances through the rows kernel, then attach labels.
+  std::vector<double> d2(db.size());
+  kernels::squared_distances_rows(db.points.values().data(), db.size(), db.dims(),
+                                  query.data(), d2.data());
   std::vector<Neighbor> all(db.size());
   for (std::size_t i = 0; i < db.size(); ++i) {
-    all[i] = {db.points.squared_distance(i, query), static_cast<std::uint32_t>(i),
-              db.labels[i]};
+    all[i] = {d2[i], static_cast<std::uint32_t>(i), db.labels[i]};
   }
   std::sort(all.begin(), all.end());
   all.resize(std::min(k, all.size()));
@@ -38,19 +42,28 @@ std::vector<Neighbor> query_heap(const data::LabeledPoints& db, std::span<const 
                                  std::size_t k) {
   validate(db, query, k);
   // Max-heap of the best k so far: the root is the worst of the best, so
-  // a new candidate replaces it in O(log k).
+  // a new candidate replaces it in O(log k).  Distances are computed a
+  // chunk at a time through the rows kernel so the heap bookkeeping
+  // stays interleaved with vectorized batches.
+  constexpr std::size_t kChunk = 256;
+  std::vector<double> d2(std::min<std::size_t>(kChunk, db.size()));
   std::vector<Neighbor> heap;
   heap.reserve(k);
-  for (std::size_t i = 0; i < db.size(); ++i) {
-    const Neighbor cand{db.points.squared_distance(i, query), static_cast<std::uint32_t>(i),
-                        db.labels[i]};
-    if (heap.size() < k) {
-      heap.push_back(cand);
-      std::push_heap(heap.begin(), heap.end());
-    } else if (cand < heap.front()) {
-      std::pop_heap(heap.begin(), heap.end());
-      heap.back() = cand;
-      std::push_heap(heap.begin(), heap.end());
+  for (std::size_t base = 0; base < db.size(); base += kChunk) {
+    const std::size_t len = std::min(kChunk, db.size() - base);
+    kernels::squared_distances_rows(db.points.values().data() + base * db.dims(), len,
+                                    db.dims(), query.data(), d2.data());
+    for (std::size_t r = 0; r < len; ++r) {
+      const std::size_t i = base + r;
+      const Neighbor cand{d2[r], static_cast<std::uint32_t>(i), db.labels[i]};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (cand < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end());
+      }
     }
   }
   std::sort_heap(heap.begin(), heap.end());

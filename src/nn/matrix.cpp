@@ -1,53 +1,47 @@
 #include "nn/matrix.hpp"
 
+#include "kernels/kernels.hpp"
+
 namespace peachy::nn {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   PEACHY_CHECK(a.cols() == b.rows(), "matmul: inner dimensions differ");
   Matrix c{a.rows(), b.cols()};
-  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
-  // i-k-j loop order: streams through b and c rows (cache friendly).
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto arow = a.row(i);
-    const auto crow = c.row(i);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = arow[kk];
-      if (aik == 0.0) continue;
-      const auto brow = b.row(kk);
-      for (std::size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  // The register-tiled kernel computes C += A·B over the zero-initialized
+  // result.  (The old loop skipped a_ik == 0 terms; the kernel multiplies
+  // them — for finite inputs the sums are identical, and non-finite
+  // values now propagate as IEEE arithmetic says they should.)
+  kernels::gemm_block(a.values().data(), b.values().data(), c.values().data(), a.rows(),
+                      a.cols(), b.cols());
   return c;
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   PEACHY_CHECK(a.rows() == b.rows(), "matmul_at_b: row counts differ");
-  Matrix c{a.cols(), b.cols()};
-  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
-  for (std::size_t i = 0; i < n; ++i) {
+  // Materialize Aᵀ once (a.cols × a.rows — layer-width sized, small next
+  // to the batch-sized product) so the gradient product runs through the
+  // same tiled kernel as the forward pass.
+  Matrix at{a.cols(), a.rows()};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
     const auto arow = a.row(i);
-    const auto brow = b.row(i);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double v = arow[kk];
-      if (v == 0.0) continue;
-      const auto crow = c.row(kk);
-      for (std::size_t j = 0; j < m; ++j) crow[j] += v * brow[j];
-    }
+    for (std::size_t j = 0; j < a.cols(); ++j) at(j, i) = arow[j];
   }
+  Matrix c{a.cols(), b.cols()};
+  kernels::gemm_block(at.values().data(), b.values().data(), c.values().data(), a.cols(),
+                      a.rows(), b.cols());
   return c;
 }
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
   PEACHY_CHECK(a.cols() == b.cols(), "matmul_a_bt: column counts differ");
+  // Both operands are traversed row-wise, so each output element is a
+  // contiguous dot product — no transpose needed.
   Matrix c{a.rows(), b.rows()};
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const auto arow = a.row(i);
     const auto crow = c.row(i);
     for (std::size_t j = 0; j < b.rows(); ++j) {
-      const auto brow = b.row(j);
-      double s = 0.0;
-      for (std::size_t kk = 0; kk < a.cols(); ++kk) s += arow[kk] * brow[kk];
-      crow[j] = s;
+      crow[j] = kernels::dot(arow.data(), b.row(j).data(), a.cols());
     }
   }
   return c;
@@ -55,9 +49,7 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
 
 void axpy(Matrix& out, const Matrix& m, double scale) {
   PEACHY_CHECK(out.rows() == m.rows() && out.cols() == m.cols(), "axpy: shape mismatch");
-  auto& o = out.values();
-  const auto& x = m.values();
-  for (std::size_t i = 0; i < o.size(); ++i) o[i] += scale * x[i];
+  kernels::axpy(out.values().data(), m.values().data(), scale, out.values().size());
 }
 
 }  // namespace peachy::nn

@@ -67,14 +67,19 @@ std::vector<std::vector<T>> materialize(const std::shared_ptr<Node<T>>& node) {
     if (node->cached) return *node->cached;
   }
   std::vector<std::vector<T>> parts(node->nparts);
-  support::parallel_for(node->ctx->pool(), 0, node->nparts, [&](std::size_t p) {
-    // Re-publish the task identity as the *partition* id (parallel_for's
-    // blocks may cover several partitions) so user closures racing across
-    // partitions are attributed correctly by the analysis layer.
-    const analysis::TaskScope scope{p, analysis::current_task().epoch};
-    node->ctx->note_task();
-    parts[p] = node->compute(p);
-  });
+  // Grain 0: a partition is arbitrary user work — always dispatch tasks,
+  // even for RDDs with a handful of partitions.
+  support::parallel_for(
+      node->ctx->pool(), 0, node->nparts,
+      [&](std::size_t p) {
+        // Re-publish the task identity as the *partition* id (parallel_for's
+        // blocks may cover several partitions) so user closures racing across
+        // partitions are attributed correctly by the analysis layer.
+        const analysis::TaskScope scope{p, analysis::current_task().epoch};
+        node->ctx->note_task();
+        parts[p] = node->compute(p);
+      },
+      /*grain=*/0);
   if (node->cache_enabled) {
     std::lock_guard lock{node->cache_mu};
     node->cached = parts;

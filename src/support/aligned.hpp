@@ -1,0 +1,54 @@
+#pragma once
+/// \file aligned.hpp
+/// \brief Cache-line aligned allocation for the numeric hot paths.
+///
+/// The kernel layer (src/kernels) operates on contiguous double buffers
+/// and wants them aligned to the widest vector register (and to cache
+/// lines, so two buffers never share a line).  `aligned_vector<T>` is a
+/// drop-in std::vector whose storage starts on a 64-byte boundary —
+/// PointSet coordinates, centroid panels, and kernel scratch all use it.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace peachy::support {
+
+/// Minimum alignment for kernel-visible buffers: one cache line, which
+/// also covers any SIMD register width up to 512 bits.
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/// std::allocator drop-in that over-aligns every allocation.
+template <typename T, std::size_t Align = kKernelAlignment>
+class AlignedAllocator {
+ public:
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Contiguous buffer whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace peachy::support

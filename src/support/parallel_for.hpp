@@ -45,11 +45,23 @@ struct BlockRange {
   return {begin, begin + len};
 }
 
+/// Default grain for the element-wise parallel_for: loops at or below
+/// this many iterations run their blocks inline on the calling thread.
+/// Sized so that a body has to be worth at least a few microseconds
+/// total before task dispatch (futures + wakeups) can pay for itself.
+inline constexpr std::size_t kInlineGrain = 2048;
+
 /// Run body(tid, lo, hi) on `threads` pool tasks, one per static block of
 /// [0,n).  Blocks until all complete.  Equivalent to
 /// `#pragma omp parallel num_threads(threads)` + static for schedule.
+///
+/// `inline_exec` switches only the *physical* dispatch (run the blocks on
+/// the calling thread instead of pool tasks); the logical structure —
+/// block partition, epoch, per-block task scopes — is identical either
+/// way, so the analysis layer sees the same parallel region.
 template <typename Body>
-void parallel_for_threads(ThreadPool& pool, std::size_t n, std::size_t threads, Body&& body) {
+void parallel_for_threads(ThreadPool& pool, std::size_t n, std::size_t threads, Body&& body,
+                          bool inline_exec = false) {
   PEACHY_CHECK(threads > 0, "parallel_for_threads: threads must be positive");
   // One epoch per region: blocks of the same region may race with each
   // other, blocks of different regions are separated by the join below.
@@ -61,7 +73,7 @@ void parallel_for_threads(ThreadPool& pool, std::size_t n, std::size_t threads, 
   // its own pool can run is the classic fork-join deadlock.  When the
   // caller is already one of this pool's workers, run the blocks inline —
   // outer-level parallelism already covers the machine.
-  if (threads == 1 || pool.worker_index() != static_cast<std::size_t>(-1)) {
+  if (threads == 1 || inline_exec || pool.worker_index() != static_cast<std::size_t>(-1)) {
     for (std::size_t t = 0; t < threads; ++t) {
       const BlockRange r = static_block(n, threads, t);
       const analysis::TaskScope scope{t, epoch};
@@ -84,14 +96,26 @@ void parallel_for_threads(ThreadPool& pool, std::size_t n, std::size_t threads, 
 /// Element-wise parallel for over [begin,end) with static chunking across
 /// the whole pool.  `body(i)` must be safe to run concurrently for
 /// distinct i.
+///
+/// Loops of at most `grain` iterations run inline on the calling thread
+/// (same partition, same logical region — just no task dispatch), so tiny
+/// loops don't pay futures-and-wakeups overhead that dwarfs their work.
+/// Pass grain = 0 to always dispatch: bodies that are expensive per
+/// iteration (or callers measuring dispatch itself) want pool tasks even
+/// for small n.
 template <typename Body>
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body) {
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = kInlineGrain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t parts = std::min(n, pool.thread_count());
-  parallel_for_threads(pool, n, parts, [&](std::size_t, std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) body(begin + i);
-  });
+  const bool inline_exec = grain != 0 && n <= grain;
+  parallel_for_threads(
+      pool, n, parts,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(begin + i);
+      },
+      inline_exec);
 }
 
 /// Convenience overload on the shared pool.

@@ -47,15 +47,34 @@ std::size_t ThreadPool::worker_index() const noexcept {
 void ThreadPool::submit(Task task) {
   PEACHY_CHECK(task != nullptr, "null task submitted");
   // Prefer the caller's own deque when the caller is one of our workers
-  // (LIFO locality); otherwise distribute round-robin.
+  // (LIFO locality); otherwise pick the least-loaded queue: a queued task
+  // outweighs a busy worker (the busy one finishes sooner than a whole
+  // backlog drains), so score = 2*queued + busy, lowest wins.  The scan
+  // start rotates so exact ties spread across workers instead of piling
+  // onto queue 0.  Scores are racy snapshots — a stale pick costs one
+  // steal, not correctness.
   std::size_t target = worker_index();
   if (target == static_cast<std::size_t>(-1)) {
-    target = rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    const std::size_t n = queues_.size();
+    const std::size_t start = rr_.fetch_add(1, std::memory_order_relaxed) % n;
+    std::size_t best_score = static_cast<std::size_t>(-1);
+    for (std::size_t off = 0; off < n; ++off) {
+      const std::size_t cand = (start + off) % n;
+      const auto& q = *queues_[cand];
+      const std::size_t score = 2 * q.size.load(std::memory_order_relaxed) +
+                                (q.busy.load(std::memory_order_relaxed) ? 1 : 0);
+      if (score < best_score) {
+        best_score = score;
+        target = cand;
+        if (score == 0) break;  // idle worker with an empty queue: optimal
+      }
+    }
   }
   pending_.fetch_add(1, std::memory_order_acq_rel);
   {
     std::lock_guard lock{queues_[target]->mu};
     queues_[target]->deque.push_back(std::move(task));
+    queues_[target]->size.store(queues_[target]->deque.size(), std::memory_order_relaxed);
   }
   work_cv_.notify_one();
 }
@@ -66,6 +85,7 @@ bool ThreadPool::try_pop_local(std::size_t self, Task& out) {
   if (q.deque.empty()) return false;
   out = std::move(q.deque.back());  // LIFO end: freshest task, best locality
   q.deque.pop_back();
+  q.size.store(q.deque.size(), std::memory_order_relaxed);
   return true;
 }
 
@@ -77,6 +97,7 @@ bool ThreadPool::try_steal(std::size_t self, Task& out) {
     if (!q.deque.empty()) {
       out = std::move(q.deque.front());  // FIFO end: oldest task, biggest chunk
       q.deque.pop_front();
+      q.size.store(q.deque.size(), std::memory_order_relaxed);
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
@@ -90,6 +111,7 @@ void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     Task task;
     if (try_pop_local(self, task) || try_steal(self, task)) {
+      queues_[self]->busy.store(true, std::memory_order_relaxed);
       {
         // Default identity for raw submits: this worker, in the shared
         // "unstructured" epoch (no join information).  Structured regions
@@ -97,6 +119,7 @@ void ThreadPool::worker_loop(std::size_t self) {
         const analysis::TaskScope scope{self, analysis::kUnstructuredEpoch};
         task();
       }
+      queues_[self]->busy.store(false, std::memory_order_relaxed);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         idle_cv_.notify_all();

@@ -36,6 +36,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task.  Thread-safe; may be called from worker threads.
+  /// Worker-thread submits go to the caller's own deque (LIFO locality);
+  /// external submits go to an idle worker's empty queue if one exists,
+  /// else the shortest queue (ties rotate via an advancing scan start).
   void submit(Task task);
 
   /// Enqueue a callable returning R and get a future for its result.
@@ -88,6 +91,11 @@ class ThreadPool {
   struct WorkerQueue {
     std::deque<Task> deque;
     std::mutex mu;
+    /// Mirror of deque.size(), maintained under mu but readable without
+    /// it: submit() scores candidate queues lock-free.
+    std::atomic<std::size_t> size{0};
+    /// True while this queue's worker is inside a task body.
+    std::atomic<bool> busy{false};
   };
 
   bool try_pop_local(std::size_t self, Task& out);
@@ -104,7 +112,7 @@ class ThreadPool {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> tasks_stolen_{0};
-  std::atomic<std::size_t> rr_{0};  // round-robin cursor for external submits
+  std::atomic<std::size_t> rr_{0};  // rotating scan start for external submits
 };
 
 }  // namespace peachy::support

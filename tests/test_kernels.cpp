@@ -1,0 +1,324 @@
+// Tests for peachy::kernels: the bit-reproducibility contract between
+// the scalar reference twins and the dispatched (AVX2) paths, argmin
+// semantics (tie-breaks, NaN, +inf padding lanes), panel construction,
+// and ISA dispatch controls.  Equivalence is asserted on *bits*, not
+// within a tolerance — the kernel contract is exact.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "data/points.hpp"
+#include "kernels/kernels.hpp"
+#include "rng/lcg.hpp"
+#include "rng/distributions.hpp"
+#include "support/aligned.hpp"
+#include "support/check.hpp"
+
+namespace pk = peachy::kernels;
+namespace pd = peachy::data;
+namespace ps = peachy::support;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+ps::aligned_vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  peachy::rng::Lcg64 gen{seed};
+  ps::aligned_vector<double> v(n);
+  for (double& x : v) x = peachy::rng::uniform_real(gen, -3.0, 3.0);
+  return v;
+}
+
+/// Bit-exact double comparison that also treats matching NaN payloads as
+/// equal (EXPECT_EQ on doubles fails for NaN == NaN).
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits " << std::bit_cast<std::uint64_t>(a) << " vs "
+         << std::bit_cast<std::uint64_t>(b) << ")";
+}
+
+/// Build a panel from k centroids given as row-major k×d values.
+pd::TransposedPanel make_panel(const std::vector<double>& rows, std::size_t k, std::size_t d) {
+  pd::PointSet set{k, d, rows};
+  return set.transposed_panel();
+}
+
+bool have_avx2() { return pk::isa_available(pk::Isa::kAvx2); }
+
+// The shapes every sweep runs: primes, lane boundaries, d=1, and sizes
+// with every possible tail length against the 4-wide vector width.
+const std::vector<std::size_t> kDims = {1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 16, 31, 32, 100};
+const std::vector<std::size_t> kCounts = {1, 2, 3, 4, 5, 7, 8, 9, 16, 17};
+
+}  // namespace
+
+// ---- dispatch controls ------------------------------------------------------------
+
+TEST(KernelsIsa, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(pk::isa_available(pk::Isa::kScalar));
+  EXPECT_STREQ(pk::isa_name(pk::Isa::kScalar), "scalar");
+  EXPECT_STREQ(pk::isa_name(pk::Isa::kAvx2), "avx2");
+}
+
+TEST(KernelsIsa, ForceScalarPinsDispatch) {
+  {
+    pk::ScopedIsa pin{pk::Isa::kScalar};
+    EXPECT_EQ(pk::active_isa(), pk::Isa::kScalar);
+  }
+  // After the scope ends, automatic selection resumes.
+  EXPECT_TRUE(pk::active_isa() == pk::Isa::kScalar || pk::active_isa() == pk::Isa::kAvx2);
+}
+
+TEST(KernelsIsa, ForcingUnavailableIsaThrows) {
+  if (have_avx2()) GTEST_SKIP() << "AVX2 available; cannot exercise the failure path";
+  EXPECT_THROW(pk::force_isa(pk::Isa::kAvx2), peachy::Error);
+}
+
+TEST(KernelsIsa, PaddedCountRoundsToLaneGroups) {
+  EXPECT_EQ(pk::padded_count(1), 4u);
+  EXPECT_EQ(pk::padded_count(4), 4u);
+  EXPECT_EQ(pk::padded_count(5), 8u);
+  EXPECT_EQ(pk::padded_count(8), 8u);
+}
+
+// ---- panel construction -----------------------------------------------------------
+
+TEST(KernelsPanel, LayoutAndInfinitePadding) {
+  const std::size_t k = 5, d = 3;
+  auto vals = std::vector<double>(k * d);
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<double>(i);
+  const auto panel = make_panel(vals, k, d);
+  ASSERT_EQ(panel.count, k);
+  ASSERT_EQ(panel.padded, 8u);
+  ASSERT_EQ(panel.values.size(), panel.padded * d);
+  for (std::size_t c = 0; c < panel.padded; ++c) {
+    const std::size_t g = c / pk::kPanelLane, lane = c % pk::kPanelLane;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double got = panel.values[(g * d + j) * pk::kPanelLane + lane];
+      if (c < k) {
+        EXPECT_EQ(got, vals[c * d + j]);
+      } else {
+        EXPECT_EQ(got, kInf);  // padding lanes can never win an argmin
+      }
+    }
+  }
+}
+
+// ---- scalar-vs-vector bit equivalence ---------------------------------------------
+
+TEST(KernelsEquivalence, SquaredDistanceAndDotAllDims) {
+  if (!have_avx2()) GTEST_SKIP() << "no AVX2 path in this build/CPU";
+  for (const std::size_t d : kDims) {
+    // +1 offset: deliberately misaligned inputs (kernels take any pointers).
+    const auto a = random_values(d + 1, 7 * d + 1);
+    const auto b = random_values(d + 1, 9 * d + 2);
+    const double rs = pk::ref::squared_distance(a.data() + 1, b.data() + 1, d);
+    const double rd = pk::ref::dot(a.data() + 1, b.data() + 1, d);
+    pk::ScopedIsa pin{pk::Isa::kAvx2};
+    EXPECT_TRUE(bits_equal(rs, pk::squared_distance(a.data() + 1, b.data() + 1, d))) << "d=" << d;
+    EXPECT_TRUE(bits_equal(rd, pk::dot(a.data() + 1, b.data() + 1, d))) << "d=" << d;
+  }
+}
+
+TEST(KernelsEquivalence, RowsDistancesUnalignedTails) {
+  if (!have_avx2()) GTEST_SKIP() << "no AVX2 path in this build/CPU";
+  for (const std::size_t d : {1ul, 3ul, 8ul, 13ul}) {
+    const std::size_t n = 23;
+    const auto pts = random_values(n * d, 31 * d);
+    const auto q = random_values(d, 37 * d);
+    std::vector<double> want(n), got(n);
+    pk::ref::squared_distances_rows(pts.data(), n, d, q.data(), want.data());
+    pk::ScopedIsa pin{pk::Isa::kAvx2};
+    pk::squared_distances_rows(pts.data(), n, d, q.data(), got.data());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(bits_equal(want[i], got[i])) << i;
+  }
+}
+
+TEST(KernelsEquivalence, BatchAndTileDistancesAllShapes) {
+  if (!have_avx2()) GTEST_SKIP() << "no AVX2 path in this build/CPU";
+  for (const std::size_t k : kCounts) {
+    for (const std::size_t d : {1ul, 2ul, 5ul, 8ul, 13ul}) {
+      const auto cent = random_values(k * d, 11 * k + d);
+      const auto panel = make_panel({cent.begin(), cent.end()}, k, d);
+      const std::size_t n = 9;
+      const auto pts = random_values(n * d, 13 * k + d);
+      std::vector<double> want(n * k), got(n * k);
+      pk::ref::squared_distances_tile(pts.data(), n, d, panel.data(), k, panel.padded,
+                                      want.data());
+      pk::ScopedIsa pin{pk::Isa::kAvx2};
+      pk::squared_distances_tile(pts.data(), n, d, panel.data(), k, panel.padded, got.data());
+      for (std::size_t i = 0; i < n * k; ++i) {
+        EXPECT_TRUE(bits_equal(want[i], got[i])) << "k=" << k << " d=" << d << " i=" << i;
+      }
+      // Single-query form agrees with row 0 of the tile.
+      std::vector<double> one(k);
+      pk::squared_distances_batch(pts.data(), d, panel.data(), k, panel.padded, one.data());
+      for (std::size_t c = 0; c < k; ++c) EXPECT_TRUE(bits_equal(want[c], one[c]));
+    }
+  }
+}
+
+TEST(KernelsEquivalence, ArgminAssignFullState) {
+  if (!have_avx2()) GTEST_SKIP() << "no AVX2 path in this build/CPU";
+  for (const std::size_t k : {1ul, 3ul, 4ul, 7ul, 16ul}) {
+    const std::size_t d = 5, n = 57;
+    const auto cent = random_values(k * d, 3 * k);
+    const auto panel = make_panel({cent.begin(), cent.end()}, k, d);
+    const auto pts = random_values(n * d, 5 * k);
+
+    std::vector<std::int32_t> assign_r(n, -1), assign_v(n, -1);
+    std::vector<double> sums_r(k * d, 0.0), sums_v(k * d, 0.0);
+    std::vector<std::int64_t> counts_r(k, 0), counts_v(k, 0);
+    const std::size_t changes_r =
+        pk::ref::argmin_assign(pts.data(), n, d, panel.data(), k, panel.padded, assign_r.data(),
+                               sums_r.data(), counts_r.data());
+    std::size_t changes_v = 0;
+    {
+      pk::ScopedIsa pin{pk::Isa::kAvx2};
+      changes_v = pk::argmin_assign(pts.data(), n, d, panel.data(), k, panel.padded,
+                                    assign_v.data(), sums_v.data(), counts_v.data());
+    }
+    EXPECT_EQ(changes_r, changes_v) << "k=" << k;
+    EXPECT_EQ(assign_r, assign_v) << "k=" << k;
+    EXPECT_EQ(counts_r, counts_v) << "k=" << k;
+    for (std::size_t i = 0; i < k * d; ++i) {
+      EXPECT_TRUE(bits_equal(sums_r[i], sums_v[i])) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelsEquivalence, StencilOddLengthsAndOffsets) {
+  if (!have_avx2()) GTEST_SKIP() << "no AVX2 path in this build/CPU";
+  for (const std::size_t n : {1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 9ul, 31ul, 1000ul}) {
+    for (const std::size_t off : {0ul, 1ul, 3ul}) {
+      const auto src = random_values(n + 2 + off, 17 * n + off);
+      std::vector<double> want(n + 2 + off, 0.0), got(n + 2 + off, 0.0);
+      pk::ref::stencil_row(want.data() + 1 + off, src.data() + 1 + off, n, 0.1);
+      pk::ScopedIsa pin{pk::Isa::kAvx2};
+      pk::stencil_row(got.data() + 1 + off, src.data() + 1 + off, n, 0.1);
+      for (std::size_t i = 0; i < n + 2 + off; ++i) {
+        EXPECT_TRUE(bits_equal(want[i], got[i])) << "n=" << n << " off=" << off << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelsEquivalence, GemmAllTailShapes) {
+  if (!have_avx2()) GTEST_SKIP() << "no AVX2 path in this build/CPU";
+  // Cover every i-tail (n mod 4) and j-tail (m mod 8) combination.
+  for (const std::size_t n : {1ul, 2ul, 4ul, 5ul, 7ul, 12ul}) {
+    for (const std::size_t m : {1ul, 3ul, 8ul, 9ul, 17ul}) {
+      const std::size_t k = 6;
+      const auto a = random_values(n * k, n + 41);
+      const auto b = random_values(k * m, m + 43);
+      // C starts nonzero: gemm accumulates (C += A·B).
+      auto want = random_values(n * m, n * m + 47);
+      std::vector<double> got(want.begin(), want.end());
+      pk::ref::gemm_block(a.data(), b.data(), want.data(), n, k, m);
+      pk::ScopedIsa pin{pk::Isa::kAvx2};
+      pk::gemm_block(a.data(), b.data(), got.data(), n, k, m);
+      for (std::size_t i = 0; i < n * m; ++i) {
+        EXPECT_TRUE(bits_equal(want[i], got[i])) << "n=" << n << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelsEquivalence, AxpyTails) {
+  if (!have_avx2()) GTEST_SKIP() << "no AVX2 path in this build/CPU";
+  for (const std::size_t n : {1ul, 4ul, 5ul, 127ul}) {
+    const auto x = random_values(n, n + 3);
+    auto want = random_values(n, n + 5);
+    std::vector<double> got(want.begin(), want.end());
+    pk::ref::axpy(want.data(), x.data(), -0.75, n);
+    pk::ScopedIsa pin{pk::Isa::kAvx2};
+    pk::axpy(got.data(), x.data(), -0.75, n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(bits_equal(want[i], got[i])) << i;
+  }
+}
+
+TEST(KernelsEquivalence, NanInputsPropagateIdentically) {
+  if (!have_avx2()) GTEST_SKIP() << "no AVX2 path in this build/CPU";
+  const std::size_t d = 7;
+  auto a = random_values(d, 1);
+  auto b = random_values(d, 2);
+  a[3] = kNan;
+  const double want = pk::ref::squared_distance(a.data(), b.data(), d);
+  EXPECT_TRUE(std::isnan(want));
+  pk::ScopedIsa pin{pk::Isa::kAvx2};
+  EXPECT_TRUE(bits_equal(want, pk::squared_distance(a.data(), b.data(), d)));
+}
+
+// ---- argmin semantics (both paths) ------------------------------------------------
+
+class KernelsArgmin : public ::testing::TestWithParam<pk::Isa> {
+ protected:
+  void SetUp() override {
+    if (!pk::isa_available(GetParam())) GTEST_SKIP() << "isa unavailable";
+  }
+};
+
+TEST_P(KernelsArgmin, TieBreaksToLowestIndex) {
+  pk::ScopedIsa pin{GetParam()};
+  // Centroids 1 and 2 are identical and equidistant winners.
+  const std::vector<double> cent = {5.0, 5.0, 1.0, 1.0, 1.0, 1.0, 9.0, 9.0};
+  const auto panel = make_panel(cent, 4, 2);
+  const std::vector<double> q = {1.0, 1.0};
+  double best = -1.0;
+  EXPECT_EQ(pk::argmin_batch(q.data(), 2, panel.data(), 4, panel.padded, &best), 1u);
+  EXPECT_EQ(best, 0.0);
+}
+
+TEST_P(KernelsArgmin, NanCentroidNeverWins) {
+  pk::ScopedIsa pin{GetParam()};
+  const std::vector<double> cent = {kNan, kNan, 2.0, 2.0, 100.0, 100.0};
+  const auto panel = make_panel(cent, 3, 2);
+  const std::vector<double> q = {0.0, 0.0};
+  EXPECT_EQ(pk::argmin_batch(q.data(), 2, panel.data(), 3, panel.padded), 1u);
+}
+
+TEST_P(KernelsArgmin, AllNanReturnsIndexZeroWithInfiniteDistance) {
+  pk::ScopedIsa pin{GetParam()};
+  const std::vector<double> cent = {kNan, kNan, kNan, kNan};
+  const auto panel = make_panel(cent, 2, 2);
+  const std::vector<double> q = {0.0, 0.0};
+  double best = 0.0;
+  // NaN distances never beat the +inf starting best under strict <, so
+  // the fallback index 0 is reported with the untouched +inf distance.
+  EXPECT_EQ(pk::argmin_batch(q.data(), 2, panel.data(), 2, panel.padded, &best), 0u);
+  EXPECT_EQ(best, kInf);
+}
+
+TEST_P(KernelsArgmin, PaddingLanesNeverSelected) {
+  pk::ScopedIsa pin{GetParam()};
+  // k=5 pads to 8; make the real centroids enormous so the padded +inf
+  // lanes are "closest" to losing — they must still never be selected.
+  std::vector<double> cent(5 * 3, 1e300);
+  cent[4 * 3] = cent[4 * 3 + 1] = cent[4 * 3 + 2] = 0.5;  // centroid 4 wins
+  const auto panel = make_panel(cent, 5, 3);
+  const std::vector<double> q = {0.0, 0.0, 0.0};
+  EXPECT_EQ(pk::argmin_batch(q.data(), 3, panel.data(), 5, panel.padded), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothIsas, KernelsArgmin,
+                         ::testing::Values(pk::Isa::kScalar, pk::Isa::kAvx2),
+                         [](const ::testing::TestParamInfo<pk::Isa>& param_info) {
+                           return pk::isa_name(param_info.param);
+                         });
+
+// ---- degenerate shapes ------------------------------------------------------------
+
+TEST(KernelsEdge, ZeroLengthInputs) {
+  EXPECT_EQ(pk::squared_distance(nullptr, nullptr, 0), 0.0);
+  EXPECT_EQ(pk::dot(nullptr, nullptr, 0), 0.0);
+  pk::stencil_row(nullptr, nullptr, 0, 0.5);  // no-op, must not crash
+  pk::axpy(nullptr, nullptr, 2.0, 0);
+}

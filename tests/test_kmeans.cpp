@@ -210,6 +210,27 @@ TEST(KmeansVariantsExtra, ReductionIsBitIdenticalToSequential) {
   EXPECT_EQ(red.inertia, seq.inertia);
 }
 
+TEST(KmeansVariantsExtra, ThreadedRunsAreBitIdenticalAcrossRepeats) {
+  // Determinism contract: for a fixed thread count, repeated threaded
+  // runs produce bit-identical centroids — the reduction variant merges
+  // fixed static blocks in thread order, and the kernels layer promises
+  // identical arithmetic regardless of which ISA path dispatch picks.
+  const auto points = blobs(70, 3, 3, 0.5, 23);
+  const km::Options opts = default_opts();
+  peachy::support::ThreadPool pool{4};
+  for (const auto variant : {km::Variant::kReduction, km::Variant::kReductionPadded}) {
+    const auto first = km::cluster_parallel(points, opts, variant, pool, 4);
+    for (int run = 0; run < 3; ++run) {
+      const auto again = km::cluster_parallel(points, opts, variant, pool, 4);
+      EXPECT_EQ(again.centroids.values(), first.centroids.values())
+          << km::to_string(variant) << " run=" << run;
+      EXPECT_EQ(again.assignment, first.assignment);
+      EXPECT_EQ(again.inertia, first.inertia);
+      EXPECT_EQ(again.iterations, first.iterations);
+    }
+  }
+}
+
 // ---- distributed -------------------------------------------------------------------------
 
 class KmeansMpiRanks : public ::testing::TestWithParam<int> {};

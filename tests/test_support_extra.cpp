@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "data/frame.hpp"
 #include "geo/raster.hpp"
@@ -16,6 +18,7 @@
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ps = peachy::support;
 
@@ -156,4 +159,45 @@ TEST(StatsExtra, SummaryToStringMentionsFields) {
   const auto text = ps::to_string(ps::summarize(xs));
   EXPECT_NE(text.find("mean="), std::string::npos);
   EXPECT_NE(text.find("p95="), std::string::npos);
+}
+
+// ---- thread-pool placement statistics --------------------------------------------
+
+TEST(ThreadPoolStats, CountersConsistentAfterExternalBurst) {
+  // Statistics test, deliberately assertion-free about *which* queue each
+  // task landed in: external submits pick the shortest/idle queue and
+  // stealing rebalances the rest, so the only portable invariants are the
+  // conservation laws on the counters.
+  ps::ThreadPool pool{4};
+  std::atomic<std::size_t> ran{0};
+  constexpr std::size_t kTasks = 500;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(pool.tasks_executed(), kTasks);
+  // Every stolen task was executed; steals can never exceed executions.
+  EXPECT_LE(pool.tasks_stolen(), pool.tasks_executed());
+}
+
+TEST(ThreadPoolStats, SlowWorkerDoesNotAbsorbBurst) {
+  // Plug one worker with a long task, then burst-submit short tasks from
+  // outside: shortest-queue placement must route them to the free
+  // workers, so the burst completes even while the plug is running.
+  ps::ThreadPool pool{3};
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  std::atomic<std::size_t> ran{0};
+  for (std::size_t i = 0; i < 64; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // Wait for the short tasks only; the plug still holds its worker.
+  while (ran.load(std::memory_order_acquire) < 64) std::this_thread::yield();
+  release.store(true, std::memory_order_release);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 64u);
+  EXPECT_EQ(pool.tasks_executed(), 65u);
 }
