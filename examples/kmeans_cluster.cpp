@@ -3,14 +3,22 @@
 /// rendered as a labelled scatter plot — plus the assignment's strategy
 /// stages (critical → atomic → reduction) run side by side.
 ///
-///   ./kmeans_cluster [--n=1500 --k=3 --spread=1.2 --threads=4 --seed=11
-///                     --ppm=kmeans.ppm]
+///   ./kmeans_cluster [--n=1500 --k=3 --spread=1.2 --threads=4 --ranks=2
+///                     --seed=11 --ppm=kmeans.ppm]
+///
+/// Besides the shared-memory strategy stages, the demo runs the
+/// distributed variant over mini-MPI and a MapReduce cluster-size count,
+/// so one `PEACHY_TRACE=trace.json` run records spans from every
+/// substrate: thread pool, parallel_for, mpi, mapreduce, and kernels.
 
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "data/points.hpp"
 #include "kmeans/kmeans.hpp"
+#include "kmeans/mpi_kmeans.hpp"
+#include "mapreduce/mapreduce.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -88,6 +96,7 @@ int main(int argc, char** argv) {
   const auto k = cli.get<std::size_t>("k", 3, "clusters (Fig. 1 uses 3)");
   const auto spread = cli.get<double>("spread", 1.2, "cluster spread");
   const auto threads = cli.get<std::size_t>("threads", 4, "worker threads");
+  const auto ranks = cli.get<int>("ranks", 2, "mini-MPI ranks for the distributed variant");
   const auto seed = cli.get<std::uint64_t>("seed", 11, "seed");
   const auto ppm_path = cli.get<std::string>("ppm", "kmeans.ppm", "PPM output ('' to skip)");
   cli.finish();
@@ -124,10 +133,63 @@ int main(int argc, char** argv) {
                res.inertia, sw.elapsed_ms()});
   }
 
+  // Distributed variant (paper §3's second model) plus a MapReduce pass
+  // counting cluster sizes from the distributed result.  Root scatters,
+  // every rank clusters its block; rank 0 publishes its Result (safe
+  // without a lock — run() joins all rank threads before returning).
+  std::vector<std::uint64_t> cluster_sizes(k, 0);
+  {
+    peachy::support::Stopwatch sw;
+    peachy::kmeans::Result mpi_res;
+    peachy::mpi::run(ranks, [&](peachy::mpi::Comm& comm) {
+      const peachy::data::PointSet empty;
+      const auto res = peachy::kmeans::cluster_mpi(
+          comm, comm.rank() == 0 ? points : empty, opts);
+
+      // Cluster-size count as a MapReduce job over assignment chunks:
+      // map emits (cluster, count) per chunk, collate shuffles by
+      // cluster, reduce sums — MR-MPI's canonical histogram shape.
+      peachy::mapreduce::MapReduce mr{comm};
+      const std::size_t ntasks = static_cast<std::size_t>(comm.size()) * 4;
+      mr.map(ntasks, [&](std::size_t task, peachy::mapreduce::KvEmitter& out) {
+        const auto blk = peachy::support::static_block(res.assignment.size(), ntasks, task);
+        std::vector<std::uint64_t> local(res.centroids.size(), 0);
+        for (std::size_t i = blk.begin; i < blk.end; ++i) {
+          ++local[static_cast<std::size_t>(res.assignment[i])];
+        }
+        for (std::size_t c = 0; c < local.size(); ++c) {
+          if (local[c] != 0) out.emit_record(std::to_string(c), local[c]);
+        }
+      });
+      mr.collate();
+      mr.reduce([](const std::string& key, std::span<const std::string> values,
+                   peachy::mapreduce::KvEmitter& out) {
+        std::uint64_t total = 0;
+        for (const auto& v : values) total += peachy::mapreduce::unpack_record<std::uint64_t>(v);
+        out.emit_record(key, total);
+      });
+      const auto pairs = mr.gather(0);
+      if (comm.rank() == 0) {
+        mpi_res = res;
+        for (const auto& kv : pairs) {
+          cluster_sizes[std::stoul(kv.key)] =
+              peachy::mapreduce::unpack_record<std::uint64_t>(kv.value);
+        }
+      }
+    });
+    table.row({"mpi[" + std::to_string(ranks) + " ranks]",
+               static_cast<std::int64_t>(mpi_res.iterations), mpi_res.inertia,
+               sw.elapsed_ms()});
+  }
+
   std::cout << "K-means (paper §3, Fig. 1): " << points.size() << " 2-D points, K=" << k
             << ", " << threads << " threads\n\n";
   table.print();
-  std::cout << "\nclusters (digits = cluster id, '*' = centroid):\n"
+  std::cout << "\ncluster sizes (MapReduce over " << ranks << " ranks):";
+  for (std::size_t c = 0; c < cluster_sizes.size(); ++c) {
+    std::cout << (c ? ", " : " ") << c << "=" << cluster_sizes[c];
+  }
+  std::cout << "\n\nclusters (digits = cluster id, '*' = centroid):\n"
             << scatter_ascii(points, shown, 78, 24);
   if (!ppm_path.empty()) {
     write_ppm(ppm_path, points, shown, 640, 480);

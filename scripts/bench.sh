@@ -1,24 +1,54 @@
 #!/usr/bin/env bash
-# Kernel benchmark runner — builds the Release bench tree and runs the
-# bench_kernels harness at full sizes, writing BENCH_kernels.json at the
-# repo root (the committed perf-regression baseline).
+# Kernel benchmark runner — builds the Release bench tree, runs the
+# bench_kernels harness at full sizes, and *compares* the fresh numbers
+# against the committed baseline (BENCH_kernels.json at the repo root)
+# with a tolerance band, failing on regression.
 #
-# Usage: scripts/bench.sh [extra bench_kernels args...]
-#   e.g. scripts/bench.sh --tiny            # smoke sizes
-#        scripts/bench.sh --out /tmp/b.json # alternate output path
+# Usage: scripts/bench.sh                   # run + compare vs baseline
+#        scripts/bench.sh --update          # refresh the committed baseline
+#        scripts/bench.sh --tolerance 0.05  # widen the geomean band to 5%
+#        scripts/bench.sh -- [args...]      # raw passthrough to bench_kernels
+#   e.g. scripts/bench.sh -- --tiny         # smoke sizes, no comparison
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 DIR="$ROOT/build-bench"
+BASELINE="$ROOT/BENCH_kernels.json"
+
+UPDATE=0
+TOLERANCE=0.02
+PASSTHROUGH=()
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --update) UPDATE=1; shift ;;
+    --tolerance) TOLERANCE="$2"; shift 2 ;;
+    --) shift; PASSTHROUGH=("$@"); break ;;
+    *) echo "unknown arg '$1' (use -- to pass args to bench_kernels)" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B "$DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=Release \
   -DPEACHY_BUILD_BENCH=ON -DPEACHY_BUILD_TESTS=OFF -DPEACHY_BUILD_EXAMPLES=OFF
 cmake --build "$DIR" --target bench_kernels -j "$JOBS"
 
-if [ "$#" -gt 0 ]; then
-  exec "$DIR/bench/bench_kernels" "$@"
+if [ "${#PASSTHROUGH[@]}" -gt 0 ]; then
+  exec "$DIR/bench/bench_kernels" "${PASSTHROUGH[@]}"
 fi
-exec "$DIR/bench/bench_kernels" --out "$ROOT/BENCH_kernels.json"
+
+if [ "$UPDATE" -eq 1 ]; then
+  "$DIR/bench/bench_kernels" --out "$BASELINE"
+  echo "baseline refreshed: $BASELINE"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "no committed baseline at $BASELINE — run 'scripts/bench.sh --update' first" >&2
+  exit 2
+fi
+
+FRESH="$DIR/bench/BENCH_kernels_fresh.json"
+"$DIR/bench/bench_kernels" --out "$FRESH"
+python3 "$ROOT/scripts/bench_compare.py" "$BASELINE" "$FRESH" --tolerance "$TOLERANCE"

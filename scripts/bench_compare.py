@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_kernels run against the committed baseline.
+
+Both inputs are "peachy-bench/1" JSON documents.  Rows are matched by
+(name, shape); for each match the ratio fresh_kernel_ns / base_kernel_ns
+is computed, and the gate is the *geometric mean* of those ratios —
+individual rows are noisy at small sizes, but the geomean over the whole
+suite is stable, so a real regression (e.g. a hook that stopped being
+branch-predicted away) moves it while scheduler jitter does not.
+
+Exit codes: 0 pass, 1 regression beyond tolerance, 2 usage/input error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "peachy-bench/1":
+        sys.exit(f"error: {path}: schema is {doc.get('schema')!r}, "
+                 "expected 'peachy-bench/1'")
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        rows[(row["name"], row["shape"])] = row
+    if not rows:
+        sys.exit(f"error: {path}: no benchmark rows")
+    return doc, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed baseline JSON")
+    ap.add_argument("fresh", help="freshly produced JSON")
+    ap.add_argument("--tolerance", type=float, default=0.02,
+                    help="allowed geomean slowdown, fractional "
+                         "(default 0.02 = 2%%)")
+    ap.add_argument("--row-tolerance", type=float, default=0.25,
+                    help="per-row slowdown that triggers a warning, "
+                         "fractional (default 0.25); informational only")
+    args = ap.parse_args()
+
+    base_doc, base = load(args.baseline)
+    fresh_doc, fresh = load(args.fresh)
+
+    if base_doc.get("tiny") != fresh_doc.get("tiny"):
+        sys.exit("error: baseline and fresh runs used different sizes "
+                 f"(tiny={base_doc.get('tiny')} vs {fresh_doc.get('tiny')}); "
+                 "ratios would be meaningless")
+    if base_doc.get("isa") != fresh_doc.get("isa"):
+        print(f"warning: ISA differs (baseline={base_doc.get('isa')}, "
+              f"fresh={fresh_doc.get('isa')}); comparing anyway",
+              file=sys.stderr)
+
+    common = sorted(base.keys() & fresh.keys())
+    if not common:
+        sys.exit("error: no common (name, shape) rows between the two runs")
+    for key in sorted(base.keys() - fresh.keys()):
+        print(f"warning: baseline-only row skipped: {key}", file=sys.stderr)
+    for key in sorted(fresh.keys() - base.keys()):
+        print(f"warning: fresh-only row skipped: {key}", file=sys.stderr)
+
+    log_sum = 0.0
+    worst = (1.0, None)
+    print(f"{'benchmark':<28} {'base ns':>12} {'fresh ns':>12} {'ratio':>7}")
+    for key in common:
+        b, f = base[key]["kernel_ns"], fresh[key]["kernel_ns"]
+        if b <= 0 or f <= 0:
+            sys.exit(f"error: non-positive kernel_ns for {key}")
+        ratio = f / b
+        log_sum += math.log(ratio)
+        if ratio > worst[0]:
+            worst = (ratio, key)
+        flag = ""
+        if ratio > 1.0 + args.row_tolerance:
+            flag = "  <-- slow (informational)"
+        print(f"{key[0]:<28} {b:>12.0f} {f:>12.0f} {ratio:>7.3f}{flag}")
+
+    geomean = math.exp(log_sum / len(common))
+    limit = 1.0 + args.tolerance
+    print(f"\ngeomean ratio over {len(common)} rows: {geomean:.4f} "
+          f"(limit {limit:.4f})")
+    if worst[1] is not None:
+        print(f"worst row: {worst[1][0]} at {worst[0]:.3f}x")
+
+    if geomean > limit:
+        print(f"FAIL: geomean slowdown {100 * (geomean - 1):.1f}% exceeds "
+              f"{100 * args.tolerance:.1f}% tolerance", file=sys.stderr)
+        return 1
+    print("PASS: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

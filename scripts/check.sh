@@ -12,13 +12,19 @@
 #                executes at CheckLevel::full, proving the checker raises
 #                zero false positives on the whole suite
 #
-# plus one perf-infrastructure smoke:
+# plus two perf-infrastructure smokes:
 #
 #   bench-smoke — Release build of the bench tree only; runs bench_kernels
 #                 at tiny sizes and validates the emitted JSON against the
 #                 "peachy-bench/1" schema (wiring check, not a perf gate)
+#   obs-smoke   — Release build of examples + bench; runs kmeans_cluster
+#                 under PEACHY_TRACE and validates the "peachy-trace/1"
+#                 document (>=4 substrate categories, well-formed per-thread
+#                 span nesting), then runs bench_kernels with tracing
+#                 *disabled* and gates it at <2% geomean slowdown against
+#                 the committed baseline — the obs overhead contract
 #
-# Usage: scripts/check.sh [config ...]     (default: all four)
+# Usage: scripts/check.sh [config ...]     (default: all five)
 
 set -euo pipefail
 
@@ -70,9 +76,61 @@ EOF
   echo "==== [bench-smoke] OK ===="
 }
 
+run_obs_smoke() {
+  local dir="$ROOT/build-check-obs-smoke"
+  echo "==== [obs-smoke] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=ON -DPEACHY_BUILD_TESTS=OFF -DPEACHY_BUILD_EXAMPLES=ON
+  echo "==== [obs-smoke] build ===="
+  cmake --build "$dir" --target kmeans_cluster bench_kernels -j "$JOBS"
+  echo "==== [obs-smoke] trace run ===="
+  local trace="$dir/trace.json"
+  PEACHY_TRACE="$trace" "$dir/examples/kmeans_cluster" --ppm='' >/dev/null
+  echo "==== [obs-smoke] validate trace ===="
+  python3 - "$trace" <<'EOF'
+import collections, json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "peachy-trace/1", doc.get("schema")
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+cats = {e["cat"] for e in events if e["ph"] == "X"}
+# The kmeans example drives the pool, parallel_for, mini-MPI, and
+# MapReduce substrates at minimum.
+assert len(cats) >= 4, f"expected spans from >=4 substrates, got {cats}"
+# Per-thread span nesting must be well formed: sorted by start (ties:
+# longer first), every span either nests inside or starts after the
+# innermost open span on its thread.
+by_tid = collections.defaultdict(list)
+for e in events:
+    if e["ph"] == "X":
+        by_tid[e["tid"]].append((e["ts"], -e["dur"], e))
+for tid, spans in by_tid.items():
+    spans.sort(key=lambda t: (t[0], t[1]))
+    stack = []
+    for ts, negdur, e in spans:
+        end = ts + e["dur"]
+        while stack and ts >= stack[-1]:
+            stack.pop()
+        assert not stack or end <= stack[-1] + 1e-6, \
+            f"tid {tid}: span {e['name']} overlaps its parent"
+        stack.append(end)
+assert doc["counters"], "no counters recorded"
+print(f"trace OK: {len(events)} events, substrates={sorted(cats)}, "
+      f"{len(doc['counters'])} counters")
+EOF
+  echo "==== [obs-smoke] disabled-mode overhead gate ===="
+  local fresh="$dir/bench/BENCH_kernels_obs.json"
+  "$dir/bench/bench_kernels" --out "$fresh"
+  python3 "$ROOT/scripts/bench_compare.py" \
+    "$ROOT/BENCH_kernels.json" "$fresh" --tolerance 0.02
+  echo "==== [obs-smoke] OK ===="
+}
+
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(asan-ubsan tsan analysis bench-smoke)
+  configs=(asan-ubsan tsan analysis bench-smoke obs-smoke)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -81,7 +139,8 @@ for cfg in "${configs[@]}"; do
     tsan)        run_config tsan -DPEACHY_TSAN=ON ;;
     analysis)    run_config analysis -DPEACHY_ANALYSIS=ON ;;
     bench-smoke) run_bench_smoke ;;
-    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke)" >&2; exit 2 ;;
+    obs-smoke)   run_obs_smoke ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, obs-smoke)" >&2; exit 2 ;;
   esac
 done
 

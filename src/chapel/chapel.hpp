@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "analysis/hooks.hpp"
+#include "obs/obs.hpp"
 #include "support/barrier.hpp"
 #include "support/check.hpp"
 #include "support/parallel_for.hpp"
@@ -77,6 +78,8 @@ class LocaleGrid {
   /// body(tid), join.  Each task inherits the caller's locale.
   template <typename F>
   void coforall(std::size_t n, F&& body) {
+    const obs::SpanScope span{"chapel", "coforall", "n",
+                              static_cast<std::int64_t>(n)};
     const std::size_t parent = tls_here_;
     const std::uint64_t epoch = analysis::begin_parallel_region();
     spawned_.fetch_add(n, std::memory_order_relaxed);
@@ -96,6 +99,8 @@ class LocaleGrid {
   /// locale, each executing "on" its locale.
   template <typename F>
   void coforall_locales(F&& body) {
+    const obs::SpanScope span{"chapel", "coforall_locales", "n",
+                              static_cast<std::int64_t>(nlocales_)};
     const std::uint64_t epoch = analysis::begin_parallel_region();
     spawned_.fetch_add(nlocales_, std::memory_order_relaxed);
     std::vector<std::future<void>> futs;
@@ -119,6 +124,8 @@ class LocaleGrid {
   void forall(Domain1D dom, F&& body) {
     const std::size_t n = dom.size();
     if (n == 0) return;
+    const obs::SpanScope span{"chapel", "forall", "n",
+                              static_cast<std::int64_t>(n)};
     const std::uint64_t epoch = analysis::begin_parallel_region();
     std::size_t task_id = 0;
     std::vector<std::future<void>> futs;

@@ -12,6 +12,7 @@ std::vector<CsvRow> read_csv(std::istream& in) {
   CsvRow row;
   std::string field;
   bool in_quotes = false;
+  bool after_quote = false;  // a quoted field just closed; only , \r \n may follow
   bool field_started = false;  // row has at least one field boundary
   std::size_t line = 1;
 
@@ -19,6 +20,7 @@ std::vector<CsvRow> read_csv(std::istream& in) {
     row.push_back(std::move(field));
     field.clear();
     field_started = true;
+    after_quote = false;
   };
   const auto end_row = [&] {
     if (field_started || !field.empty()) {
@@ -38,6 +40,7 @@ std::vector<CsvRow> read_csv(std::istream& in) {
           in.get();
         } else {
           in_quotes = false;
+          after_quote = true;
         }
       } else {
         if (c == '\n') ++line;
@@ -47,6 +50,8 @@ std::vector<CsvRow> read_csv(std::istream& in) {
     }
     switch (c) {
       case '"':
+        PEACHY_CHECK(!after_quote, "csv line " + std::to_string(line) +
+                                       ": garbage after closing quote");
         PEACHY_CHECK(field.empty(), "csv line " + std::to_string(line) +
                                         ": quote in the middle of an unquoted field");
         in_quotes = true;
@@ -62,6 +67,10 @@ std::vector<CsvRow> read_csv(std::istream& in) {
         ++line;
         break;
       default:
+        // RFC 4180: once a quoted field closes, only a separator or end of
+        // record may follow.  `"a"b` used to parse silently as `ab`.
+        PEACHY_CHECK(!after_quote, "csv line " + std::to_string(line) +
+                                       ": garbage after closing quote");
         field.push_back(c);
         break;
     }

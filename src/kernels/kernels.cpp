@@ -12,6 +12,7 @@
 #include <string>
 
 #include "kernels/detail.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace peachy::kernels {
@@ -78,7 +79,20 @@ void clear_forced_isa() noexcept { forced_slot().store(kAuto, std::memory_order_
 // Each entry point branches once on the selected path.  With
 // PEACHY_HAVE_AVX2 off the branch folds away entirely.
 
+// Per-kernel invocation counter, split by the ISA path actually taken
+// ("kern.<fn>[scalar]" / "kern.<fn>[avx2]").  One relaxed load when
+// tracing is off; lookups resolve once per call site.
+#define PEACHY_KERN_COUNT(fn)                                              \
+  do {                                                                     \
+    if (obs::enabled()) {                                                  \
+      static obs::Counter& scalar_c = obs::counter("kern." fn "[scalar]"); \
+      static obs::Counter& avx2_c = obs::counter("kern." fn "[avx2]");     \
+      (current_isa() == Isa::kAvx2 ? avx2_c : scalar_c).add(1);            \
+    }                                                                      \
+  } while (false)
+
 double squared_distance(const double* a, const double* b, std::size_t d) {
+  PEACHY_KERN_COUNT("squared_distance");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) return detail::avx2::squared_distance(a, b, d);
 #endif
@@ -86,6 +100,7 @@ double squared_distance(const double* a, const double* b, std::size_t d) {
 }
 
 double dot(const double* a, const double* b, std::size_t n) {
+  PEACHY_KERN_COUNT("dot");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) return detail::avx2::dot(a, b, n);
 #endif
@@ -94,6 +109,7 @@ double dot(const double* a, const double* b, std::size_t n) {
 
 void squared_distances_rows(const double* pts, std::size_t n, std::size_t d, const double* q,
                             double* out) {
+  PEACHY_KERN_COUNT("squared_distances_rows");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) {
     detail::avx2::squared_distances_rows(pts, n, d, q, out);
@@ -104,6 +120,7 @@ void squared_distances_rows(const double* pts, std::size_t n, std::size_t d, con
 }
 
 void axpy(double* y, const double* x, double a, std::size_t n) {
+  PEACHY_KERN_COUNT("axpy");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) {
     detail::avx2::axpy(y, x, a, n);
@@ -115,6 +132,7 @@ void axpy(double* y, const double* x, double a, std::size_t n) {
 
 void squared_distances_batch(const double* q, std::size_t d, const double* panel,
                              std::size_t k, std::size_t kp, double* out) {
+  PEACHY_KERN_COUNT("squared_distances_batch");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) {
     detail::avx2::squared_distances_batch(q, d, panel, k, kp, out);
@@ -126,6 +144,7 @@ void squared_distances_batch(const double* q, std::size_t d, const double* panel
 
 void squared_distances_tile(const double* pts, std::size_t n, std::size_t d,
                             const double* panel, std::size_t k, std::size_t kp, double* out) {
+  PEACHY_KERN_COUNT("squared_distances_tile");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) {
     detail::avx2::squared_distances_tile(pts, n, d, panel, k, kp, out);
@@ -137,6 +156,7 @@ void squared_distances_tile(const double* pts, std::size_t n, std::size_t d,
 
 std::size_t argmin_batch(const double* q, std::size_t d, const double* panel, std::size_t k,
                          std::size_t kp, double* best_d2) {
+  PEACHY_KERN_COUNT("argmin_batch");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) {
     return detail::avx2::argmin_batch(q, d, panel, k, kp, best_d2);
@@ -148,6 +168,7 @@ std::size_t argmin_batch(const double* q, std::size_t d, const double* panel, st
 std::size_t argmin_assign(const double* pts, std::size_t n, std::size_t d, const double* panel,
                           std::size_t k, std::size_t kp, std::int32_t* assignment, double* sums,
                           std::int64_t* counts) {
+  PEACHY_KERN_COUNT("argmin_assign");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) {
     return detail::avx2::argmin_assign(pts, n, d, panel, k, kp, assignment, sums, counts);
@@ -157,6 +178,7 @@ std::size_t argmin_assign(const double* pts, std::size_t n, std::size_t d, const
 }
 
 void stencil_row(double* dst, const double* src, std::size_t n, double alpha) {
+  PEACHY_KERN_COUNT("stencil_row");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) {
     detail::avx2::stencil_row(dst, src, n, alpha);
@@ -168,6 +190,7 @@ void stencil_row(double* dst, const double* src, std::size_t n, double alpha) {
 
 void gemm_block(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
                 std::size_t m) {
+  PEACHY_KERN_COUNT("gemm_block");
 #if PEACHY_HAVE_AVX2
   if (current_isa() == Isa::kAvx2) {
     detail::avx2::gemm_block(a, b, c, n, k, m);

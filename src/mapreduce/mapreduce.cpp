@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.hpp"
+
 namespace peachy::mapreduce {
 
 namespace {
@@ -75,6 +77,8 @@ std::vector<KeyValue> deserialize_pairs(std::span<const std::byte> bytes) {
 
 std::uint64_t MapReduce::map(std::size_t ntasks, const MapFn& fn) {
   PEACHY_CHECK(fn != nullptr, "map: null callback");
+  const obs::SpanScope span{"mr", "map", "tasks",
+                            static_cast<std::int64_t>(ntasks)};
   kv_.clear();
   kmv_.clear();
   KvEmitter emitter{kv_};
@@ -90,6 +94,7 @@ std::uint64_t MapReduce::map(std::size_t ntasks, const MapFn& fn) {
 std::uint64_t MapReduce::combine(const ReduceFn& fn) {
   PEACHY_CHECK(fn != nullptr, "combine: null callback");
   PEACHY_CHECK(phase_ == Phase::kMapped, "combine must follow map");
+  const obs::SpanScope span{"mr", "combine"};
   std::stable_sort(kv_.begin(), kv_.end(),
                    [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
   auto grouped = group_sorted(std::move(kv_));
@@ -101,6 +106,7 @@ std::uint64_t MapReduce::combine(const ReduceFn& fn) {
 
 std::uint64_t MapReduce::collate() {
   PEACHY_CHECK(phase_ == Phase::kMapped, "collate must follow map (or combine)");
+  obs::SpanScope span{"mr", "collate"};
   const int p = comm_->size();
 
   // Partition local pairs by destination rank.
@@ -140,12 +146,21 @@ std::uint64_t MapReduce::collate() {
   shuffle_stats_.bytes_sent = comm_->allreduce_value<std::uint64_t>(bytes_out, std::plus<>{});
   shuffle_stats_.pairs_before =
       comm_->allreduce_value<std::uint64_t>(pairs_before, std::plus<>{});
+  span.arg("pairs_sent", static_cast<std::int64_t>(pairs_out));
+  if (obs::enabled()) {
+    static obs::Counter& sp = obs::counter("mr.shuffle_pairs");
+    static obs::Counter& sb = obs::counter("mr.shuffle_bytes");
+    sp.add(static_cast<std::int64_t>(pairs_out));
+    sb.add(static_cast<std::int64_t>(bytes_out));
+  }
   return comm_->allreduce_value<std::uint64_t>(kmv_.size(), std::plus<>{});
 }
 
 std::uint64_t MapReduce::reduce(const ReduceFn& fn) {
   PEACHY_CHECK(fn != nullptr, "reduce: null callback");
   PEACHY_CHECK(phase_ == Phase::kCollated, "reduce must follow collate");
+  const obs::SpanScope span{"mr", "reduce", "keys",
+                            static_cast<std::int64_t>(kmv_.size())};
   kv_.clear();
   KvEmitter emitter{kv_};
   for (auto& [key, values] : kmv_) fn(key, values, emitter);
@@ -155,6 +170,7 @@ std::uint64_t MapReduce::reduce(const ReduceFn& fn) {
 }
 
 std::vector<KeyValue> MapReduce::gather(int root) {
+  const obs::SpanScope span{"mr", "gather"};
   std::vector<KeyValue> sorted = kv_;
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });

@@ -2,6 +2,7 @@
 #include <thread>
 
 #include "mpi/mpi.hpp"
+#include "obs/obs.hpp"
 
 namespace peachy::mpi {
 
@@ -10,7 +11,11 @@ namespace detail {
 Machine::Machine(int nranks, analysis::CheckLevel check) {
   PEACHY_CHECK(nranks >= 1, "machine needs at least one rank");
   boxes_.reserve(static_cast<std::size_t>(nranks));
-  for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  for (int i = 0; i < nranks; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+    boxes_.back()->trace_name =
+        obs::intern_name("mpi.queue[" + std::to_string(i) + "]");
+  }
   if (check != analysis::CheckLevel::off) {
     checker_ = std::make_unique<analysis::MpiChecker>(nranks, check);
   }
@@ -18,6 +23,13 @@ Machine::Machine(int nranks, analysis::CheckLevel check) {
 
 void Machine::post(int source, int dest, int tag, std::span<const std::byte> payload) {
   PEACHY_CHECK(dest >= 0 && dest < size(), "post: bad destination");
+  // Reject the send side symmetrically with take(): an out-of-range
+  // source would flow into Message::source and the checker's wait-for
+  // graph (on_post indexes by source) exactly like the recv-side bug
+  // fixed in PR 1 — make it the same named error instead.
+  PEACHY_CHECK(source >= 0 && source < size(), "post: bad source rank");
+  const obs::SpanScope span{"mpi", "post", "bytes",
+                            static_cast<std::int64_t>(payload.size())};
   Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lock{box.mu};
@@ -30,9 +42,16 @@ void Machine::post(int source, int dest, int tag, std::span<const std::byte> pay
     // "a satisfying message arrived" flag can never lag a blocked
     // receiver's registration.
     if (checker_) checker_->on_post(source, dest, tag);
+    obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
   }
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  if (obs::enabled()) {
+    static obs::Counter& msgs = obs::counter("mpi.messages");
+    static obs::Counter& byts = obs::counter("mpi.bytes");
+    msgs.add(1);
+    byts.add(static_cast<std::int64_t>(payload.size()));
+  }
   box.cv.notify_all();
 }
 
@@ -43,6 +62,8 @@ Message Machine::take(int self, int source, int tag) {
   // a hang (unchecked) or an out-of-bounds wait-for-graph index (checked).
   PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
                "recv: bad source rank");
+  obs::SpanScope span{"mpi", "recv"};
+  std::uint64_t blocked_ns = 0;
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   std::unique_lock lock{box.mu};
   bool registered = false;
@@ -52,6 +73,12 @@ Message Machine::take(int self, int source, int tag) {
         Message m = std::move(*it);
         box.queue.erase(it);
         if (checker_ && registered) checker_->on_unblock(self);
+        obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
+        if (blocked_ns != 0) {
+          span.arg("blocked_ns", static_cast<std::int64_t>(blocked_ns));
+          static obs::Counter& blocked = obs::counter("mpi.recv_blocked_ns");
+          blocked.add(static_cast<std::int64_t>(blocked_ns));
+        }
         return m;
       }
     }
@@ -74,7 +101,13 @@ Message Machine::take(int self, int source, int tag) {
     }
     // abort() takes the mailbox lock before notifying, so a plain wait
     // cannot miss the wakeup; spurious wakeups just rescan.
-    box.cv.wait(lock);
+    if (obs::enabled()) {
+      const std::uint64_t t0 = obs::now_ns();
+      box.cv.wait(lock);
+      blocked_ns += obs::now_ns() - t0;
+    } else {
+      box.cv.wait(lock);
+    }
   }
 }
 

@@ -72,6 +72,10 @@ struct Mailbox {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Message> queue;
+  /// This mailbox's queue-depth gauge name ("mpi.queue[r]"), interned
+  /// via obs::intern_name so the pointer outlives the Machine — trace
+  /// export happens after short-lived Machines are destroyed.
+  const char* trace_name = "mpi.queue[?]";
 };
 
 /// Shared state for one group of ranks.  When constructed with a

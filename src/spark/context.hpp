@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -48,10 +49,22 @@ class Context : public std::enable_shared_from_this<Context> {
   }
 
   // Telemetry hooks (called by the RDD machinery).
-  void note_task() noexcept { tasks_.fetch_add(1, std::memory_order_relaxed); }
+  void note_task() noexcept {
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      static obs::Counter& c = obs::counter("spark.tasks");
+      c.add(1);
+    }
+  }
   void note_shuffle(std::uint64_t records) noexcept {
     shuffles_.fetch_add(1, std::memory_order_relaxed);
     shuffle_records_.fetch_add(records, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      static obs::Counter& c = obs::counter("spark.shuffles");
+      static obs::Counter& r = obs::counter("spark.shuffle_records");
+      c.add(1);
+      r.add(static_cast<std::int64_t>(records));
+    }
   }
 
  private:

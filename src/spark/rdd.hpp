@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "analysis/hooks.hpp"
+#include "obs/obs.hpp"
 #include "rng/splitmix.hpp"
 #include "spark/context.hpp"
 #include "support/check.hpp"
@@ -66,6 +67,8 @@ std::vector<std::vector<T>> materialize(const std::shared_ptr<Node<T>>& node) {
     std::lock_guard lock{node->cache_mu};
     if (node->cached) return *node->cached;
   }
+  const obs::SpanScope span{"spark", "stage", "parts",
+                            static_cast<std::int64_t>(node->nparts)};
   std::vector<std::vector<T>> parts(node->nparts);
   // Grain 0: a partition is arbitrary user work — always dispatch tasks,
   // even for RDDs with a handful of partitions.
@@ -252,6 +255,7 @@ class Rdd {
         ctx, nparts, child_lineage(desc ? "sort_by desc (shuffle)" : "sort_by (shuffle)"),
         [parent, ctx, nparts, state, key, desc](std::size_t p) {
           std::call_once(state->once, [&] {
+            obs::SpanScope span{"spark", "shuffle"};
             auto parts = detail::materialize(parent);
             std::vector<T> all;
             std::uint64_t n = 0;
@@ -264,6 +268,7 @@ class Rdd {
               return desc ? key(b) < key(a) : key(a) < key(b);
             });
             ctx->note_shuffle(n);
+            span.arg("records", static_cast<std::int64_t>(n));
             // Range partition: contiguous sorted slices.
             state->buckets.resize(nparts);
             for (std::size_t t = 0; t < nparts; ++t) {
@@ -356,10 +361,12 @@ class Rdd {
     return Rdd<T>::make(ctx, nparts, child_lineage(label + " (shuffle)"),
                         [parent, ctx, nparts, state, hashfn](std::size_t p) {
                           std::call_once(state->once, [&] {
+                            obs::SpanScope span{"spark", "shuffle"};
                             auto parts = detail::materialize(parent);
                             std::uint64_t n = 0;
                             for (const auto& part : parts) n += part.size();
                             ctx->note_shuffle(n);
+                            span.arg("records", static_cast<std::int64_t>(n));
                             state->buckets.resize(nparts);
                             for (auto& part : parts) {
                               for (auto& rec : part) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/hooks.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -63,6 +64,8 @@ template <typename Body>
 void parallel_for_threads(ThreadPool& pool, std::size_t n, std::size_t threads, Body&& body,
                           bool inline_exec = false) {
   PEACHY_CHECK(threads > 0, "parallel_for_threads: threads must be positive");
+  const obs::SpanScope region_span{"par", "parallel_for", "n",
+                                   static_cast<std::int64_t>(n)};
   // One epoch per region: blocks of the same region may race with each
   // other, blocks of different regions are separated by the join below.
   // Identities are published even on the inline path — the analysis layer

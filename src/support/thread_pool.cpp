@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include "analysis/hooks.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace peachy::support {
@@ -71,15 +72,26 @@ void ThreadPool::submit(Task task) {
     }
   }
   pending_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t submit_ns = obs::enabled() ? obs::now_ns() : 0;
   {
     std::lock_guard lock{queues_[target]->mu};
-    queues_[target]->deque.push_back(std::move(task));
+    queues_[target]->deque.push_back(Item{std::move(task), submit_ns});
     queues_[target]->size.store(queues_[target]->deque.size(), std::memory_order_relaxed);
+  }
+  // Publish "work arrived" under idle_mu_.  A bare notify_one() here can
+  // land in the window after a worker scanned the queues empty but before
+  // it blocked on work_cv_ — the notify is lost and (with the old
+  // wait_for(1ms) poll) the task waits out the poll interval.  Bumping the
+  // ticket under the mutex changes the predicate workers sleep on, so the
+  // notify cannot be missed and the poll became a plain wait.
+  {
+    std::lock_guard lock{idle_mu_};
+    tickets_.fetch_add(1, std::memory_order_release);
   }
   work_cv_.notify_one();
 }
 
-bool ThreadPool::try_pop_local(std::size_t self, Task& out) {
+bool ThreadPool::try_pop_local(std::size_t self, Item& out) {
   auto& q = *queues_[self];
   std::lock_guard lock{q.mu};
   if (q.deque.empty()) return false;
@@ -89,7 +101,7 @@ bool ThreadPool::try_pop_local(std::size_t self, Task& out) {
   return true;
 }
 
-bool ThreadPool::try_steal(std::size_t self, Task& out) {
+bool ThreadPool::try_steal(std::size_t self, Item& out) {
   const std::size_t n = queues_.size();
   for (std::size_t off = 1; off < n; ++off) {
     auto& q = *queues_[(self + off) % n];
@@ -99,6 +111,10 @@ bool ThreadPool::try_steal(std::size_t self, Task& out) {
       q.deque.pop_front();
       q.size.store(q.deque.size(), std::memory_order_relaxed);
       tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        static obs::Counter& steals = obs::counter("pool.steals");
+        steals.add(1);
+      }
       return true;
     }
   }
@@ -109,15 +125,27 @@ void ThreadPool::worker_loop(std::size_t self) {
   tls_pool = this;
   tls_index = self;
   for (;;) {
-    Task task;
-    if (try_pop_local(self, task) || try_steal(self, task)) {
+    // Snapshot the ticket BEFORE scanning.  Any submit whose ticket bump
+    // is visible here finished its push first (push under the queue mutex
+    // happens-before the release fetch_add under idle_mu_), so the scan
+    // below will find it; any later submit changes tickets_ and defeats
+    // the wait predicate.  Either way no enqueue can slip past a sleeping
+    // worker — which is what lets the wait below be untimed.
+    const std::uint64_t seen = tickets_.load(std::memory_order_acquire);
+    Item item;
+    if (try_pop_local(self, item) || try_steal(self, item)) {
+      if (item.submit_ns != 0 && obs::enabled()) {
+        static obs::Histogram& dwell = obs::histogram("pool.dwell_ns");
+        dwell.note(obs::now_ns() - item.submit_ns);
+      }
       queues_[self]->busy.store(true, std::memory_order_relaxed);
       {
         // Default identity for raw submits: this worker, in the shared
         // "unstructured" epoch (no join information).  Structured regions
         // (parallel_for / forall) override it with their own TaskScope.
         const analysis::TaskScope scope{self, analysis::kUnstructuredEpoch};
-        task();
+        const obs::SpanScope span{"pool", "task"};
+        item.task();
       }
       queues_[self]->busy.store(false, std::memory_order_relaxed);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -131,7 +159,14 @@ void ThreadPool::worker_loop(std::size_t self) {
     if (pending_.load(std::memory_order_acquire) == 0) {
       idle_cv_.notify_all();
     }
-    work_cv_.wait_for(lock, std::chrono::milliseconds{1});
+    work_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             tickets_.load(std::memory_order_relaxed) != seen;
+    });
+    if (obs::enabled()) {
+      static obs::Counter& wakeups = obs::counter("pool.idle_wakeups");
+      wakeups.add(1);
+    }
     if (stop_.load(std::memory_order_acquire)) return;
   }
 }

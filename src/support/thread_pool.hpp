@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -88,8 +89,15 @@ class ThreadPool {
   [[nodiscard]] static ThreadPool& shared();
 
  private:
+  /// A queued task plus its submit timestamp (obs clock; 0 when tracing
+  /// was off at submit time) so the worker can record dwell time.
+  struct Item {
+    Task task;
+    std::uint64_t submit_ns;
+  };
+
   struct WorkerQueue {
-    std::deque<Task> deque;
+    std::deque<Item> deque;
     std::mutex mu;
     /// Mirror of deque.size(), maintained under mu but readable without
     /// it: submit() scores candidate queues lock-free.
@@ -98,8 +106,8 @@ class ThreadPool {
     std::atomic<bool> busy{false};
   };
 
-  bool try_pop_local(std::size_t self, Task& out);
-  bool try_steal(std::size_t self, Task& out);
+  bool try_pop_local(std::size_t self, Item& out);
+  bool try_steal(std::size_t self, Item& out);
   void worker_loop(std::size_t self);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
@@ -108,6 +116,11 @@ class ThreadPool {
   std::mutex idle_mu_;
   std::condition_variable work_cv_;   // signalled when work arrives
   std::condition_variable idle_cv_;   // signalled when pool may be idle
+  /// Bumped under idle_mu_ after every enqueue.  A worker snapshots this
+  /// *before* scanning the queues and sleeps on "tickets_ changed" — the
+  /// publication workers wait on, closing the scan-to-wait window that a
+  /// bare notify_one() could fall into (see worker_loop).
+  std::atomic<std::uint64_t> tickets_{0};
   std::atomic<std::size_t> pending_{0};  // submitted but not yet finished
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> tasks_executed_{0};

@@ -60,6 +60,37 @@ TEST(Csv, UnterminatedQuoteThrows) {
   EXPECT_THROW((void)pd::read_csv_string("\"oops\n"), peachy::Error);
 }
 
+TEST(Csv, GarbageAfterClosingQuoteThrows) {
+  // `"a"b` used to parse silently as `ab`; now it is a named error that
+  // points at the offending line.
+  EXPECT_THROW((void)pd::read_csv_string("\"a\"b,c\n"), peachy::Error);
+  try {
+    (void)pd::read_csv_string("ok,row\n\"a\"b\n");
+    FAIL() << "expected peachy::Error";
+  } catch (const peachy::Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string{e.what()}.find("garbage after closing quote"),
+              std::string::npos)
+        << e.what();
+  }
+  // A new quote opening right after a closed field is the same defect
+  // (`"a" "b"` — note the separator-less space, caught as garbage).
+  EXPECT_THROW((void)pd::read_csv_string("\"a\" \"b\",c\n"), peachy::Error);
+  // But an escaped quote inside the field stays legal.
+  EXPECT_EQ(pd::read_csv_string("\"a\"\"b\",c\n"),
+            (std::vector<pd::CsvRow>{{"a\"b", "c"}}));
+}
+
+TEST(Csv, QuotedCrlfFieldRoundTrips) {
+  const std::vector<pd::CsvRow> original{{"crlf\r\ninside", "plain"}};
+  const auto text = pd::write_csv_string(original);
+  EXPECT_EQ(pd::read_csv_string(text), original);
+  // And parsing an explicit quoted CRLF keeps both characters.
+  const auto rows = pd::read_csv_string("\"a\r\nb\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (pd::CsvRow{"a\r\nb", "c"}));
+}
+
 TEST(Csv, RoundTripsTrickyContent) {
   const std::vector<pd::CsvRow> original{
       {"plain", "with,comma", "with\"quote"},

@@ -104,6 +104,30 @@ TEST(MpiP2P, RejectsBadDestinationAndTag) {
   });
 }
 
+TEST(MpiP2P, PostRejectsBadSourceRank) {
+  // Symmetric with the recv-side check: a source outside [0, nranks)
+  // would flow into Message::source and the checker's wait-for graph
+  // (on_post indexes by source).  Comm always passes its own rank, so the
+  // hazard is direct Machine::post use — validate at the machine surface.
+  pm::detail::Machine machine{2};
+  const std::byte token{0};
+  const std::span<const std::byte> payload{&token, 1};
+  EXPECT_NO_THROW(machine.post(1, 0, 7, payload));
+  try {
+    machine.post(-1, 0, 7, payload);
+    FAIL() << "expected peachy::Error";
+  } catch (const peachy::Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("post: bad source rank"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(machine.post(2, 0, 7, payload), peachy::Error);
+  // The valid message is still deliverable after the rejected ones.
+  pm::Status st;
+  EXPECT_TRUE(machine.try_peek(0, 1, 7, st));
+  EXPECT_EQ(st.source, 1);
+}
+
 TEST(MpiP2P, RejectsBadRecvAndProbeSource) {
   // A recv/probe source outside [0, nranks) is the student bug the
   // grading layer exists to diagnose: it must be a named error up front,
