@@ -17,6 +17,12 @@
 #   bench-smoke — Release build of the bench tree only; runs bench_kernels
 #                 at tiny sizes and validates the emitted JSON against the
 #                 "peachy-bench/1" schema (wiring check, not a perf gate)
+#   bench-substrates-smoke
+#               — same for bench_substrates (legacy-twin vs pooled
+#                 transport), then a full-size run gated against the
+#                 committed BENCH_substrates.json via bench_compare.py
+#                 at a 15% geomean band — the pooled-transport perf
+#                 contract
 #   obs-smoke   — Release build of examples + bench; runs kmeans_cluster
 #                 under PEACHY_TRACE and validates the "peachy-trace/1"
 #                 document (>=4 substrate categories, well-formed per-thread
@@ -24,7 +30,7 @@
 #                 *disabled* and gates it at <2% geomean slowdown against
 #                 the committed baseline — the obs overhead contract
 #
-# Usage: scripts/check.sh [config ...]     (default: all five)
+# Usage: scripts/check.sh [config ...]     (default: all six)
 
 set -euo pipefail
 
@@ -74,6 +80,45 @@ for row in doc["benchmarks"]:
 print(f"schema OK: {len(doc['benchmarks'])} benchmarks, isa={doc['isa']}")
 EOF
   echo "==== [bench-smoke] OK ===="
+}
+
+run_bench_substrates_smoke() {
+  local dir="$ROOT/build-check-bench-smoke"
+  echo "==== [bench-substrates-smoke] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=ON -DPEACHY_BUILD_TESTS=OFF -DPEACHY_BUILD_EXAMPLES=OFF
+  echo "==== [bench-substrates-smoke] build ===="
+  cmake --build "$dir" --target bench_substrates -j "$JOBS"
+  echo "==== [bench-substrates-smoke] run (tiny) ===="
+  local json="$dir/bench/BENCH_substrates_smoke.json"
+  "$dir/bench/bench_substrates" --tiny --out "$json"
+  echo "==== [bench-substrates-smoke] validate JSON ===="
+  python3 - "$json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "peachy-bench/1", doc.get("schema")
+assert doc["harness"] == "bench_substrates"
+assert isinstance(doc["isa"], str) and doc["isa"]
+assert isinstance(doc["benchmarks"], list) and doc["benchmarks"]
+names = {row["name"] for row in doc["benchmarks"]}
+for want in ("allreduce", "allgather", "alltoall"):
+    for p in (2, 4, 8):
+        assert f"{want}_p{p}" in names, (want, p, names)
+assert any(n.startswith("mr_shuffle") for n in names), names
+for row in doc["benchmarks"]:
+    for key in ("name", "shape", "items", "scalar_ns", "kernel_ns", "speedup"):
+        assert key in row, (row, key)
+    assert row["scalar_ns"] > 0 and row["kernel_ns"] > 0
+print(f"schema OK: {len(doc['benchmarks'])} benchmarks")
+EOF
+  echo "==== [bench-substrates-smoke] full-size perf gate ===="
+  local fresh="$dir/bench/BENCH_substrates_fresh.json"
+  "$dir/bench/bench_substrates" --out "$fresh"
+  python3 "$ROOT/scripts/bench_compare.py" \
+    "$ROOT/BENCH_substrates.json" "$fresh" --tolerance 0.15
+  echo "==== [bench-substrates-smoke] OK ===="
 }
 
 run_obs_smoke() {
@@ -130,7 +175,7 @@ EOF
 
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(asan-ubsan tsan analysis bench-smoke obs-smoke)
+  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -139,8 +184,9 @@ for cfg in "${configs[@]}"; do
     tsan)        run_config tsan -DPEACHY_TSAN=ON ;;
     analysis)    run_config analysis -DPEACHY_ANALYSIS=ON ;;
     bench-smoke) run_bench_smoke ;;
+    bench-substrates-smoke) run_bench_substrates_smoke ;;
     obs-smoke)   run_obs_smoke ;;
-    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, obs-smoke)" >&2; exit 2 ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke)" >&2; exit 2 ;;
   esac
 done
 

@@ -77,9 +77,10 @@ Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points, const Options&
         my_points.values().data(), my_points.size(), d, panel.data(), k, panel.padded,
         res.assignment.data(), sums.data(), counts.data()));
 
-    // The distributed reduction the assignment is about.
-    sums = comm.allreduce<double>(sums, std::plus<>{});
-    counts = comm.allreduce<std::int64_t>(counts, std::plus<>{});
+    // The distributed reduction the assignment is about — in place, so
+    // the per-iteration loop allocates nothing for transport.
+    comm.allreduce_inplace<double>(std::span<double>{sums}, std::plus<>{});
+    comm.allreduce_inplace<std::int64_t>(std::span<std::int64_t>{counts}, std::plus<>{});
     changes = comm.allreduce_value<std::uint64_t>(changes, std::plus<>{});
 
     res.changes_per_iteration.push_back(static_cast<std::size_t>(changes));
@@ -101,8 +102,11 @@ Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points, const Options&
   res.iterations = std::min(res.iterations, opts.max_iterations);
 
   // Collect the distributed results: assignments in rank order equal the
-  // original point order because the blocks are contiguous.
-  auto all_assign = comm.allgather<std::int32_t>(res.assignment);
+  // original point order because the blocks are contiguous (static_block
+  // is exactly the layout allgather_into expects), so the ring exchange
+  // can land every block straight into the full-size result.
+  std::vector<std::int32_t> all_assign(shape.n);
+  comm.allgather_into<std::int32_t>(res.assignment, std::span<std::int32_t>{all_assign});
   res.assignment = std::move(all_assign);
   res.centroids = std::move(centroids);
 

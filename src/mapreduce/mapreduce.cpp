@@ -128,7 +128,11 @@ std::uint64_t MapReduce::collate() {
       bytes_out += sendbufs[static_cast<std::size_t>(r)].size();
     }
   }
-  auto recvbufs = comm_->alltoall(sendbufs);
+  // Move the buffers into the exchange: the self-bucket lands in the
+  // result without a copy and every outgoing buffer rides the transport's
+  // zero-copy adoption path (the receive side steals the vector back, so
+  // shuffled bytes are serialized exactly once).
+  auto recvbufs = comm_->alltoall(std::move(sendbufs));
 
   // Deserialize, sort by key for deterministic grouping, group.
   std::vector<KeyValue> incoming;

@@ -22,21 +22,41 @@ Machine::Machine(int nranks, analysis::CheckLevel check) {
 }
 
 void Machine::post(int source, int dest, int tag, std::span<const std::byte> payload) {
+  // One memcpy into a pooled slab; the allocation is a freelist pop in
+  // steady state.
+  PayloadBuffer buf = BufferPool::instance().acquire(payload.size());
+  if (!payload.empty()) std::memcpy(buf.mutable_data(), payload.data(), payload.size());
+  if (obs::enabled()) {
+    static obs::Counter& copied = obs::counter("mpi.bytes_copied");
+    copied.add(static_cast<std::int64_t>(payload.size()));
+  }
+  post_impl(source, dest, tag, std::move(buf));
+}
+
+void Machine::post_move(int source, int dest, int tag, PayloadBuffer&& payload) {
+  if (obs::enabled()) {
+    static obs::Counter& moved = obs::counter("mpi.bytes_moved");
+    moved.add(static_cast<std::int64_t>(payload.size()));
+  }
+  post_impl(source, dest, tag, std::move(payload));
+}
+
+void Machine::post_impl(int source, int dest, int tag, PayloadBuffer&& payload) {
   PEACHY_CHECK(dest >= 0 && dest < size(), "post: bad destination");
   // Reject the send side symmetrically with take(): an out-of-range
   // source would flow into Message::source and the checker's wait-for
   // graph (on_post indexes by source) exactly like the recv-side bug
   // fixed in PR 1 — make it the same named error instead.
   PEACHY_CHECK(source >= 0 && source < size(), "post: bad source rank");
-  const obs::SpanScope span{"mpi", "post", "bytes",
-                            static_cast<std::int64_t>(payload.size())};
+  const std::size_t nbytes = payload.size();
+  const obs::SpanScope span{"mpi", "post", "bytes", static_cast<std::int64_t>(nbytes)};
   Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lock{box.mu};
     Message m;
     m.source = source;
     m.tag = tag;
-    m.payload.assign(payload.begin(), payload.end());
+    m.payload = std::move(payload);
     box.queue.push_back(std::move(m));
     // Under the same mailbox lock as the queue push, so the checker's
     // "a satisfying message arrived" flag can never lag a blocked
@@ -45,12 +65,12 @@ void Machine::post(int source, int dest, int tag, std::span<const std::byte> pay
     obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
   }
   messages_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  bytes_.fetch_add(nbytes, std::memory_order_relaxed);
   if (obs::enabled()) {
     static obs::Counter& msgs = obs::counter("mpi.messages");
     static obs::Counter& byts = obs::counter("mpi.bytes");
     msgs.add(1);
-    byts.add(static_cast<std::int64_t>(payload.size()));
+    byts.add(static_cast<std::int64_t>(nbytes));
   }
   box.cv.notify_all();
 }
@@ -199,11 +219,21 @@ void Comm::barrier() {
 }
 
 void Comm::broadcast_bytes(std::vector<std::byte>& data, int root) {
-  const int p = size();
-  PEACHY_CHECK(root >= 0 && root < p, "broadcast: bad root");
+  PEACHY_CHECK(root >= 0 && root < size(), "broadcast: bad root");
   const int tag = begin_collective(
       {"broadcast", root, 1,
        rank_ == root ? static_cast<std::int64_t>(data.size()) : std::int64_t{-1}});
+  PayloadBuffer buf;
+  if (rank_ == root) {
+    buf = BufferPool::instance().acquire(data.size());
+    if (!data.empty()) std::memcpy(buf.mutable_data(), data.data(), data.size());
+  }
+  bcast_payload(buf, root, tag);
+  if (rank_ != root) data = buf.release_bytes();
+}
+
+void Comm::bcast_payload(PayloadBuffer& buf, int root, int tag) {
+  const int p = size();
   if (p == 1) return;
   const int vrank = (rank_ - root + p) % p;
   // Receive phase: find the lowest set bit position where we get our copy.
@@ -212,17 +242,19 @@ void Comm::broadcast_bytes(std::vector<std::byte>& data, int root) {
     if (vrank & mask) {
       const int vsrc = vrank - mask;
       const int src = (vsrc + root) % p;
-      data = recv_bytes(src, tag);
+      buf = recv_buffer(src, tag);
       break;
     }
     mask <<= 1;
   }
-  // Send phase: forward to the subtree below us.
+  // Send phase: forward to the subtree below us.  Forwarding is a
+  // refcount bump on the pooled payload — each edge is counted as a full
+  // message, but its bytes are never copied again.
   mask >>= 1;
   while (mask > 0) {
     if ((vrank & mask) == 0 && vrank + mask < p) {
       const int dest = (vrank + mask + root) % p;
-      machine_->post(rank_, dest, tag, data);
+      machine_->post_move(rank_, dest, tag, buf.share());
     }
     mask >>= 1;
   }

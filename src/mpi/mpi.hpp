@@ -8,13 +8,24 @@
 /// tagged point-to-point messages, and the collectives the assignments use
 /// (barrier, bcast, scatter, gather, allgather, reduce, allreduce,
 /// alltoall).  Ranks execute as OS threads inside one process; message
-/// payloads are copied through mailboxes, never shared, so all the
-/// ordering/matching hazards of real MPI code are preserved.
+/// payloads are never *shared with user code* — senders either copy into
+/// transport-owned storage or relinquish ownership (`send_move`), so all
+/// the ordering/matching hazards of real MPI code are preserved.
 ///
 /// Collectives are implemented *on top of point-to-point* with the
 /// classic algorithms (dissemination barrier, binomial-tree bcast/reduce,
 /// ring allgather), so the runtime's message/byte counters have the same
 /// shape as a real MPI trace — several experiments report them.
+///
+/// **Transport (DESIGN.md §11).**  Payloads live in pooled, refcounted
+/// buffers (buffer_pool.hpp): `post` costs one memcpy and zero
+/// allocations in steady state, `post_move`/`send_move` transfer
+/// ownership with zero copies, and collectives forward pooled blocks by
+/// reference (binomial broadcast, ring allgather) instead of
+/// re-serializing.  Receivers can land payloads directly in caller
+/// storage via `recv_into` / `recv_bytes_into`.  None of this changes
+/// what the counters see: a message is counted once with its payload
+/// size, however its bytes travel.
 ///
 /// Usage:
 ///   auto stats = peachy::mpi::run(4, [](peachy::mpi::Comm& comm) {
@@ -38,6 +49,7 @@
 
 #include "analysis/mpi_checker.hpp"
 #include "analysis/report.hpp"
+#include "mpi/buffer_pool.hpp"
 #include "support/check.hpp"
 #include "support/parallel_for.hpp"
 
@@ -65,7 +77,7 @@ namespace detail {
 struct Message {
   int source;
   int tag;
-  std::vector<std::byte> payload;
+  PayloadBuffer payload;
 };
 
 struct Mailbox {
@@ -86,7 +98,13 @@ class Machine {
  public:
   explicit Machine(int nranks, analysis::CheckLevel check = analysis::CheckLevel::off);
 
+  /// Buffered send: one memcpy into a pooled buffer, zero allocations in
+  /// steady state.
   void post(int source, int dest, int tag, std::span<const std::byte> payload);
+  /// Zero-copy send of an already-owned payload (pooled or adopted).
+  /// Counted identically to post() — the traffic counters describe the
+  /// message, not how its bytes traveled.
+  void post_move(int source, int dest, int tag, PayloadBuffer&& payload);
   Message take(int self, int source, int tag);
   bool try_peek(int self, int source, int tag, Status& st);
 
@@ -120,6 +138,11 @@ class Machine {
     return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
   }
 
+  /// The single enqueue path: every message — copied or moved — lands
+  /// here, so the checker and the traffic counters see identical events
+  /// for both.
+  void post_impl(int source, int dest, int tag, PayloadBuffer&& payload);
+
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::unique_ptr<analysis::MpiChecker> checker_;
   std::atomic<bool> aborted_{false};
@@ -144,17 +167,50 @@ class Comm {
 
   /// Buffered send: copies the payload into dest's mailbox; never blocks.
   void send_bytes(int dest, int tag, std::span<const std::byte> payload) {
-    PEACHY_CHECK(dest >= 0 && dest < size(), "send: bad destination rank");
-    PEACHY_CHECK(tag >= 0 && tag < kInternalTagBase,
-                 "send: user tags must be in [0, 2^30)");
+    check_user_send(dest, tag);
     machine_->post(rank_, dest, tag, payload);
+  }
+
+  /// Zero-copy send of an owned byte vector: the transport adopts the
+  /// vector's storage; no bytes are copied on the send side.
+  void send_bytes_move(int dest, int tag, std::vector<std::byte>&& payload) {
+    check_user_send(dest, tag);
+    machine_->post_move(rank_, dest, tag, BufferPool::instance().adopt(std::move(payload)));
   }
 
   /// Blocking receive matching (source, tag); wildcards allowed.
   std::vector<std::byte> recv_bytes(int source, int tag, Status* st = nullptr) {
     detail::Message m = machine_->take(rank_, source, tag);
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
+    // Zero-copy when the sender used send_bytes_move; one memcpy otherwise.
+    return m.payload.release_bytes();
+  }
+
+  /// Blocking receive into the transport's own buffer (zero copies).  The
+  /// returned handle is read-only; it recycles its storage on drop.
+  PayloadBuffer recv_buffer(int source, int tag, Status* st = nullptr) {
+    detail::Message m = machine_->take(rank_, source, tag);
+    if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     return std::move(m.payload);
+  }
+
+  /// Blocking receive landing the payload directly in caller storage.
+  /// The matched message must be exactly `out.size()` bytes: a larger
+  /// payload (would truncate) or a smaller one (short message) is a named
+  /// error, and the message is consumed either way.
+  Status recv_bytes_into(std::span<std::byte> out, int source, int tag) {
+    detail::Message m = machine_->take(rank_, source, tag);
+    PEACHY_CHECK(m.payload.size() <= out.size(),
+                 "recv_into: " + std::to_string(m.payload.size()) + "-byte message from rank " +
+                     std::to_string(m.source) + " (tag " + std::to_string(m.tag) +
+                     ") would be truncated into a " + std::to_string(out.size()) +
+                     "-byte buffer");
+    PEACHY_CHECK(m.payload.size() >= out.size(),
+                 "recv_into: " + std::to_string(m.payload.size()) + "-byte message from rank " +
+                     std::to_string(m.source) + " (tag " + std::to_string(m.tag) +
+                     ") is shorter than the " + std::to_string(out.size()) + "-byte buffer");
+    if (!out.empty()) std::memcpy(out.data(), m.payload.data(), out.size());
+    return Status{m.source, m.tag, m.payload.size()};
   }
 
   /// Non-blocking probe: true if a matching message is waiting.
@@ -172,21 +228,44 @@ class Comm {
     send_bytes(dest, tag, std::as_bytes(data));
   }
 
+  /// Typed zero-copy send of an owned vector.
+  template <typename T>
+  void send_move(int dest, int tag, std::vector<T>&& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_user_send(dest, tag);
+    machine_->post_move(rank_, dest, tag, BufferPool::instance().adopt_typed(std::move(data)));
+  }
+
   /// Typed send of one value.
   template <typename T>
   void send_value(int dest, int tag, const T& v) {
     send<T>(dest, tag, std::span<const T>{&v, 1});
   }
 
-  /// Typed receive: returns however many elements the sender sent.
+  /// Typed receive: returns however many elements the sender sent.  The
+  /// payload is deserialized directly into the typed vector (one memcpy).
   template <typename T>
   std::vector<T> recv(int source, int tag, Status* st = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> raw = recv_bytes(source, tag, st);
-    PEACHY_CHECK(raw.size() % sizeof(T) == 0, "recv: payload size not a multiple of sizeof(T)");
-    std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), raw.size());
-    return out;
+    detail::Message m = machine_->take(rank_, source, tag);
+    if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
+    if constexpr (std::is_same_v<T, std::byte>) {
+      return m.payload.release_bytes();
+    } else {
+      PEACHY_CHECK(m.payload.size() % sizeof(T) == 0,
+                   "recv: payload size not a multiple of sizeof(T)");
+      std::vector<T> out(m.payload.size() / sizeof(T));
+      if (!out.empty()) std::memcpy(out.data(), m.payload.data(), m.payload.size());
+      return out;
+    }
+  }
+
+  /// Typed receive landing exactly `out.size()` elements in caller
+  /// storage (see recv_bytes_into for the size contract).
+  template <typename T>
+  Status recv_into(std::span<T> out, int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return recv_bytes_into(std::as_writable_bytes(out), source, tag);
   }
 
   /// Typed receive of exactly one value.
@@ -200,7 +279,10 @@ class Comm {
   // ---- collectives ---------------------------------------------------------
   // Every rank of the communicator must call each collective in the same
   // order (as in MPI).  Internal tags are sequenced per call so distinct
-  // collectives cannot cross-match.
+  // collectives cannot cross-match.  All of them are allocation-free in
+  // steady state: payloads ride pooled buffers, forwarded blocks are
+  // refcount bumps, and the in-place variants put results straight into
+  // caller storage.
 
   /// Dissemination barrier: ceil(log2 p) rounds of pairwise tokens.
   void barrier();
@@ -212,16 +294,20 @@ class Comm {
   template <typename T>
   void broadcast(std::vector<T>& data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> raw;
+    PEACHY_CHECK(root >= 0 && root < size(), "broadcast: bad root");
+    const int tag = begin_collective(
+        {"broadcast", root, 1,
+         rank_ == root ? static_cast<std::int64_t>(data.size() * sizeof(T)) : std::int64_t{-1}});
+    PayloadBuffer buf;
     if (rank_ == root) {
-      raw.resize(data.size() * sizeof(T));
-      std::memcpy(raw.data(), data.data(), raw.size());
+      buf = BufferPool::instance().acquire(data.size() * sizeof(T));
+      if (!data.empty()) std::memcpy(buf.mutable_data(), data.data(), buf.size());
     }
-    broadcast_bytes(raw, root);
+    bcast_payload(buf, root, tag);
     if (rank_ != root) {
-      PEACHY_CHECK(raw.size() % sizeof(T) == 0, "broadcast: size mismatch");
-      data.resize(raw.size() / sizeof(T));
-      std::memcpy(data.data(), raw.data(), raw.size());
+      PEACHY_CHECK(buf.size() % sizeof(T) == 0, "broadcast: size mismatch");
+      data.resize(buf.size() / sizeof(T));
+      if (!data.empty()) std::memcpy(data.data(), buf.data(), buf.size());
     }
   }
 
@@ -233,16 +319,45 @@ class Comm {
     return buf.front();
   }
 
-  /// Binomial-tree reduction with element-wise op; result valid at root
-  /// only (other ranks get an empty vector).  `op(a,b)` must be
-  /// commutative and associative.
-  template <typename T, typename Op>
-  std::vector<T> reduce(std::span<const T> local, Op op, int root) {
+  /// In-place typed broadcast: every rank passes a span of the same
+  /// length; on return every span holds root's contents.  A received
+  /// payload of any other size is a named error.
+  template <typename T>
+  void broadcast_into(std::span<T> data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    PEACHY_CHECK(root >= 0 && root < size(), "broadcast: bad root");
+    const int tag = begin_collective(
+        {"broadcast", root, 1,
+         rank_ == root ? static_cast<std::int64_t>(data.size() * sizeof(T)) : std::int64_t{-1}});
+    PayloadBuffer buf;
+    if (rank_ == root) {
+      buf = BufferPool::instance().acquire(data.size() * sizeof(T));
+      if (!data.empty()) std::memcpy(buf.mutable_data(), data.data(), buf.size());
+    }
+    bcast_payload(buf, root, tag);
+    if (rank_ != root) {
+      PEACHY_CHECK(buf.size() == data.size() * sizeof(T),
+                   "broadcast_into: received " + std::to_string(buf.size()) +
+                       " bytes into a " + std::to_string(data.size() * sizeof(T)) +
+                       "-byte buffer");
+      if (!data.empty()) std::memcpy(data.data(), buf.data(), buf.size());
+    }
+  }
+
+  /// In-place binomial-tree reduction: combines every rank's `data` into
+  /// root's `data` with element-wise `op` (commutative + associative).
+  /// Non-root ranks' buffers are left with their own partial results
+  /// (unspecified beyond that).  Incoming contributions are combined
+  /// straight out of the transport's pooled buffers — no scratch
+  /// allocations.
+  template <typename T, typename Op>
+  void reduce_inplace(std::span<T> data, Op op, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "reduce reads contributions in place from pooled storage");
     const int tag = begin_collective({"reduce", root, sizeof(T),
-                                      static_cast<std::int64_t>(local.size())});
+                                      static_cast<std::int64_t>(data.size())});
     const int p = size();
-    std::vector<T> acc(local.begin(), local.end());
     const int vrank = (rank_ - root + p) % p;
     int mask = 1;
     while (mask < p) {
@@ -250,74 +365,169 @@ class Comm {
         const int vsrc = vrank | mask;
         if (vsrc < p) {
           const int src = (vsrc + root) % p;
-          std::vector<T> part = recv<T>(src, tag);
-          PEACHY_CHECK(part.size() == acc.size(), "reduce: contribution size mismatch");
-          for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], part[i]);
+          const PayloadBuffer part = recv_buffer(src, tag);
+          PEACHY_CHECK(part.size() == data.size() * sizeof(T),
+                       "reduce: contribution size mismatch");
+          const T* in = reinterpret_cast<const T*>(part.data());
+          for (std::size_t i = 0; i < data.size(); ++i) data[i] = op(data[i], in[i]);
         }
       } else {
         const int dest = ((vrank & ~mask) + root) % p;
-        coll_send<T>(dest, tag, acc);
-        return {};
+        coll_send<T>(dest, tag, std::span<const T>{data.data(), data.size()});
+        return;
       }
       mask <<= 1;
     }
-    return acc;  // only reached by root
+  }
+
+  /// Binomial-tree reduction with element-wise op; result valid at root
+  /// only (other ranks get an empty vector).  `op(a,b)` must be
+  /// commutative and associative.
+  template <typename T, typename Op>
+  std::vector<T> reduce(std::span<const T> local, Op op, int root) {
+    std::vector<T> acc(local.begin(), local.end());
+    reduce_inplace<T, Op>(std::span<T>{acc.data(), acc.size()}, op, root);
+    if (rank_ != root) return {};
+    return acc;
+  }
+
+  /// In-place allreduce (reduce to rank 0, then broadcast): on return
+  /// every rank's `data` holds the element-wise combination.  Zero
+  /// allocations in steady state.
+  template <typename T, typename Op>
+  void allreduce_inplace(std::span<T> data, Op op) {
+    reduce_inplace<T, Op>(data, op, 0);
+    broadcast_into<T>(data, 0);
   }
 
   /// Reduce-then-broadcast allreduce; every rank gets the combined vector.
   template <typename T, typename Op>
   std::vector<T> allreduce(std::span<const T> local, Op op) {
-    std::vector<T> total = reduce<T, Op>(local, op, 0);
-    broadcast(total, 0);
+    std::vector<T> total(local.begin(), local.end());
+    allreduce_inplace<T, Op>(std::span<T>{total.data(), total.size()}, op);
     return total;
   }
 
   /// Allreduce of one value.
   template <typename T, typename Op>
   [[nodiscard]] T allreduce_value(T v, Op op) {
-    return allreduce<T, Op>(std::span<const T>{&v, 1}, op).front();
+    allreduce_inplace<T, Op>(std::span<T>{&v, 1}, op);
+    return v;
   }
 
   /// Gather variable-size contributions; root receives the concatenation
-  /// in rank order (gatherv semantics).  Non-root ranks get {}.
+  /// in rank order (gatherv semantics).  Non-root ranks get {}.  Root
+  /// assembles the result with a single allocation — incoming blocks stay
+  /// in pooled transport buffers until they are copied to their offsets.
   template <typename T>
   std::vector<T> gather(std::span<const T> local, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
     const int tag = begin_collective({"gather", root, sizeof(T), -1});
     if (rank_ != root) {
       coll_send<T>(root, tag, local);
       return {};
     }
-    std::vector<std::vector<T>> parts(size());
-    parts[rank_].assign(local.begin(), local.end());
-    for (int r = 0; r < size(); ++r) {
+    const int p = size();
+    std::vector<PayloadBuffer> parts(static_cast<std::size_t>(p));
+    std::size_t total_bytes = local.size() * sizeof(T);
+    for (int r = 0; r < p; ++r) {
       if (r == root) continue;
-      parts[r] = recv<T>(r, tag);
+      parts[static_cast<std::size_t>(r)] = recv_buffer(r, tag);
+      const std::size_t got = parts[static_cast<std::size_t>(r)].size();
+      PEACHY_CHECK(got % sizeof(T) == 0, "gather: payload size not a multiple of sizeof(T)");
+      total_bytes += got;
     }
-    std::vector<T> all;
-    for (auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+    std::vector<T> all(total_bytes / sizeof(T));
+    auto* out = reinterpret_cast<std::byte*>(all.data());
+    for (int r = 0; r < p; ++r) {
+      if (r == root) {
+        if (!local.empty()) std::memcpy(out, local.data(), local.size() * sizeof(T));
+        out += local.size() * sizeof(T);
+      } else {
+        const PayloadBuffer& part = parts[static_cast<std::size_t>(r)];
+        if (!part.empty()) std::memcpy(out, part.data(), part.size());
+        out += part.size();
+      }
+    }
     return all;
   }
 
   /// Ring allgather of variable-size contributions: p−1 rounds, each rank
-  /// forwarding the block it received in the previous round.  Returns the
-  /// concatenation in rank order on every rank.
+  /// forwarding the block it received in the previous round *by
+  /// reference* (a refcount bump — blocks are never re-serialized).
+  /// Returns the concatenation in rank order on every rank.
   template <typename T>
   std::vector<T> allgather(std::span<const T> local) {
+    static_assert(std::is_trivially_copyable_v<T>);
     const int tag = begin_collective({"allgather", -1, sizeof(T), -1});
     const int p = size();
-    std::vector<std::vector<T>> blocks(p);
-    blocks[rank_].assign(local.begin(), local.end());
+    std::vector<PayloadBuffer> blocks(static_cast<std::size_t>(p));
+    blocks[static_cast<std::size_t>(rank_)] =
+        BufferPool::instance().acquire(local.size() * sizeof(T));
+    if (!local.empty()) {
+      std::memcpy(blocks[static_cast<std::size_t>(rank_)].mutable_data(), local.data(),
+                  local.size() * sizeof(T));
+    }
     const int right = (rank_ + 1) % p;
     const int left = (rank_ - 1 + p) % p;
     for (int step = 0; step < p - 1; ++step) {
       const int send_block = (rank_ - step + p) % p;
       const int recv_block = (rank_ - step - 1 + p) % p;
-      coll_send<T>(right, tag, blocks[send_block]);
-      blocks[recv_block] = recv<T>(left, tag);
+      machine_->post_move(rank_, right, tag,
+                          blocks[static_cast<std::size_t>(send_block)].share());
+      blocks[static_cast<std::size_t>(recv_block)] = recv_buffer(left, tag);
+      PEACHY_CHECK(blocks[static_cast<std::size_t>(recv_block)].size() % sizeof(T) == 0,
+                   "allgather: payload size not a multiple of sizeof(T)");
     }
-    std::vector<T> all;
-    for (auto& b : blocks) all.insert(all.end(), b.begin(), b.end());
+    std::size_t total_bytes = 0;
+    for (const auto& b : blocks) total_bytes += b.size();
+    std::vector<T> all(total_bytes / sizeof(T));
+    auto* out = reinterpret_cast<std::byte*>(all.data());
+    for (const auto& b : blocks) {
+      if (!b.empty()) std::memcpy(out, b.data(), b.size());
+      out += b.size();
+    }
     return all;
+  }
+
+  /// In-place ring allgather for block-partitioned data: rank r
+  /// contributes the static block r of `out` (support::static_block — the
+  /// same partition scatter_blocks uses) and on return every rank's `out`
+  /// holds the full concatenation.  Traffic is identical to allgather();
+  /// the result lands directly in caller storage with no concatenation
+  /// buffer.  A contribution that does not match the block layout is a
+  /// named error.
+  template <typename T>
+  void allgather_into(std::span<const T> local, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int tag = begin_collective({"allgather", -1, sizeof(T), -1});
+    const int p = size();
+    const auto mine = support::static_block(out.size(), static_cast<std::size_t>(p),
+                                            static_cast<std::size_t>(rank_));
+    PEACHY_CHECK(local.size() == mine.end - mine.begin,
+                 "allgather_into: local size " + std::to_string(local.size()) +
+                     " does not equal this rank's static block of the output (" +
+                     std::to_string(mine.end - mine.begin) + " elements)");
+    if (!local.empty()) {
+      std::memcpy(out.data() + mine.begin, local.data(), local.size() * sizeof(T));
+    }
+    if (p == 1) return;
+    PayloadBuffer cur = BufferPool::instance().acquire(local.size() * sizeof(T));
+    if (!local.empty()) std::memcpy(cur.mutable_data(), local.data(), local.size() * sizeof(T));
+    const int right = (rank_ + 1) % p;
+    const int left = (rank_ - 1 + p) % p;
+    for (int step = 0; step < p - 1; ++step) {
+      const int recv_block = (rank_ - step - 1 + p) % p;
+      machine_->post_move(rank_, right, tag, cur.share());
+      cur = recv_buffer(left, tag);
+      const auto blk = support::static_block(out.size(), static_cast<std::size_t>(p),
+                                             static_cast<std::size_t>(recv_block));
+      PEACHY_CHECK(cur.size() == (blk.end - blk.begin) * sizeof(T),
+                   "allgather_into: received " + std::to_string(cur.size()) +
+                       " bytes for block " + std::to_string(recv_block) + " (expected " +
+                       std::to_string((blk.end - blk.begin) * sizeof(T)) + ")");
+      if (!cur.empty()) std::memcpy(out.data() + blk.begin, cur.data(), cur.size());
+    }
   }
 
   /// Scatter near-even static blocks of root's vector; returns this
@@ -353,16 +563,43 @@ class Comm {
                  "alltoall: need one send buffer per rank");
     const int tag = begin_collective({"alltoall", -1, sizeof(T), -1});
     const int p = size();
-    std::vector<std::vector<T>> recvbufs(p);
-    recvbufs[rank_] = sendbufs[rank_];
+    std::vector<std::vector<T>> recvbufs(static_cast<std::size_t>(p));
+    recvbufs[static_cast<std::size_t>(rank_)] = sendbufs[static_cast<std::size_t>(rank_)];
     // Buffered sends never block, so post all sends then drain receives.
     for (int k = 1; k < p; ++k) {
       const int dest = (rank_ + k) % p;
-      coll_send<T>(dest, tag, sendbufs[dest]);
+      coll_send<T>(dest, tag, sendbufs[static_cast<std::size_t>(dest)]);
     }
     for (int k = 1; k < p; ++k) {
       const int src = (rank_ - k + p) % p;
-      recvbufs[src] = recv<T>(src, tag);
+      recvbufs[static_cast<std::size_t>(src)] = recv<T>(src, tag);
+    }
+    return recvbufs;
+  }
+
+  /// All-to-all taking ownership of the send buffers: the self-bucket is
+  /// *moved* into the result (no copy), and every outgoing buffer rides
+  /// the zero-copy adoption path.  Traffic counters are identical to the
+  /// copying overload (the self-bucket never was a message).
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(std::vector<std::vector<T>>&& sendbufs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PEACHY_CHECK(static_cast<int>(sendbufs.size()) == size(),
+                 "alltoall: need one send buffer per rank");
+    const int tag = begin_collective({"alltoall", -1, sizeof(T), -1});
+    const int p = size();
+    std::vector<std::vector<T>> recvbufs(static_cast<std::size_t>(p));
+    recvbufs[static_cast<std::size_t>(rank_)] =
+        std::move(sendbufs[static_cast<std::size_t>(rank_)]);
+    for (int k = 1; k < p; ++k) {
+      const int dest = (rank_ + k) % p;
+      machine_->post_move(
+          rank_, dest, tag,
+          BufferPool::instance().adopt_typed(std::move(sendbufs[static_cast<std::size_t>(dest)])));
+    }
+    for (int k = 1; k < p; ++k) {
+      const int src = (rank_ - k + p) % p;
+      recvbufs[static_cast<std::size_t>(src)] = recv<T>(src, tag);
     }
     return recvbufs;
   }
@@ -401,6 +638,18 @@ class Comm {
     machine_->note_collective(rank_, index, d);
     return tag;
   }
+
+  void check_user_send(int dest, int tag) const {
+    PEACHY_CHECK(dest >= 0 && dest < size(), "send: bad destination rank");
+    PEACHY_CHECK(tag >= 0 && tag < kInternalTagBase,
+                 "send: user tags must be in [0, 2^30)");
+  }
+
+  /// Binomial-tree broadcast of a pooled payload along `tag`'s edges:
+  /// at root `buf` is the payload to send (forwarded to each child by
+  /// refcount bump); at non-root, `buf` holds the received payload on
+  /// return, after forwarding it down this rank's subtree.
+  void bcast_payload(PayloadBuffer& buf, int root, int tag);
 
   // raw send that bypasses the user-tag validation (collectives use tags
   // >= kInternalTagBase).

@@ -91,17 +91,32 @@ std::vector<std::vector<T>> materialize(const std::shared_ptr<Node<T>>& node) {
 }
 
 /// Hash-partition a materialized dataset's records by key into nparts
-/// buckets.  KeyFn maps a record to its partition key.
+/// buckets.  KeyFn maps a record to its partition key.  Two passes: the
+/// first sizes every bucket (hashing each key once, destinations kept in
+/// a flat index vector), the second moves records into exactly-reserved
+/// storage — wide shuffles were dominated by the push_back reallocation
+/// churn of the single-pass version.
 template <typename T, typename KeyFn>
 std::vector<std::vector<T>> hash_partition(std::vector<std::vector<T>>&& parts,
                                            std::size_t nparts, KeyFn&& keyfn) {
-  std::vector<std::vector<T>> buckets(nparts);
-  for (auto& part : parts) {
-    for (auto& rec : part) {
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<std::uint32_t> dest;
+  dest.reserve(total);
+  std::vector<std::size_t> counts(nparts, 0);
+  for (const auto& part : parts) {
+    for (const auto& rec : part) {
       const std::size_t b =
           static_cast<std::size_t>(support::stable_hash(keyfn(rec)) % nparts);
-      buckets[b].push_back(std::move(rec));
+      dest.push_back(static_cast<std::uint32_t>(b));
+      ++counts[b];
     }
+  }
+  std::vector<std::vector<T>> buckets(nparts);
+  for (std::size_t b = 0; b < nparts; ++b) buckets[b].reserve(counts[b]);
+  std::size_t i = 0;
+  for (auto& part : parts) {
+    for (auto& rec : part) buckets[dest[i++]].push_back(std::move(rec));
   }
   return buckets;
 }

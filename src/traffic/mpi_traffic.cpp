@@ -16,14 +16,15 @@ State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficSt
   const rng::SharedStream<rng::Lcg64> stream{spec.seed};
   const auto L = static_cast<std::int64_t>(spec.road_length);
 
-  for (std::size_t s = 0; s < steps; ++s) {
-    // My block of canonical car indices this step.
-    const auto blk = support::static_block(n, p, me);
+  // Per-step working buffers, hoisted so the step loop allocates nothing:
+  // the block partition is identical every step, and the velocity
+  // exchange lands in a reused int32 staging vector.
+  const auto blk = support::static_block(n, p, me);
+  std::vector<std::int64_t> my_pos(blk.end - blk.begin);
+  std::vector<std::int32_t> my_vel(blk.end - blk.begin);
+  std::vector<std::int32_t> all_vel(n);
 
-    // Local phase: velocities + moves for my cars only, drawing from the
-    // shared logical sequence at [s*n + blk.begin, s*n + blk.end).
-    std::vector<std::int64_t> my_pos(blk.end - blk.begin);
-    std::vector<std::int32_t> my_vel(blk.end - blk.begin);
+  for (std::size_t s = 0; s < steps; ++s) {
     if (blk.begin < blk.end) {
       auto gen = stream.cursor(static_cast<std::uint64_t>(s) * n + blk.begin);
       for (std::size_t i = blk.begin; i < blk.end; ++i) {
@@ -39,12 +40,12 @@ State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficSt
     }
 
     // Exchange: rebuild the replicated state (ring allgather keeps rank
-    // order, which is canonical-index order).
-    const auto all_pos = comm.allgather<std::int64_t>(my_pos);
-    const auto all_vel = comm.allgather<std::int32_t>(my_vel);
-    PEACHY_CHECK(all_pos.size() == n && all_vel.size() == n,
-                 "traffic mpi: exchange lost cars");
-    st.pos = all_pos;
+    // order, which is canonical-index order).  allgather_into lands the
+    // blocks straight into the replicated arrays — the local phase is
+    // complete, so st.pos can be overwritten in place — and its layout
+    // checks are the "exchange lost cars" guard.
+    comm.allgather_into<std::int64_t>(my_pos, std::span<std::int64_t>{st.pos});
+    comm.allgather_into<std::int32_t>(my_vel, std::span<std::int32_t>{all_vel});
     st.vel.assign(all_vel.begin(), all_vel.end());
 
     // Canonicalize identically on every rank (pure local computation on
