@@ -5,7 +5,7 @@
 /// trajectory to compare against.
 ///
 /// Usage:
-///   bench_kernels [--tiny] [--out FILE]
+///   bench_kernels [--tiny] [--repeat N] [--out FILE]
 ///
 /// --tiny shrinks every workload to smoke-test size (for scripts/check.sh
 /// bench-smoke: validates the wiring and the JSON schema, not the
@@ -14,7 +14,13 @@
 /// Method: best-of-R wall time per benchmark (minimum is the standard
 /// noise-robust microbenchmark estimator), identical buffers and sizes
 /// for the scalar and dispatched runs, results accumulated into a sink
-/// that is printed so the optimizer cannot delete the work.
+/// that is printed so the optimizer cannot delete the work.  --repeat N
+/// runs the whole suite N times and keeps the per-row minimum: on shared
+/// or frequency-scaled hosts, interference arrives in bursts that can
+/// swallow all reps of a single pass, so passes spaced over the full
+/// suite duration are needed for the minimum to reach the machine's
+/// quiet-state floor (what the committed baseline and the <2% CI gates
+/// are defined against).
 
 #include <algorithm>
 #include <cstdint>
@@ -65,6 +71,14 @@ void bench(const std::string& name, const std::string& shape, std::uint64_t item
                      for (int r = 0; r < inner; ++r) kernel();
                    }) *
                    1e9 / inner;
+  for (Row& row : g_rows) {
+    if (row.name == name) {  // later --repeat pass: keep the per-row minimum
+      row.scalar_ns = std::min(row.scalar_ns, s);
+      row.kernel_ns = std::min(row.kernel_ns, v);
+      row.speedup = row.scalar_ns / row.kernel_ns;
+      return;
+    }
+  }
   g_rows.push_back({name, shape, items, s, v, s / v});
   std::printf("%-28s %-22s scalar %12.0f ns   kernel %12.0f ns   speedup %5.2fx\n",
               name.c_str(), shape.c_str(), s, v, s / v);
@@ -255,20 +269,30 @@ void write_json(const std::string& path, bool tiny) {
 
 int main(int argc, char** argv) {
   bool tiny = false;
+  int repeat = 1;
   std::string out = "BENCH_kernels.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tiny") == 0) {
       tiny = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) {
+        std::fprintf(stderr, "bench_kernels: --repeat wants a positive count\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_kernels [--tiny] [--out FILE]\n");
+      std::fprintf(stderr, "usage: bench_kernels [--tiny] [--repeat N] [--out FILE]\n");
       return 2;
     }
   }
   std::printf("bench_kernels: active isa = %s%s\n", pk::isa_name(pk::active_isa()),
               tiny ? " (tiny smoke sizes)" : "");
-  run_all(tiny);
+  for (int pass = 0; pass < repeat; ++pass) {
+    if (repeat > 1) std::printf("-- pass %d/%d --\n", pass + 1, repeat);
+    run_all(tiny);
+  }
   write_json(out, tiny);
   std::printf("sink=%g\n", g_sink);
   return 0;

@@ -29,8 +29,17 @@
 #                 span nesting), then runs bench_kernels with tracing
 #                 *disabled* and gates it at <2% geomean slowdown against
 #                 the committed baseline — the obs overhead contract
+#   faults-smoke
+#               — Release build of tests + examples + bench; runs the
+#                 fault-injection test matrix (test_faults), proves seeded
+#                 replay determinism (fault_demo --print-events twice,
+#                 fired-event logs must be byte-identical), runs both
+#                 fault_demo recovery modes end to end, then runs
+#                 bench_kernels with faults *disabled* and gates it at
+#                 <2% geomean slowdown against the committed baseline —
+#                 the zero-cost-when-off contract
 #
-# Usage: scripts/check.sh [config ...]     (default: all six)
+# Usage: scripts/check.sh [config ...]     (default: all seven)
 
 set -euo pipefail
 
@@ -167,15 +176,46 @@ print(f"trace OK: {len(events)} events, substrates={sorted(cats)}, "
 EOF
   echo "==== [obs-smoke] disabled-mode overhead gate ===="
   local fresh="$dir/bench/BENCH_kernels_obs.json"
-  "$dir/bench/bench_kernels" --out "$fresh"
+  "$dir/bench/bench_kernels" --repeat 5 --out "$fresh"
   python3 "$ROOT/scripts/bench_compare.py" \
     "$ROOT/BENCH_kernels.json" "$fresh" --tolerance 0.02
   echo "==== [obs-smoke] OK ===="
 }
 
+run_faults_smoke() {
+  local dir="$ROOT/build-check-faults-smoke"
+  echo "==== [faults-smoke] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=ON -DPEACHY_BUILD_TESTS=ON -DPEACHY_BUILD_EXAMPLES=ON
+  echo "==== [faults-smoke] build ===="
+  cmake --build "$dir" --target test_faults fault_demo bench_kernels -j "$JOBS"
+  echo "==== [faults-smoke] fault-injection test matrix ===="
+  "$dir/tests/test_faults"
+  echo "==== [faults-smoke] seeded replay determinism ===="
+  local run_a="$dir/fault_events_a.txt" run_b="$dir/fault_events_b.txt"
+  "$dir/examples/fault_demo" --mode=traffic --seed=7 --print-events \
+    | sed -n '/^fault events:$/,/^end events$/p' > "$run_a"
+  "$dir/examples/fault_demo" --mode=traffic --seed=7 --print-events \
+    | sed -n '/^fault events:$/,/^end events$/p' > "$run_b"
+  # The extracted block must be non-trivial (markers + at least one event)
+  # and byte-identical across the two runs.
+  [ "$(wc -l < "$run_a")" -ge 3 ] || { echo "replay check: no fault events fired" >&2; exit 1; }
+  diff -u "$run_a" "$run_b"
+  echo "replay OK: $(($(wc -l < "$run_a") - 2)) events, logs byte-identical"
+  echo "==== [faults-smoke] recovery end-to-end (kmeans) ===="
+  "$dir/examples/fault_demo" --mode=kmeans
+  echo "==== [faults-smoke] disabled-mode overhead gate ===="
+  local fresh="$dir/bench/BENCH_kernels_faults.json"
+  "$dir/bench/bench_kernels" --repeat 5 --out "$fresh"
+  python3 "$ROOT/scripts/bench_compare.py" \
+    "$ROOT/BENCH_kernels.json" "$fresh" --tolerance 0.02
+  echo "==== [faults-smoke] OK ===="
+}
+
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke)
+  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -186,7 +226,8 @@ for cfg in "${configs[@]}"; do
     bench-smoke) run_bench_smoke ;;
     bench-substrates-smoke) run_bench_substrates_smoke ;;
     obs-smoke)   run_obs_smoke ;;
-    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke)" >&2; exit 2 ;;
+    faults-smoke) run_faults_smoke ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke)" >&2; exit 2 ;;
   esac
 done
 

@@ -34,13 +34,14 @@ void MpiChecker::on_post(int source, int dest, int tag) {
   if (src_ok && tag_ok) d.satisfied = true;
 }
 
-std::optional<std::string> MpiChecker::on_block(int rank, int source, int tag) {
+std::optional<std::string> MpiChecker::on_block(int rank, int source, int tag, bool bounded) {
   std::lock_guard lock{mu_};
   RankInfo& r = ranks_[static_cast<std::size_t>(rank)];
   r.state = RankState::blocked;
   r.want_src = source;
   r.want_tag = tag;
   r.satisfied = false;
+  r.bounded = bounded;
   return detect_deadlock_locked();
 }
 
@@ -53,6 +54,20 @@ std::optional<std::string> MpiChecker::on_exit(int rank) {
   std::lock_guard lock{mu_};
   ranks_[static_cast<std::size_t>(rank)].state = RankState::exited;
   return detect_deadlock_locked();
+}
+
+void MpiChecker::on_failed(int rank) {
+  std::lock_guard lock{mu_};
+  RankInfo& r = ranks_[static_cast<std::size_t>(rank)];
+  if (r.state == RankState::failed) return;
+  r.state = RankState::failed;
+  report_.add(Finding{FindingKind::rank_failure,
+                      Severity::warning,
+                      "rank " + std::to_string(rank) + " failed (crashed mid-run)",
+                      {}});
+  // No deadlock scan here: waits on the failed rank are *not* deadlocks —
+  // the machine wakes those waiters with RankFailedError, and survivors
+  // may legitimately keep running after shrink().
 }
 
 std::string MpiChecker::describe_wait_locked(int rank) const {
@@ -79,7 +94,10 @@ std::optional<std::string> MpiChecker::detect_deadlock_locked() {
   const int n = static_cast<int>(ranks_.size());
   auto stuck = [&](int r) {
     const RankInfo& ri = ranks_[static_cast<std::size_t>(r)];
-    return ri.state == RankState::blocked && !ri.satisfied;
+    // A bounded wait is never stuck: its deadline fires in finite time,
+    // after which the rank runs again (TimeoutError) — so no deadlock
+    // can be *proven* while it participates.
+    return ri.state == RankState::blocked && !ri.satisfied && !ri.bounded;
   };
 
   // 1) A rank waiting on a specific source that has already exited can
@@ -127,13 +145,18 @@ std::optional<std::string> MpiChecker::detect_deadlock_locked() {
   }
 
   // 3) Whole-machine deadlock: every rank has exited or is stuck (covers
-  //    wildcard receives, which have edges to every live rank).
-  int nstuck = 0, nexited = 0;
+  //    wildcard receives, which have edges to every live rank).  Not
+  //    applicable once any rank has *failed*: stuck ranks whose wait
+  //    involves the failed rank (directly or via wildcard) are woken by
+  //    the machine with RankFailedError — that is a failure to recover
+  //    from, not a deadlock to diagnose.
+  int nstuck = 0, nexited = 0, nfailed = 0;
   for (int r = 0; r < n; ++r) {
     if (stuck(r)) ++nstuck;
     if (ranks_[static_cast<std::size_t>(r)].state == RankState::exited) ++nexited;
+    if (ranks_[static_cast<std::size_t>(r)].state == RankState::failed) ++nfailed;
   }
-  if (nstuck > 0 && nstuck + nexited == n) {
+  if (nfailed == 0 && nstuck > 0 && nstuck + nexited == n) {
     std::vector<int> involved;
     for (int r = 0; r < n; ++r) {
       if (stuck(r)) involved.push_back(r);

@@ -55,8 +55,12 @@ class MpiChecker {
 
   /// `rank` scanned its mailbox, found no match for (source, tag), and is
   /// about to block.  Returns a deadlock diagnosis if registering this
-  /// wait completes a deadlock.
-  [[nodiscard]] std::optional<std::string> on_block(int rank, int source, int tag);
+  /// wait completes a deadlock.  A `bounded` wait carries a deadline
+  /// (per-call or comm-wide timeout): it is recorded but can never be
+  /// part of a deadlock diagnosis, because it completes in bounded time
+  /// with TimeoutError and the rank then makes progress (or unwinds).
+  [[nodiscard]] std::optional<std::string> on_block(int rank, int source, int tag,
+                                                    bool bounded = false);
 
   /// `rank` received a matching message after having blocked.
   void on_unblock(int rank);
@@ -64,6 +68,13 @@ class MpiChecker {
   /// `rank`'s program function returned normally.  Returns a deadlock
   /// diagnosis if the remaining ranks can no longer make progress.
   [[nodiscard]] std::optional<std::string> on_exit(int rank);
+
+  /// `rank` crashed (fault injection or a real fault).  Recorded as a
+  /// warning finding — a *recovered* run still grades clean — and the rank
+  /// is excluded from deadlock analysis: peers blocked on it are woken by
+  /// the machine with RankFailedError, which is a distinct diagnosis from
+  /// deadlock (a failure is survivable; a deadlock is a program bug).
+  void on_failed(int rank);
 
   /// `rank` entered its `index`-th collective.  Returns a mismatch
   /// diagnosis if it disagrees with what other ranks called at `index`.
@@ -77,12 +88,13 @@ class MpiChecker {
   [[nodiscard]] Report report() const;
 
  private:
-  enum class RankState { running, blocked, exited };
+  enum class RankState { running, blocked, exited, failed };
   struct RankInfo {
     RankState state = RankState::running;
     int want_src = 0;
     int want_tag = 0;
     bool satisfied = false;  ///< a matching message arrived since blocking
+    bool bounded = false;    ///< the wait has a deadline; never deadlocked
   };
   struct CollRecord {
     CollectiveDesc desc;

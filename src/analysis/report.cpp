@@ -10,6 +10,7 @@ std::string_view to_string(FindingKind k) noexcept {
     case FindingKind::collective_mismatch: return "collective-mismatch";
     case FindingKind::message_leak: return "message-leak";
     case FindingKind::data_race: return "data-race";
+    case FindingKind::rank_failure: return "rank-failure";
   }
   return "unknown";
 }

@@ -31,6 +31,7 @@ enum class FindingKind {
   collective_mismatch,  ///< ranks disagree on collective sequence/shape/root
   message_leak,         ///< message still undelivered when run() exited
   data_race,            ///< overlapping unordered accesses, disjoint locksets
+  rank_failure,         ///< a rank crashed (fault injection or real fault)
 };
 
 enum class Severity { info, warning, error };

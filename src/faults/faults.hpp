@@ -1,0 +1,83 @@
+#pragma once
+/// \file faults.hpp
+/// \brief peachy::faults — error taxonomy of the fault-tolerance layer.
+///
+/// Every substrate in peachy originally assumed a fault-free world: a rank
+/// that stops posting makes its peers block in `recv` forever.  The faults
+/// layer (DESIGN.md §12) makes failures *injectable* (plan.hpp),
+/// *detectable* (the errors below, raised by the mini-MPI machine instead
+/// of hanging), and *survivable* (retry.hpp, checkpoint.hpp, and
+/// `Comm::shrink()`).
+///
+/// The hierarchy encodes what a handler may safely do:
+///
+///   peachy::Error
+///    ├─ TransientError          retry is reasonable (RetryPolicy's filter)
+///    │   └─ TimeoutError        a recv/collective deadline expired
+///    └─ RankFailedError         a peer crashed; retrying the same op on the
+///        │                      same communicator cannot succeed — revoke
+///        │                      and shrink() instead
+///        └─ CommRevokedError    another survivor revoked the communicator
+///                               (it observed a failure first); treat
+///                               exactly like RankFailedError
+///
+/// `RankKilled` is the *injection* vehicle, not an error to handle: it is
+/// thrown inside the crashed rank itself to unwind its stack, and the
+/// mini-MPI runner absorbs it (the rank simply stops, as a killed process
+/// would).  It deliberately does not derive from peachy::Error so that
+/// rank code catching Error for its own purposes cannot resurrect itself.
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace peachy::faults {
+
+/// Base of every recoverable-by-retry condition (see RetryPolicy).
+class TransientError : public peachy::Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A blocking receive (or a collective riding on one) exceeded its
+/// deadline.  Raised only when a timeout was configured — by default the
+/// machine blocks forever, as real MPI does.
+class TimeoutError : public TransientError {
+ public:
+  explicit TimeoutError(const std::string& what) : TransientError(what) {}
+};
+
+/// A peer rank crashed.  `rank()` is the failed rank in *world* numbering
+/// (matching the fault plan's scope), so handlers can log/exclude it even
+/// when operating through a shrunken communicator.
+class RankFailedError : public peachy::Error {
+ public:
+  RankFailedError(int rank, const std::string& what) : Error(what), rank_{rank} {}
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// The communicator was revoked by a survivor that observed a failure
+/// first (`Comm::revoke()`), interrupting every rank still blocked in the
+/// abandoned operation so all survivors reach their recovery path.
+class CommRevokedError : public RankFailedError {
+ public:
+  CommRevokedError(int rank, const std::string& what) : RankFailedError(rank, what) {}
+};
+
+/// Thrown inside a rank at its scheduled crash point (and on every MPI
+/// operation it attempts afterwards — dead ranks cannot talk).  Not a
+/// peachy::Error on purpose; see the file comment.  mpi::run() recognizes
+/// it and retires the rank without aborting the machine.
+class RankKilled {
+ public:
+  explicit RankKilled(int rank) noexcept : rank_{rank} {}
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+}  // namespace peachy::faults

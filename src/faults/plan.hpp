@@ -1,0 +1,175 @@
+#pragma once
+/// \file plan.hpp
+/// \brief FaultPlan + FaultInjector — deterministic, seeded fault injection.
+///
+/// A `FaultPlan` is a serializable schedule of injectable events, scoped
+/// by world rank, tag, and per-rank operation step.  The mini-MPI machine
+/// consults it inside `post` and `take` — the single choke points every
+/// transport path (copy, move, pooled, collective-internal) funnels
+/// through — so an injected fault covers them all.
+///
+/// **Determinism.**  An event fires as a pure function of
+/// (plan seed, event kind, rank, step): deterministic events fire when the
+/// rank's operation counter reaches `step`; probabilistic events hash
+/// (seed, kind, rank, step) through SplitMix64 and fire when the resulting
+/// uniform draw is below `prob`.  A rank's operation counter advances in
+/// its own program order, so the same plan + seed replays the identical
+/// event sequence bit-for-bit regardless of thread scheduling.  The
+/// injector records every fired event; `log_string()` renders the record
+/// in canonical (rank, step) order for replay diffing.
+///
+/// **Spec grammar** (`PEACHY_FAULTS=<spec|file>`; if the value names a
+/// readable file, its contents are parsed instead):
+///
+///   spec    := clause (';' clause)*            (newlines count as ';')
+///   clause  := 'seed=' N | event
+///   event   := kind '@' field (',' field)*
+///   kind    := 'crash' | 'drop' | 'dup' | 'delay' | 'stall'
+///   field   := 'rank='N | 'dest='N | 'tag='N | 'step='N
+///            | 'prob='F | 'ns='N                (omitted field = wildcard)
+///
+/// Examples:
+///   crash@rank=2,step=40          rank 2 dies at its 40th MPI operation
+///   drop@rank=0,tag=7,step=3      rank 0's send at step 3 (tag 7) vanishes
+///   drop@prob=0.01                every send is dropped with p=1%
+///   delay@rank=1,step=5,ns=2e6    (integers only; 2000000) delivery delay
+///   dup@rank=3,step=9             message delivered twice
+///   stall@rank=2,step=10,ns=5000000  rank 2 sleeps 5ms before the op
+///
+/// Semantics per kind:
+///   crash — the rank throws RankKilled at the matching operation and is
+///           marked failed (requires rank and either step or prob);
+///   drop  — the posted message is destroyed instead of enqueued;
+///   dup   — the message is enqueued twice (the duplicate shares payload);
+///   delay — the poster sleeps `ns` before enqueueing (models a slow link;
+///           per-sender ordering is preserved);
+///   stall — the rank sleeps `ns` before executing the operation (models a
+///           slow rank / OS jitter).
+///
+/// drop/dup/delay match send operations; stall and crash match both sends
+/// and receives (the step counter covers every MPI operation of a rank).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace peachy::faults {
+
+enum class FaultKind : std::uint8_t { crash, drop, duplicate, delay, stall };
+
+[[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
+
+/// Matches any rank / tag / destination.
+inline constexpr int kAnyScope = -1;
+/// Matches any step (the event must then carry `prob`).
+inline constexpr std::uint64_t kAnyStep = ~std::uint64_t{0};
+
+/// One injectable event.  Unset scope fields are wildcards.
+struct FaultEvent {
+  FaultKind kind = FaultKind::drop;
+  int rank = kAnyScope;            ///< acting rank (sender for send faults)
+  int dest = kAnyScope;            ///< destination scope (send faults only)
+  int tag = kAnyScope;             ///< tag scope (send faults only)
+  std::uint64_t step = kAnyStep;   ///< the rank's operation index, 0-based
+  double prob = 0.0;               ///< >0: fire probabilistically instead
+  std::uint64_t ns = 0;            ///< delay/stall duration
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A seeded, serializable schedule of fault events.
+class FaultPlan {
+ public:
+  /// Parse a spec string, or the contents of the file it names.  Throws
+  /// peachy::Error with the offending clause on malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec_or_file);
+
+  /// The process-wide plan from `PEACHY_FAULTS`, parsed once; nullptr when
+  /// the variable is unset or empty.
+  [[nodiscard]] static const FaultPlan* from_env();
+
+  /// Canonical rendering; `parse(to_string())` reproduces the plan.
+  [[nodiscard]] std::string to_string() const;
+
+  FaultPlan& set_seed(std::uint64_t seed) noexcept {
+    seed_ = seed;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  FaultPlan& add(const FaultEvent& e);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FaultEvent> events_;
+};
+
+/// What the transport must do to one send (combinable: a message can be
+/// both delayed and duplicated by distinct events).
+struct SendAction {
+  bool crash = false;
+  bool drop = false;
+  bool duplicate = false;
+  std::uint64_t delay_ns = 0;
+  std::uint64_t stall_ns = 0;
+};
+
+/// What the transport must do at one receive entry.
+struct RecvAction {
+  bool crash = false;
+  std::uint64_t stall_ns = 0;
+};
+
+/// Per-machine runtime state of a plan: per-rank operation counters plus
+/// the record of fired events.  on_send/on_recv are called by the acting
+/// rank's own thread (the mini-MPI calling discipline), so the counters
+/// advance in program order; the fired-event log is mutex-protected.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, int nranks);
+
+  /// Consult the plan for rank `source`'s next operation, a send to
+  /// `dest` with `tag`.  Advances the rank's step counter.
+  [[nodiscard]] SendAction on_send(int source, int dest, int tag);
+
+  /// Consult the plan for rank `rank`'s next operation, a receive.
+  /// Advances the rank's step counter.
+  [[nodiscard]] RecvAction on_recv(int rank);
+
+  /// One fired event, as recorded.
+  struct Record {
+    FaultKind kind;
+    int rank;
+    std::uint64_t step;
+    int dest;  ///< kAnyScope for recv-side events
+    int tag;   ///< kAnyScope for recv-side events
+
+    friend bool operator==(const Record&, const Record&) = default;
+  };
+
+  /// Every fired event so far, in canonical (rank, step, kind) order —
+  /// deterministic for a given plan + seed regardless of scheduling.
+  [[nodiscard]] std::vector<Record> log() const;
+
+  /// `log()` rendered one event per line (`crash rank=2 step=40`), the
+  /// replay-determinism artifact scripts diff.
+  [[nodiscard]] std::string log_string() const;
+
+ private:
+  [[nodiscard]] bool fires(const FaultEvent& e, int rank, std::uint64_t step) const;
+  void record(FaultKind kind, int rank, std::uint64_t step, int dest, int tag);
+
+  const FaultPlan plan_;  ///< copied: the injector outlives caller-built plans
+  std::vector<std::uint64_t> steps_;  ///< per-rank op counters (owner-thread only)
+  mutable std::mutex log_mu_;
+  std::vector<Record> log_;
+};
+
+}  // namespace peachy::faults

@@ -1,0 +1,46 @@
+#include "faults/retry.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/obs.hpp"
+#include "rng/splitmix.hpp"
+#include "support/check.hpp"
+
+namespace peachy::faults {
+
+RetryPolicy::RetryPolicy(int max_attempts, std::uint64_t base_delay_ns, double multiplier,
+                         double jitter, std::uint64_t seed)
+    : max_attempts_{max_attempts},
+      base_delay_ns_{base_delay_ns},
+      multiplier_{multiplier},
+      jitter_{jitter},
+      seed_{seed} {
+  PEACHY_CHECK(max_attempts >= 1, "RetryPolicy: max_attempts must be >= 1");
+  PEACHY_CHECK(multiplier >= 1.0, "RetryPolicy: multiplier must be >= 1");
+  PEACHY_CHECK(jitter >= 0.0 && jitter < 1.0, "RetryPolicy: jitter must be in [0,1)");
+}
+
+std::uint64_t RetryPolicy::delay_ns(int attempt) const noexcept {
+  if (attempt < 1) attempt = 1;
+  double d = static_cast<double>(base_delay_ns_) *
+             std::pow(multiplier_, static_cast<double>(attempt - 1));
+  if (jitter_ > 0.0) {
+    // Jitter drawn from (seed, attempt), not from a shared stream, so the
+    // n-th retry of a given policy always sleeps the same duration.
+    rng::SplitMix64 g{rng::derive_seed(seed_, static_cast<std::uint64_t>(attempt))};
+    d *= 1.0 + jitter_ * (2.0 * g.next_double() - 1.0);
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+void RetryPolicy::note_retry(std::uint64_t delay) const {
+  if (obs::enabled()) {
+    obs::counter("faults.retries").add(1);
+    obs::histogram("faults.retry_backoff_ns").note(delay);
+  }
+  if (delay > 0) std::this_thread::sleep_for(std::chrono::nanoseconds{delay});
+}
+
+}  // namespace peachy::faults

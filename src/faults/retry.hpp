@@ -1,0 +1,67 @@
+#pragma once
+/// \file retry.hpp
+/// \brief RetryPolicy — bounded retries with deterministic backoff.
+///
+/// The recovery knob for *transient* faults (dropped or timed-out
+/// messages): retry the operation up to `max_attempts` times, sleeping
+/// `base_delay * multiplier^attempt` between tries, with a jitter fraction
+/// drawn deterministically from peachy::rng (seeded per policy, so two
+/// runs with the same seed back off identically — replay stays
+/// bit-reproducible even through recovery).
+///
+/// Only `TransientError` (and subclasses, e.g. TimeoutError) is retried:
+/// a `RankFailedError` means the peer is gone and retrying the same
+/// operation cannot succeed — that belongs to the shrink()/checkpoint
+/// path, so it propagates immediately.
+
+#include <cstdint>
+#include <functional>
+
+#include "faults/faults.hpp"
+
+namespace peachy::faults {
+
+class RetryPolicy {
+ public:
+  /// `seed` feeds the jitter stream; everything else is the usual
+  /// exponential-backoff tuple.  `jitter` is the +/- fraction applied to
+  /// each delay (0 disables it; 0.1 = up to ±10%).
+  explicit RetryPolicy(int max_attempts = 3, std::uint64_t base_delay_ns = 100'000,
+                       double multiplier = 2.0, double jitter = 0.1, std::uint64_t seed = 0);
+
+  [[nodiscard]] int max_attempts() const noexcept { return max_attempts_; }
+
+  /// The backoff before retry number `attempt` (1-based: the sleep after
+  /// the attempt-th failure).  Pure function of (policy, attempt) — used
+  /// directly by tests to assert determinism.
+  [[nodiscard]] std::uint64_t delay_ns(int attempt) const noexcept;
+
+  /// Run `op` (attempt 1), retrying on TransientError with backoff until
+  /// it succeeds or attempts are exhausted (the last error is rethrown).
+  /// Retries/latency are exported via obs (`faults.retries`,
+  /// `faults.retry_backoff_ns`).  Non-transient exceptions propagate
+  /// immediately without retry.
+  template <typename F>
+  auto run(F&& op) const -> decltype(op()) {
+    for (int attempt = 1;; ++attempt) {
+      try {
+        return op();
+      } catch (const TransientError&) {
+        if (attempt >= max_attempts_) throw;
+        note_retry(delay_ns(attempt));
+      }
+    }
+  }
+
+ private:
+  /// Record the retry in obs and sleep the backoff.
+  void note_retry(std::uint64_t delay) const;
+
+  int max_attempts_;
+  std::uint64_t base_delay_ns_;
+  double multiplier_;
+  double jitter_;
+  std::uint64_t seed_;
+};
+
+}  // namespace peachy::faults

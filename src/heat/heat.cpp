@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "kernels/kernels.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -53,15 +54,31 @@ std::vector<double> discrete_sine_solution(const Spec& spec, int m) {
   return u;
 }
 
-std::vector<double> solve_serial(const Spec& spec, const Initial& initial) {
+std::vector<double> solve_serial(const Spec& spec, const Initial& initial,
+                                 const faults::FtOptions& ft) {
   validate(spec);
   std::vector<double> u = initial_values(spec, initial);
   std::vector<double> un = u;
-  for (std::size_t step = 0; step < spec.nt; ++step) {
+  std::size_t first = 0;
+  if (ft.active()) {
+    if (const auto snap = ft.store->load(ft.key)) {
+      u = faults::BlobReader{snap->blob}.get_vec<double>();
+      PEACHY_CHECK(u.size() == spec.nx, "heat restart: snapshot grid size mismatch");
+      first = static_cast<std::size_t>(snap->next_step);
+      if (obs::enabled()) obs::counter("faults.restores").add(1);
+    }
+  }
+  for (std::size_t step = first; step < spec.nt; ++step) {
     std::swap(u, un);  // step 4.1 of the assignment's algorithm
     // Step 4.2 over Ω̂: the boundary cells u[0] / u[nx-1] are the halo the
     // kernel reads at src[-1] / src[n].
     kernels::stencil_row(u.data() + 1, un.data() + 1, spec.nx - 2, spec.alpha);
+    if (ft.active() && (step + 1) % static_cast<std::size_t>(ft.every) == 0) {
+      faults::BlobWriter w;
+      w.put_vec(u);
+      ft.store->save(ft.key, faults::Snapshot{step + 1, std::move(w).take()});
+      if (obs::enabled()) obs::counter("faults.checkpoints").add(1);
+    }
   }
   return u;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "chapel/chapel.hpp"
+#include "faults/checkpoint.hpp"
 
 namespace peachy::heat {
 
@@ -56,7 +57,13 @@ struct SolveStats {
 };
 
 /// Non-distributed reference (the provided Example1 starter code).
-[[nodiscard]] std::vector<double> solve_serial(const Spec& spec, const Initial& initial);
+///
+/// When `ft.active()`, the grid is snapshotted every `ft.every` steps and
+/// a run that finds a snapshot under `ft.key` resumes from it.  The scheme
+/// is a pure function of the previous grid, so a resumed run is
+/// bit-identical to an uninterrupted one.
+[[nodiscard]] std::vector<double> solve_serial(const Spec& spec, const Initial& initial,
+                                               const faults::FtOptions& ft = {});
 
 /// Part 1: forall over a Block-distributed array, one parallel region per
 /// time step.

@@ -4,12 +4,13 @@
 
 #include "kernels/kernels.hpp"
 #include "kmeans/detail.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace peachy::kmeans {
 
 Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points, const Options& opts,
-                   MpiKmeansStats* stats) {
+                   MpiKmeansStats* stats, const faults::FtOptions& ft) {
   const int root = 0;
 
   // Broadcast problem shape, then scatter point blocks.
@@ -66,7 +67,29 @@ Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points, const Options&
   const std::size_t k = opts.k;
   const std::size_t d = shape.d;
 
-  for (res.iterations = 1; res.iterations <= opts.max_iterations; ++res.iterations) {
+  // Restart: replace the broadcast initial centroids and the virgin (-1)
+  // assignment with the snapshot's, so the first resumed iteration counts
+  // `changes` against the pre-crash assignment exactly as an uninterrupted
+  // run would.
+  std::size_t first_iter = 1;
+  if (ft.active()) {
+    if (const auto snap = ft.store->load(ft.key)) {
+      faults::BlobReader r{snap->blob};
+      auto cvals = r.get_vec<double>();
+      PEACHY_CHECK(cvals.size() == k * d, "kmeans restart: snapshot centroid shape mismatch");
+      centroids = data::PointSet{k, d, std::move(cvals)};
+      res.changes_per_iteration = r.get_vec<std::size_t>();
+      const auto full_assign = r.get_vec<std::int32_t>();
+      PEACHY_CHECK(full_assign.size() == shape.n, "kmeans restart: snapshot point count mismatch");
+      std::copy(full_assign.begin() + static_cast<std::ptrdiff_t>(my_block.begin),
+                full_assign.begin() + static_cast<std::ptrdiff_t>(my_block.end),
+                res.assignment.begin());
+      first_iter = static_cast<std::size_t>(snap->next_step);
+      if (obs::enabled()) obs::counter("faults.restores").add(1);
+    }
+  }
+
+  for (res.iterations = first_iter; res.iterations <= opts.max_iterations; ++res.iterations) {
     // Local phase: one fused-kernel pass over this rank's block — the
     // same kernel the shared-memory variants run, so assignments agree
     // bit-for-bit with them.
@@ -85,6 +108,23 @@ Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points, const Options&
 
     res.changes_per_iteration.push_back(static_cast<std::size_t>(changes));
     const double max_move = detail::recompute_centroids(centroids, sums, counts);
+
+    // Iteration-boundary checkpoint.  The assignment is distributed, so
+    // the snapshot costs one extra allgather per checkpoint (that cost is
+    // what T-FLT-1 measures); every rank participates in the collective,
+    // rank 0 alone writes the blob.
+    if (ft.active() && res.iterations % static_cast<std::size_t>(ft.every) == 0) {
+      std::vector<std::int32_t> full_assign(shape.n);
+      comm.allgather_into<std::int32_t>(res.assignment, std::span<std::int32_t>{full_assign});
+      if (comm.rank() == 0) {
+        faults::BlobWriter w;
+        w.put_span(centroids.values().data(), k * d);
+        w.put_vec(res.changes_per_iteration);
+        w.put_vec(full_assign);
+        ft.store->save(ft.key, faults::Snapshot{res.iterations + 1, std::move(w).take()});
+        if (obs::enabled()) obs::counter("faults.checkpoints").add(1);
+      }
+    }
 
     if (changes <= opts.min_changes) {
       res.termination = Termination::kMinChanges;

@@ -12,6 +12,7 @@
 /// stage.  Assignments are gathered back to root at the end and broadcast.
 
 #include "data/points.hpp"
+#include "faults/checkpoint.hpp"
 #include "kmeans/kmeans.hpp"
 #include "mpi/mpi.hpp"
 
@@ -30,7 +31,18 @@ struct MpiKmeansStats {
 ///
 /// `stats`, if non-null, is filled by the calling rank — pass a
 /// rank-local object, never one shared across rank lambdas (data race).
+///
+/// When `ft.active()`, the ranks checkpoint every `ft.every` iterations:
+/// an extra allgather collects the full assignment so the snapshot records
+/// {centroids, changes history, assignment}, and a run that finds a
+/// snapshot under `ft.key` resumes from that iteration with its block of
+/// the saved assignment — the per-iteration `changes` counts continue
+/// exactly where the interrupted run left off.  (Across *different* rank
+/// counts the centroid bits may differ — allreduce summation order — so
+/// the recovery guarantee here is convergence equivalence, not bit
+/// equality; the traffic driver provides the bit-identical variant.)
 [[nodiscard]] Result cluster_mpi(mpi::Comm& comm, const data::PointSet& points,
-                                 const Options& opts, MpiKmeansStats* stats = nullptr);
+                                 const Options& opts, MpiKmeansStats* stats = nullptr,
+                                 const faults::FtOptions& ft = {});
 
 }  // namespace peachy::kmeans

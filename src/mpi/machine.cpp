@@ -1,4 +1,7 @@
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "mpi/mpi.hpp"
@@ -8,7 +11,17 @@ namespace peachy::mpi {
 
 namespace detail {
 
-Machine::Machine(int nranks, analysis::CheckLevel check) {
+namespace {
+
+void sleep_ns(std::uint64_t ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds{static_cast<std::int64_t>(ns)});
+}
+
+}  // namespace
+
+Machine::Machine(int nranks, analysis::CheckLevel check, const faults::FaultPlan* plan,
+                 std::uint64_t default_timeout_ns)
+    : default_timeout_ns_{default_timeout_ns} {
   PEACHY_CHECK(nranks >= 1, "machine needs at least one rank");
   boxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -16,12 +29,20 @@ Machine::Machine(int nranks, analysis::CheckLevel check) {
     boxes_.back()->trace_name =
         obs::intern_name("mpi.queue[" + std::to_string(i) + "]");
   }
+  failed_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    failed_[static_cast<std::size_t>(i)].store(false, std::memory_order_relaxed);
+  }
   if (check != analysis::CheckLevel::off) {
     checker_ = std::make_unique<analysis::MpiChecker>(nranks, check);
   }
+  if (plan != nullptr) {
+    injector_ = std::make_unique<faults::FaultInjector>(*plan, nranks);
+  }
 }
 
-void Machine::post(int source, int dest, int tag, std::span<const std::byte> payload) {
+void Machine::post(int source, int dest, int tag, std::span<const std::byte> payload,
+                   std::uint32_t comm) {
   // One memcpy into a pooled slab; the allocation is a freelist pop in
   // steady state.
   PayloadBuffer buf = BufferPool::instance().acquire(payload.size());
@@ -30,77 +51,139 @@ void Machine::post(int source, int dest, int tag, std::span<const std::byte> pay
     static obs::Counter& copied = obs::counter("mpi.bytes_copied");
     copied.add(static_cast<std::int64_t>(payload.size()));
   }
-  post_impl(source, dest, tag, std::move(buf));
+  post_impl(source, dest, tag, std::move(buf), comm);
 }
 
-void Machine::post_move(int source, int dest, int tag, PayloadBuffer&& payload) {
+void Machine::post_move(int source, int dest, int tag, PayloadBuffer&& payload,
+                        std::uint32_t comm) {
   if (obs::enabled()) {
     static obs::Counter& moved = obs::counter("mpi.bytes_moved");
     moved.add(static_cast<std::int64_t>(payload.size()));
   }
-  post_impl(source, dest, tag, std::move(payload));
+  post_impl(source, dest, tag, std::move(payload), comm);
 }
 
-void Machine::post_impl(int source, int dest, int tag, PayloadBuffer&& payload) {
+void Machine::post_impl(int source, int dest, int tag, PayloadBuffer&& payload,
+                        std::uint32_t comm) {
   PEACHY_CHECK(dest >= 0 && dest < size(), "post: bad destination");
   // Reject the send side symmetrically with take(): an out-of-range
   // source would flow into Message::source and the checker's wait-for
   // graph (on_post indexes by source) exactly like the recv-side bug
   // fixed in PR 1 — make it the same named error instead.
   PEACHY_CHECK(source >= 0 && source < size(), "post: bad source rank");
+  // Dead ranks cannot talk: a crashed rank that somehow reaches another
+  // send (e.g. user code swallowed the unwinding exception with
+  // `catch (...)`) is re-killed on the spot.
+  if (any_failed() && rank_failed(source)) throw faults::RankKilled{source};
+  bool duplicate = false;
+  if (injector_) {
+    const faults::SendAction act = injector_->on_send(source, dest, tag);
+    if (act.stall_ns > 0) sleep_ns(act.stall_ns);
+    if (act.crash) {
+      mark_failed(source);
+      throw faults::RankKilled{source};
+    }
+    if (act.delay_ns > 0) sleep_ns(act.delay_ns);
+    // A dropped message simply vanishes: never enqueued, never counted,
+    // never shown to the checker — exactly what a lossy link looks like.
+    if (act.drop) return;
+    duplicate = act.duplicate;
+  }
   const std::size_t nbytes = payload.size();
+  const int copies = duplicate ? 2 : 1;
   const obs::SpanScope span{"mpi", "post", "bytes", static_cast<std::int64_t>(nbytes)};
   Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lock{box.mu};
-    Message m;
-    m.source = source;
-    m.tag = tag;
-    m.payload = std::move(payload);
-    box.queue.push_back(std::move(m));
-    // Under the same mailbox lock as the queue push, so the checker's
-    // "a satisfying message arrived" flag can never lag a blocked
-    // receiver's registration.
-    if (checker_) checker_->on_post(source, dest, tag);
+    for (int c = 0; c < copies; ++c) {
+      Message m;
+      m.source = source;
+      m.tag = tag;
+      m.comm = comm;
+      // A duplicated message shares the payload (refcount bump): the
+      // receiver sees two full deliveries, the bytes exist once.
+      m.payload = c + 1 < copies ? payload.share() : std::move(payload);
+      box.queue.push_back(std::move(m));
+      // Under the same mailbox lock as the queue push, so the checker's
+      // "a satisfying message arrived" flag can never lag a blocked
+      // receiver's registration.
+      if (checker_) checker_->on_post(source, dest, tag);
+    }
     obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
   }
-  messages_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(nbytes, std::memory_order_relaxed);
+  messages_.fetch_add(static_cast<std::uint64_t>(copies), std::memory_order_relaxed);
+  bytes_.fetch_add(static_cast<std::uint64_t>(copies) * nbytes, std::memory_order_relaxed);
   if (obs::enabled()) {
     static obs::Counter& msgs = obs::counter("mpi.messages");
     static obs::Counter& byts = obs::counter("mpi.bytes");
-    msgs.add(1);
-    byts.add(static_cast<std::int64_t>(nbytes));
+    msgs.add(copies);
+    byts.add(static_cast<std::int64_t>(copies) * static_cast<std::int64_t>(nbytes));
   }
   box.cv.notify_all();
 }
 
-Message Machine::take(int self, int source, int tag) {
+Message Machine::take(int self, int source, int tag, std::uint32_t comm,
+                      std::uint64_t timeout_ns, const std::vector<int>* group,
+                      const std::size_t* exact_bytes) {
   PEACHY_CHECK(self >= 0 && self < size(), "take: bad rank");
   // Reject before the checker registers the wait: an out-of-range source
   // is the grading layer's own input, and must become a named error — not
   // a hang (unchecked) or an out-of-bounds wait-for-graph index (checked).
   PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
                "recv: bad source rank");
+  if (any_failed() && rank_failed(self)) throw faults::RankKilled{self};
+  if (injector_) {
+    const faults::RecvAction act = injector_->on_recv(self);
+    if (act.stall_ns > 0) sleep_ns(act.stall_ns);
+    if (act.crash) {
+      mark_failed(self);
+      throw faults::RankKilled{self};
+    }
+  }
   obs::SpanScope span{"mpi", "recv"};
   std::uint64_t blocked_ns = 0;
+  const bool has_deadline = timeout_ns > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds{timeout_ns};
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   std::unique_lock lock{box.mu};
   bool registered = false;
+  // Waits that end in an exception must unregister from the wait-for graph
+  // (unlike the abort path, the machine keeps running afterwards).
+  const auto unregister = [&] {
+    if (checker_ && registered) {
+      checker_->on_unblock(self);
+      registered = false;
+    }
+  };
   for (;;) {
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (matches(*it, source, tag)) {
-        Message m = std::move(*it);
-        box.queue.erase(it);
-        if (checker_ && registered) checker_->on_unblock(self);
-        obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
-        if (blocked_ns != 0) {
-          span.arg("blocked_ns", static_cast<std::int64_t>(blocked_ns));
-          static obs::Counter& blocked = obs::counter("mpi.recv_blocked_ns");
-          blocked.add(static_cast<std::int64_t>(blocked_ns));
-        }
-        return m;
+      if (!matches(*it, source, tag, comm)) continue;
+      if (exact_bytes != nullptr && it->payload.size() != *exact_bytes) {
+        // recv_into size contract: the mismatched message is NOT consumed
+        // — it stays queued (and peekable), only the error escapes.
+        const std::size_t got = it->payload.size();
+        const int msrc = it->source;
+        const int mtag = it->tag;
+        unregister();
+        lock.unlock();
+        throw Error{"recv_into: " + std::to_string(got) + "-byte message from rank " +
+                    std::to_string(msrc) + " (tag " + std::to_string(mtag) + ") " +
+                    (got > *exact_bytes
+                         ? std::string{"would be truncated into a "}
+                         : std::string{"is shorter than the "}) +
+                    std::to_string(*exact_bytes) + "-byte buffer (message left queued)"};
       }
+      Message m = std::move(*it);
+      box.queue.erase(it);
+      unregister();
+      obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
+      if (blocked_ns != 0) {
+        span.arg("blocked_ns", static_cast<std::int64_t>(blocked_ns));
+        static obs::Counter& blocked = obs::counter("mpi.recv_blocked_ns");
+        blocked.add(static_cast<std::int64_t>(blocked_ns));
+      }
+      return m;
     }
     if (aborted_.load(std::memory_order_acquire)) {
       std::lock_guard alock{abort_mu_};
@@ -108,9 +191,47 @@ Message Machine::take(int self, int source, int tag) {
                   " was blocked in recv(" + analysis::format_source(source) + ", " +
                   analysis::format_tag(tag) + "): " + abort_reason_};
     }
+    // Failure detection (cheap gate: one relaxed-ish load when no rank has
+    // failed).  A wait on a specific failed source can never be satisfied.
+    // A wildcard wait follows ULFM's pending-failure rule: with no
+    // matching message and ANY group member failed, the waiter cannot know
+    // the missing message wasn't the dead rank's, so it must be told.
+    if (any_failed()) {
+      int failed = -1;
+      if (source != kAnySource) {
+        if (rank_failed(source)) failed = source;
+      } else {
+        failed = first_failed_in(group);
+      }
+      if (failed >= 0) {
+        unregister();
+        lock.unlock();
+        throw faults::RankFailedError{
+            failed, "rank " + std::to_string(self) + "'s recv(" +
+                        analysis::format_source(source) + ", " + analysis::format_tag(tag) +
+                        ") cannot complete: rank " + std::to_string(failed) + " failed"};
+      }
+    }
+    if (comm_revoked(comm)) {
+      unregister();
+      lock.unlock();
+      throw faults::CommRevokedError{
+          first_failed_in(group),
+          "communicator " + std::to_string(comm) + " was revoked while rank " +
+              std::to_string(self) + " was in recv(" + analysis::format_source(source) +
+              ", " + analysis::format_tag(tag) + ")"};
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      unregister();
+      lock.unlock();
+      throw faults::TimeoutError{
+          "rank " + std::to_string(self) + " timed out after " +
+          std::to_string(timeout_ns / 1'000'000) + " ms in recv(" +
+          analysis::format_source(source) + ", " + analysis::format_tag(tag) + ")"};
+    }
     if (checker_ && !registered) {
       registered = true;
-      const auto deadlock = checker_->on_block(self, source, tag);
+      const auto deadlock = checker_->on_block(self, source, tag, has_deadline);
       if (deadlock) {
         // Wake everyone with the diagnosis; drop the mailbox lock first
         // because abort() touches every mailbox in turn.
@@ -119,31 +240,127 @@ Message Machine::take(int self, int source, int tag) {
         throw analysis::CheckFailure{*deadlock};
       }
     }
-    // abort() takes the mailbox lock before notifying, so a plain wait
-    // cannot miss the wakeup; spurious wakeups just rescan.
+    // abort(), mark_failed(), and revoke() all take the mailbox lock
+    // before notifying, so a plain wait cannot miss those wakeups;
+    // spurious wakeups just rescan.
     if (obs::enabled()) {
       const std::uint64_t t0 = obs::now_ns();
-      box.cv.wait(lock);
+      if (has_deadline) {
+        box.cv.wait_until(lock, deadline);
+      } else {
+        box.cv.wait(lock);
+      }
       blocked_ns += obs::now_ns() - t0;
+    } else if (has_deadline) {
+      box.cv.wait_until(lock, deadline);
     } else {
       box.cv.wait(lock);
     }
   }
 }
 
-bool Machine::try_peek(int self, int source, int tag, Status& st) {
+bool Machine::try_peek(int self, int source, int tag, Status& st, std::uint32_t comm) {
   PEACHY_CHECK(self >= 0 && self < size(), "probe: bad rank");
   PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
                "probe: bad source rank");
   Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
   std::lock_guard lock{box.mu};
   for (const auto& m : box.queue) {
-    if (matches(m, source, tag)) {
+    if (matches(m, source, tag, comm)) {
       st = Status{m.source, m.tag, m.payload.size()};
       return true;
     }
   }
   return false;
+}
+
+void Machine::mark_failed(int rank) {
+  PEACHY_CHECK(rank >= 0 && rank < size(), "mark_failed: bad rank");
+  bool expected = false;
+  if (!failed_[static_cast<std::size_t>(rank)].compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return;
+  }
+  failed_count_.fetch_add(1, std::memory_order_release);
+  if (obs::enabled()) {
+    static obs::Counter& failures = obs::counter("faults.rank_failed");
+    failures.add(1);
+  }
+  if (checker_) checker_->on_failed(rank);
+  // Lock-then-notify every mailbox (same discipline as abort()): a
+  // receiver between "scan found nothing" and "wait" holds its mailbox
+  // lock, so none can miss the wakeup that turns its block into
+  // RankFailedError.
+  for (auto& box : boxes_) {
+    { std::lock_guard lock{box->mu}; }
+    box->cv.notify_all();
+  }
+}
+
+int Machine::first_failed_in(const std::vector<int>* group) const noexcept {
+  if (!any_failed()) return -1;
+  if (group != nullptr) {
+    for (int r : *group) {
+      if (r >= 0 && r < size() && rank_failed(r)) return r;
+    }
+    return -1;
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (rank_failed(r)) return r;
+  }
+  return -1;
+}
+
+std::vector<int> Machine::survivors_of(const std::vector<int>& group) const {
+  std::vector<int> out;
+  out.reserve(group.size());
+  for (int r : group) {
+    if (!(r >= 0 && r < size() && rank_failed(r))) out.push_back(r);
+  }
+  return out;
+}
+
+void Machine::revoke(std::uint32_t comm) {
+  {
+    std::lock_guard lock{revoke_mu_};
+    if (std::find(revoked_.begin(), revoked_.end(), comm) != revoked_.end()) return;
+    revoked_.push_back(comm);
+  }
+  revoked_count_.fetch_add(1, std::memory_order_release);
+  if (obs::enabled()) {
+    static obs::Counter& revokes = obs::counter("faults.revokes");
+    revokes.add(1);
+  }
+  for (auto& box : boxes_) {
+    { std::lock_guard lock{box->mu}; }
+    box->cv.notify_all();
+  }
+}
+
+bool Machine::comm_revoked(std::uint32_t comm) const {
+  if (revoked_count_.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard lock{revoke_mu_};
+  return std::find(revoked_.begin(), revoked_.end(), comm) != revoked_.end();
+}
+
+Machine::Agreement Machine::agree_group(std::uint64_t key, const std::vector<int>& proposal) {
+  std::lock_guard lock{agree_mu_};
+  auto it = agreements_.find(key);
+  if (it == agreements_.end()) {
+    it = agreements_
+             .emplace(key, Agreement{proposal,
+                                     next_comm_id_.fetch_add(1, std::memory_order_relaxed)})
+             .first;
+  }
+  return it->second;
+}
+
+void Machine::purge_failed_senders(int self) {
+  PEACHY_CHECK(self >= 0 && self < size(), "purge: bad rank");
+  Mailbox& box = *boxes_[static_cast<std::size_t>(self)];
+  std::lock_guard lock{box.mu};
+  std::erase_if(box.queue, [&](const Message& m) { return rank_failed(m.source); });
+  obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
 }
 
 void Machine::abort(const std::string& why) {
@@ -209,7 +426,8 @@ void Comm::barrier() {
     const int dest = (rank_ + dist) % p;
     const int src = (rank_ - dist + p) % p;
     // Round-distinct sub-tag: token from round k must not satisfy round k+1.
-    machine_->post(rank_, dest, tag, std::span<const std::byte>{&token, 1});
+    machine_->post(world_rank(), to_world(dest), tag, std::span<const std::byte>{&token, 1},
+                   comm_id_);
     (void)recv_bytes(src, tag);
     // NOTE: dissemination rounds reuse the same tag but distinct (src,dist)
     // pairs, and recv matches on source, so rounds cannot cross-match
@@ -254,19 +472,70 @@ void Comm::bcast_payload(PayloadBuffer& buf, int root, int tag) {
   while (mask > 0) {
     if ((vrank & mask) == 0 && vrank + mask < p) {
       const int dest = (vrank + mask + root) % p;
-      machine_->post_move(rank_, dest, tag, buf.share());
+      machine_->post_move(world_rank(), to_world(dest), tag, buf.share(), comm_id_);
     }
     mask >>= 1;
   }
 }
 
+void Comm::revoke() { machine_->revoke(comm_id_); }
+
+Comm Comm::shrink() {
+  const obs::SpanScope span{"faults", "shrink"};
+  const std::uint64_t t0 = obs::now_ns();
+  const std::vector<int> members = group();
+  // ULFM's iterate-until-stable discipline, with the machine's shared
+  // agreement table standing in for a cross-process agreement protocol:
+  // propose the survivors we observe; the first proposal stored under the
+  // key wins and every survivor adopts it.  If an adopted group member
+  // fails before everyone adopted, all survivors iterate to the next key
+  // (deterministic: same keys, same table, same winner on every rank).
+  detail::Machine::Agreement agreed;
+  for (;;) {
+    const std::vector<int> survivors = machine_->survivors_of(members);
+    PEACHY_CHECK(!survivors.empty(), "shrink: no surviving ranks");
+    const std::uint64_t key = (static_cast<std::uint64_t>(comm_id_) << 32) | shrink_seq_;
+    ++shrink_seq_;
+    agreed = machine_->agree_group(key, survivors);
+    if (machine_->first_failed_in(&agreed.group) < 0) break;
+  }
+  // Stale traffic from the dead rank(s) must not satisfy post-recovery
+  // receives on the old communicator; each survivor scrubs its own box.
+  machine_->purge_failed_senders(world_rank());
+  const int my_world = world_rank();
+  int new_rank = -1;
+  for (std::size_t i = 0; i < agreed.group.size(); ++i) {
+    if (agreed.group[i] == my_world) new_rank = static_cast<int>(i);
+  }
+  PEACHY_CHECK(new_rank >= 0, "shrink: calling rank is not a survivor");
+  if (obs::enabled()) {
+    static obs::Histogram& recovery = obs::histogram("faults.recovery_ns");
+    recovery.note(obs::now_ns() - t0);
+  }
+  return Comm{*machine_, new_rank, agreed.group, agreed.comm_id, timeout_ns_};
+}
+
 namespace {
 
-TrafficStats run_impl(int nranks, analysis::CheckLevel level,
+/// Process-wide default op deadline from `PEACHY_MPI_TIMEOUT_MS` (0 = none).
+std::uint64_t env_timeout_ns() {
+  static const std::uint64_t v = [] {
+    const char* e = std::getenv("PEACHY_MPI_TIMEOUT_MS");
+    if (e == nullptr || *e == '\0') return std::uint64_t{0};
+    return static_cast<std::uint64_t>(std::strtoull(e, nullptr, 10) * 1'000'000ULL);
+  }();
+  return v;
+}
+
+TrafficStats run_impl(int nranks, const RunOptions& opts,
                       const std::function<void(Comm&)>& fn, analysis::Report* out) {
   PEACHY_CHECK(nranks >= 1, "run: need at least one rank");
   PEACHY_CHECK(fn != nullptr, "run: null rank function");
-  detail::Machine machine{nranks, level};
+  const faults::FaultPlan* plan =
+      opts.plan != nullptr ? opts.plan : faults::FaultPlan::from_env();
+  const std::uint64_t timeout_ns =
+      opts.op_timeout_ns > 0 ? opts.op_timeout_ns : env_timeout_ns();
+  detail::Machine machine{nranks, opts.check, plan, timeout_ns};
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -279,6 +548,10 @@ TrafficStats run_impl(int nranks, analysis::CheckLevel level,
       try {
         fn(comm);
         machine.note_exit(r);
+      } catch (const faults::RankKilled&) {
+        // Injected crash: the rank is already marked failed, its peers see
+        // RankFailedError, and the machine keeps running — the survivors'
+        // recovery (or failure to recover) is the run's outcome.
       } catch (const std::exception& e) {
         {
           std::lock_guard lock{err_mu};
@@ -296,7 +569,20 @@ TrafficStats run_impl(int nranks, analysis::CheckLevel level,
   }
   for (auto& t : threads) t.join();
 
-  if (!machine.aborted()) machine.scan_leaks();
+  if (opts.fault_log != nullptr) {
+    *opts.fault_log =
+        machine.injector() != nullptr ? machine.injector()->log_string() : std::string{};
+  }
+
+  // With a failed rank, undelivered messages to/from it are the expected
+  // debris of the crash, not program bugs — skip the leak scan (the
+  // rank-failure warning finding already records what happened).  Same
+  // for an active fault plan: injected dups create messages the program
+  // never asked for, and drops/delays/stalls shift arrivals past
+  // drain-by-probe loops, so leftovers indict the injection, not the
+  // program.
+  const bool injecting = plan != nullptr && !plan->empty();
+  if (!machine.aborted() && !machine.any_failed() && !injecting) machine.scan_leaks();
   const analysis::Report report = machine.report();
   if (out != nullptr) *out = report;
 
@@ -315,13 +601,28 @@ TrafficStats run_impl(int nranks, analysis::CheckLevel level,
 }  // namespace
 
 TrafficStats run(int nranks, const std::function<void(Comm&)>& fn, analysis::CheckLevel level) {
-  return run_impl(nranks, level, fn, nullptr);
+  RunOptions opts;
+  opts.check = level;
+  return run_impl(nranks, opts, fn, nullptr);
+}
+
+TrafficStats run(int nranks, const std::function<void(Comm&)>& fn, const RunOptions& opts) {
+  return run_impl(nranks, opts, fn, nullptr);
 }
 
 CheckedRun run_checked(int nranks, const std::function<void(Comm&)>& fn,
                        analysis::CheckLevel level) {
   CheckedRun result;
-  result.stats = run_impl(nranks, level, fn, &result.report);
+  RunOptions opts;
+  opts.check = level;
+  result.stats = run_impl(nranks, opts, fn, &result.report);
+  return result;
+}
+
+CheckedRun run_checked(int nranks, const std::function<void(Comm&)>& fn, RunOptions opts) {
+  CheckedRun result;
+  if (opts.check == analysis::CheckLevel::off) opts.check = analysis::CheckLevel::full;
+  result.stats = run_impl(nranks, opts, fn, &result.report);
   return result;
 }
 

@@ -34,12 +34,15 @@
 ///     std::vector<double> total = comm.allreduce<double>({&local, 1}, std::plus<>{});
 ///   });
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -49,6 +52,8 @@
 
 #include "analysis/mpi_checker.hpp"
 #include "analysis/report.hpp"
+#include "faults/faults.hpp"
+#include "faults/plan.hpp"
 #include "mpi/buffer_pool.hpp"
 #include "support/check.hpp"
 #include "support/parallel_for.hpp"
@@ -77,6 +82,11 @@ namespace detail {
 struct Message {
   int source;
   int tag;
+  /// Communicator the message belongs to (0 = the world communicator).
+  /// Matching requires equality, so a shrunken communicator's collectives
+  /// can never consume stale traffic addressed to the communicator it
+  /// replaced — without carving up the tag space.
+  std::uint32_t comm = 0;
   PayloadBuffer payload;
 };
 
@@ -94,21 +104,80 @@ struct Mailbox {
 /// CheckLevel other than `off` it owns an analysis::MpiChecker that is fed
 /// post/block/exit/collective events and can abort the machine with a
 /// diagnosis (deadlock, collective mismatch) instead of hanging.
+///
+/// With a faults::FaultPlan the machine also owns a FaultInjector consulted
+/// at the two transport choke points (post_impl / take), and tracks which
+/// ranks have *failed*: a failed rank's peers are woken from blocking
+/// receives with faults::RankFailedError instead of hanging forever.
 class Machine {
  public:
-  explicit Machine(int nranks, analysis::CheckLevel check = analysis::CheckLevel::off);
+  explicit Machine(int nranks, analysis::CheckLevel check = analysis::CheckLevel::off,
+                   const faults::FaultPlan* plan = nullptr,
+                   std::uint64_t default_timeout_ns = 0);
 
   /// Buffered send: one memcpy into a pooled buffer, zero allocations in
   /// steady state.
-  void post(int source, int dest, int tag, std::span<const std::byte> payload);
+  void post(int source, int dest, int tag, std::span<const std::byte> payload,
+            std::uint32_t comm = 0);
   /// Zero-copy send of an already-owned payload (pooled or adopted).
   /// Counted identically to post() — the traffic counters describe the
   /// message, not how its bytes traveled.
-  void post_move(int source, int dest, int tag, PayloadBuffer&& payload);
-  Message take(int self, int source, int tag);
-  bool try_peek(int self, int source, int tag, Status& st);
+  void post_move(int source, int dest, int tag, PayloadBuffer&& payload,
+                 std::uint32_t comm = 0);
+  /// Blocking matched receive.  `timeout_ns > 0` bounds the wait
+  /// (faults::TimeoutError on expiry).  `group` scopes the wildcard
+  /// failure check to the calling communicator's members (nullptr = all
+  /// ranks).  `exact_bytes`, when set, enforces the recv_into size
+  /// contract *before* consuming: a mismatched message stays queued and
+  /// peekable, and only the error escapes.
+  Message take(int self, int source, int tag, std::uint32_t comm = 0,
+               std::uint64_t timeout_ns = 0, const std::vector<int>* group = nullptr,
+               const std::size_t* exact_bytes = nullptr);
+  bool try_peek(int self, int source, int tag, Status& st, std::uint32_t comm = 0);
 
   void abort(const std::string& why);
+
+  // ---- failure detection / recovery (peachy::faults integration) -----------
+
+  /// Mark `rank` failed (idempotent) and wake every blocked receiver so
+  /// waits on the dead rank become faults::RankFailedError.
+  void mark_failed(int rank);
+  [[nodiscard]] bool rank_failed(int rank) const noexcept {
+    return failed_[static_cast<std::size_t>(rank)].load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool any_failed() const noexcept {
+    return failed_count_.load(std::memory_order_acquire) > 0;
+  }
+  /// First failed rank among `group`'s members (all ranks when nullptr),
+  /// or -1 when none.
+  [[nodiscard]] int first_failed_in(const std::vector<int>* group) const noexcept;
+  /// `group` minus the failed ranks, order preserved.
+  [[nodiscard]] std::vector<int> survivors_of(const std::vector<int>& group) const;
+
+  /// Mark a communicator dead machine-wide; every rank blocked (or later
+  /// blocking) on it wakes with faults::CommRevokedError.
+  void revoke(std::uint32_t comm);
+  [[nodiscard]] bool comm_revoked(std::uint32_t comm) const;
+
+  /// One agreed replacement communicator: the survivor group plus its
+  /// freshly allocated comm id.
+  struct Agreement {
+    std::vector<int> group;
+    std::uint32_t comm_id = 0;
+  };
+  /// Single-process survivor agreement: the first proposal stored under
+  /// `key` wins and every later caller adopts it (the shared table plays
+  /// the role ULFM's agreement protocol plays across processes).
+  Agreement agree_group(std::uint64_t key, const std::vector<int>& proposal);
+
+  /// Drop queued messages sent by failed ranks from `self`'s mailbox so
+  /// stale traffic cannot satisfy a post-recovery receive.
+  void purge_failed_senders(int self);
+
+  [[nodiscard]] std::uint64_t default_timeout_ns() const noexcept {
+    return default_timeout_ns_;
+  }
+  [[nodiscard]] faults::FaultInjector* injector() noexcept { return injector_.get(); }
   [[nodiscard]] int size() const noexcept { return static_cast<int>(boxes_.size()); }
   [[nodiscard]] TrafficStats stats() const noexcept;
   [[nodiscard]] bool aborted() const noexcept {
@@ -134,62 +203,139 @@ class Machine {
   }
 
  private:
-  static bool matches(const Message& m, int source, int tag) noexcept {
-    return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
+  static bool matches(const Message& m, int source, int tag, std::uint32_t comm) noexcept {
+    return m.comm == comm && (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
   }
 
   /// The single enqueue path: every message — copied or moved — lands
-  /// here, so the checker and the traffic counters see identical events
-  /// for both.
-  void post_impl(int source, int dest, int tag, PayloadBuffer&& payload);
+  /// here, so the checker, the traffic counters, and the fault injector
+  /// see identical events for both.
+  void post_impl(int source, int dest, int tag, PayloadBuffer&& payload, std::uint32_t comm);
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::unique_ptr<analysis::MpiChecker> checker_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::uint64_t default_timeout_ns_ = 0;
   std::atomic<bool> aborted_{false};
   std::string abort_reason_;
   std::mutex abort_mu_;
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+
+  // ---- failure / recovery state --------------------------------------------
+  std::unique_ptr<std::atomic<bool>[]> failed_;
+  std::atomic<int> failed_count_{0};
+  mutable std::mutex revoke_mu_;
+  std::vector<std::uint32_t> revoked_;
+  std::atomic<std::uint32_t> revoked_count_{0};  ///< fast gate for comm_revoked
+  std::mutex agree_mu_;
+  std::map<std::uint64_t, Agreement> agreements_;
+  std::atomic<std::uint32_t> next_comm_id_{1};  ///< 0 is the world communicator
 };
 
 }  // namespace detail
 
 /// Communicator handle passed to every rank's function.  All methods are
 /// callable from that rank's thread only.
+///
+/// A Comm is either the *world* communicator (every machine rank, local
+/// rank == world rank) or a *shrunken* communicator produced by shrink():
+/// a subset of world ranks renumbered 0..size()-1.  All public APIs speak
+/// local ranks; translation to the machine's world numbering happens at
+/// the transport boundary.  Exception: faults::RankFailedError carries
+/// *world* ranks, matching the fault plan's scope.
 class Comm {
  public:
-  Comm(detail::Machine& machine, int rank) noexcept : machine_{&machine}, rank_{rank} {}
+  Comm(detail::Machine& machine, int rank) noexcept
+      : machine_{&machine}, rank_{rank}, timeout_ns_{machine.default_timeout_ns()} {}
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
-  [[nodiscard]] int size() const noexcept { return machine_->size(); }
+  [[nodiscard]] int size() const noexcept {
+    return group_.empty() ? machine_->size() : static_cast<int>(group_.size());
+  }
+
+  /// This rank in machine/world numbering (== rank() on the world comm).
+  [[nodiscard]] int world_rank() const noexcept { return to_world(rank_); }
+
+  /// World ranks of this communicator's members, indexed by local rank.
+  [[nodiscard]] std::vector<int> group() const {
+    if (!group_.empty()) return group_;
+    std::vector<int> g(static_cast<std::size_t>(machine_->size()));
+    for (std::size_t i = 0; i < g.size(); ++i) g[i] = static_cast<int>(i);
+    return g;
+  }
+
+  /// Identifies this communicator's messages in transit (0 = world).
+  [[nodiscard]] std::uint32_t comm_id() const noexcept { return comm_id_; }
+
+  // ---- deadlines / failure handling (peachy::faults) ----------------------
+
+  /// Deadline applied to every blocking receive — and, because collectives
+  /// are built on receives, to every collective — on this communicator.
+  /// Zero (the default) blocks forever, as real MPI does; expiry raises
+  /// faults::TimeoutError.  Inherited by communicators shrink() returns.
+  void set_op_timeout(std::chrono::nanoseconds t) noexcept {
+    timeout_ns_ = t.count() < 0 ? 0 : static_cast<std::uint64_t>(t.count());
+  }
+  [[nodiscard]] std::chrono::nanoseconds op_timeout() const noexcept {
+    return std::chrono::nanoseconds{static_cast<std::int64_t>(timeout_ns_)};
+  }
+
+  /// ULFM-style revocation: mark this communicator dead machine-wide, so
+  /// every rank blocked (or later blocking) in one of its operations wakes
+  /// with faults::CommRevokedError.  Call after catching RankFailedError
+  /// to push all survivors out of the abandoned operation and into their
+  /// recovery path.
+  void revoke();
+
+  /// ULFM-style recovery: build the replacement communicator from the
+  /// surviving members, renumbered 0..n-1 in world-rank order.  Collective
+  /// over the survivors (every survivor must call it the same number of
+  /// times); no messages are exchanged — survivors converge through the
+  /// machine's agreement table.  Also drops queued messages from failed
+  /// ranks addressed to this rank.
+  [[nodiscard]] Comm shrink();
 
   // ---- point to point ----------------------------------------------------
 
   /// Buffered send: copies the payload into dest's mailbox; never blocks.
   void send_bytes(int dest, int tag, std::span<const std::byte> payload) {
     check_user_send(dest, tag);
-    machine_->post(rank_, dest, tag, payload);
+    machine_->post(world_rank(), to_world(dest), tag, payload, comm_id_);
   }
 
   /// Zero-copy send of an owned byte vector: the transport adopts the
   /// vector's storage; no bytes are copied on the send side.
   void send_bytes_move(int dest, int tag, std::vector<std::byte>&& payload) {
     check_user_send(dest, tag);
-    machine_->post_move(rank_, dest, tag, BufferPool::instance().adopt(std::move(payload)));
+    machine_->post_move(world_rank(), to_world(dest), tag,
+                        BufferPool::instance().adopt(std::move(payload)), comm_id_);
   }
 
   /// Blocking receive matching (source, tag); wildcards allowed.
   std::vector<std::byte> recv_bytes(int source, int tag, Status* st = nullptr) {
-    detail::Message m = machine_->take(rank_, source, tag);
+    detail::Message m = take_(source, tag);
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     // Zero-copy when the sender used send_bytes_move; one memcpy otherwise.
+    return m.payload.release_bytes();
+  }
+
+  /// recv_bytes with a one-shot deadline overriding the communicator's
+  /// op timeout; raises faults::TimeoutError on expiry.
+  std::vector<std::byte> recv_bytes(int source, int tag, std::chrono::nanoseconds timeout,
+                                    Status* st = nullptr) {
+    detail::Message m =
+        take_timed_(source, tag,
+                    timeout.count() < 0 ? 0 : static_cast<std::uint64_t>(timeout.count()));
+    if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     return m.payload.release_bytes();
   }
 
   /// Blocking receive into the transport's own buffer (zero copies).  The
   /// returned handle is read-only; it recycles its storage on drop.
   PayloadBuffer recv_buffer(int source, int tag, Status* st = nullptr) {
-    detail::Message m = machine_->take(rank_, source, tag);
+    detail::Message m = take_(source, tag);
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     return std::move(m.payload);
   }
@@ -197,26 +343,24 @@ class Comm {
   /// Blocking receive landing the payload directly in caller storage.
   /// The matched message must be exactly `out.size()` bytes: a larger
   /// payload (would truncate) or a smaller one (short message) is a named
-  /// error, and the message is consumed either way.
+  /// error — and the mismatched message is NOT consumed: it stays queued
+  /// and peekable, so the error is observable and recoverable (the caller
+  /// can probe for the real size and receive it properly).
   Status recv_bytes_into(std::span<std::byte> out, int source, int tag) {
-    detail::Message m = machine_->take(rank_, source, tag);
-    PEACHY_CHECK(m.payload.size() <= out.size(),
-                 "recv_into: " + std::to_string(m.payload.size()) + "-byte message from rank " +
-                     std::to_string(m.source) + " (tag " + std::to_string(m.tag) +
-                     ") would be truncated into a " + std::to_string(out.size()) +
-                     "-byte buffer");
-    PEACHY_CHECK(m.payload.size() >= out.size(),
-                 "recv_into: " + std::to_string(m.payload.size()) + "-byte message from rank " +
-                     std::to_string(m.source) + " (tag " + std::to_string(m.tag) +
-                     ") is shorter than the " + std::to_string(out.size()) + "-byte buffer");
+    const std::size_t want = out.size();
+    detail::Message m = take_(source, tag, &want);
     if (!out.empty()) std::memcpy(out.data(), m.payload.data(), out.size());
     return Status{m.source, m.tag, m.payload.size()};
   }
 
   /// Non-blocking probe: true if a matching message is waiting.
   bool probe(int source, int tag, Status* st = nullptr) {
+    PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
+                 "probe: bad source rank");
     Status tmp;
-    const bool ok = machine_->try_peek(rank_, source, tag, tmp);
+    const bool ok = machine_->try_peek(
+        world_rank(), source == kAnySource ? kAnySource : to_world(source), tag, tmp, comm_id_);
+    if (ok) tmp.source = to_local(tmp.source);
     if (ok && st != nullptr) *st = tmp;
     return ok;
   }
@@ -233,7 +377,8 @@ class Comm {
   void send_move(int dest, int tag, std::vector<T>&& data) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_user_send(dest, tag);
-    machine_->post_move(rank_, dest, tag, BufferPool::instance().adopt_typed(std::move(data)));
+    machine_->post_move(world_rank(), to_world(dest), tag,
+                        BufferPool::instance().adopt_typed(std::move(data)), comm_id_);
   }
 
   /// Typed send of one value.
@@ -247,7 +392,7 @@ class Comm {
   template <typename T>
   std::vector<T> recv(int source, int tag, Status* st = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    detail::Message m = machine_->take(rank_, source, tag);
+    detail::Message m = take_(source, tag);
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     if constexpr (std::is_same_v<T, std::byte>) {
       return m.payload.release_bytes();
@@ -258,6 +403,23 @@ class Comm {
       if (!out.empty()) std::memcpy(out.data(), m.payload.data(), m.payload.size());
       return out;
     }
+  }
+
+  /// Typed receive with a one-shot deadline overriding the communicator's
+  /// op timeout; raises faults::TimeoutError on expiry.
+  template <typename T>
+  std::vector<T> recv(int source, int tag, std::chrono::nanoseconds timeout,
+                      Status* st = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    detail::Message m =
+        take_timed_(source, tag,
+                    timeout.count() < 0 ? 0 : static_cast<std::uint64_t>(timeout.count()));
+    if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
+    PEACHY_CHECK(m.payload.size() % sizeof(T) == 0,
+                 "recv: payload size not a multiple of sizeof(T)");
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    return out;
   }
 
   /// Typed receive landing exactly `out.size()` elements in caller
@@ -473,8 +635,8 @@ class Comm {
     for (int step = 0; step < p - 1; ++step) {
       const int send_block = (rank_ - step + p) % p;
       const int recv_block = (rank_ - step - 1 + p) % p;
-      machine_->post_move(rank_, right, tag,
-                          blocks[static_cast<std::size_t>(send_block)].share());
+      machine_->post_move(world_rank(), to_world(right), tag,
+                          blocks[static_cast<std::size_t>(send_block)].share(), comm_id_);
       blocks[static_cast<std::size_t>(recv_block)] = recv_buffer(left, tag);
       PEACHY_CHECK(blocks[static_cast<std::size_t>(recv_block)].size() % sizeof(T) == 0,
                    "allgather: payload size not a multiple of sizeof(T)");
@@ -518,7 +680,7 @@ class Comm {
     const int left = (rank_ - 1 + p) % p;
     for (int step = 0; step < p - 1; ++step) {
       const int recv_block = (rank_ - step - 1 + p) % p;
-      machine_->post_move(rank_, right, tag, cur.share());
+      machine_->post_move(world_rank(), to_world(right), tag, cur.share(), comm_id_);
       cur = recv_buffer(left, tag);
       const auto blk = support::static_block(out.size(), static_cast<std::size_t>(p),
                                              static_cast<std::size_t>(recv_block));
@@ -594,8 +756,9 @@ class Comm {
     for (int k = 1; k < p; ++k) {
       const int dest = (rank_ + k) % p;
       machine_->post_move(
-          rank_, dest, tag,
-          BufferPool::instance().adopt_typed(std::move(sendbufs[static_cast<std::size_t>(dest)])));
+          world_rank(), to_world(dest), tag,
+          BufferPool::instance().adopt_typed(std::move(sendbufs[static_cast<std::size_t>(dest)])),
+          comm_id_);
     }
     for (int k = 1; k < p; ++k) {
       const int src = (rank_ - k + p) % p;
@@ -631,11 +794,14 @@ class Comm {
   }
 
   /// Allocate the collective's tag and (when checking is on) validate the
-  /// call against the other ranks' collective sequences.
+  /// call against the other ranks' collective sequences.  Shrunken
+  /// communicators skip the checker: its collective matcher assumes
+  /// world-wide participation, and sub-communicator collectives validate
+  /// their shape through payload-size checks instead.
   int begin_collective(const analysis::CollectiveDesc& d) {
     const std::uint64_t index = coll_seq_;
     const int tag = next_internal_tag();
-    machine_->note_collective(rank_, index, d);
+    if (comm_id_ == 0) machine_->note_collective(rank_, index, d);
     return tag;
   }
 
@@ -656,15 +822,56 @@ class Comm {
   template <typename T>
   void coll_send(int dest, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
-    machine_->post(rank_, dest, tag, std::as_bytes(data));
+    machine_->post(world_rank(), to_world(dest), tag, std::as_bytes(data), comm_id_);
   }
   template <typename T>
   void coll_send(int dest, int tag, const std::vector<T>& data) {
     coll_send<T>(dest, tag, std::span<const T>{data.data(), data.size()});
   }
 
+  /// Sub-communicator constructor (shrink's result).
+  Comm(detail::Machine& machine, int rank, std::vector<int> group, std::uint32_t comm_id,
+       std::uint64_t timeout_ns) noexcept
+      : machine_{&machine},
+        rank_{rank},
+        group_{std::move(group)},
+        comm_id_{comm_id},
+        timeout_ns_{timeout_ns} {}
+
+  [[nodiscard]] int to_world(int local) const noexcept {
+    return group_.empty() ? local : group_[static_cast<std::size_t>(local)];
+  }
+  [[nodiscard]] int to_local(int world) const noexcept {
+    if (group_.empty()) return world;
+    for (std::size_t i = 0; i < group_.size(); ++i) {
+      if (group_[i] == world) return static_cast<int>(i);
+    }
+    return world;  // unreachable: comm-id matching admits group members only
+  }
+
+  /// The single receive path: validates the local source, translates to
+  /// world numbering, applies the communicator's op timeout, and localizes
+  /// the matched message's source on the way out.
+  detail::Message take_(int source, int tag, const std::size_t* exact_bytes = nullptr) {
+    return take_timed_(source, tag, timeout_ns_, exact_bytes);
+  }
+  detail::Message take_timed_(int source, int tag, std::uint64_t timeout_ns,
+                              const std::size_t* exact_bytes = nullptr) {
+    PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
+                 "recv: bad source rank");
+    detail::Message m =
+        machine_->take(world_rank(), source == kAnySource ? kAnySource : to_world(source), tag,
+                       comm_id_, timeout_ns, group_.empty() ? nullptr : &group_, exact_bytes);
+    m.source = to_local(m.source);
+    return m;
+  }
+
   detail::Machine* machine_;
   int rank_;
+  std::vector<int> group_;      ///< empty = world communicator (identity map)
+  std::uint32_t comm_id_ = 0;
+  std::uint64_t timeout_ns_ = 0;
+  std::uint64_t shrink_seq_ = 0;  ///< agreement-key counter for shrink()
   std::uint64_t coll_seq_ = 0;
 };
 
@@ -679,14 +886,37 @@ class Comm {
 #endif
 }
 
+/// Knobs for one run() beyond the check level.
+struct RunOptions {
+  analysis::CheckLevel check = default_check_level();
+  /// Fault plan to inject.  nullptr falls back to the `PEACHY_FAULTS`
+  /// environment plan (if any); pass a plan explicitly for tests.
+  const faults::FaultPlan* plan = nullptr;
+  /// Default deadline for every blocking op, inherited by every Comm
+  /// (0 falls back to `PEACHY_MPI_TIMEOUT_MS`, else blocks forever).
+  std::uint64_t op_timeout_ns = 0;
+  /// If non-null, receives the injector's canonical fired-event log after
+  /// the run (empty when no plan was active) — the replay-determinism
+  /// artifact that scripts/check.sh diffs across reruns.
+  std::string* fault_log = nullptr;
+};
+
 /// Execute `fn(comm)` on `nranks` rank-threads; blocks until all complete.
 /// If any rank throws, the machine aborts (waking blocked receivers) and
 /// the first exception is rethrown here.  Returns aggregate traffic stats.
 ///
 /// With a check level other than `off`, checker diagnoses (deadlock,
 /// collective mismatch, message leak) are thrown as analysis::CheckFailure.
+///
+/// A rank that dies of an injected crash (faults::RankKilled) does NOT
+/// abort the machine: the rank is retired, its peers observe the failure
+/// as faults::RankFailedError, and the run's outcome is whatever the
+/// survivors make of it — which is how recovery becomes demonstrable.
 TrafficStats run(int nranks, const std::function<void(Comm&)>& fn,
                  analysis::CheckLevel level = default_check_level());
+
+/// run() with fault-tolerance knobs (fault plan, default op deadline).
+TrafficStats run(int nranks, const std::function<void(Comm&)>& fn, const RunOptions& opts);
 
 /// Result of a checked execution: traffic stats plus the checker's report.
 struct CheckedRun {
@@ -702,5 +932,10 @@ struct CheckedRun {
 /// inspect / print the report.
 CheckedRun run_checked(int nranks, const std::function<void(Comm&)>& fn,
                        analysis::CheckLevel level = analysis::CheckLevel::full);
+
+/// run_checked() with fault-tolerance knobs — lets tests inspect how the
+/// checker classified an injected failure (opts.check below `full` is
+/// raised to `full`).
+CheckedRun run_checked(int nranks, const std::function<void(Comm&)>& fn, RunOptions opts);
 
 }  // namespace peachy::mpi

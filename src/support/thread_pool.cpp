@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include <utility>
+
 #include "analysis/hooks.hpp"
 #include "obs/obs.hpp"
 #include "support/check.hpp"
@@ -145,7 +147,15 @@ void ThreadPool::worker_loop(std::size_t self) {
         // (parallel_for / forall) override it with their own TaskScope.
         const analysis::TaskScope scope{self, analysis::kUnstructuredEpoch};
         const obs::SpanScope span{"pool", "task"};
-        item.task();
+        try {
+          item.task();
+        } catch (...) {
+          // An exception unwinding out of a worker thread is
+          // std::terminate; capture the first one for wait_idle() to
+          // rethrow and keep this worker (and the pool) alive.
+          std::lock_guard elock{task_err_mu_};
+          if (!task_error_) task_error_ = std::current_exception();
+        }
       }
       queues_[self]->busy.store(false, std::memory_order_relaxed);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
@@ -174,8 +184,18 @@ void ThreadPool::worker_loop(std::size_t self) {
 void ThreadPool::wait_idle() {
   PEACHY_CHECK(worker_index() == static_cast<std::size_t>(-1),
                "wait_idle() must not be called from a pool worker (deadlock)");
-  std::unique_lock lock{idle_mu_};
-  idle_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  {
+    std::unique_lock lock{idle_mu_};
+    idle_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+  // Surface the first task exception now that the pool is quiet; clearing
+  // it keeps the pool usable for the next batch of work.
+  std::exception_ptr err;
+  {
+    std::lock_guard lock{task_err_mu_};
+    err = std::exchange(task_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace peachy::support

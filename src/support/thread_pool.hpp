@@ -64,6 +64,12 @@ class ThreadPool {
 
   /// Block until every submitted task (including tasks spawned by tasks)
   /// has finished.  May be called from a non-worker thread only.
+  ///
+  /// If any raw-submit() task threw since the last wait_idle(), the FIRST
+  /// such exception is rethrown here (later ones are dropped), and the
+  /// pool remains fully usable — workers survive task exceptions.  Tasks
+  /// submitted via submit_future() deliver their exceptions through the
+  /// future instead and never surface here.
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
@@ -126,6 +132,12 @@ class ThreadPool {
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> tasks_stolen_{0};
   std::atomic<std::size_t> rr_{0};  // rotating scan start for external submits
+
+  /// First exception to escape a raw-submit task since the last
+  /// wait_idle(); rethrown (and cleared) there.  Without this capture the
+  /// exception would unwind the worker thread and std::terminate.
+  std::mutex task_err_mu_;
+  std::exception_ptr task_error_;
 };
 
 }  // namespace peachy::support

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace peachy::traffic {
 
-State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficStats* stats) {
+State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficStats* stats,
+              const faults::FtOptions& ft) {
   // Every rank derives the identical initial state (deterministic in the
   // seed), as if root had broadcast the input file.
   State st = initial_state(spec);
@@ -24,7 +26,24 @@ State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficSt
   std::vector<std::int32_t> my_vel(blk.end - blk.begin);
   std::vector<std::int32_t> all_vel(n);
 
-  for (std::size_t s = 0; s < steps; ++s) {
+  // Restart: every rank reloads the same snapshot (the store is shared
+  // memory), so the replicated state stays replicated.  The PRNG cursor is
+  // absolute in (step, car), so resuming at `first` consumes exactly the
+  // draws an uninterrupted run would — bit-identical for any rank count.
+  std::size_t first = 0;
+  if (ft.active()) {
+    if (const auto snap = ft.store->load(ft.key)) {
+      faults::BlobReader r{snap->blob};
+      st.pos = r.get_vec<std::int64_t>();
+      st.vel = r.get_vec<int>();
+      PEACHY_CHECK(st.pos.size() == n && st.vel.size() == n,
+                   "traffic restart: snapshot car count does not match the spec");
+      first = static_cast<std::size_t>(snap->next_step);
+      if (obs::enabled()) obs::counter("faults.restores").add(1);
+    }
+  }
+
+  for (std::size_t s = first; s < steps; ++s) {
     if (blk.begin < blk.end) {
       auto gen = stream.cursor(static_cast<std::uint64_t>(s) * n + blk.begin);
       for (std::size_t i = blk.begin; i < blk.end; ++i) {
@@ -57,6 +76,16 @@ State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficSt
         std::rotate(st.pos.begin(), st.pos.begin() + k, st.pos.end());
         std::rotate(st.vel.begin(), st.vel.begin() + k, st.vel.end());
       }
+    }
+
+    // Iteration-boundary checkpoint: state is replicated and identical on
+    // every rank, so only rank 0 writes (checkpoint.hpp's discipline).
+    if (ft.active() && (s + 1) % static_cast<std::size_t>(ft.every) == 0 && comm.rank() == 0) {
+      faults::BlobWriter w;
+      w.put_vec(st.pos);
+      w.put_vec(st.vel);
+      ft.store->save(ft.key, faults::Snapshot{s + 1, std::move(w).take()});
+      if (obs::enabled()) obs::counter("faults.checkpoints").add(1);
     }
   }
 

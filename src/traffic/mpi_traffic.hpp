@@ -17,6 +17,7 @@
 ///
 /// Output is bit-identical to run_serial for ANY rank count.
 
+#include "faults/checkpoint.hpp"
 #include "mpi/mpi.hpp"
 #include "traffic/traffic.hpp"
 
@@ -34,7 +35,15 @@ struct MpiTrafficStats {
 /// run_serial(spec, steps).  `stats`, if non-null, is filled by the
 /// calling rank — pass a rank-local object, never one shared across rank
 /// lambdas (data race).
+///
+/// When `ft.active()`, rank 0 snapshots {step, pos, vel} into `ft.store`
+/// every `ft.every` steps, and a run that finds an existing snapshot under
+/// `ft.key` resumes from it instead of step 0.  Because the PRNG cursor is
+/// absolute in (step, car index), a resumed run is bit-identical to an
+/// uninterrupted one for ANY rank count — this is the property
+/// examples/fault_demo verifies after a crash + shrink + restart cycle.
 [[nodiscard]] State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps,
-                            MpiTrafficStats* stats = nullptr);
+                            MpiTrafficStats* stats = nullptr,
+                            const faults::FtOptions& ft = {});
 
 }  // namespace peachy::traffic
