@@ -17,17 +17,36 @@ import math
 import sys
 
 
+def fail(msg):
+    """Input/usage error: named message on stderr, exit 2 (never a traceback)."""
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        fail(f"{path}: no such file — run the bench harness first, or check "
+             "that the committed baseline path is right")
+    except IsADirectoryError:
+        fail(f"{path}: is a directory, expected a peachy-bench/1 JSON file")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: malformed JSON at line {e.lineno}, column {e.colno}: {e.msg}")
+    except OSError as e:
+        fail(f"{path}: {e.strerror or e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level value is {type(doc).__name__}, expected an object")
     if doc.get("schema") != "peachy-bench/1":
-        sys.exit(f"error: {path}: schema is {doc.get('schema')!r}, "
-                 "expected 'peachy-bench/1'")
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected 'peachy-bench/1'")
     rows = {}
     for row in doc.get("benchmarks", []):
+        if not isinstance(row, dict) or "name" not in row or "shape" not in row:
+            fail(f"{path}: benchmark row missing name/shape: {row!r}")
         rows[(row["name"], row["shape"])] = row
     if not rows:
-        sys.exit(f"error: {path}: no benchmark rows")
+        fail(f"{path}: no benchmark rows")
     return doc, rows
 
 
@@ -47,9 +66,9 @@ def main():
     fresh_doc, fresh = load(args.fresh)
 
     if base_doc.get("tiny") != fresh_doc.get("tiny"):
-        sys.exit("error: baseline and fresh runs used different sizes "
-                 f"(tiny={base_doc.get('tiny')} vs {fresh_doc.get('tiny')}); "
-                 "ratios would be meaningless")
+        fail("baseline and fresh runs used different sizes "
+             f"(tiny={base_doc.get('tiny')} vs {fresh_doc.get('tiny')}); "
+             "ratios would be meaningless")
     if base_doc.get("isa") != fresh_doc.get("isa"):
         print(f"warning: ISA differs (baseline={base_doc.get('isa')}, "
               f"fresh={fresh_doc.get('isa')}); comparing anyway",
@@ -57,7 +76,7 @@ def main():
 
     common = sorted(base.keys() & fresh.keys())
     if not common:
-        sys.exit("error: no common (name, shape) rows between the two runs")
+        fail("no common (name, shape) rows between the two runs")
     for key in sorted(base.keys() - fresh.keys()):
         print(f"warning: baseline-only row skipped: {key}", file=sys.stderr)
     for key in sorted(fresh.keys() - base.keys()):
@@ -67,9 +86,10 @@ def main():
     worst = (1.0, None)
     print(f"{'benchmark':<28} {'base ns':>12} {'fresh ns':>12} {'ratio':>7}")
     for key in common:
-        b, f = base[key]["kernel_ns"], fresh[key]["kernel_ns"]
-        if b <= 0 or f <= 0:
-            sys.exit(f"error: non-positive kernel_ns for {key}")
+        b, f = base[key].get("kernel_ns"), fresh[key].get("kernel_ns")
+        if not isinstance(b, (int, float)) or not isinstance(f, (int, float)) \
+                or b <= 0 or f <= 0:
+            fail(f"missing or non-positive kernel_ns for {key}")
         ratio = f / b
         log_sum += math.log(ratio)
         if ratio > worst[0]:

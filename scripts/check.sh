@@ -38,8 +38,13 @@
 #                 bench_kernels with faults *disabled* and gates it at
 #                 <2% geomean slowdown against the committed baseline —
 #                 the zero-cost-when-off contract
+#   lint-smoke  — Release build of peachy-lint + test_lint; runs the rule
+#                 engine tests, requires the fixture corpus to produce
+#                 findings (the rules demonstrably fire), requires *zero*
+#                 findings over src/ + examples/ (the clean-tree gate),
+#                 and validates the peachy-lint/1 JSON document
 #
-# Usage: scripts/check.sh [config ...]     (default: all seven)
+# Usage: scripts/check.sh [config ...]     (default: all eight)
 
 set -euo pipefail
 
@@ -213,9 +218,41 @@ run_faults_smoke() {
   echo "==== [faults-smoke] OK ===="
 }
 
+run_lint_smoke() {
+  local dir="$ROOT/build-check-lint-smoke"
+  echo "==== [lint-smoke] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=OFF -DPEACHY_BUILD_TESTS=ON -DPEACHY_BUILD_EXAMPLES=OFF
+  echo "==== [lint-smoke] build ===="
+  cmake --build "$dir" --target peachy-lint test_lint -j "$JOBS"
+  echo "==== [lint-smoke] rule-engine tests ===="
+  "$dir/tests/test_lint"
+  echo "==== [lint-smoke] fixture corpus must produce findings ===="
+  if "$dir/tools/peachy-lint" --quiet "$ROOT/tests/lint_fixtures" >/dev/null; then
+    echo "lint-smoke: fixture corpus produced no findings — the rules are dead" >&2
+    exit 1
+  fi
+  echo "==== [lint-smoke] zero-findings gate on src/ + examples/ ===="
+  "$dir/tools/peachy-lint" "$ROOT/src" "$ROOT/examples"
+  echo "==== [lint-smoke] validate peachy-lint/1 JSON ===="
+  local lint_json="$dir/lint_clean.json"
+  "$dir/tools/peachy-lint" --json "$ROOT/src" "$ROOT/examples" > "$lint_json"
+  python3 - "$lint_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "peachy-lint/1", doc.get("schema")
+assert doc["findings"] == [], doc["findings"]
+assert doc["files_scanned"] > 50, doc["files_scanned"]
+print(f"lint JSON OK: {doc['files_scanned']} files scanned, clean")
+EOF
+  echo "==== [lint-smoke] OK ===="
+}
+
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke)
+  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke lint-smoke)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -227,7 +264,8 @@ for cfg in "${configs[@]}"; do
     bench-substrates-smoke) run_bench_substrates_smoke ;;
     obs-smoke)   run_obs_smoke ;;
     faults-smoke) run_faults_smoke ;;
-    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke)" >&2; exit 2 ;;
+    lint-smoke)  run_lint_smoke ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke, lint-smoke)" >&2; exit 2 ;;
   esac
 done
 

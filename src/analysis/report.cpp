@@ -11,6 +11,7 @@ std::string_view to_string(FindingKind k) noexcept {
     case FindingKind::message_leak: return "message-leak";
     case FindingKind::data_race: return "data-race";
     case FindingKind::rank_failure: return "rank-failure";
+    case FindingKind::lint: return "lint";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class FindingKind {
   message_leak,         ///< message still undelivered when run() exited
   data_race,            ///< overlapping unordered accesses, disjoint locksets
   rank_failure,         ///< a rank crashed (fault injection or real fault)
+  lint,                 ///< static finding from peachy::lint (source-level)
 };
 
 enum class Severity { info, warning, error };

@@ -1,0 +1,219 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace peachy::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// The multi-character punctuators, longest first within each family —
+/// scanned by prefix match so `<<=` never lexes as `<` `<=`.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", ".*",
+};
+
+}  // namespace
+
+TokenStream tokenize(const std::string& src) {
+  TokenStream out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  int col = 1;
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      advance(1);
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line, honoring backslash
+    // continuations.  Macro bodies and include paths are not rule input.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (src[i] == '\n') break;
+        advance(1);
+      }
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments (collected, not emitted).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      Comment cm;
+      cm.line = line;
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') advance(1);
+      cm.end_line = line;
+      cm.text = src.substr(start, i - start);
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      Comment cm;
+      cm.line = line;
+      const std::size_t start = i;
+      advance(2);
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) advance(1);
+      advance(2);  // closing */ (no-op at EOF)
+      cm.end_line = line;
+      cm.text = src.substr(start, std::min(i, n) - start);
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim" — with optional encoding
+    // prefix already consumed by the identifier path below, so handle the
+    // bare R"… form here and prefixed forms via lookahead from identifiers.
+    const auto lex_raw_string = [&](std::size_t prefix_len) -> bool {
+      // src[i + prefix_len] == 'R', then '"'.
+      std::size_t p = i + prefix_len + 1;
+      if (p >= n || src[p] != '"') return false;
+      ++p;
+      std::string delim;
+      while (p < n && src[p] != '(' && delim.size() < 16) delim.push_back(src[p++]);
+      if (p >= n || src[p] != '(') return false;
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t close = src.find(closer, p + 1);
+      const std::size_t end = close == std::string::npos ? n : close + closer.size();
+      Token t{TokKind::string_lit, src.substr(i, end - i), line, col};
+      advance(end - i);
+      out.tokens.push_back(std::move(t));
+      return true;
+    };
+
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      if (lex_raw_string(0)) continue;
+    }
+
+    // Identifier / keyword (and encoding-prefixed string literals).
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      const std::string word = src.substr(i, j - i);
+      // u8R"(...)", LR"(...)", uR / UR raw strings; u8"...", L"..." etc.
+      if (j < n && (src[j] == '"' || src[j] == '\'') &&
+          (word == "u8" || word == "u" || word == "U" || word == "L")) {
+        // fall through to quoted-literal lexing below with prefix attached
+      } else if (j + 1 < n && src[j] == '"' && !word.empty() && word.back() == 'R' &&
+                 (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+                  word == "LR")) {
+        if (lex_raw_string(word.size() - 1)) continue;
+      } else {
+        out.tokens.push_back({TokKind::identifier, word, line, col});
+        advance(word.size());
+        continue;
+      }
+      // Prefixed plain literal: emit prefix+literal as one string token.
+      const char quote = src[j];
+      std::size_t p = j + 1;
+      while (p < n && src[p] != quote && src[p] != '\n') {
+        if (src[p] == '\\' && p + 1 < n) ++p;
+        ++p;
+      }
+      if (p < n && src[p] == quote) ++p;
+      Token t{TokKind::string_lit, src.substr(i, p - i), line, col};
+      advance(p - i);
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Plain string / char literal.
+    if (c == '"' || c == '\'') {
+      std::size_t p = i + 1;
+      while (p < n && src[p] != c && src[p] != '\n') {
+        if (src[p] == '\\' && p + 1 < n) ++p;
+        ++p;
+      }
+      if (p < n && src[p] == c) ++p;
+      // Literal suffix (operator"" names like 10ms attach to numbers, but
+      // string literals can carry suffixes too: "..."sv).
+      while (p < n && ident_char(src[p])) ++p;
+      Token t{TokKind::string_lit, src.substr(i, p - i), line, col};
+      advance(p - i);
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // pp-number: digits, digit separators, hex, exponents, and any
+    // trailing literal suffix (`20ms`, `1'000'000`, `0x1Fu`, `1.5e-3`).
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      std::size_t p = i;
+      while (p < n) {
+        const char d = src[p];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++p;
+          continue;
+        }
+        // exponent signs: 1e+5, 0x1p-3
+        if ((d == '+' || d == '-') && p > i &&
+            (src[p - 1] == 'e' || src[p - 1] == 'E' || src[p - 1] == 'p' ||
+             src[p - 1] == 'P')) {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      Token t{TokKind::number, src.substr(i, p - i), line, col};
+      advance(p - i);
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuators: longest match first.
+    bool matched = false;
+    for (const char* punct : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(punct);
+      if (src.compare(i, len, punct) == 0) {
+        out.tokens.push_back({TokKind::punct, punct, line, col});
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    out.tokens.push_back({TokKind::punct, std::string(1, c), line, col});
+    advance(1);
+  }
+
+  return out;
+}
+
+}  // namespace peachy::lint

@@ -1,0 +1,64 @@
+#pragma once
+/// \file lexer.hpp
+/// \brief C++ tokenizer for peachy::lint.
+///
+/// The lint rules (lint.hpp) reason about token streams, not characters:
+/// "a collective member call inside a rank-dependent branch" is a pattern
+/// over identifiers and punctuators.  This lexer produces exactly the
+/// stream those rules need —
+///
+///   * identifiers and keywords (one kind; rules match on spelling),
+///   * pp-numbers with their suffixes kept attached (`20ms` is one token,
+///     which is how rule L4 recognizes a chrono literal),
+///   * string/char literals collapsed to single tokens (including raw
+///     strings), so quoted text can never fake a match,
+///   * multi-character punctuators as single tokens (`+=`, `==`, `::`,
+///     `->`) so rules can tell assignment from comparison,
+///
+/// and deliberately does NOT emit comments or preprocessor directives as
+/// tokens.  Comments are collected separately with their line numbers —
+/// that is where `// peachy-lint: allow(<rule>)` suppressions live — and
+/// preprocessor lines are skipped wholesale (an #include path or a macro
+/// body is not code the rules should see).
+///
+/// Every token carries its 1-based line and column for diagnostics.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace peachy::lint {
+
+enum class TokKind {
+  identifier,  ///< identifiers and keywords alike
+  number,      ///< pp-number, suffix attached (0x1F, 1'000, 20ms, 1.5e-3)
+  string_lit,  ///< "..." / R"(...)" / '...' (prefixes attached)
+  punct,       ///< one punctuator, longest-match (`<<=`, `->`, `::`, ...)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based
+  int col = 0;   ///< 1-based
+};
+
+/// One comment, for suppression scanning (text includes the delimiters).
+struct Comment {
+  std::string text;
+  int line = 0;       ///< line the comment starts on
+  int end_line = 0;   ///< line it ends on (== line for `//` comments)
+};
+
+/// A tokenized translation unit.
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `source`.  Never throws on malformed input: an unterminated
+/// literal or comment simply ends at EOF (linting must degrade gracefully
+/// on student code that does not even compile).
+[[nodiscard]] TokenStream tokenize(const std::string& source);
+
+}  // namespace peachy::lint

@@ -1,0 +1,230 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <fstream>
+#include <sstream>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+#include "support/check.hpp"
+
+namespace peachy::lint {
+
+namespace {
+
+constexpr std::string_view kIds[kRuleCount] = {"L1", "L2", "L3", "L4", "L5", "L6"};
+constexpr std::string_view kNames[kRuleCount] = {
+    "capture-race", "collective-divergence", "use-after-move",
+    "unbounded-recv", "magic-tag", "ignored-result",
+};
+
+/// Per-line suppression sets: allowed[line][rule] == true means a
+/// `// peachy-lint: allow(...)` comment covers that rule on that line.
+class Suppressions {
+ public:
+  explicit Suppressions(const std::vector<Comment>& comments) {
+    for (const Comment& cm : comments) {
+      const std::size_t mark = cm.text.find("peachy-lint:");
+      if (mark == std::string::npos) continue;
+      const std::size_t open = cm.text.find("allow(", mark);
+      if (open == std::string::npos) continue;
+      const std::size_t close = cm.text.find(')', open);
+      if (close == std::string::npos) continue;
+      std::array<bool, kRuleCount> rules{};
+      std::string id;
+      const std::string list = cm.text.substr(open + 6, close - open - 6);
+      const auto flush = [&] {
+        Rule r{};
+        if (parse_rule(id, r)) rules[static_cast<std::size_t>(r)] = true;
+        id.clear();
+      };
+      for (const char c : list) {
+        if (c == ',') {
+          flush();
+        } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+          id.push_back(c);
+        }
+      }
+      flush();
+      // The comment silences its own line span plus the line below it —
+      // both trailing comments and a comment on the preceding line work.
+      for (int line = cm.line; line <= cm.end_line + 1; ++line) {
+        auto& slot = allowed_[line];
+        for (std::size_t k = 0; k < kRuleCount; ++k) slot[k] = slot[k] || rules[k];
+      }
+    }
+  }
+
+  [[nodiscard]] bool covers(int line, Rule r) const {
+    const auto it = allowed_.find(line);
+    return it != allowed_.end() && it->second[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  std::map<int, std::array<bool, kRuleCount>> allowed_;
+};
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+}  // namespace
+
+std::string_view rule_id(Rule r) noexcept { return kIds[static_cast<std::size_t>(r)]; }
+std::string_view rule_name(Rule r) noexcept { return kNames[static_cast<std::size_t>(r)]; }
+
+bool parse_rule(std::string_view id, Rule& out) noexcept {
+  if (id.size() != 2 || (id[0] != 'L' && id[0] != 'l')) return false;
+  if (id[1] < '1' || id[1] > '6') return false;
+  out = static_cast<Rule>(id[1] - '1');
+  return true;
+}
+
+std::size_t Result::count(Rule r) const noexcept {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == r) ++n;
+  }
+  return n;
+}
+
+void Result::merge(Result&& other) {
+  findings.insert(findings.end(), std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+  files_scanned += other.files_scanned;
+  suppressed += other.suppressed;
+}
+
+Result lint_source(const std::string& path, const std::string& source, const Options& opts) {
+  const TokenStream ts = tokenize(source);
+  std::vector<Finding> raw;
+  run_rules(path, ts, opts, raw);
+
+  // Deterministic order, and dedup — two rule passes may anchor the same
+  // diagnosis to the same token (e.g. a collective both inside a branch
+  // and after an early return).
+  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
+  raw.erase(std::unique(raw.begin(), raw.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.rule == b.rule && a.line == b.line && a.col == b.col;
+                        }),
+            raw.end());
+
+  Result r;
+  r.files_scanned = 1;
+  const Suppressions allow{ts.comments};
+  for (Finding& f : raw) {
+    if (allow.covers(f.line, f.rule)) {
+      ++r.suppressed;
+    } else {
+      r.findings.push_back(std::move(f));
+    }
+  }
+  return r;
+}
+
+Result lint_file(const std::string& path, const Options& opts) {
+  std::ifstream in{path, std::ios::binary};
+  PEACHY_CHECK(in.good(), "peachy-lint: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str(), opts);
+}
+
+Result lint_path(const std::string& path, const Options& opts) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  PEACHY_CHECK(!ec && st.type() != fs::file_type::not_found,
+               "peachy-lint: no such file or directory: '" + path + "'");
+  if (st.type() != fs::file_type::directory) return lint_file(path, opts);
+
+  std::vector<std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(path)) {
+    if (entry.is_regular_file() && lintable_extension(entry.path())) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  Result all;
+  for (const std::string& f : files) all.merge(lint_file(f, opts));
+  return all;
+}
+
+std::string to_text(const Result& r) {
+  std::ostringstream os;
+  for (const Finding& f : r.findings) {
+    os << f.file << ':' << f.line << ':' << f.col << ": [" << rule_id(f.rule) << "] "
+       << f.message << '\n';
+  }
+  os << "peachy-lint: " << r.findings.size() << " finding(s) in " << r.files_scanned
+     << " file(s)";
+  if (r.suppressed != 0) os << ", " << r.suppressed << " suppressed";
+  os << '\n';
+  return os.str();
+}
+
+std::string to_json(const Result& r) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"peachy-lint/1\",\n";
+  os << "  \"files_scanned\": " << r.files_scanned << ",\n";
+  os << "  \"suppressed\": " << r.suppressed << ",\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rule\": \"" << rule_id(f.rule) << "\", \"name\": \"" << rule_name(f.rule)
+       << "\", \"file\": \"" << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"col\": " << f.col << ", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  os << (r.findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+analysis::Report to_analysis_report(const Result& r) {
+  analysis::Report rep;
+  for (const Finding& f : r.findings) {
+    analysis::Finding af;
+    af.kind = analysis::FindingKind::lint;
+    af.severity = analysis::Severity::warning;
+    af.message.append("[").append(rule_id(f.rule)).append("] ").append(f.message);
+    af.details.push_back(f.file + ":" + std::to_string(f.line) + ":" + std::to_string(f.col));
+    rep.add(std::move(af));
+  }
+  return rep;
+}
+
+}  // namespace peachy::lint

@@ -1,0 +1,123 @@
+#pragma once
+/// \file lint.hpp
+/// \brief peachy::lint — source-level static analyzer for the parallel-
+/// correctness mistakes students actually make in the peachy assignments.
+///
+/// The runtime checkers (src/analysis) diagnose what one *execution*
+/// exercised; the linter diagnoses what the *source* says, in
+/// milliseconds, before an autograder spends a run slot.  It is a
+/// three-layer pipeline specialized to the peachy APIs:
+///
+///   tokenizer (lexer.hpp)  →  scope/capture tracker  →  rule engine
+///
+/// Rule catalog (each rule's runtime twin in parentheses):
+///
+///   L1 capture-race          by-`&` captured variable mutated inside a
+///                            parallel_for / forall / coforall body with
+///                            no lock or SharedArray/atomic protection
+///                            (twin: the lockset race detector)
+///   L2 collective-divergence mini-MPI collective called under a
+///                            rank-dependent branch, or after a
+///                            rank-dependent early return
+///                            (twin: the collective-matching checker)
+///   L3 use-after-move        a buffer handed to send_move / post_move /
+///                            adopt / rvalue-alltoall is read again
+///                            before reassignment
+///   L4 unbounded-recv        code that configures FtOptions / FaultPlan
+///                            but then blocks in recv with no deadline
+///                            (fault-tolerant drivers must bound waits)
+///   L5 magic-tag             a raw integer message tag where a named
+///                            constant exists, or one tag value reused
+///                            across differently-typed message streams
+///   L6 ignored-result        the result of try_peek / probe / shrink /
+///                            checkpoint-load is discarded
+///
+/// Findings are plain data (`Finding` below), rendered as human text, as
+/// machine-readable `peachy-lint/1` JSON, or folded into the existing
+/// `analysis::Report` so grading pipelines see one findings stream.
+///
+/// Suppressions: a comment `// peachy-lint: allow(L2)` (several rules:
+/// `allow(L2, L5)`) on the finding's line or the line above silences that
+/// rule there.  Suppressed findings are counted, not reported.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace peachy::lint {
+
+enum class Rule {
+  L1_capture_race,
+  L2_collective_divergence,
+  L3_use_after_move,
+  L4_unbounded_recv,
+  L5_magic_tag,
+  L6_ignored_result,
+};
+
+inline constexpr std::size_t kRuleCount = 6;
+
+/// "L1" … "L6".
+[[nodiscard]] std::string_view rule_id(Rule r) noexcept;
+/// Short hyphenated name ("capture-race", …).
+[[nodiscard]] std::string_view rule_name(Rule r) noexcept;
+/// Parse "L1"…"L6" (case-insensitive); returns false on anything else.
+[[nodiscard]] bool parse_rule(std::string_view id, Rule& out) noexcept;
+
+/// One lint diagnosis, anchored to a source location.
+struct Finding {
+  Rule rule;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+/// Result of linting one file or one tree.
+struct Result {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  ///< findings silenced by allow() comments
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+  [[nodiscard]] std::size_t count(Rule r) const noexcept;
+  void merge(Result&& other);
+};
+
+/// Which rules run (all by default).
+struct Options {
+  bool enabled[kRuleCount] = {true, true, true, true, true, true};
+
+  [[nodiscard]] bool on(Rule r) const noexcept {
+    return enabled[static_cast<std::size_t>(r)];
+  }
+};
+
+/// Lint one in-memory translation unit.  `path` is used only for finding
+/// locations (and may be a fixture pseudo-path).
+[[nodiscard]] Result lint_source(const std::string& path, const std::string& source,
+                                 const Options& opts = {});
+
+/// Lint one file on disk; throws peachy::Error if it cannot be read.
+[[nodiscard]] Result lint_file(const std::string& path, const Options& opts = {});
+
+/// Lint a file, or recurse over a directory picking up *.cpp / *.cc /
+/// *.hpp / *.h; throws peachy::Error on a nonexistent path.
+[[nodiscard]] Result lint_path(const std::string& path, const Options& opts = {});
+
+/// Human rendering: one "file:line:col: [Lk] message" line per finding
+/// plus a summary tail.
+[[nodiscard]] std::string to_text(const Result& r);
+
+/// Machine rendering: the `peachy-lint/1` JSON document.
+[[nodiscard]] std::string to_json(const Result& r);
+
+/// Fold lint findings into the shared analysis report stream (kind
+/// `FindingKind::lint`, severity warning — the static layer advises, the
+/// runtime layer convicts).
+[[nodiscard]] analysis::Report to_analysis_report(const Result& r);
+
+}  // namespace peachy::lint

@@ -1,0 +1,22 @@
+#pragma once
+/// \file rules.hpp
+/// \brief Internal interface between the lint driver and the rule engine.
+///
+/// Not installed with the public API: the driver (lint.cpp) owns
+/// tokenization, suppression filtering, ordering and dedup; the rules
+/// (rules.cpp) only append raw findings.
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+
+namespace peachy::lint {
+
+/// Run every enabled rule over one tokenized translation unit, appending
+/// raw (unfiltered, possibly duplicated) findings to `out`.
+void run_rules(const std::string& path, const TokenStream& ts, const Options& opts,
+               std::vector<Finding>& out);
+
+}  // namespace peachy::lint

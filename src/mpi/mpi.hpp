@@ -130,10 +130,10 @@ class Machine {
   /// ranks).  `exact_bytes`, when set, enforces the recv_into size
   /// contract *before* consuming: a mismatched message stays queued and
   /// peekable, and only the error escapes.
-  Message take(int self, int source, int tag, std::uint32_t comm = 0,
+  [[nodiscard]] Message take(int self, int source, int tag, std::uint32_t comm = 0,
                std::uint64_t timeout_ns = 0, const std::vector<int>* group = nullptr,
                const std::size_t* exact_bytes = nullptr);
-  bool try_peek(int self, int source, int tag, Status& st, std::uint32_t comm = 0);
+  [[nodiscard]] bool try_peek(int self, int source, int tag, Status& st, std::uint32_t comm = 0);
 
   void abort(const std::string& why);
 
@@ -314,7 +314,7 @@ class Comm {
   }
 
   /// Blocking receive matching (source, tag); wildcards allowed.
-  std::vector<std::byte> recv_bytes(int source, int tag, Status* st = nullptr) {
+  [[nodiscard]] std::vector<std::byte> recv_bytes(int source, int tag, Status* st = nullptr) {
     detail::Message m = take_(source, tag);
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     // Zero-copy when the sender used send_bytes_move; one memcpy otherwise.
@@ -323,7 +323,8 @@ class Comm {
 
   /// recv_bytes with a one-shot deadline overriding the communicator's
   /// op timeout; raises faults::TimeoutError on expiry.
-  std::vector<std::byte> recv_bytes(int source, int tag, std::chrono::nanoseconds timeout,
+  [[nodiscard]] std::vector<std::byte> recv_bytes(int source, int tag,
+                                                  std::chrono::nanoseconds timeout,
                                     Status* st = nullptr) {
     detail::Message m =
         take_timed_(source, tag,
@@ -334,7 +335,7 @@ class Comm {
 
   /// Blocking receive into the transport's own buffer (zero copies).  The
   /// returned handle is read-only; it recycles its storage on drop.
-  PayloadBuffer recv_buffer(int source, int tag, Status* st = nullptr) {
+  [[nodiscard]] PayloadBuffer recv_buffer(int source, int tag, Status* st = nullptr) {
     detail::Message m = take_(source, tag);
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     return std::move(m.payload);
@@ -354,7 +355,7 @@ class Comm {
   }
 
   /// Non-blocking probe: true if a matching message is waiting.
-  bool probe(int source, int tag, Status* st = nullptr) {
+  [[nodiscard]] bool probe(int source, int tag, Status* st = nullptr) {
     PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
                  "probe: bad source rank");
     Status tmp;
@@ -390,7 +391,7 @@ class Comm {
   /// Typed receive: returns however many elements the sender sent.  The
   /// payload is deserialized directly into the typed vector (one memcpy).
   template <typename T>
-  std::vector<T> recv(int source, int tag, Status* st = nullptr) {
+  [[nodiscard]] std::vector<T> recv(int source, int tag, Status* st = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
     detail::Message m = take_(source, tag);
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
@@ -408,7 +409,7 @@ class Comm {
   /// Typed receive with a one-shot deadline overriding the communicator's
   /// op timeout; raises faults::TimeoutError on expiry.
   template <typename T>
-  std::vector<T> recv(int source, int tag, std::chrono::nanoseconds timeout,
+  [[nodiscard]] std::vector<T> recv(int source, int tag, std::chrono::nanoseconds timeout,
                       Status* st = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
     detail::Message m =
@@ -432,7 +433,7 @@ class Comm {
 
   /// Typed receive of exactly one value.
   template <typename T>
-  T recv_value(int source, int tag, Status* st = nullptr) {
+  [[nodiscard]] T recv_value(int source, int tag, Status* st = nullptr) {
     std::vector<T> v = recv<T>(source, tag, st);
     PEACHY_CHECK(v.size() == 1, "recv_value: expected exactly one element");
     return v.front();
@@ -546,7 +547,7 @@ class Comm {
   /// only (other ranks get an empty vector).  `op(a,b)` must be
   /// commutative and associative.
   template <typename T, typename Op>
-  std::vector<T> reduce(std::span<const T> local, Op op, int root) {
+  [[nodiscard]] std::vector<T> reduce(std::span<const T> local, Op op, int root) {
     std::vector<T> acc(local.begin(), local.end());
     reduce_inplace<T, Op>(std::span<T>{acc.data(), acc.size()}, op, root);
     if (rank_ != root) return {};
@@ -564,7 +565,7 @@ class Comm {
 
   /// Reduce-then-broadcast allreduce; every rank gets the combined vector.
   template <typename T, typename Op>
-  std::vector<T> allreduce(std::span<const T> local, Op op) {
+  [[nodiscard]] std::vector<T> allreduce(std::span<const T> local, Op op) {
     std::vector<T> total(local.begin(), local.end());
     allreduce_inplace<T, Op>(std::span<T>{total.data(), total.size()}, op);
     return total;
@@ -582,7 +583,7 @@ class Comm {
   /// assembles the result with a single allocation — incoming blocks stay
   /// in pooled transport buffers until they are copied to their offsets.
   template <typename T>
-  std::vector<T> gather(std::span<const T> local, int root) {
+  [[nodiscard]] std::vector<T> gather(std::span<const T> local, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     const int tag = begin_collective({"gather", root, sizeof(T), -1});
     if (rank_ != root) {
@@ -619,7 +620,7 @@ class Comm {
   /// reference* (a refcount bump — blocks are never re-serialized).
   /// Returns the concatenation in rank order on every rank.
   template <typename T>
-  std::vector<T> allgather(std::span<const T> local) {
+  [[nodiscard]] std::vector<T> allgather(std::span<const T> local) {
     static_assert(std::is_trivially_copyable_v<T>);
     const int tag = begin_collective({"allgather", -1, sizeof(T), -1});
     const int p = size();
@@ -695,7 +696,7 @@ class Comm {
   /// Scatter near-even static blocks of root's vector; returns this
   /// rank's block (OpenMP/Chapel block-partition rule).
   template <typename T>
-  std::vector<T> scatter_blocks(std::span<const T> all, int root) {
+  [[nodiscard]] std::vector<T> scatter_blocks(std::span<const T> all, int root) {
     const int tag = begin_collective(
         {"scatter", root, sizeof(T),
          rank_ == root ? static_cast<std::int64_t>(all.size()) : std::int64_t{-1}});
@@ -720,7 +721,7 @@ class Comm {
   /// All-to-all of variable-size buffers: sendbufs[r] goes to rank r;
   /// returns recvbufs where recvbufs[r] came from rank r (alltoallv).
   template <typename T>
-  std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& sendbufs) {
+  [[nodiscard]] std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& sendbufs) {
     PEACHY_CHECK(static_cast<int>(sendbufs.size()) == size(),
                  "alltoall: need one send buffer per rank");
     const int tag = begin_collective({"alltoall", -1, sizeof(T), -1});
@@ -744,7 +745,7 @@ class Comm {
   /// the zero-copy adoption path.  Traffic counters are identical to the
   /// copying overload (the self-bucket never was a message).
   template <typename T>
-  std::vector<std::vector<T>> alltoall(std::vector<std::vector<T>>&& sendbufs) {
+  [[nodiscard]] std::vector<std::vector<T>> alltoall(std::vector<std::vector<T>>&& sendbufs) {
     static_assert(std::is_trivially_copyable_v<T>);
     PEACHY_CHECK(static_cast<int>(sendbufs.size()) == size(),
                  "alltoall: need one send buffer per rank");

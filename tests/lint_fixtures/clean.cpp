@@ -1,0 +1,47 @@
+// Fixture: idiomatic peachy code — every rule's near-miss patterns in one
+// file.  peachy-lint must report nothing here.
+#include "analysis/race.hpp"
+#include "faults/faults.hpp"
+#include "mpi/mpi.hpp"
+#include "support/parallel_for.hpp"
+#include "support/thread_pool.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+constexpr int kTagRow = 11;
+
+double locked_reduction(peachy::support::ThreadPool& pool, const std::vector<double>& xs) {
+  double sum = 0.0;
+  std::mutex mu;
+  peachy::support::parallel_for(pool, 0, xs.size(), [&](std::size_t i) {
+    const std::lock_guard guard{mu};
+    sum += xs[i];
+  });
+  return sum;
+}
+
+std::vector<double> exchange(peachy::mpi::Comm& comm, std::vector<double> mine) {
+  if (comm.rank() == 0) {
+    mine[0] += 1.0;  // rank-dependent compute, no collectives
+  }
+  auto all = comm.allgather<double>(mine);
+  comm.send_move<double>((comm.rank() + 1) % comm.size(), kTagRow, std::move(mine));
+  mine = comm.recv<double>((comm.rank() + comm.size() - 1) % comm.size(), kTagRow);
+  return all.empty() ? mine : all;
+}
+
+double bounded_wait(peachy::mpi::Comm& comm, peachy::faults::CheckpointStore& store) {
+  using namespace std::chrono_literals;
+  peachy::faults::FtOptions ft{8, &store, "clean"};
+  const auto xs = comm.recv<double>(0, kTagRow, 50ms);
+  if (const auto snap = store.load("clean")) {
+    return static_cast<double>(snap->next_step) + static_cast<double>(ft.every);
+  }
+  return xs.empty() ? 0.0 : xs[0];
+}
+
+}  // namespace fx

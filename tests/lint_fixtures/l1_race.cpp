@@ -1,0 +1,62 @@
+// Fixture: L1 capture-race.  Seeded violations are marked "BAD"; the rest
+// of the file is the safe idioms the rule must NOT flag.
+#include "support/parallel_for.hpp"
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+void bad_accumulators(peachy::support::ThreadPool& pool, const std::vector<double>& xs) {
+  double sum = 0.0;
+  long hits = 0;
+  std::vector<double> big;
+  peachy::support::parallel_for(pool, 0, xs.size(), [&](std::size_t i) {
+    sum += xs[i];                  // BAD: unlocked by-ref accumulation
+    if (xs[i] > 0.5) ++hits;       // BAD: unlocked by-ref increment
+    if (xs[i] > 2.0) big.push_back(xs[i]);  // BAD: unlocked container growth
+  });
+}
+
+void ok_locked(peachy::support::ThreadPool& pool, const std::vector<double>& xs) {
+  double sum = 0.0;
+  std::mutex mu;
+  peachy::support::parallel_for(pool, 0, xs.size(), [&](std::size_t i) {
+    const std::lock_guard guard{mu};
+    sum += xs[i];  // guarded: fine
+  });
+}
+
+void ok_atomic(peachy::support::ThreadPool& pool, const std::vector<double>& xs) {
+  std::atomic<long> ticks{0};
+  peachy::support::parallel_for(pool, 0, xs.size(), [&](std::size_t i) {
+    if (xs[i] > 0.5) ++ticks;  // atomic: fine
+  });
+}
+
+void ok_disjoint_writes(peachy::support::ThreadPool& pool, std::vector<double>& out) {
+  peachy::support::parallel_for(pool, 0, out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;  // per-index slot: fine
+  });
+}
+
+void ok_locals(peachy::support::ThreadPool& pool, const std::vector<double>& xs) {
+  peachy::support::parallel_for(pool, 0, xs.size(), [&](std::size_t i) {
+    double local = 0.0, other = 1.0;  // lambda-locals, multi-declarator
+    local += xs[i];
+    other *= 2.0;
+    (void)local;
+    (void)other;
+  });
+}
+
+void ok_by_value(peachy::support::ThreadPool& pool, const std::vector<double>& xs) {
+  double bias = 1.0;
+  peachy::support::parallel_for(pool, 0, xs.size(), [&, bias](std::size_t i) mutable {
+    bias += xs[i];  // mutates the lambda's own copy: fine
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,52 @@
+// Fixture: L2 collective-divergence.  "BAD" lines call collectives that
+// only a rank-dependent subset of the group can reach.
+#include "mpi/mpi.hpp"
+
+#include <iostream>
+#include <vector>
+
+namespace fx {
+
+void bad_branch(peachy::mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // BAD: only rank 0 arrives
+  }
+}
+
+void bad_else_chain(peachy::mpi::Comm& comm, std::vector<double>& data) {
+  const int me = comm.rank();
+  if (me == 0) {
+    comm.broadcast(data, 0);  // BAD: divergent broadcast
+  } else if (me == 1) {
+    std::cout << "worker\n";
+  } else {
+    comm.barrier();  // BAD: else of a rank-dependent if
+  }
+}
+
+int bad_early_return(peachy::mpi::Comm& comm, std::vector<double>& data) {
+  const int rank = comm.rank();
+  if (rank != 0) return 0;
+  comm.broadcast(data, 0);  // BAD: the other ranks already returned
+  return 1;
+}
+
+void ok_guarded_io(peachy::mpi::Comm& comm, const std::vector<double>& data) {
+  if (comm.rank() == 0) {
+    std::cout << "rows: " << data.size() << '\n';  // I/O only: fine
+  }
+  comm.barrier();  // outside the branch: fine
+}
+
+void ok_uniform_branch(peachy::mpi::Comm& comm, std::vector<double>& data, bool verbose) {
+  if (verbose) {
+    comm.broadcast(data, 0);  // condition is rank-uniform: fine
+  }
+}
+
+void ok_early_return_then_sends(peachy::mpi::Comm& comm) {
+  if (comm.rank() != 0) return;
+  comm.send_value<int>(1, 1, 42);  // point-to-point after return: fine
+}
+
+}  // namespace fx

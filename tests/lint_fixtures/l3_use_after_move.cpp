@@ -1,0 +1,37 @@
+// Fixture: L3 use-after-move of pooled buffers.
+#include "mpi/mpi.hpp"
+
+#include <vector>
+
+namespace fx {
+
+void bad_reuse(peachy::mpi::Comm& comm, std::vector<int> buf) {
+  comm.send_move<int>(1, 7, std::move(buf));
+  buf.push_back(1);  // BAD: the transport owns that storage now
+}
+
+void bad_read(peachy::mpi::Comm& comm, std::vector<std::byte> payload) {
+  comm.send_bytes_move(1, 8, std::move(payload));
+  const auto n = payload.size();  // BAD: read of moved-from buffer
+  (void)n;
+}
+
+void ok_reassigned(peachy::mpi::Comm& comm, std::vector<int> buf) {
+  comm.send_move<int>(1, 7, std::move(buf));
+  buf = std::vector<int>(16);  // reinitialized: fine
+  buf.push_back(1);
+}
+
+void ok_refilled(peachy::mpi::Comm& comm, std::vector<int> buf) {
+  comm.send_move<int>(1, 7, std::move(buf));
+  buf.clear();  // moved-from vector is valid-but-empty; clear() resets: fine
+  buf.push_back(1);
+}
+
+void ok_plain_move(std::vector<int> src) {
+  std::vector<int> dst = std::move(src);  // not a transport sink: fine
+  (void)src.size();
+  (void)dst;
+}
+
+}  // namespace fx

@@ -1,0 +1,34 @@
+// Fixture: L4 untimed recv in fault-tolerant code.
+#include "faults/faults.hpp"
+#include "mpi/mpi.hpp"
+
+#include <chrono>
+
+namespace fx {
+
+double bad_untimed(peachy::mpi::Comm& comm, peachy::faults::CheckpointStore& store) {
+  peachy::faults::FtOptions ft{4, &store, "job"};
+  const auto xs = comm.recv<double>(0, 7);  // BAD: a dead peer hangs this
+  return xs.empty() ? 0.0 : xs[0] + static_cast<double>(ft.every);
+}
+
+double ok_timed_arg(peachy::mpi::Comm& comm, peachy::faults::CheckpointStore& store) {
+  using namespace std::chrono_literals;
+  peachy::faults::FtOptions ft{4, &store, "job"};
+  const auto xs = comm.recv<double>(0, 7, 200ms);  // bounded: fine
+  return xs.empty() ? 0.0 : xs[0] + static_cast<double>(ft.every);
+}
+
+double ok_comm_timeout(peachy::mpi::Comm& comm, peachy::faults::CheckpointStore& store) {
+  peachy::faults::FtOptions ft{4, &store, "job"};
+  comm.set_op_timeout(std::chrono::milliseconds{50});  // bounded globally: fine
+  const auto xs = comm.recv<double>(0, 7);
+  return xs.empty() ? 0.0 : xs[0] + static_cast<double>(ft.every);
+}
+
+double ok_no_ft(peachy::mpi::Comm& comm) {
+  const auto xs = comm.recv<double>(0, 7);  // no fault tolerance here: fine
+  return xs.empty() ? 0.0 : xs[0];
+}
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// Fixture: L5 magic tags.
+#include "mpi/mpi.hpp"
+
+namespace fx {
+
+constexpr int kTagWork = 7;
+constexpr int kTagDone = 8;
+
+void bad_raw_tag(peachy::mpi::Comm& comm) {
+  comm.send_value<int>(1, 7, 42);  // BAD: 7 is kTagWork, spelled as a literal
+  const int done = comm.recv_value<int>(1, 8);  // BAD: 8 is kTagDone
+  (void)done;
+}
+
+void bad_tag_reuse(peachy::mpi::Comm& comm) {
+  comm.send_value<double>(1, 900, 1.5);
+  comm.send_value<long>(1, 900, 7L);  // BAD: tag 900 now carries two types
+}
+
+void ok_named(peachy::mpi::Comm& comm) {
+  comm.send_value<int>(1, kTagWork, 42);  // named constant: fine
+  const int done = comm.recv_value<int>(1, kTagDone);
+  (void)done;
+}
+
+void ok_unrelated_literal(peachy::mpi::Comm& comm) {
+  comm.send_value<int>(1, 3, 1);  // no constant names tag 3: tolerated
+}
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// Fixture: L6 ignored results.
+#include "faults/faults.hpp"
+#include "mpi/mpi.hpp"
+
+namespace fx {
+
+void bad_discards(peachy::mpi::Comm& comm, peachy::mpi::detail::Machine& m,
+                  peachy::faults::RetryPolicy& policy,
+                  peachy::faults::CheckpointStore& store) {
+  peachy::mpi::Status st;
+  m.try_peek(0, 1, 2, st);  // BAD: did it find a message or not?
+  comm.shrink();            // BAD: the shrunken communicator is dropped
+  policy.delay_ns(2);       // BAD: computed backoff discarded
+  store.load("job");        // BAD: the snapshot is thrown away
+}
+
+void ok_used(peachy::mpi::Comm& comm, peachy::mpi::detail::Machine& m) {
+  peachy::mpi::Status st;
+  if (m.try_peek(0, 1, 2, st)) {
+    comm.send_value<int>(1, 3, 1);
+  }
+  auto survivors = comm.shrink();  // bound: fine
+  (void)survivors;
+}
+
+void ok_void_cast(peachy::mpi::Comm& comm) {
+  (void)comm.probe(0, 1);  // explicit discard: fine
+}
+
+}  // namespace fx

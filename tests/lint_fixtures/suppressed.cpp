@@ -1,0 +1,19 @@
+// Fixture: suppression comments.  Two violations are allowed away (one
+// trailing, one on the line above); a third must still be reported.
+#include "mpi/mpi.hpp"
+
+namespace fx {
+
+void lecture_example(peachy::mpi::Comm& comm) {
+  if (comm.rank() == 0) {
+    comm.barrier();  // peachy-lint: allow(L2) — shown in class on purpose
+  }
+}
+
+void lecture_example_two(peachy::mpi::Comm& comm) {
+  // peachy-lint: allow(L2, L6)
+  if (comm.rank() == 0) comm.barrier();
+  comm.shrink();  // BAD: the allow() above does not reach this line
+}
+
+}  // namespace fx

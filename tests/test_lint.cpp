@@ -1,0 +1,232 @@
+/// \file test_lint.cpp
+/// \brief peachy::lint — tokenizer, rule engine, goldens, and the
+/// zero-findings gate on the repository's own sources.
+
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace lint = peachy::lint;
+
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string{PEACHY_LINT_FIXTURE_DIR} + "/" + name;
+}
+
+/// "L1:17" keys, sorted — the golden-file currency.
+std::vector<std::string> keys_of(const lint::Result& r) {
+  std::vector<std::string> keys;
+  keys.reserve(r.findings.size());
+  for (const lint::Finding& f : r.findings) {
+    keys.push_back(std::string{lint::rule_id(f.rule)} + ":" + std::to_string(f.line));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<std::string> read_expected(const std::string& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::vector<std::string> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) keys.push_back(line);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void expect_golden(const std::string& stem) {
+  const lint::Result r = lint::lint_file(fixture(stem + ".cpp"));
+  EXPECT_EQ(keys_of(r), read_expected(fixture(stem + ".expected"))) << lint::to_text(r);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, TokenizesIdentifiersNumbersAndPuncts) {
+  const auto ts = lint::tokenize("int x = 1'000 + 0x1F;");
+  std::vector<std::string> texts;
+  for (const auto& t : ts.tokens) texts.push_back(t.text);
+  const std::vector<std::string> want{"int", "x", "=", "1'000", "+", "0x1F", ";"};
+  EXPECT_EQ(texts, want);
+}
+
+TEST(LintLexer, KeepsChronoSuffixAttached) {
+  const auto ts = lint::tokenize("c.recv<double>(0, 7, 200ms);");
+  bool found = false;
+  for (const auto& t : ts.tokens) {
+    if (t.text == "200ms") found = t.kind == lint::TokKind::number;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, CollapsesStringsAndRawStrings) {
+  const auto ts = lint::tokenize(R"SRC(auto s = R"(if (rank) c.barrier();)"; auto q = "x";)SRC");
+  for (const auto& t : ts.tokens) {
+    EXPECT_NE(t.text, "barrier");  // quoted text must not leak into the stream
+  }
+  int strings = 0;
+  for (const auto& t : ts.tokens) {
+    if (t.kind == lint::TokKind::string_lit) ++strings;
+  }
+  EXPECT_EQ(strings, 2);
+}
+
+TEST(LintLexer, CollectsCommentsSeparately) {
+  const auto ts = lint::tokenize("int a; // peachy-lint: allow(L2)\n/* block\ncomment */int b;");
+  ASSERT_EQ(ts.comments.size(), 2u);
+  EXPECT_NE(ts.comments[0].text.find("allow(L2)"), std::string::npos);
+  EXPECT_EQ(ts.comments[0].line, 1);
+  EXPECT_EQ(ts.comments[1].line, 2);
+  EXPECT_EQ(ts.comments[1].end_line, 3);
+  for (const auto& t : ts.tokens) EXPECT_NE(t.text, "comment");
+}
+
+TEST(LintLexer, SkipsPreprocessorLines) {
+  const auto ts = lint::tokenize("#include <vector>\n#define FOO \\\n  barrier\nint x;");
+  for (const auto& t : ts.tokens) {
+    EXPECT_NE(t.text, "include");
+    EXPECT_NE(t.text, "barrier");  // continuation line is still the directive
+  }
+  EXPECT_EQ(ts.tokens.size(), 3u);  // int x ;
+}
+
+TEST(LintLexer, TracksLinesAndColumns) {
+  const auto ts = lint::tokenize("a\n  bb\n");
+  ASSERT_EQ(ts.tokens.size(), 2u);
+  EXPECT_EQ(ts.tokens[1].line, 2);
+  EXPECT_EQ(ts.tokens[1].col, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Rule API
+// ---------------------------------------------------------------------------
+
+TEST(LintApi, RuleIdsRoundTrip) {
+  for (std::size_t k = 0; k < lint::kRuleCount; ++k) {
+    const auto r = static_cast<lint::Rule>(k);
+    lint::Rule parsed{};
+    ASSERT_TRUE(lint::parse_rule(lint::rule_id(r), parsed));
+    EXPECT_EQ(parsed, r);
+  }
+  lint::Rule r{};
+  EXPECT_FALSE(lint::parse_rule("L7", r));
+  EXPECT_FALSE(lint::parse_rule("", r));
+  EXPECT_FALSE(lint::parse_rule("X1", r));
+}
+
+TEST(LintApi, RuleFilterDisablesRules) {
+  lint::Options only_l6;
+  for (bool& e : only_l6.enabled) e = false;
+  only_l6.enabled[static_cast<std::size_t>(lint::Rule::L6_ignored_result)] = true;
+  const lint::Result r = lint::lint_file(fixture("l6_ignored_results.cpp"), only_l6);
+  EXPECT_EQ(r.findings.size(), r.count(lint::Rule::L6_ignored_result));
+  EXPECT_GT(r.findings.size(), 0u);
+
+  lint::Options no_l2;
+  no_l2.enabled[static_cast<std::size_t>(lint::Rule::L2_collective_divergence)] = false;
+  const lint::Result r2 = lint::lint_file(fixture("l2_divergence.cpp"), no_l2);
+  EXPECT_EQ(r2.count(lint::Rule::L2_collective_divergence), 0u);
+}
+
+TEST(LintApi, MissingPathThrows) {
+  EXPECT_THROW((void)lint::lint_path(fixture("no_such_file.cpp")), peachy::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixtures: every seeded violation, no more, no less.
+// ---------------------------------------------------------------------------
+
+TEST(LintGolden, L1CaptureRace) { expect_golden("l1_race"); }
+TEST(LintGolden, L2CollectiveDivergence) { expect_golden("l2_divergence"); }
+TEST(LintGolden, L3UseAfterMove) { expect_golden("l3_use_after_move"); }
+TEST(LintGolden, L4UnboundedRecv) { expect_golden("l4_unbounded_recv"); }
+TEST(LintGolden, L5MagicTag) { expect_golden("l5_magic_tag"); }
+TEST(LintGolden, L6IgnoredResult) { expect_golden("l6_ignored_results"); }
+TEST(LintGolden, CleanFixtureIsClean) { expect_golden("clean"); }
+
+TEST(LintGolden, SuppressionsHonored) {
+  const lint::Result r = lint::lint_file(fixture("suppressed.cpp"));
+  EXPECT_EQ(keys_of(r), read_expected(fixture("suppressed.expected"))) << lint::to_text(r);
+  EXPECT_EQ(r.suppressed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------------
+
+TEST(LintOutput, TextFormat) {
+  const lint::Result r = lint::lint_file(fixture("l2_divergence.cpp"));
+  const std::string text = lint::to_text(r);
+  EXPECT_NE(text.find("[L2]"), std::string::npos);
+  EXPECT_NE(text.find("l2_divergence.cpp:12:"), std::string::npos);
+  EXPECT_NE(text.find("finding(s)"), std::string::npos);
+}
+
+TEST(LintOutput, JsonSchema) {
+  const lint::Result r = lint::lint_file(fixture("l5_magic_tag.cpp"));
+  const std::string json = lint::to_json(r);
+  EXPECT_NE(json.find("\"schema\": \"peachy-lint/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"L5\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"magic-tag\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+}
+
+TEST(LintOutput, JsonEscapesSpecials) {
+  const lint::Result r =
+      lint::lint_source("we\"ird\\path.cpp", "void f(peachy::mpi::Comm& c) { c.shrink(); }");
+  ASSERT_EQ(r.findings.size(), 1u);
+  const std::string json = lint::to_json(r);
+  EXPECT_NE(json.find("we\\\"ird\\\\path.cpp"), std::string::npos);
+}
+
+TEST(LintOutput, EmptyJsonIsWellFormed) {
+  const std::string json = lint::to_json(lint::Result{});
+  EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+}
+
+TEST(LintOutput, AnalysisReportBridge) {
+  const lint::Result r = lint::lint_file(fixture("l1_race.cpp"));
+  const peachy::analysis::Report rep = lint::to_analysis_report(r);
+  EXPECT_EQ(rep.count(peachy::analysis::FindingKind::lint), r.findings.size());
+  EXPECT_TRUE(rep.mentions("[L1]"));
+  EXPECT_TRUE(rep.mentions("l1_race.cpp:17"));
+  // Static findings are warnings: they advise the grader, they do not fail
+  // the execution-level verdict by themselves.
+  EXPECT_TRUE(rep.clean());
+}
+
+// ---------------------------------------------------------------------------
+// The gate: the repository's own sources and examples stay lint-clean.
+// ---------------------------------------------------------------------------
+
+TEST(LintGate, RepositorySourcesAreClean) {
+  lint::Result all = lint::lint_path(std::string{PEACHY_SOURCE_DIR} + "/src");
+  all.merge(lint::lint_path(std::string{PEACHY_SOURCE_DIR} + "/examples"));
+  EXPECT_TRUE(all.clean()) << lint::to_text(all);
+  EXPECT_GT(all.files_scanned, 50u);
+}
+
+TEST(LintGate, DirectoryScanFindsFixtures) {
+  const lint::Result all = lint::lint_path(std::string{PEACHY_LINT_FIXTURE_DIR});
+  EXPECT_EQ(all.files_scanned, 8u);
+  EXPECT_FALSE(all.clean());
+  for (std::size_t k = 0; k < lint::kRuleCount; ++k) {
+    EXPECT_GT(all.count(static_cast<lint::Rule>(k)), 0u)
+        << "rule " << lint::rule_id(static_cast<lint::Rule>(k))
+        << " found nothing across the corpus";
+  }
+}
