@@ -14,6 +14,7 @@ Exit codes: 0 pass, 1 regression beyond tolerance, 2 usage/input error.
 import argparse
 import json
 import math
+import re
 import sys
 
 
@@ -60,6 +61,10 @@ def main():
     ap.add_argument("--row-tolerance", type=float, default=0.25,
                     help="per-row slowdown that triggers a warning, "
                          "fractional (default 0.25); informational only")
+    ap.add_argument("--filter", default=None,
+                    help="only compare rows whose name matches this "
+                         "regex (e.g. 'coll_.*_p4' for one rank count "
+                         "of the collective sweep)")
     args = ap.parse_args()
 
     base_doc, base = load(args.baseline)
@@ -75,6 +80,14 @@ def main():
               file=sys.stderr)
 
     common = sorted(base.keys() & fresh.keys())
+    if args.filter is not None:
+        try:
+            pattern = re.compile(args.filter)
+        except re.error as e:
+            fail(f"--filter {args.filter!r} is not a valid regex: {e}")
+        common = [key for key in common if pattern.search(key[0])]
+        if not common:
+            fail(f"no common rows match --filter {args.filter!r}")
     if not common:
         fail("no common (name, shape) rows between the two runs")
     for key in sorted(base.keys() - fresh.keys()):

@@ -18,9 +18,11 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "kernels/kernels.hpp"
+#include "tune/tune.hpp"
 
 namespace peachy::kernels::detail::avx2 {
 
@@ -94,7 +96,11 @@ namespace {
 
 /// Distances from q to the 4 centroids of panel group g, as one register.
 /// Per lane this is the reference's single running sum over ascending j.
-inline __m256d group_distances(const double* q, std::size_t d, const double* grp) {
+/// always_inline: with three call sites (batch, blocked tile, argmin) the
+/// inliner otherwise outlines this into a real call inside every hot
+/// distance loop — a measured ~20% hit on the d8/d32 distance kernels.
+[[gnu::always_inline]] inline __m256d group_distances(const double* q, std::size_t d,
+                                                      const double* grp) {
   __m256d acc = _mm256_setzero_pd();
   for (std::size_t j = 0; j < d; ++j) {
     const __m256d diff =
@@ -122,8 +128,36 @@ void squared_distances_batch(const double* q, std::size_t d, const double* panel
 
 void squared_distances_tile(const double* pts, std::size_t n, std::size_t d,
                             const double* panel, std::size_t k, std::size_t kp, double* out) {
-  for (std::size_t i = 0; i < n; ++i) {
-    squared_distances_batch(pts + i * d, d, panel, k, kp, out + i * k);
+  // Panel blocking (tunable): when the centroid panel is bigger than the
+  // cache, streaming all of it per point evicts it n times over.  With a
+  // row block of height B, the loop order becomes (row block, panel
+  // group, row): each d×4 group is loaded once per block instead of once
+  // per row, cutting panel traffic by ~B×.  Bit-identical to the
+  // unblocked loop — every out[i*k+c] is an independent chain computed by
+  // the same group_distances call, only the (i, group) visit order moves.
+  const std::size_t block = tune::active().distance_block_rows;
+  if (block == 0) {  // compiled-in default: the historical unblocked loop
+    for (std::size_t i = 0; i < n; ++i) {
+      squared_distances_batch(pts + i * d, d, panel, k, kp, out + i * k);
+    }
+    return;
+  }
+  for (std::size_t r0 = 0; r0 < n; r0 += block) {
+    const std::size_t r1 = std::min(n, r0 + block);
+    for (std::size_t g = 0; g * kPanelLane < kp; ++g) {
+      const double* grp = panel + g * d * kPanelLane;
+      const std::size_t c0 = g * kPanelLane;
+      for (std::size_t i = r0; i < r1; ++i) {
+        const __m256d dist = group_distances(pts + i * d, d, grp);
+        double* orow = out + i * k;
+        if (c0 + kPanelLane <= k) {
+          _mm256_storeu_pd(orow + c0, dist);
+        } else {
+          const Lanes s{dist};
+          for (std::size_t lane = 0; c0 + lane < k; ++lane) orow[c0 + lane] = s.v[lane];
+        }
+      }
+    }
   }
 }
 
@@ -188,54 +222,50 @@ void stencil_row(double* dst, const double* src, std::size_t n, double alpha) {
   }
 }
 
-void gemm_block(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
-                std::size_t m) {
-  // 4×8 register tile: 8 ymm accumulators per tile, k ascending, so each
-  // C element's chain is exactly the reference i-k-j running sum.  Tails
-  // fall back to the reference loop structure (innermost j elementwise,
-  // k ascending) which keeps the same per-element chains.
-  constexpr std::size_t kMr = 4;
-  constexpr std::size_t kNr = 8;
+namespace {
+
+/// MR×NR register-tile micro-kernel: MR×(NR/4) ymm accumulators per
+/// tile, k ascending, so each C element's chain is exactly the reference
+/// i-k-j running sum — true for *any* tile shape, which is what makes
+/// the tile a tunable rather than a contract change.  Tails fall back to
+/// the reference loop structure (innermost j elementwise, k ascending)
+/// which keeps the same per-element chains.  MR/NR are compile-time so
+/// the accumulator array lives entirely in registers; the constexpr
+/// loops below fully unroll.
+template <std::size_t MR, std::size_t NR>
+void gemm_tile(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
+               std::size_t m) {
+  static_assert(NR % 4 == 0, "gemm tile width must be a whole number of ymm lanes");
+  constexpr std::size_t kCols = NR / 4;
   std::size_t i0 = 0;
-  for (; i0 + kMr <= n; i0 += kMr) {
+  for (; i0 + MR <= n; i0 += MR) {
     std::size_t j0 = 0;
-    for (; j0 + kNr <= m; j0 += kNr) {
-      double* c0 = c + (i0 + 0) * m + j0;
-      double* c1 = c + (i0 + 1) * m + j0;
-      double* c2 = c + (i0 + 2) * m + j0;
-      double* c3 = c + (i0 + 3) * m + j0;
-      __m256d acc00 = _mm256_loadu_pd(c0), acc01 = _mm256_loadu_pd(c0 + 4);
-      __m256d acc10 = _mm256_loadu_pd(c1), acc11 = _mm256_loadu_pd(c1 + 4);
-      __m256d acc20 = _mm256_loadu_pd(c2), acc21 = _mm256_loadu_pd(c2 + 4);
-      __m256d acc30 = _mm256_loadu_pd(c3), acc31 = _mm256_loadu_pd(c3 + 4);
+    for (; j0 + NR <= m; j0 += NR) {
+      __m256d acc[MR][kCols];
+      for (std::size_t r = 0; r < MR; ++r) {
+        for (std::size_t cc = 0; cc < kCols; ++cc) {
+          acc[r][cc] = _mm256_loadu_pd(c + (i0 + r) * m + j0 + cc * 4);
+        }
+      }
       for (std::size_t kk = 0; kk < k; ++kk) {
         const double* brow = b + kk * m + j0;
-        const __m256d b0 = _mm256_loadu_pd(brow);
-        const __m256d b1 = _mm256_loadu_pd(brow + 4);
-        const __m256d a0 = _mm256_set1_pd(a[(i0 + 0) * k + kk]);
-        acc00 = _mm256_add_pd(acc00, _mm256_mul_pd(a0, b0));
-        acc01 = _mm256_add_pd(acc01, _mm256_mul_pd(a0, b1));
-        const __m256d a1 = _mm256_set1_pd(a[(i0 + 1) * k + kk]);
-        acc10 = _mm256_add_pd(acc10, _mm256_mul_pd(a1, b0));
-        acc11 = _mm256_add_pd(acc11, _mm256_mul_pd(a1, b1));
-        const __m256d a2 = _mm256_set1_pd(a[(i0 + 2) * k + kk]);
-        acc20 = _mm256_add_pd(acc20, _mm256_mul_pd(a2, b0));
-        acc21 = _mm256_add_pd(acc21, _mm256_mul_pd(a2, b1));
-        const __m256d a3 = _mm256_set1_pd(a[(i0 + 3) * k + kk]);
-        acc30 = _mm256_add_pd(acc30, _mm256_mul_pd(a3, b0));
-        acc31 = _mm256_add_pd(acc31, _mm256_mul_pd(a3, b1));
+        __m256d bv[kCols];
+        for (std::size_t cc = 0; cc < kCols; ++cc) bv[cc] = _mm256_loadu_pd(brow + cc * 4);
+        for (std::size_t r = 0; r < MR; ++r) {
+          const __m256d av = _mm256_set1_pd(a[(i0 + r) * k + kk]);
+          for (std::size_t cc = 0; cc < kCols; ++cc) {
+            acc[r][cc] = _mm256_add_pd(acc[r][cc], _mm256_mul_pd(av, bv[cc]));
+          }
+        }
       }
-      _mm256_storeu_pd(c0, acc00);
-      _mm256_storeu_pd(c0 + 4, acc01);
-      _mm256_storeu_pd(c1, acc10);
-      _mm256_storeu_pd(c1 + 4, acc11);
-      _mm256_storeu_pd(c2, acc20);
-      _mm256_storeu_pd(c2 + 4, acc21);
-      _mm256_storeu_pd(c3, acc30);
-      _mm256_storeu_pd(c3 + 4, acc31);
+      for (std::size_t r = 0; r < MR; ++r) {
+        for (std::size_t cc = 0; cc < kCols; ++cc) {
+          _mm256_storeu_pd(c + (i0 + r) * m + j0 + cc * 4, acc[r][cc]);
+        }
+      }
     }
     if (j0 < m) {
-      for (std::size_t r = 0; r < kMr; ++r) {
+      for (std::size_t r = 0; r < MR; ++r) {
         const double* arow = a + (i0 + r) * k;
         double* crow = c + (i0 + r) * m;
         for (std::size_t kk = 0; kk < k; ++kk) {
@@ -255,6 +285,20 @@ void gemm_block(const double* a, const double* b, double* c, std::size_t n, std:
       for (std::size_t j = 0; j < m; ++j) crow[j] += aik * brow[j];
     }
   }
+}
+
+}  // namespace
+
+void gemm_block(const double* a, const double* b, double* c, std::size_t n, std::size_t k,
+                std::size_t m) {
+  // Tile shape comes from the active tuning profile.  Only the shapes in
+  // tune::gemm_tile_supported() are instantiated; anything else (already
+  // warned about at profile load) lands on the compiled-in 4×8 default.
+  const tune::Tunables& t = tune::active();
+  if (t.gemm_mr == 2 && t.gemm_nr == 8) return gemm_tile<2, 8>(a, b, c, n, k, m);
+  if (t.gemm_mr == 4 && t.gemm_nr == 4) return gemm_tile<4, 4>(a, b, c, n, k, m);
+  if (t.gemm_mr == 8 && t.gemm_nr == 4) return gemm_tile<8, 4>(a, b, c, n, k, m);
+  return gemm_tile<4, 8>(a, b, c, n, k, m);
 }
 
 }  // namespace peachy::kernels::detail::avx2

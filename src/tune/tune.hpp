@@ -1,0 +1,160 @@
+#pragma once
+/// \file tune.hpp
+/// \brief peachy::tune — the self-tuning substrate's profile layer.
+///
+/// The paper's HPO assignment (§7) is a search harness; this module turns
+/// it inward.  Every performance-sensitive constant that used to be a
+/// compile-time literal — the collective algorithm per (op, p, bytes),
+/// the parallel_for inline grain, the gemm register tile, the distance
+/// panel row blocking, the BufferPool parking bound — is now read from a
+/// process-wide `Tunables` snapshot.  The compiled-in defaults are
+/// exactly the pre-tune constants, so a build that never loads a profile
+/// behaves (and performs) identically to one that predates this module.
+///
+/// Profiles are versioned JSON artifacts (`peachy-tune/1`) produced by
+/// `tools/peachy-tune` (a successive-halving search over the config
+/// space, reusing peachy::hpo) and loaded at startup from the file named
+/// by `PEACHY_TUNE=<file>` — or installed explicitly via set_active() /
+/// mpi::RunOptions.  A missing, corrupt, or version-mismatched profile
+/// falls back to the defaults with a named warning on stderr; it never
+/// crashes and never half-applies.
+///
+/// **Selection must be communication-free.**  Collective algorithm choice
+/// happens independently on every rank, so the lookup key must be
+/// rank-symmetric.  p always is.  Bytes are part of the key only for
+/// operations whose API contract forces equal sizes on every rank
+/// (reduce/allreduce contributions, broadcast_into spans); operations
+/// where non-roots cannot know the payload size in advance (plain
+/// broadcast, variable-size allgather) query with `kBytesUnknown` and
+/// match only rules that leave the byte range unconstrained.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peachy::tune {
+
+/// Collective operations with selectable algorithms.
+enum class CollOp : int { kBroadcast = 0, kReduce = 1, kAllreduce = 2, kAllgather = 3 };
+inline constexpr int kCollOpCount = 4;
+
+/// Algorithm choices.  kAuto means "the compiled-in default for this op"
+/// (binomial tree for broadcast/reduce, reduce+bcast for allreduce, ring
+/// for allgather) — the exact pre-tune code paths, byte for byte.
+/// kRecDouble requires a power-of-two rank count; selection falls back to
+/// the default on other p (never an error — a profile tuned at p=8 must
+/// stay loadable at p=6).
+enum class CollAlgo : int { kAuto = 0, kLinear = 1, kBinomial = 2, kRing = 3, kRecDouble = 4 };
+
+[[nodiscard]] const char* coll_op_name(CollOp op) noexcept;
+[[nodiscard]] const char* coll_algo_name(CollAlgo algo) noexcept;
+[[nodiscard]] bool parse_coll_op(std::string_view name, CollOp& out) noexcept;
+[[nodiscard]] bool parse_coll_algo(std::string_view name, CollAlgo& out) noexcept;
+
+/// Byte-count placeholder for collectives whose payload size is not known
+/// symmetrically on every rank before the operation runs.
+inline constexpr std::int64_t kBytesUnknown = -1;
+inline constexpr std::int64_t kBytesMax = std::numeric_limits<std::int64_t>::max();
+
+/// One selection rule: `algo` applies to `op` when p ∈ [p_min, p_max] and
+/// the (symmetric) payload byte count ∈ [bytes_min, bytes_max], all
+/// inclusive.  Rules are consulted in profile order; first match wins.  A
+/// query with kBytesUnknown matches only rules whose byte range is the
+/// full [0, kBytesMax] — an unconstrained rule can't disagree across
+/// ranks, a constrained one could.
+struct CollRule {
+  CollOp op = CollOp::kBroadcast;
+  int p_min = 1;
+  int p_max = std::numeric_limits<int>::max();
+  std::int64_t bytes_min = 0;
+  std::int64_t bytes_max = kBytesMax;
+  CollAlgo algo = CollAlgo::kAuto;
+
+  [[nodiscard]] bool byte_range_unconstrained() const noexcept {
+    return bytes_min <= 0 && bytes_max == kBytesMax;
+  }
+};
+
+/// The full tunable-constant snapshot.  Default-constructed values ARE
+/// the pre-tune compiled-in constants; an empty rule list means every
+/// collective takes its historical default path.
+struct Tunables {
+  /// parallel_for loops of at most this many iterations run inline
+  /// (support/parallel_for.hpp; historical kInlineGrain).
+  std::size_t parallel_for_grain = 2048;
+  /// gemm register tile (rows × cols of C accumulated in registers) for
+  /// the AVX2 micro-kernel.  Only the instantiated shapes are legal —
+  /// see gemm_tile_supported(); anything else loads as the default.
+  int gemm_mr = 4;
+  int gemm_nr = 8;
+  /// Row-block height for the batched squared-distance panel kernel;
+  /// 0 = unblocked (the historical single pass over all rows).
+  std::size_t distance_block_rows = 0;
+  /// BufferPool per-size-class parked-slab bound (buffer_pool.cpp).
+  std::size_t pool_max_parked = 64;
+  /// Collective algorithm selection rules, first match wins.
+  std::vector<CollRule> coll_rules;
+
+  /// Resolve the algorithm for `op` at rank count `p` with symmetric
+  /// payload `bytes` (or kBytesUnknown).  Returns kAuto when no rule
+  /// matches.  Also demotes kRecDouble to kAuto when p is not a power of
+  /// two — the algorithm is only defined there.
+  [[nodiscard]] CollAlgo coll_algo(CollOp op, int p, std::int64_t bytes) const noexcept;
+};
+
+/// True for the gemm register tiles the kernel layer instantiates.
+[[nodiscard]] bool gemm_tile_supported(int mr, int nr) noexcept;
+
+/// A loadable/saveable profile: tunables plus provenance metadata.
+struct Profile {
+  std::string isa;          ///< ISA the profile was tuned on (informational)
+  std::string tuned_for;    ///< free-form provenance, e.g. "p=2,4,8 n=1..64Ki"
+  Tunables tunables;
+};
+
+/// Outcome of parsing/loading a profile.  `ok == false` means the input
+/// was unusable (corrupt, wrong schema) and `profile` holds pure
+/// defaults; `warnings` carries one named message per problem either way
+/// (a partially-specified profile loads ok with its gaps defaulted, but
+/// invalid field *values* are individually rejected with a warning).
+struct LoadResult {
+  bool ok = false;
+  Profile profile;
+  std::vector<std::string> warnings;
+};
+
+/// Serialize to the versioned `peachy-tune/1` JSON document.
+[[nodiscard]] std::string to_json(const Profile& profile);
+
+/// Parse a `peachy-tune/1` JSON document (never throws on bad input).
+[[nodiscard]] LoadResult parse_profile(std::string_view json_text);
+
+/// Load a profile file; a missing/unreadable file is an `ok == false`
+/// result with a named warning, exactly like corrupt content.
+[[nodiscard]] LoadResult load_profile_file(const std::string& path);
+
+/// Write `to_json(profile)` to `path`; false (with a stderr warning) on
+/// I/O failure.
+bool write_profile_file(const Profile& profile, const std::string& path);
+
+/// The process-wide active tunables.  First call resolves `PEACHY_TUNE`:
+/// set and loadable → that profile; set but broken → defaults plus one
+/// named stderr warning; unset → defaults.  Subsequent calls are one
+/// atomic load.  The reference stays valid forever (storage is leaked,
+/// like the obs registry, so static-destruction order can't bite).
+[[nodiscard]] const Tunables& active() noexcept;
+
+/// Compiled-in defaults (what active() returns with no profile).
+[[nodiscard]] const Tunables& defaults() noexcept;
+
+/// Install `t` as the active snapshot (tests, benchmarks, peachy-tune).
+/// Copies; the caller's object need not outlive the call.
+void set_active(const Tunables& t);
+
+/// Drop any set_active() override and re-resolve from the environment.
+void reset_active();
+
+}  // namespace peachy::tune
