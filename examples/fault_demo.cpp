@@ -9,7 +9,8 @@
 ///
 ///   ./fault_demo [--mode=traffic|kmeans --ranks=4 --seed=42
 ///                 --crash-rank=1 --crash-step=200 --every=10
-///                 --timeout-ms=10000 --print-events ...]
+///                 --timeout-ms=10000 --transport=inproc|shm|socket
+///                 --print-events ...]
 ///
 /// Modes:
 ///   traffic — Nagel–Schreckenberg.  The PRNG cursor is absolute in
@@ -21,6 +22,16 @@
 ///             (matching inertia to a relative tolerance) and reports the
 ///             checkpoint/recovery overheads (experiment T-FLT-1).
 ///
+/// With --transport=shm|socket the traffic demo goes genuinely
+/// multi-process: the parent relaunches itself via mpi::launch_self with
+/// one OS process per rank, the injected crash becomes a real SIGKILL of
+/// the victim's process, and each surviving process independently
+/// revokes, shrinks, restarts from its own checkpoint, and verifies its
+/// recovered state bit-identical to the fault-free serial reference.
+/// The parent's verdict is the reaped process table: exactly one signal
+/// death, every survivor exiting 0.  (kmeans aggregates its verdict
+/// through shared memory, so it stays in-process.)
+///
 /// --print-events prints the injector's canonical fired-event log between
 /// "fault events:" and "end events" markers; scripts/check.sh runs the
 /// demo twice and diffs that block to verify seeded replay determinism.
@@ -31,10 +42,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "data/points.hpp"
 #include "faults/checkpoint.hpp"
 #include "faults/plan.hpp"
 #include "kmeans/mpi_kmeans.hpp"
+#include "mpi/launch.hpp"
 #include "mpi/mpi.hpp"
 #include "support/cli.hpp"
 #include "support/timer.hpp"
@@ -54,6 +68,9 @@ struct Config {
   int every = 10;
   std::uint64_t timeout_ms = 10000;
   bool print_events = false;
+  pm::TransportKind transport = pm::TransportKind::kDefault;
+  int argc = 0;       ///< original argv, replayed verbatim by launch_self
+  char** argv = nullptr;
 };
 
 /// The recovery protocol every surviving rank follows: run `body` until it
@@ -79,6 +96,35 @@ int run_with_recovery(pm::Comm& world, const Body& body) {
   }
 }
 
+/// Parent half of a multi-process traffic demo: relaunch this binary as
+/// one process per rank (same argv, so every child replays the same
+/// config) and judge the reaped process table.  The injected crash is a
+/// real SIGKILL in the victim's process, so success is exactly one
+/// signal death and every survivor exiting 0 — each survivor verified
+/// its own recovered state against the serial reference before exiting.
+int launch_traffic_world(const Config& cfg) {
+  pm::LaunchOptions lo;
+  lo.nranks = cfg.ranks;
+  lo.kind = cfg.transport;
+  const pm::LaunchResult res = pm::launch_self(lo, cfg.argc, cfg.argv);
+  int killed_rank = -1;
+  for (const pm::ProcStatus& ps : res.procs) {
+    std::cout << "  rank " << ps.rank << " (pid " << ps.pid << "): ";
+    if (ps.signaled) {
+      std::cout << "killed by signal " << ps.sig << "\n";
+      killed_rank = ps.rank;
+    } else {
+      std::cout << "exit " << ps.exit_code << "\n";
+    }
+  }
+  const bool ok =
+      res.killed == 1 && killed_rank == cfg.crash_rank && res.clean == cfg.ranks - 1;
+  std::cout << "multi-process traffic demo (" << pm::transport_name(cfg.transport) << "): "
+            << res.clean << "/" << cfg.ranks - 1 << " survivors recovered after rank "
+            << cfg.crash_rank << "'s process was killed: " << (ok ? "✓" : "✗") << "\n";
+  return ok ? 0 : 1;
+}
+
 int demo_traffic(const Config& cfg, peachy::support::Cli& cli) {
   peachy::traffic::Spec spec;
   spec.cars = cli.get<std::size_t>("cars", 120, "number of cars");
@@ -88,6 +134,11 @@ int demo_traffic(const Config& cfg, peachy::support::Cli& cli) {
   spec.seed = cfg.seed;
   const auto steps = cli.get<std::size_t>("steps", 400, "time steps");
   cli.finish();
+
+  const bool wire = cfg.transport == pm::TransportKind::kShm ||
+                    cfg.transport == pm::TransportKind::kSocket;
+  const pm::LaunchInfo& li = pm::launch_info();
+  if (wire && !li.launched) return launch_traffic_world(cfg);
 
   // Ground truth: the serial solver (run_mpi's contract is bit equality
   // with it for any rank count — including a rank count that shrank).
@@ -105,6 +156,7 @@ int demo_traffic(const Config& cfg, peachy::support::Cli& cli) {
   ropts.plan = &plan;
   ropts.op_timeout_ns = cfg.timeout_ms * 1'000'000;
   ropts.fault_log = &event_log;
+  ropts.transport = cfg.transport;
 
   std::vector<peachy::traffic::State> finals(static_cast<std::size_t>(cfg.ranks));
   std::vector<char> survived(static_cast<std::size_t>(cfg.ranks), 0);
@@ -120,6 +172,21 @@ int demo_traffic(const Config& cfg, peachy::support::Cli& cli) {
     }));
   }, ropts);
   const double faulty_ms = sw.elapsed_ms();
+
+  if (li.launched) {
+    // One process, one rank: this process's whole verdict is its own
+    // recovered state.  The crashed rank never gets here (its process
+    // died to the injected SIGKILL); the parent checks the overall shape.
+    const auto mine = static_cast<std::size_t>(li.rank);
+    const bool ok = survived[mine] != 0 && finals[mine] == reference;
+    std::cout << "rank " << li.rank << " (pid " << getpid() << "): recovered in "
+              << faulty_ms << " ms after " << episodes.load() << " shrink episode(s); state "
+              << (ok ? "bit-identical to serial reference ✓" : "MISMATCH ✗") << "\n";
+    if (cfg.print_events) {
+      std::cout << "fault events:\n" << event_log << "end events\n";
+    }
+    return ok ? 0 : 1;
+  }
 
   int survivors = 0;
   bool identical = true;
@@ -243,9 +310,25 @@ int main(int argc, char** argv) {
   cfg.every = cli.get<int>("every", 10, "checkpoint cadence (iterations)");
   cfg.timeout_ms = cli.get<std::uint64_t>("timeout-ms", 10000, "per-op deadline");
   cfg.print_events = cli.flag("print-events", "print the injector's fired-event log");
+  const auto transport = cli.get<std::string>(
+      "transport", "inproc", "mini-MPI transport (inproc | shm | socket)");
+  cfg.transport = peachy::mpi::parse_transport(transport);
+  cfg.argc = argc;
+  cfg.argv = argv;
 
   if (cfg.mode == "traffic") return demo_traffic(cfg, cli);
-  if (cfg.mode == "kmeans") return demo_kmeans(cfg, cli);
+  if (cfg.mode == "kmeans") {
+    if (cfg.transport == pm::TransportKind::kShm ||
+        cfg.transport == pm::TransportKind::kSocket) {
+      // The kmeans demo's verdict (T-FLT-1 overhead comparison) aggregates
+      // results through shared memory on rank 0, which a multi-process
+      // world cannot do; traffic is the multi-process story.
+      std::cerr << "--mode=kmeans supports only --transport=inproc "
+                   "(use --mode=traffic for the multi-process demo)\n";
+      return 2;
+    }
+    return demo_kmeans(cfg, cli);
+  }
   std::cerr << "unknown --mode=" << cfg.mode << " (traffic | kmeans)\n";
   return 2;
 }

@@ -38,6 +38,14 @@
 #                 bench_kernels with faults *disabled* and gates it at
 #                 <2% geomean slowdown against the committed baseline —
 #                 the zero-cost-when-off contract
+#   transport-smoke
+#               — Release tests + examples tree; runs the cross-backend
+#                 conformance suite (test_transport), forces the full
+#                 mpi/faults test matrix onto the shm and socket wires
+#                 via PEACHY_TRANSPORT, re-runs the conformance suite
+#                 under ASan, and drives the genuinely multi-process
+#                 fault demo (a real SIGKILL of a rank process over each
+#                 wire transport, plus a peachy-launch end-to-end run)
 #   lint-smoke  — Release build of peachy-lint + test_lint; runs the rule
 #                 engine tests, requires the fixture corpus to produce
 #                 findings (the rules demonstrably fire), requires *zero*
@@ -57,7 +65,7 @@
 #                 geomean over compiled-in defaults on the collective
 #                 sweep at two or more rank counts
 #
-# Usage: scripts/check.sh [config ...]     (default: all nine)
+# Usage: scripts/check.sh [config ...]     (default: all ten)
 
 set -euo pipefail
 
@@ -325,6 +333,60 @@ run_faults_smoke() {
   echo "==== [faults-smoke] OK ===="
 }
 
+run_transport_smoke() {
+  # The transport matrix: the cross-backend conformance suite, the full
+  # mpi + faults test binaries forced onto each wire backend via
+  # PEACHY_TRANSPORT, the conformance suite under ASan (the shm ring and
+  # socket reassembly are the repo's only hand-rolled binary protocols),
+  # and the genuinely multi-process fault demo — a real SIGKILL of a rank
+  # process over each wire, recovered state verified bit-identical to the
+  # same serial reference the in-process run is held to.
+  local dir="$ROOT/build-check-transport-smoke"
+  echo "==== [transport-smoke] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=OFF -DPEACHY_BUILD_TESTS=ON -DPEACHY_BUILD_EXAMPLES=ON
+  echo "==== [transport-smoke] build ===="
+  cmake --build "$dir" --target test_transport test_mpi test_faults fault_demo peachy-launch \
+    -j "$JOBS"
+  echo "==== [transport-smoke] cross-backend conformance suite ===="
+  "$dir/tests/test_transport"
+  echo "==== [transport-smoke] full mpi + faults matrix on each wire backend ===="
+  for transport in shm socket; do
+    echo "---- PEACHY_TRANSPORT=$transport ----"
+    PEACHY_TRANSPORT="$transport" "$dir/tests/test_mpi"
+    PEACHY_TRANSPORT="$transport" "$dir/tests/test_faults"
+  done
+  echo "==== [transport-smoke] conformance suite under ASan ===="
+  local asan="$ROOT/build-check-transport-asan"
+  cmake -B "$asan" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPEACHY_SANITIZE=ON \
+    -DPEACHY_BUILD_BENCH=OFF -DPEACHY_BUILD_TESTS=ON -DPEACHY_BUILD_EXAMPLES=OFF
+  cmake --build "$asan" --target test_transport -j "$JOBS"
+  "$asan/tests/test_transport"
+  echo "==== [transport-smoke] multi-process SIGKILL recovery (shm + socket) ===="
+  # The in-process run and each wire run verify against the same serial
+  # reference (same seed), so three green verdicts == same final answer.
+  "$dir/examples/fault_demo" --mode=traffic --seed=11
+  for transport in shm socket; do
+    "$dir/examples/fault_demo" --mode=traffic --seed=11 --transport="$transport"
+  done
+  echo "==== [transport-smoke] peachy-launch end-to-end ===="
+  # Exit 1 is the expected verdict: one rank died to the injected SIGKILL
+  # (that is the demo working); the launched survivors must all exit 0.
+  local launch_out="$dir/launch_out.txt"
+  if "$dir/tools/peachy-launch" -n 4 --transport=socket -- \
+       "$dir/examples/fault_demo" --mode=traffic --transport=socket > "$launch_out" 2>&1; then
+    echo "transport-smoke: peachy-launch reported all-clean, but one rank must die" >&2
+    cat "$launch_out" >&2
+    exit 1
+  fi
+  grep -q "killed by signal 9" "$launch_out"
+  [ "$(grep -c "bit-identical to serial reference" "$launch_out")" -eq 3 ]
+  echo "launch OK: 3/4 survivors recovered bit-identically"
+  echo "==== [transport-smoke] OK ===="
+}
+
 run_lint_smoke() {
   local dir="$ROOT/build-check-lint-smoke"
   echo "==== [lint-smoke] configure ===="
@@ -359,7 +421,7 @@ EOF
 
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke lint-smoke tune-smoke)
+  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke lint-smoke tune-smoke transport-smoke)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -372,9 +434,10 @@ for cfg in "${configs[@]}"; do
     obs-smoke)   run_obs_smoke ;;
     faults-smoke) run_faults_smoke ;;
     lint-smoke)  run_lint_smoke ;;
+    transport-smoke) run_transport_smoke ;;
     tune-smoke)  run_tune_smoke ;;
     tune-gate)   run_tune_gate ;;
-    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke, lint-smoke, tune-smoke, tune-gate)" >&2; exit 2 ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke, lint-smoke, tune-smoke, transport-smoke, tune-gate)" >&2; exit 2 ;;
   esac
 done
 

@@ -34,6 +34,21 @@ void MpiChecker::on_post(int source, int dest, int tag) {
   if (src_ok && tag_ok) d.satisfied = true;
 }
 
+void MpiChecker::on_wire_send() {
+  std::lock_guard lock{mu_};
+  ++in_flight_;
+}
+
+std::optional<std::string> MpiChecker::on_wire_delivered() {
+  std::lock_guard lock{mu_};
+  if (in_flight_ > 0) --in_flight_;
+  if (in_flight_ == 0 && scan_pending_) {
+    scan_pending_ = false;
+    return detect_deadlock_locked();
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> MpiChecker::on_block(int rank, int source, int tag, bool bounded) {
   std::lock_guard lock{mu_};
   RankInfo& r = ranks_[static_cast<std::size_t>(rank)];
@@ -91,6 +106,15 @@ std::optional<std::string> MpiChecker::fire_deadlock_locked(const std::string& m
 
 std::optional<std::string> MpiChecker::detect_deadlock_locked() {
   if (deadlock_fired_) return std::nullopt;
+  // With wire frames in flight a "blocked and unsatisfied" rank may be
+  // waiting on a message that exists but has not reached its mailbox yet,
+  // so any diagnosis would be a guess.  Defer: the scan re-runs when the
+  // last outstanding frame is delivered (on_wire_delivered), which must
+  // happen in finite time — the pump threads do not block on user code.
+  if (in_flight_ > 0) {
+    scan_pending_ = true;
+    return std::nullopt;
+  }
   const int n = static_cast<int>(ranks_.size());
   auto stuck = [&](int r) {
     const RankInfo& ri = ranks_[static_cast<std::size_t>(r)];

@@ -53,6 +53,19 @@ class MpiChecker {
   /// A message (source → dest, tag) was placed in dest's mailbox.
   void on_post(int source, int dest, int tag);
 
+  /// A wire transport accepted a frame for asynchronous delivery.  Between
+  /// this call and the matching on_wire_delivered() the message exists but
+  /// no mailbox holds it, so any deadlock scan that fires in the window
+  /// could indict ranks whose satisfying message is merely in flight.
+  /// Scans are suppressed while frames are outstanding and re-run at drain.
+  void on_wire_send();
+
+  /// The frame reached its destination mailbox (on_post already ran for
+  /// it).  If a deadlock scan was suppressed while this frame was in
+  /// flight and this was the last outstanding frame, the scan runs now and
+  /// its diagnosis (if any) is returned for the caller to act on.
+  [[nodiscard]] std::optional<std::string> on_wire_delivered();
+
   /// `rank` scanned its mailbox, found no match for (source, tag), and is
   /// about to block.  Returns a deadlock diagnosis if registering this
   /// wait completes a deadlock.  A `bounded` wait carries a deadline
@@ -112,6 +125,8 @@ class MpiChecker {
   std::vector<RankInfo> ranks_;
   std::unordered_map<std::uint64_t, CollRecord> colls_;  // by sequence index
   Report report_;
+  std::int64_t in_flight_ = 0;   ///< wire frames sent but not yet delivered
+  bool scan_pending_ = false;    ///< a scan was suppressed while frames flew
   bool deadlock_fired_ = false;
   std::size_t leaks_reported_ = 0;
 

@@ -1,0 +1,131 @@
+#pragma once
+/// \file frame_router.hpp
+/// \brief Generation-scoped frame routing shared by the wire endpoints.
+///
+/// A process holds ONE endpoint per wire backend (socket mesh / shm
+/// segment) but may create many Machines over its lifetime — fault_demo
+/// alone runs four back-to-back worlds.  The router is the piece that
+/// reconciles the two lifetimes: each Machine attaches as a sink and is
+/// handed a generation number (`seq`), every wire frame carries the
+/// sender's generation, and incoming frames are
+///
+///   * delivered, when they name the currently-attached generation,
+///   * buffered, when they are from a peer that has already moved on to
+///     a later generation (SPMD processes create machines in the same
+///     order, so generation n means "the n-th mpi::run of the program"
+///     in every process — the frame's machine just doesn't exist *here*
+///     yet), and
+///   * dropped, when their generation has been retired — stale traffic
+///     must never satisfy a later run's receive.
+///
+/// Process deaths are generation-independent and sticky: a peer that
+/// died stays dead for every future machine, so deaths are replayed to
+/// each newly-attached sink before any buffered frames.
+///
+/// Locking: route/attach/detach serialize on one mutex, and delivery
+/// happens under it.  That makes detach a synchronization point — after
+/// detach returns, the retired sink will never be called again — which
+/// is exactly the `Transport::shutdown` contract ~Machine relies on.
+/// Sink calls only ever take mailbox/checker locks, never transport
+/// locks, so holding the router mutex across them cannot deadlock.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mpi/transport.hpp"
+
+namespace peachy::mpi::detail {
+
+class FrameRouter {
+ public:
+  /// Attach `sink` as the next generation; returns its seq.  Replays
+  /// known peer deaths, then any frames buffered for this generation,
+  /// in arrival order.
+  std::uint32_t attach(TransportSink* sink) {
+    std::lock_guard lock{mu_};
+    const std::uint32_t seq = next_seq_++;
+    sink_ = sink;
+    active_seq_ = seq;
+    for (const auto& [rank, why] : dead_) sink_->on_ctrl(CtrlKind::kFailed, rank, why);
+    if (const auto it = pending_.find(seq); it != pending_.end()) {
+      for (Pending& p : it->second) dispatch_locked(std::move(p));
+      pending_.erase(it);
+    }
+    // Generations below the new floor can never attach; drop their frames.
+    pending_.erase(pending_.begin(), pending_.lower_bound(seq));
+    return seq;
+  }
+
+  /// Retire `seq`.  Blocks until any in-progress route call finishes;
+  /// after return the sink is never called again.
+  void detach(std::uint32_t seq) {
+    std::lock_guard lock{mu_};
+    if (active_seq_ == seq && sink_ != nullptr) sink_ = nullptr;
+  }
+
+  /// Pump-side: a data frame arrived for generation `seq`.
+  void route_data(std::uint32_t seq, int dest, Message&& m) {
+    std::lock_guard lock{mu_};
+    if (sink_ != nullptr && seq == active_seq_) {
+      sink_->deliver(dest, std::move(m), 1);
+      return;
+    }
+    if (seq < next_seq_) return;  // retired (or detached current) generation
+    pending_[seq].push_back(Pending{false, dest, std::move(m), CtrlKind::kFailed, 0, {}});
+  }
+
+  /// Pump-side: a generation-scoped control frame (revoke/abort)
+  /// arrived.  Process deaths go through peer_failed instead.
+  void route_ctrl(std::uint32_t seq, CtrlKind k, std::uint32_t arg, std::string why) {
+    std::lock_guard lock{mu_};
+    if (sink_ != nullptr && seq == active_seq_) {
+      sink_->on_ctrl(k, arg, why);
+      return;
+    }
+    if (seq < next_seq_) return;
+    pending_[seq].push_back(Pending{true, 0, Message{}, k, arg, std::move(why)});
+  }
+
+  /// A peer process died (EOF without goodbye, or the launcher reaped a
+  /// signal death).  Applies to the attached sink now and is replayed
+  /// to every future sink.  Idempotent per rank.
+  void peer_failed(std::uint32_t rank, const std::string& why) {
+    std::lock_guard lock{mu_};
+    for (const auto& [r, w] : dead_) {
+      if (r == rank) return;
+    }
+    dead_.emplace_back(rank, why);
+    if (sink_ != nullptr) sink_->on_ctrl(CtrlKind::kFailed, rank, why);
+  }
+
+ private:
+  struct Pending {
+    bool is_ctrl;
+    int dest;
+    Message m;
+    CtrlKind k;
+    std::uint32_t arg;
+    std::string why;
+  };
+
+  void dispatch_locked(Pending&& p) {
+    if (p.is_ctrl) {
+      sink_->on_ctrl(p.k, p.arg, p.why);
+    } else {
+      sink_->deliver(p.dest, std::move(p.m), 1);
+    }
+  }
+
+  std::mutex mu_;
+  TransportSink* sink_ = nullptr;
+  std::uint32_t active_seq_ = 0;
+  std::uint32_t next_seq_ = 0;  ///< next generation to hand out; all below are retired
+  std::map<std::uint32_t, std::vector<Pending>> pending_;
+  std::vector<std::pair<std::uint32_t, std::string>> dead_;
+};
+
+}  // namespace peachy::mpi::detail

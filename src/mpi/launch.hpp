@@ -1,0 +1,87 @@
+#pragma once
+/// \file launch.hpp
+/// \brief Multi-process world launching and rendezvous (DESIGN.md §15).
+///
+/// `launch()` forks/execs N rank processes and wires the rendezvous a
+/// wire transport needs before any rank can talk:
+///
+///   * every child gets `PEACHY_RANK`, `PEACHY_NRANKS`, and
+///     `PEACHY_TRANSPORT` in its environment;
+///   * socket: each child additionally gets a pipe pair by fd number
+///     (`PEACHY_RDZV_UP` / `PEACHY_RDZV_DOWN`).  The child binds an
+///     ephemeral loopback port, writes it up; the launcher gathers all
+///     N ports and writes the full table down to every child;
+///   * shm: the launcher creates the segment up front and passes its
+///     name (`PEACHY_SHM`).
+///
+/// The launcher then reaps children.  A child that dies to a signal is
+/// tolerated (that is the fault-tolerance story working); for the shm
+/// backend — which has no EOF to observe — the launcher doubles as the
+/// failure detector and posts a `kFailed` frame into every survivor's
+/// ring the moment it reaps a signal death.
+///
+/// Inside a child, `launch_info()` exposes the parsed rendezvous
+/// environment; `mpi::run` uses it to force the launcher's transport
+/// and to spawn a rank thread only for the local rank.
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "mpi/transport.hpp"
+
+namespace peachy::mpi {
+
+/// The rendezvous environment of a launched rank process (all defaults
+/// when the process was not spawned by `launch()`).
+struct LaunchInfo {
+  bool launched = false;
+  int rank = 0;
+  int nranks = 1;
+  TransportKind kind = TransportKind::kInproc;
+  std::string shm_name;  ///< shm segment to attach (kShm only)
+  int up_fd = -1;        ///< write end toward the launcher (kSocket only)
+  int down_fd = -1;      ///< read end from the launcher (kSocket only)
+};
+
+/// Parsed once from the environment on first call.
+[[nodiscard]] const LaunchInfo& launch_info();
+
+struct LaunchOptions {
+  int nranks = 2;
+  TransportKind kind = TransportKind::kSocket;  ///< kShm or kSocket
+};
+
+struct ProcStatus {
+  int rank = -1;
+  pid_t pid = -1;
+  bool exited = false;    ///< normal exit (code in exit_code)
+  int exit_code = 0;
+  bool signaled = false;  ///< killed by a signal (number in sig)
+  int sig = 0;
+};
+
+struct LaunchResult {
+  std::vector<ProcStatus> procs;  ///< indexed by rank
+  int clean = 0;    ///< exited with status 0
+  int nonzero = 0;  ///< exited with a nonzero status
+  int killed = 0;   ///< died to a signal (e.g. an injected SIGKILL)
+
+  /// Every process exited cleanly — no signal deaths, no error exits.
+  [[nodiscard]] bool all_clean() const noexcept { return clean == static_cast<int>(procs.size()); }
+};
+
+/// Fork/exec `args` (args[0] is the program path) once per rank and
+/// reap them all.  Signal deaths are recorded, not errors — the caller
+/// decides what survival means.
+[[nodiscard]] LaunchResult launch(const LaunchOptions& opts, const std::vector<std::string>& args);
+
+/// Relaunch *this* program (via /proc/self/exe) with its own argv plus
+/// `extra_args`.  The canonical way for an example to go multi-process:
+/// the parent calls launch_self, each child sees launch_info().launched
+/// and runs its single rank.
+[[nodiscard]] LaunchResult launch_self(const LaunchOptions& opts, int argc, char** argv,
+                                       const std::vector<std::string>& extra_args = {});
+
+}  // namespace peachy::mpi

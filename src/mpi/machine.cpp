@@ -1,15 +1,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
+#include <csignal>
 #include <thread>
 
 #include "mpi/mpi.hpp"
 #include "obs/obs.hpp"
 
-namespace peachy::mpi {
-
-namespace detail {
+namespace peachy::mpi::detail {
 
 namespace {
 
@@ -20,7 +18,8 @@ void sleep_ns(std::uint64_t ns) {
 }  // namespace
 
 Machine::Machine(int nranks, analysis::CheckLevel check, const faults::FaultPlan* plan,
-                 std::uint64_t default_timeout_ns, const tune::Tunables* tunables)
+                 std::uint64_t default_timeout_ns, const tune::Tunables* tunables,
+                 TransportKind transport)
     : tunables_{tunables != nullptr ? tunables : &tune::active()},
       default_timeout_ns_{default_timeout_ns} {
   PEACHY_CHECK(nranks >= 1, "machine needs at least one rank");
@@ -40,6 +39,36 @@ Machine::Machine(int nranks, analysis::CheckLevel check, const faults::FaultPlan
   if (plan != nullptr) {
     injector_ = std::make_unique<faults::FaultInjector>(*plan, nranks);
   }
+  // Last: attaching to a wire endpoint can replay sticky peer-death
+  // events and buffered frames into deliver()/on_ctrl() immediately, so
+  // every other member must already be live.
+  transport_ = make_transport({nranks, transport, this});
+  wire_ = transport_->kind() != TransportKind::kInproc;
+  // The checker's wait-for graph needs to see every rank's block/post
+  // events; ranks in other processes feed it nothing, so its diagnoses
+  // would be fabrications.  run() rejects this combination with a
+  // friendlier message before construction; this is the backstop.
+  PEACHY_CHECK(checker_ == nullptr || !transport_->spans_processes(),
+               "machine: the correctness checker requires all ranks in one process");
+}
+
+Machine::~Machine() {
+  {
+    std::unique_lock lock{waiters_mu_};
+    if (active_waiters_ > 0) {
+      lock.unlock();
+      // Poison the mailboxes so every blocked receiver wakes, throws the
+      // named teardown error, and unregisters; then wait for the drain.
+      // Tearing the mailboxes down under a live waiter would be a race.
+      (void)abort_local("machine destroyed while ranks were still blocked in recv");
+      lock.lock();
+      waiters_cv_.wait(lock, [this] { return active_waiters_ == 0; });
+    }
+  }
+  // After shutdown() the transport makes no further deliver()/on_ctrl()
+  // calls (the wire backends detach under the router lock, so a delivery
+  // in flight has completed before this returns).
+  transport_->shutdown();
 }
 
 void Machine::post(int source, int dest, int tag, std::span<const std::byte> payload,
@@ -81,6 +110,12 @@ void Machine::post_impl(int source, int dest, int tag, PayloadBuffer&& payload,
     const faults::SendAction act = injector_->on_send(source, dest, tag);
     if (act.stall_ns > 0) sleep_ns(act.stall_ns);
     if (act.crash) {
+      // In a multi-process world an injected crash is a *real* process
+      // death: peers must observe it through the wire's failure path
+      // (EOF / launcher report), exactly as an un-injected crash would
+      // look.  SIGKILL is the honest way to die — no unwinding, no
+      // goodbye frame.
+      if (spans_processes()) std::raise(SIGKILL);
       mark_failed(source);
       throw faults::RankKilled{source};
     }
@@ -93,25 +128,18 @@ void Machine::post_impl(int source, int dest, int tag, PayloadBuffer&& payload,
   const std::size_t nbytes = payload.size();
   const int copies = duplicate ? 2 : 1;
   const obs::SpanScope span{"mpi", "post", "bytes", static_cast<std::int64_t>(nbytes)};
-  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
-  {
-    std::lock_guard lock{box.mu};
-    for (int c = 0; c < copies; ++c) {
-      Message m;
-      m.source = source;
-      m.tag = tag;
-      m.comm = comm;
-      // A duplicated message shares the payload (refcount bump): the
-      // receiver sees two full deliveries, the bytes exist once.
-      m.payload = c + 1 < copies ? payload.share() : std::move(payload);
-      box.queue.push_back(std::move(m));
-      // Under the same mailbox lock as the queue push, so the checker's
-      // "a satisfying message arrived" flag can never lag a blocked
-      // receiver's registration.
-      if (checker_) checker_->on_post(source, dest, tag);
-    }
-    obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
+  if (wire_ && checker_) {
+    // Wire frames deliver asynchronously: tell the checker a message
+    // exists that no mailbox holds yet, so deadlock scans in the window
+    // are deferred rather than concluded from incomplete state.
+    for (int c = 0; c < copies; ++c) checker_->on_wire_send();
   }
+  Message m;
+  m.source = source;
+  m.tag = tag;
+  m.comm = comm;
+  m.payload = std::move(payload);
+  transport_->send(dest, std::move(m), copies);
   messages_.fetch_add(static_cast<std::uint64_t>(copies), std::memory_order_relaxed);
   bytes_.fetch_add(static_cast<std::uint64_t>(copies) * nbytes, std::memory_order_relaxed);
   if (obs::enabled()) {
@@ -120,23 +148,92 @@ void Machine::post_impl(int source, int dest, int tag, PayloadBuffer&& payload,
     msgs.add(copies);
     byts.add(static_cast<std::int64_t>(copies) * static_cast<std::int64_t>(nbytes));
   }
+}
+
+void Machine::deliver(int dest, Message&& m, int copies) {
+  if (dest < 0 || dest >= size()) return;  // a wire frame's dest is untrusted
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock{box.mu};
+    for (int c = 0; c < copies; ++c) {
+      Message msg;
+      msg.source = m.source;
+      msg.tag = m.tag;
+      msg.comm = m.comm;
+      // A duplicated message shares the payload (refcount bump): the
+      // receiver sees two full deliveries, the bytes exist once.
+      msg.payload = c + 1 < copies ? m.payload.share() : std::move(m.payload);
+      box.queue.push_back(std::move(msg));
+      // Under the same mailbox lock as the queue push, so the checker's
+      // "a satisfying message arrived" flag can never lag a blocked
+      // receiver's registration.
+      if (checker_) checker_->on_post(m.source, dest, m.tag);
+    }
+    obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
+  }
   box.cv.notify_all();
+  if (wire_ && checker_) {
+    // One frame landed; if this drained the in-flight set and a deadlock
+    // scan was deferred while frames flew, it runs now — on the pump
+    // thread, which never blocks on user code, so the diagnosis (if any)
+    // can safely abort the machine from here.
+    const auto deadlock = checker_->on_wire_delivered();
+    if (deadlock) abort(*deadlock);
+  }
+}
+
+void Machine::on_ctrl(CtrlKind k, std::uint32_t arg, const std::string& why) {
+  switch (k) {
+    case CtrlKind::kFailed: {
+      const int rank = static_cast<int>(arg);
+      if (rank >= 0 && rank < size()) (void)mark_failed_local(rank);
+      break;
+    }
+    case CtrlKind::kRevoke:
+      (void)revoke_local(arg);
+      break;
+    case CtrlKind::kAbort:
+      (void)abort_local(why.empty() ? std::string{"a peer process aborted"} : why);
+      break;
+  }
 }
 
 Message Machine::take(int self, int source, int tag, std::uint32_t comm,
                       std::uint64_t timeout_ns, const std::vector<int>* group,
                       const std::size_t* exact_bytes) {
   PEACHY_CHECK(self >= 0 && self < size(), "take: bad rank");
+  PEACHY_CHECK(is_local(self), "recv: rank " + std::to_string(self) +
+                                   " is not hosted by this process");
   // Reject before the checker registers the wait: an out-of-range source
   // is the grading layer's own input, and must become a named error — not
   // a hang (unchecked) or an out-of-bounds wait-for-graph index (checked).
   PEACHY_CHECK(source == kAnySource || (source >= 0 && source < size()),
                "recv: bad source rank");
+  // Registered before the mailbox is touched and deregistered only after
+  // the mailbox lock is released (declared before the lock → destroyed
+  // after it), so ~Machine can wait for every blocked receiver to fully
+  // leave the mailbox before tearing it down.
+  struct WaiterGuard {
+    Machine& m;
+    explicit WaiterGuard(Machine& machine) : m{machine} {
+      std::lock_guard lock{m.waiters_mu_};
+      ++m.active_waiters_;
+    }
+    ~WaiterGuard() {
+      // The broadcast must happen under the lock: the moment the count
+      // hits zero ~Machine may destroy this condvar, and its drain-wait
+      // cannot re-acquire waiters_mu_ (and thus return) until we release.
+      std::lock_guard lock{m.waiters_mu_};
+      --m.active_waiters_;
+      m.waiters_cv_.notify_all();
+    }
+  } waiter{*this};
   if (any_failed() && rank_failed(self)) throw faults::RankKilled{self};
   if (injector_) {
     const faults::RecvAction act = injector_->on_recv(self);
     if (act.stall_ns > 0) sleep_ns(act.stall_ns);
     if (act.crash) {
+      if (spans_processes()) std::raise(SIGKILL);  // see post_impl
       mark_failed(self);
       throw faults::RankKilled{self};
     }
@@ -275,12 +372,12 @@ bool Machine::try_peek(int self, int source, int tag, Status& st, std::uint32_t 
   return false;
 }
 
-void Machine::mark_failed(int rank) {
+bool Machine::mark_failed_local(int rank) {
   PEACHY_CHECK(rank >= 0 && rank < size(), "mark_failed: bad rank");
   bool expected = false;
   if (!failed_[static_cast<std::size_t>(rank)].compare_exchange_strong(
           expected, true, std::memory_order_acq_rel)) {
-    return;
+    return false;
   }
   failed_count_.fetch_add(1, std::memory_order_release);
   if (obs::enabled()) {
@@ -295,6 +392,13 @@ void Machine::mark_failed(int rank) {
   for (auto& box : boxes_) {
     { std::lock_guard lock{box->mu}; }
     box->cv.notify_all();
+  }
+  return true;
+}
+
+void Machine::mark_failed(int rank) {
+  if (mark_failed_local(rank)) {
+    transport_->broadcast_ctrl(CtrlKind::kFailed, static_cast<std::uint32_t>(rank), {});
   }
 }
 
@@ -321,10 +425,10 @@ std::vector<int> Machine::survivors_of(const std::vector<int>& group) const {
   return out;
 }
 
-void Machine::revoke(std::uint32_t comm) {
+bool Machine::revoke_local(std::uint32_t comm) {
   {
     std::lock_guard lock{revoke_mu_};
-    if (std::find(revoked_.begin(), revoked_.end(), comm) != revoked_.end()) return;
+    if (std::find(revoked_.begin(), revoked_.end(), comm) != revoked_.end()) return false;
     revoked_.push_back(comm);
   }
   revoked_count_.fetch_add(1, std::memory_order_release);
@@ -336,6 +440,22 @@ void Machine::revoke(std::uint32_t comm) {
     { std::lock_guard lock{box->mu}; }
     box->cv.notify_all();
   }
+  return true;
+}
+
+void Machine::revoke(std::uint32_t comm) {
+  if (!revoke_local(comm)) return;
+  // Failure knowledge travels ahead of the revocation: a peer process
+  // that applies the revoke wakes its waiters with CommRevokedError,
+  // whose embedded "who failed" answer should already be current — and
+  // its shrink() right after must see the same failed set this process
+  // saw, or the survivor groups diverge.
+  for (int r = 0; r < size(); ++r) {
+    if (rank_failed(r)) {
+      transport_->broadcast_ctrl(CtrlKind::kFailed, static_cast<std::uint32_t>(r), {});
+    }
+  }
+  transport_->broadcast_ctrl(CtrlKind::kRevoke, comm, {});
 }
 
 bool Machine::comm_revoked(std::uint32_t comm) const {
@@ -364,10 +484,14 @@ void Machine::purge_failed_senders(int self) {
   obs::gauge(box.trace_name, static_cast<std::int64_t>(box.queue.size()));
 }
 
-void Machine::abort(const std::string& why) {
+bool Machine::abort_local(const std::string& why) {
+  bool first = false;
   {
     std::lock_guard lock{abort_mu_};
-    if (!aborted_.load(std::memory_order_acquire)) abort_reason_ = why;
+    if (!aborted_.load(std::memory_order_acquire)) {
+      abort_reason_ = why;
+      first = true;
+    }
   }
   aborted_.store(true, std::memory_order_release);
   // Acquire each mailbox lock before notifying: a receiver that checked
@@ -379,6 +503,11 @@ void Machine::abort(const std::string& why) {
     { std::lock_guard lock{box->mu}; }
     box->cv.notify_all();
   }
+  return first;
+}
+
+void Machine::abort(const std::string& why) {
+  if (abort_local(why)) transport_->broadcast_ctrl(CtrlKind::kAbort, 0, why);
 }
 
 void Machine::note_collective(int rank, std::uint64_t index, const analysis::CollectiveDesc& d) {
@@ -417,368 +546,4 @@ TrafficStats Machine::stats() const noexcept {
   return {messages_.load(std::memory_order_relaxed), bytes_.load(std::memory_order_relaxed)};
 }
 
-const char* coll_algo_counter_name(tune::CollAlgo algo) noexcept {
-  switch (algo) {
-    case tune::CollAlgo::kAuto: return "mpi.coll.algo.auto";
-    case tune::CollAlgo::kLinear: return "mpi.coll.algo.linear";
-    case tune::CollAlgo::kBinomial: return "mpi.coll.algo.binomial";
-    case tune::CollAlgo::kRing: return "mpi.coll.algo.ring";
-    case tune::CollAlgo::kRecDouble: return "mpi.coll.algo.recdouble";
-  }
-  return "mpi.coll.algo.auto";
-}
-
-const char* coll_span_name(tune::CollOp op, tune::CollAlgo algo) noexcept {
-  // obs keeps span-name pointers until export, so every (op, algo) pair
-  // maps to a string literal here instead of a formatted string.
-  switch (op) {
-    case tune::CollOp::kBroadcast:
-      switch (algo) {
-        case tune::CollAlgo::kLinear: return "broadcast[linear]";
-        case tune::CollAlgo::kBinomial: return "broadcast[binomial]";
-        case tune::CollAlgo::kRing: return "broadcast[ring]";
-        case tune::CollAlgo::kRecDouble: return "broadcast[recdouble]";
-        case tune::CollAlgo::kAuto: return "broadcast[auto]";
-      }
-      return "broadcast[auto]";
-    case tune::CollOp::kReduce:
-      switch (algo) {
-        case tune::CollAlgo::kLinear: return "reduce[linear]";
-        case tune::CollAlgo::kBinomial: return "reduce[binomial]";
-        case tune::CollAlgo::kRing: return "reduce[ring]";
-        case tune::CollAlgo::kRecDouble: return "reduce[recdouble]";
-        case tune::CollAlgo::kAuto: return "reduce[auto]";
-      }
-      return "reduce[auto]";
-    case tune::CollOp::kAllreduce:
-      switch (algo) {
-        case tune::CollAlgo::kLinear: return "allreduce[linear]";
-        case tune::CollAlgo::kBinomial: return "allreduce[binomial]";
-        case tune::CollAlgo::kRing: return "allreduce[ring]";
-        case tune::CollAlgo::kRecDouble: return "allreduce[recdouble]";
-        case tune::CollAlgo::kAuto: return "allreduce[auto]";
-      }
-      return "allreduce[auto]";
-    case tune::CollOp::kAllgather:
-      switch (algo) {
-        case tune::CollAlgo::kLinear: return "allgather[linear]";
-        case tune::CollAlgo::kBinomial: return "allgather[binomial]";
-        case tune::CollAlgo::kRing: return "allgather[ring]";
-        case tune::CollAlgo::kRecDouble: return "allgather[recdouble]";
-        case tune::CollAlgo::kAuto: return "allgather[auto]";
-      }
-      return "allgather[auto]";
-  }
-  return "coll[auto]";
-}
-
-}  // namespace detail
-
-void Comm::barrier() {
-  const int tag = begin_collective({"barrier", -1, 1, -1});
-  const int p = size();
-  const std::byte token{0};
-  for (int dist = 1; dist < p; dist <<= 1) {
-    const int dest = (rank_ + dist) % p;
-    const int src = (rank_ - dist + p) % p;
-    // Round-distinct sub-tag: token from round k must not satisfy round k+1.
-    machine_->post(world_rank(), to_world(dest), tag, std::span<const std::byte>{&token, 1},
-                   comm_id_);
-    (void)recv_bytes(src, tag);
-    // NOTE: dissemination rounds reuse the same tag but distinct (src,dist)
-    // pairs, and recv matches on source, so rounds cannot cross-match
-    // unless p is a power of two *and* two rounds share a source — which
-    // cannot happen since distances are distinct powers of two < p.
-  }
-}
-
-void Comm::broadcast_bytes(std::vector<std::byte>& data, int root) {
-  PEACHY_CHECK(root >= 0 && root < size(), "broadcast: bad root");
-  const int tag = begin_collective(
-      {"broadcast", root, 1,
-       rank_ == root ? static_cast<std::int64_t>(data.size()) : std::int64_t{-1}});
-  // Non-roots don't know the payload size in advance, so only
-  // byte-unconstrained rules can select an algorithm here.
-  const tune::CollAlgo algo = pick_algo_(tune::CollOp::kBroadcast, tune::kBytesUnknown);
-  const obs::SpanScope span{"mpi", detail::coll_span_name(tune::CollOp::kBroadcast, algo),
-                            "algo", static_cast<std::int64_t>(algo)};
-  PayloadBuffer buf;
-  if (rank_ == root) {
-    buf = BufferPool::instance().acquire(data.size());
-    if (!data.empty()) std::memcpy(buf.mutable_data(), data.data(), data.size());
-  }
-  bcast_payload_algo(buf, root, tag, algo);
-  if (rank_ != root) data = buf.release_bytes();
-}
-
-void Comm::bcast_payload(PayloadBuffer& buf, int root, int tag) {
-  const int p = size();
-  if (p == 1) return;
-  const int vrank = (rank_ - root + p) % p;
-  // Receive phase: find the lowest set bit position where we get our copy.
-  int mask = 1;
-  while (mask < p) {
-    if (vrank & mask) {
-      const int vsrc = vrank - mask;
-      const int src = (vsrc + root) % p;
-      buf = recv_buffer(src, tag);
-      break;
-    }
-    mask <<= 1;
-  }
-  // Send phase: forward to the subtree below us.  Forwarding is a
-  // refcount bump on the pooled payload — each edge is counted as a full
-  // message, but its bytes are never copied again.
-  mask >>= 1;
-  while (mask > 0) {
-    if ((vrank & mask) == 0 && vrank + mask < p) {
-      const int dest = (vrank + mask + root) % p;
-      machine_->post_move(world_rank(), to_world(dest), tag, buf.share(), comm_id_);
-    }
-    mask >>= 1;
-  }
-}
-
-void Comm::bcast_payload_algo(PayloadBuffer& buf, int root, int tag, tune::CollAlgo algo) {
-  switch (algo) {
-    case tune::CollAlgo::kLinear:
-      bcast_payload_linear(buf, root, tag);
-      return;
-    case tune::CollAlgo::kRing:
-      bcast_payload_chain(buf, root, tag);
-      return;
-    default:
-      // kAuto, kBinomial — and kRecDouble, which has no broadcast form —
-      // all take the historical binomial tree.
-      bcast_payload(buf, root, tag);
-      return;
-  }
-}
-
-void Comm::bcast_payload_linear(PayloadBuffer& buf, int root, int tag) {
-  const int p = size();
-  if (p == 1) return;
-  if (rank_ == root) {
-    // One round: p−1 refcount bumps of the same pooled payload.  On the
-    // in-process transport there is no serialization to overlap, so the
-    // tree's extra hops buy nothing — this is the latency-optimal shape
-    // the tuner usually picks at small p.
-    for (int k = 1; k < p; ++k) {
-      const int dest = (root + k) % p;
-      machine_->post_move(world_rank(), to_world(dest), tag, buf.share(), comm_id_);
-    }
-    return;
-  }
-  buf = recv_buffer(root, tag);
-}
-
-void Comm::bcast_payload_chain(PayloadBuffer& buf, int root, int tag) {
-  const int p = size();
-  if (p == 1) return;
-  const int vrank = (rank_ - root + p) % p;
-  if (vrank != 0) buf = recv_buffer((rank_ - 1 + p) % p, tag);
-  if (vrank + 1 < p) {
-    machine_->post_move(world_rank(), to_world((rank_ + 1) % p), tag, buf.share(), comm_id_);
-  }
-}
-
-void Comm::allgather_blocks_ring(std::vector<PayloadBuffer>& blocks, int tag) {
-  const int p = size();
-  const int right = (rank_ + 1) % p;
-  const int left = (rank_ - 1 + p) % p;
-  for (int step = 0; step < p - 1; ++step) {
-    const int send_block = (rank_ - step + p) % p;
-    const int recv_block = (rank_ - step - 1 + p) % p;
-    machine_->post_move(world_rank(), to_world(right), tag,
-                        blocks[static_cast<std::size_t>(send_block)].share(), comm_id_);
-    blocks[static_cast<std::size_t>(recv_block)] = recv_buffer(left, tag);
-  }
-}
-
-void Comm::allgather_blocks_linear(std::vector<PayloadBuffer>& blocks, int tag) {
-  // Direct exchange: everyone posts its own block to everyone (buffered
-  // sends never block), then drains p−1 receives.  Same total message
-  // count as the ring, one round of latency instead of p−1.
-  const int p = size();
-  for (int k = 1; k < p; ++k) {
-    const int dest = (rank_ + k) % p;
-    machine_->post_move(world_rank(), to_world(dest), tag,
-                        blocks[static_cast<std::size_t>(rank_)].share(), comm_id_);
-  }
-  for (int k = 1; k < p; ++k) {
-    const int src = (rank_ - k + p) % p;
-    blocks[static_cast<std::size_t>(src)] = recv_buffer(src, tag);
-  }
-}
-
-void Comm::allgather_blocks_recdouble(std::vector<PayloadBuffer>& blocks, int tag) {
-  // Recursive doubling (power-of-two p, enforced at selection): at round
-  // k this rank holds the 2^k blocks of its mask-aligned group and
-  // trades them all with its partner in the paired group.  Blocks travel
-  // in ascending index order both ways, and FIFO matching per
-  // (source, tag) keeps them in order — same total message count as the
-  // ring, log2(p) rounds of latency.
-  const int p = size();
-  for (int mask = 1; mask < p; mask <<= 1) {
-    const int partner = rank_ ^ mask;
-    const int my_base = rank_ & ~(mask - 1);
-    const int partner_base = partner & ~(mask - 1);
-    for (int b = my_base; b < my_base + mask; ++b) {
-      machine_->post_move(world_rank(), to_world(partner), tag,
-                          blocks[static_cast<std::size_t>(b)].share(), comm_id_);
-    }
-    for (int b = partner_base; b < partner_base + mask; ++b) {
-      blocks[static_cast<std::size_t>(b)] = recv_buffer(partner, tag);
-    }
-  }
-}
-
-void Comm::revoke() { machine_->revoke(comm_id_); }
-
-Comm Comm::shrink() {
-  const obs::SpanScope span{"faults", "shrink"};
-  const std::uint64_t t0 = obs::now_ns();
-  const std::vector<int> members = group();
-  // ULFM's iterate-until-stable discipline, with the machine's shared
-  // agreement table standing in for a cross-process agreement protocol:
-  // propose the survivors we observe; the first proposal stored under the
-  // key wins and every survivor adopts it.  If an adopted group member
-  // fails before everyone adopted, all survivors iterate to the next key
-  // (deterministic: same keys, same table, same winner on every rank).
-  detail::Machine::Agreement agreed;
-  for (;;) {
-    const std::vector<int> survivors = machine_->survivors_of(members);
-    PEACHY_CHECK(!survivors.empty(), "shrink: no surviving ranks");
-    const std::uint64_t key = (static_cast<std::uint64_t>(comm_id_) << 32) | shrink_seq_;
-    ++shrink_seq_;
-    agreed = machine_->agree_group(key, survivors);
-    if (machine_->first_failed_in(&agreed.group) < 0) break;
-  }
-  // Stale traffic from the dead rank(s) must not satisfy post-recovery
-  // receives on the old communicator; each survivor scrubs its own box.
-  machine_->purge_failed_senders(world_rank());
-  const int my_world = world_rank();
-  int new_rank = -1;
-  for (std::size_t i = 0; i < agreed.group.size(); ++i) {
-    if (agreed.group[i] == my_world) new_rank = static_cast<int>(i);
-  }
-  PEACHY_CHECK(new_rank >= 0, "shrink: calling rank is not a survivor");
-  if (obs::enabled()) {
-    static obs::Histogram& recovery = obs::histogram("faults.recovery_ns");
-    recovery.note(obs::now_ns() - t0);
-  }
-  return Comm{*machine_, new_rank, agreed.group, agreed.comm_id, timeout_ns_};
-}
-
-namespace {
-
-/// Process-wide default op deadline from `PEACHY_MPI_TIMEOUT_MS` (0 = none).
-std::uint64_t env_timeout_ns() {
-  static const std::uint64_t v = [] {
-    const char* e = std::getenv("PEACHY_MPI_TIMEOUT_MS");
-    if (e == nullptr || *e == '\0') return std::uint64_t{0};
-    return static_cast<std::uint64_t>(std::strtoull(e, nullptr, 10) * 1'000'000ULL);
-  }();
-  return v;
-}
-
-TrafficStats run_impl(int nranks, const RunOptions& opts,
-                      const std::function<void(Comm&)>& fn, analysis::Report* out) {
-  PEACHY_CHECK(nranks >= 1, "run: need at least one rank");
-  PEACHY_CHECK(fn != nullptr, "run: null rank function");
-  const faults::FaultPlan* plan =
-      opts.plan != nullptr ? opts.plan : faults::FaultPlan::from_env();
-  const std::uint64_t timeout_ns =
-      opts.op_timeout_ns > 0 ? opts.op_timeout_ns : env_timeout_ns();
-  detail::Machine machine{nranks, opts.check, plan, timeout_ns, opts.tunables};
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&machine, &fn, &err_mu, &first_error, r] {
-      Comm comm{machine, r};
-      try {
-        fn(comm);
-        machine.note_exit(r);
-      } catch (const faults::RankKilled&) {
-        // Injected crash: the rank is already marked failed, its peers see
-        // RankFailedError, and the machine keeps running — the survivors'
-        // recovery (or failure to recover) is the run's outcome.
-      } catch (const std::exception& e) {
-        {
-          std::lock_guard lock{err_mu};
-          if (!first_error) first_error = std::current_exception();
-        }
-        machine.abort("rank " + std::to_string(r) + " threw: " + e.what());
-      } catch (...) {
-        {
-          std::lock_guard lock{err_mu};
-          if (!first_error) first_error = std::current_exception();
-        }
-        machine.abort("rank " + std::to_string(r) + " threw");
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-
-  if (opts.fault_log != nullptr) {
-    *opts.fault_log =
-        machine.injector() != nullptr ? machine.injector()->log_string() : std::string{};
-  }
-
-  // With a failed rank, undelivered messages to/from it are the expected
-  // debris of the crash, not program bugs — skip the leak scan (the
-  // rank-failure warning finding already records what happened).  Same
-  // for an active fault plan: injected dups create messages the program
-  // never asked for, and drops/delays/stalls shift arrivals past
-  // drain-by-probe loops, so leftovers indict the injection, not the
-  // program.
-  const bool injecting = plan != nullptr && !plan->empty();
-  if (!machine.aborted() && !machine.any_failed() && !injecting) machine.scan_leaks();
-  const analysis::Report report = machine.report();
-  if (out != nullptr) *out = report;
-
-  if (first_error) {
-    // In checked mode a non-clean report *is* the outcome; secondary
-    // "machine aborted" errors from the other ranks are just echoes.
-    const bool captured = out != nullptr && !report.clean();
-    if (!captured) std::rethrow_exception(first_error);
-  } else if (out == nullptr && !report.clean()) {
-    // Unchecked surface: exit-time findings (leaks) become hard failures.
-    throw analysis::CheckFailure{report.to_string()};
-  }
-  return machine.stats();
-}
-
-}  // namespace
-
-TrafficStats run(int nranks, const std::function<void(Comm&)>& fn, analysis::CheckLevel level) {
-  RunOptions opts;
-  opts.check = level;
-  return run_impl(nranks, opts, fn, nullptr);
-}
-
-TrafficStats run(int nranks, const std::function<void(Comm&)>& fn, const RunOptions& opts) {
-  return run_impl(nranks, opts, fn, nullptr);
-}
-
-CheckedRun run_checked(int nranks, const std::function<void(Comm&)>& fn,
-                       analysis::CheckLevel level) {
-  CheckedRun result;
-  RunOptions opts;
-  opts.check = level;
-  result.stats = run_impl(nranks, opts, fn, &result.report);
-  return result;
-}
-
-CheckedRun run_checked(int nranks, const std::function<void(Comm&)>& fn, RunOptions opts) {
-  CheckedRun result;
-  if (opts.check == analysis::CheckLevel::off) opts.check = analysis::CheckLevel::full;
-  result.stats = run_impl(nranks, opts, fn, &result.report);
-  return result;
-}
-
-}  // namespace peachy::mpi
+}  // namespace peachy::mpi::detail

@@ -46,6 +46,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -55,6 +56,7 @@
 #include "faults/faults.hpp"
 #include "faults/plan.hpp"
 #include "mpi/buffer_pool.hpp"
+#include "mpi/transport.hpp"
 #include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/parallel_for.hpp"
@@ -81,26 +83,8 @@ struct TrafficStats {
 
 namespace detail {
 
-struct Message {
-  int source;
-  int tag;
-  /// Communicator the message belongs to (0 = the world communicator).
-  /// Matching requires equality, so a shrunken communicator's collectives
-  /// can never consume stale traffic addressed to the communicator it
-  /// replaced — without carving up the tag space.
-  std::uint32_t comm = 0;
-  PayloadBuffer payload;
-};
-
-struct Mailbox {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Message> queue;
-  /// This mailbox's queue-depth gauge name ("mpi.queue[r]"), interned
-  /// via obs::intern_name so the pointer outlives the Machine — trace
-  /// export happens after short-lived Machines are destroyed.
-  const char* trace_name = "mpi.queue[?]";
-};
+// Message and Mailbox moved to mpi/transport.hpp: they are the currency
+// both halves of the transport seam trade in.
 
 /// Shared state for one group of ranks.  When constructed with a
 /// CheckLevel other than `off` it owns an analysis::MpiChecker that is fed
@@ -111,12 +95,28 @@ struct Mailbox {
 /// at the two transport choke points (post_impl / take), and tracks which
 /// ranks have *failed*: a failed rank's peers are woken from blocking
 /// receives with faults::RankFailedError instead of hanging forever.
-class Machine {
+///
+/// Message movement is delegated to a Transport (transport.hpp): the
+/// machine is the seam's sink — `deliver` enqueues into mailboxes,
+/// `on_ctrl` applies a peer process's failure / revoke / abort locally.
+/// Each failure-protocol entry point therefore splits into a `_local`
+/// half (this process's state + wakeups) and a public half that also
+/// broadcasts the event to peer processes.
+class Machine : public TransportSink {
  public:
   explicit Machine(int nranks, analysis::CheckLevel check = analysis::CheckLevel::off,
                    const faults::FaultPlan* plan = nullptr,
                    std::uint64_t default_timeout_ns = 0,
-                   const tune::Tunables* tunables = nullptr);
+                   const tune::Tunables* tunables = nullptr,
+                   TransportKind transport = TransportKind::kInproc);
+
+  /// Poisons every mailbox if ranks are still blocked in take() (named
+  /// abort reason), waits for them to drain out, then detaches from the
+  /// transport — after which no pump thread can touch this machine.
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
 
   /// Buffered send: one memcpy into a pooled buffer, zero allocations in
   /// steady state.
@@ -139,6 +139,17 @@ class Machine {
   [[nodiscard]] bool try_peek(int self, int source, int tag, Status& st, std::uint32_t comm = 0);
 
   void abort(const std::string& why);
+
+  // ---- TransportSink (called by the transport; pump thread on wire) --------
+
+  void deliver(int dest, Message&& m, int copies) override;
+  void on_ctrl(CtrlKind k, std::uint32_t arg, const std::string& why) override;
+
+  /// True when this world's ranks live in more than one OS process.
+  [[nodiscard]] bool spans_processes() const noexcept { return transport_->spans_processes(); }
+  /// True when `rank` executes in this process.
+  [[nodiscard]] bool is_local(int rank) const noexcept { return transport_->is_local(rank); }
+  [[nodiscard]] TransportKind transport_kind() const noexcept { return transport_->kind(); }
 
   // ---- failure detection / recovery (peachy::faults integration) -----------
 
@@ -222,6 +233,15 @@ class Machine {
   /// see identical events for both.
   void post_impl(int source, int dest, int tag, PayloadBuffer&& payload, std::uint32_t comm);
 
+  /// Local halves of the failure protocols: apply the event to this
+  /// process's state and wake waiters.  Each returns true when the call
+  /// changed state (first observation), which is when the public entry
+  /// point broadcasts the event to peer processes — replayed/echoed
+  /// events from the wire are applied idempotently and never re-sent.
+  bool mark_failed_local(int rank);
+  bool revoke_local(std::uint32_t comm);
+  bool abort_local(const std::string& why);
+
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   std::unique_ptr<analysis::MpiChecker> checker_;
   std::unique_ptr<faults::FaultInjector> injector_;
@@ -242,6 +262,19 @@ class Machine {
   std::mutex agree_mu_;
   std::map<std::uint64_t, Agreement> agreements_;
   std::atomic<std::uint32_t> next_comm_id_{1};  ///< 0 is the world communicator
+
+  // ---- teardown / transport ------------------------------------------------
+  // ~Machine must not tear down mailboxes under a blocked receiver, so
+  // take() registers itself here and the destructor waits for the count
+  // to drain (after poisoning the mailboxes so the drain is bounded).
+  std::mutex waiters_mu_;
+  std::condition_variable waiters_cv_;
+  int active_waiters_ = 0;
+  bool wire_ = false;  ///< transport delivers asynchronously (shm/socket)
+  /// Declared last: destroyed first, so the transport detaches before any
+  /// state a late pump-thread delivery could touch is torn down (the
+  /// destructor also detaches explicitly; this is belt and braces).
+  std::unique_ptr<Transport> transport_;
 };
 
 /// obs counter name for a selected collective algorithm
@@ -287,14 +320,29 @@ class Comm {
   /// Identifies this communicator's messages in transit (0 = world).
   [[nodiscard]] std::uint32_t comm_id() const noexcept { return comm_id_; }
 
+  /// True when the world's ranks live in more than one OS process (a run
+  /// spawned by mpi::launch / peachy-launch over a wire transport).
+  /// Programs that keep per-run state in process-local storage — caches,
+  /// checkpoint stores — must key the decision "who writes it" on this:
+  /// with separate processes there is no shared memory to lean on.
+  [[nodiscard]] bool spans_processes() const noexcept { return machine_->spans_processes(); }
+
+  /// The transport backend this run is using.
+  [[nodiscard]] TransportKind transport_kind() const noexcept {
+    return machine_->transport_kind();
+  }
+
   // ---- deadlines / failure handling (peachy::faults) ----------------------
 
   /// Deadline applied to every blocking receive — and, because collectives
   /// are built on receives, to every collective — on this communicator.
   /// Zero (the default) blocks forever, as real MPI does; expiry raises
   /// faults::TimeoutError.  Inherited by communicators shrink() returns.
-  void set_op_timeout(std::chrono::nanoseconds t) noexcept {
-    timeout_ns_ = t.count() < 0 ? 0 : static_cast<std::uint64_t>(t.count());
+  /// A negative deadline is a std::invalid_argument: it used to clamp
+  /// silently to "wait forever" — the exact opposite of a caller who
+  /// (say) computed `deadline - elapsed` and went negative intended.
+  void set_op_timeout(std::chrono::nanoseconds t) {
+    timeout_ns_ = checked_timeout_ns(t, "set_op_timeout");
   }
   [[nodiscard]] std::chrono::nanoseconds op_timeout() const noexcept {
     return std::chrono::nanoseconds{static_cast<std::int64_t>(timeout_ns_)};
@@ -344,9 +392,7 @@ class Comm {
   [[nodiscard]] std::vector<std::byte> recv_bytes(int source, int tag,
                                                   std::chrono::nanoseconds timeout,
                                     Status* st = nullptr) {
-    detail::Message m =
-        take_timed_(source, tag,
-                    timeout.count() < 0 ? 0 : static_cast<std::uint64_t>(timeout.count()));
+    detail::Message m = take_timed_(source, tag, checked_timeout_ns(timeout, "recv_bytes"));
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     return m.payload.release_bytes();
   }
@@ -430,9 +476,7 @@ class Comm {
   [[nodiscard]] std::vector<T> recv(int source, int tag, std::chrono::nanoseconds timeout,
                       Status* st = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    detail::Message m =
-        take_timed_(source, tag,
-                    timeout.count() < 0 ? 0 : static_cast<std::uint64_t>(timeout.count()));
+    detail::Message m = take_timed_(source, tag, checked_timeout_ns(timeout, "recv"));
     if (st != nullptr) *st = Status{m.source, m.tag, m.payload.size()};
     PEACHY_CHECK(m.payload.size() % sizeof(T) == 0,
                  "recv: payload size not a multiple of sizeof(T)");
@@ -1162,6 +1206,19 @@ class Comm {
     return world;  // unreachable: comm-id matching admits group members only
   }
 
+  /// Timeout validation shared by set_op_timeout and the one-shot timed
+  /// receives: negative deadlines are rejected loudly (std::invalid_argument
+  /// carrying the caller's name and the offending value) instead of the
+  /// old silent clamp to "wait forever".
+  static std::uint64_t checked_timeout_ns(std::chrono::nanoseconds t, const char* who) {
+    if (t.count() < 0) {
+      throw std::invalid_argument{std::string{who} + ": negative timeout (" +
+                                  std::to_string(t.count()) +
+                                  " ns) would silently mean \"wait forever\""};
+    }
+    return static_cast<std::uint64_t>(t.count());
+  }
+
   /// The single receive path: validates the local source, translates to
   /// world numbering, applies the communicator's op timeout, and localizes
   /// the matched message's source on the way out.
@@ -1216,6 +1273,11 @@ struct RunOptions {
   /// nullptr uses the process-wide tune::active() profile — which is the
   /// compiled-in defaults unless PEACHY_TUNE named a loadable profile.
   const tune::Tunables* tunables = nullptr;
+  /// Message-movement backend.  kDefault defers to PEACHY_TRANSPORT
+  /// (unset → inproc).  Inside a launched world the launcher's wire
+  /// always wins — every process of one world must speak the same
+  /// transport — and requesting a different one is a named error.
+  TransportKind transport = TransportKind::kDefault;
 };
 
 /// Execute `fn(comm)` on `nranks` rank-threads; blocks until all complete.

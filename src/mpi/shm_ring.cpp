@@ -1,0 +1,313 @@
+#include "mpi/shm_ring.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "support/check.hpp"
+
+namespace peachy::mpi::detail {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+
+[[nodiscard]] constexpr std::size_t align_up(std::size_t v, std::size_t a) noexcept {
+  return (v + a - 1) / a * a;
+}
+
+[[nodiscard]] std::size_t ring_stride(std::size_t spill_bytes) noexcept {
+  return align_up(sizeof(ShmRing), kAlign) + align_up(spill_bytes, kAlign);
+}
+
+[[nodiscard]] std::size_t ring_offset(int proc, std::size_t spill_bytes) noexcept {
+  return align_up(sizeof(ShmSegHeader), kAlign) +
+         static_cast<std::size_t>(proc) * ring_stride(spill_bytes);
+}
+
+/// Spillover free-list node, stored *in the spill arena itself* at the
+/// block's offset.  Read/written via memcpy: blocks are 16-aligned but
+/// the aliasing rules are easier to satisfy than to argue about.
+struct FreeBlock {
+  std::uint64_t size;
+  std::uint64_t next;
+};
+static_assert(sizeof(FreeBlock) == 16);
+
+[[nodiscard]] FreeBlock load_block(const std::byte* spill, std::uint64_t off) noexcept {
+  FreeBlock b;
+  std::memcpy(&b, spill + off, sizeof b);
+  return b;
+}
+
+void store_block(std::byte* spill, std::uint64_t off, FreeBlock b) noexcept {
+  std::memcpy(spill + off, &b, sizeof b);
+}
+
+[[nodiscard]] constexpr std::uint64_t round16(std::uint64_t v) noexcept {
+  return (v + 15) / 16 * 16;
+}
+
+/// Lock a ring mutex, absorbing the death of a previous owner.  The
+/// push/pop protocol commits state with the final head/tail bump, so a
+/// lock recovered via EOWNERDEAD always guards consistent data.
+void lock_robust(pthread_mutex_t* mu) {
+  int rc = pthread_mutex_lock(mu);
+  if (rc == EOWNERDEAD) rc = pthread_mutex_consistent(mu);
+  PEACHY_CHECK(rc == 0, "shm ring: mutex lock failed (" + std::string{std::strerror(rc)} + ")");
+}
+
+/// ~100ms bounded wait: a wakeup lost to a peer death (no robust
+/// condvars exist) costs one poll interval, never a hang.
+void timed_wait(pthread_cond_t* cv, pthread_mutex_t* mu) {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  ts.tv_nsec += 100'000'000;
+  if (ts.tv_nsec >= 1'000'000'000) {
+    ts.tv_nsec -= 1'000'000'000;
+    ++ts.tv_sec;
+  }
+  int rc = pthread_cond_timedwait(cv, mu, &ts);
+  if (rc == EOWNERDEAD) rc = pthread_mutex_consistent(mu);
+  PEACHY_CHECK(rc == 0 || rc == ETIMEDOUT,
+               "shm ring: condvar wait failed (" + std::string{std::strerror(rc)} + ")");
+}
+
+/// First-fit allocation from the offset-sorted free list.  Returns
+/// {offset, granted size} or {kShmSpillNull, 0}.  A tail remainder
+/// smaller than 32 bytes is granted along with the block rather than
+/// left as an unusable sliver.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> alloc_spill(ShmRing* r, std::byte* spill,
+                                                                  std::uint64_t need) {
+  std::uint64_t prev = kShmSpillNull;
+  std::uint64_t cur = r->free_head;
+  while (cur != kShmSpillNull) {
+    const FreeBlock b = load_block(spill, cur);
+    if (b.size >= need) {
+      std::uint64_t granted = need;
+      std::uint64_t next = b.next;
+      if (b.size - need >= 32) {
+        store_block(spill, cur + need, FreeBlock{b.size - need, b.next});
+        next = cur + need;
+      } else {
+        granted = b.size;
+      }
+      if (prev == kShmSpillNull) {
+        r->free_head = next;
+      } else {
+        FreeBlock pb = load_block(spill, prev);
+        pb.next = next;
+        store_block(spill, prev, pb);
+      }
+      return {cur, granted};
+    }
+    prev = cur;
+    cur = b.next;
+  }
+  return {kShmSpillNull, 0};
+}
+
+/// Return a block to the free list, keeping it offset-sorted and
+/// coalescing with both neighbors.
+void free_spill(ShmRing* r, std::byte* spill, std::uint64_t off, std::uint64_t size) {
+  std::uint64_t prev = kShmSpillNull;
+  std::uint64_t cur = r->free_head;
+  while (cur != kShmSpillNull && cur < off) {
+    prev = cur;
+    cur = load_block(spill, cur).next;
+  }
+  std::uint64_t next = cur;
+  if (cur != kShmSpillNull && off + size == cur) {  // merge with the block after
+    const FreeBlock nb = load_block(spill, cur);
+    size += nb.size;
+    next = nb.next;
+  }
+  if (prev != kShmSpillNull) {
+    FreeBlock pb = load_block(spill, prev);
+    if (prev + pb.size == off) {  // merge into the block before
+      pb.size += size;
+      pb.next = next;
+      store_block(spill, prev, pb);
+      return;
+    }
+    pb.next = off;
+    store_block(spill, prev, pb);
+  } else {
+    r->free_head = off;
+  }
+  store_block(spill, off, FreeBlock{size, next});
+}
+
+void init_ring(ShmRing* r, std::byte* spill, std::uint64_t spill_bytes) {
+  pthread_mutexattr_t ma;
+  PEACHY_CHECK(pthread_mutexattr_init(&ma) == 0, "shm ring: mutexattr init failed");
+  pthread_mutexattr_setpshared(&ma, PTHREAD_PROCESS_SHARED);
+  pthread_mutexattr_setrobust(&ma, PTHREAD_MUTEX_ROBUST);
+  PEACHY_CHECK(pthread_mutex_init(&r->mu, &ma) == 0, "shm ring: mutex init failed");
+  pthread_mutexattr_destroy(&ma);
+
+  pthread_condattr_t ca;
+  PEACHY_CHECK(pthread_condattr_init(&ca) == 0, "shm ring: condattr init failed");
+  pthread_condattr_setpshared(&ca, PTHREAD_PROCESS_SHARED);
+  pthread_condattr_setclock(&ca, CLOCK_MONOTONIC);
+  PEACHY_CHECK(pthread_cond_init(&r->not_empty, &ca) == 0, "shm ring: condvar init failed");
+  PEACHY_CHECK(pthread_cond_init(&r->not_full, &ca) == 0, "shm ring: condvar init failed");
+  pthread_condattr_destroy(&ca);
+
+  r->head = 0;
+  r->tail = 0;
+  r->free_head = 0;
+  store_block(spill, 0, FreeBlock{spill_bytes, kShmSpillNull});
+}
+
+}  // namespace
+
+ShmRing* ShmView::ring(int proc) const noexcept {
+  const std::size_t off = ring_offset(proc, header()->spill_bytes);
+  return reinterpret_cast<ShmRing*>(static_cast<std::byte*>(base) + off);
+}
+
+std::byte* ShmView::spill(int proc) const noexcept {
+  const std::size_t off =
+      ring_offset(proc, header()->spill_bytes) + align_up(sizeof(ShmRing), kAlign);
+  return static_cast<std::byte*>(base) + off;
+}
+
+std::size_t shm_segment_bytes(int nprocs, std::size_t spill_bytes) {
+  return ring_offset(nprocs, spill_bytes);
+}
+
+ShmView shm_create(const std::string& name, int nprocs, std::size_t spill_bytes) {
+  PEACHY_CHECK(nprocs > 0, "shm_create: nprocs must be positive");
+  int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // Leftover from a crashed earlier run with the same pid-derived
+    // name: reclaim it once rather than failing the launch.
+    shm_unlink(name.c_str());
+    fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  PEACHY_CHECK(fd >= 0, "shm_create: shm_open('" + name + "') failed (" +
+                            std::string{std::strerror(errno)} + ")");
+  const std::size_t bytes = shm_segment_bytes(nprocs, spill_bytes);
+  if (ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const int err = errno;
+    close(fd);
+    shm_unlink(name.c_str());
+    PEACHY_CHECK(false, "shm_create: ftruncate to " + std::to_string(bytes) + " bytes failed (" +
+                            std::string{std::strerror(err)} + ")");
+  }
+  void* base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);
+  PEACHY_CHECK(base != MAP_FAILED,
+               "shm_create: mmap failed (" + std::string{std::strerror(errno)} + ")");
+
+  ShmView view{base, bytes};
+  ShmSegHeader* hdr = view.header();
+  hdr->nprocs = static_cast<std::uint32_t>(nprocs);
+  hdr->spill_bytes = spill_bytes;
+  for (int p = 0; p < nprocs; ++p) init_ring(view.ring(p), view.spill(p), spill_bytes);
+  // Magic is written last: an attacher that sees it sees initialized rings.
+  hdr->magic = kShmMagic;
+  return view;
+}
+
+ShmView shm_attach(const std::string& name) {
+  const int fd = shm_open(name.c_str(), O_RDWR, 0);
+  PEACHY_CHECK(fd >= 0, "shm_attach: shm_open('" + name + "') failed (" +
+                            std::string{std::strerror(errno)} + ")");
+  struct stat st{};
+  PEACHY_CHECK(fstat(fd, &st) == 0, "shm_attach: fstat failed");
+  const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+  void* base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  close(fd);
+  PEACHY_CHECK(base != MAP_FAILED,
+               "shm_attach: mmap failed (" + std::string{std::strerror(errno)} + ")");
+  ShmView view{base, bytes};
+  PEACHY_CHECK(view.header()->magic == kShmMagic,
+               "shm_attach: '" + name + "' is not a peachy shm segment");
+  return view;
+}
+
+void shm_detach(ShmView& view) noexcept {
+  if (view.base != nullptr) munmap(view.base, view.bytes);
+  view = ShmView{};
+}
+
+bool ring_push(const ShmView& view, int proc, const FrameHeader& h, const std::byte* payload,
+               const std::atomic<bool>* give_up) {
+  ShmRing* r = view.ring(proc);
+  std::byte* spill = view.spill(proc);
+  const std::uint64_t spill_bytes = view.header()->spill_bytes;
+  if (h.bytes > kShmInlineBytes) {
+    PEACHY_CHECK(round16(h.bytes) <= spill_bytes,
+                 "shm transport: " + std::to_string(h.bytes) +
+                     "-byte message exceeds the spillover arena (" + std::to_string(spill_bytes) +
+                     " bytes) and can never be delivered");
+  }
+
+  lock_robust(&r->mu);
+  ShmSlot* slot = nullptr;
+  for (;;) {
+    if (give_up != nullptr && give_up->load(std::memory_order_relaxed)) {
+      pthread_mutex_unlock(&r->mu);
+      return false;
+    }
+    if (r->head - r->tail < kShmRingSlots) {
+      slot = &r->slots[r->head % kShmRingSlots];
+      if (h.bytes <= kShmInlineBytes) {
+        if (h.bytes != 0) std::memcpy(slot->inline_bytes, payload, h.bytes);
+        slot->spill_off = kShmSpillNull;
+        slot->spill_cap = 0;
+        break;
+      }
+      const auto [off, cap] = alloc_spill(r, spill, round16(h.bytes));
+      if (off != kShmSpillNull) {
+        std::memcpy(spill + off, payload, h.bytes);
+        slot->spill_off = off;
+        slot->spill_cap = cap;
+        break;
+      }
+    }
+    timed_wait(&r->not_full, &r->mu);
+  }
+  slot->hdr = h;
+  ++r->head;  // the commit point: nothing above is visible until this line
+  pthread_cond_broadcast(&r->not_empty);
+  pthread_mutex_unlock(&r->mu);
+  return true;
+}
+
+bool ring_pop(const ShmView& view, int proc, FrameHeader& h, std::vector<std::byte>& payload,
+              const std::atomic<bool>& stop) {
+  ShmRing* r = view.ring(proc);
+  std::byte* spill = view.spill(proc);
+
+  lock_robust(&r->mu);
+  while (r->head == r->tail) {
+    if (stop.load(std::memory_order_relaxed)) {
+      pthread_mutex_unlock(&r->mu);
+      return false;
+    }
+    timed_wait(&r->not_empty, &r->mu);
+  }
+  ShmSlot* slot = &r->slots[r->tail % kShmRingSlots];
+  h = slot->hdr;
+  payload.resize(static_cast<std::size_t>(h.bytes));
+  if (h.bytes != 0) {
+    const std::byte* src =
+        slot->spill_off == kShmSpillNull ? slot->inline_bytes : spill + slot->spill_off;
+    std::memcpy(payload.data(), src, h.bytes);
+  }
+  if (slot->spill_off != kShmSpillNull) free_spill(r, spill, slot->spill_off, slot->spill_cap);
+  ++r->tail;
+  pthread_cond_broadcast(&r->not_full);
+  pthread_mutex_unlock(&r->mu);
+  return true;
+}
+
+}  // namespace peachy::mpi::detail

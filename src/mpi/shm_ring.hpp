@@ -1,0 +1,110 @@
+#pragma once
+/// \file shm_ring.hpp
+/// \brief The shared-memory segment layout and ring operations behind
+/// the shm transport (DESIGN.md §15).
+///
+/// One POSIX shm segment per world.  Layout:
+///
+///   [ShmSegHeader][ShmRing #0][spill #0][ShmRing #1][spill #1]...
+///
+/// Each *process* owns one inbound ring; any process may push into any
+/// ring (multi-producer), only the owner's pump pops (single-consumer).
+/// A frame whose payload fits `kShmInlineBytes` travels inline in its
+/// slot; larger payloads are carved from the ring's spillover arena by
+/// a first-fit, offset-sorted, coalescing free list (all free-list
+/// state lives in the segment, protected by the ring mutex).
+///
+/// Synchronization is a process-shared ROBUST mutex plus two
+/// process-shared condvars per ring.  Crash consistency leans on one
+/// rule: a slot is fully written — header, spill copy, spill bookkeeping
+/// — *before* `head` is bumped, and `head`/`tail` are free-running
+/// counters that are the only commit protocol.  If a producer dies
+/// mid-push, the robust mutex hands the next locker EOWNERDEAD,
+/// pthread_mutex_consistent() restores the lock, and the uncommitted
+/// slot is simply never observed (a spill block allocated before the
+/// death leaks — bounded, and the world is about to shrink anyway).
+/// Condvar waits use a ~100ms timedwait as a safety poll so a wakeup
+/// lost to a peer death never strands a waiter.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <pthread.h>
+
+#include "mpi/wire.hpp"
+
+namespace peachy::mpi::detail {
+
+inline constexpr std::uint32_t kShmMagic = 0x50534D31;  // "PSM1"
+inline constexpr std::size_t kShmInlineBytes = 1024;    ///< inline payload capacity per slot
+inline constexpr std::size_t kShmRingSlots = 64;
+inline constexpr std::size_t kShmSpillBytes = std::size_t{16} << 20;  ///< spill arena per ring
+inline constexpr std::uint64_t kShmSpillNull = ~std::uint64_t{0};
+
+struct ShmSlot {
+  FrameHeader hdr;
+  std::uint64_t spill_off = kShmSpillNull;  ///< offset into the ring's spill arena, or null
+  std::uint64_t spill_cap = 0;              ///< allocated spill block size (>= hdr.bytes)
+  std::byte inline_bytes[kShmInlineBytes];
+};
+
+struct ShmRing {
+  pthread_mutex_t mu;        ///< PROCESS_SHARED | ROBUST
+  pthread_cond_t not_empty;  ///< PROCESS_SHARED, CLOCK_MONOTONIC
+  pthread_cond_t not_full;
+  std::uint64_t head = 0;       ///< next slot index to write (free-running)
+  std::uint64_t tail = 0;       ///< next slot index to read (free-running)
+  std::uint64_t free_head = 0;  ///< offset of first free spill block (offset-sorted list)
+  ShmSlot slots[kShmRingSlots];
+};
+
+struct ShmSegHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t nprocs = 0;
+  std::uint64_t spill_bytes = 0;  ///< spill arena size per ring
+};
+
+/// A mapped segment (creator or attacher side).
+struct ShmView {
+  void* base = nullptr;
+  std::size_t bytes = 0;
+
+  [[nodiscard]] ShmSegHeader* header() const noexcept {
+    return static_cast<ShmSegHeader*>(base);
+  }
+  [[nodiscard]] ShmRing* ring(int proc) const noexcept;
+  [[nodiscard]] std::byte* spill(int proc) const noexcept;
+  [[nodiscard]] explicit operator bool() const noexcept { return base != nullptr; }
+};
+
+[[nodiscard]] std::size_t shm_segment_bytes(int nprocs, std::size_t spill_bytes);
+
+/// Create + map a fresh segment (`O_CREAT|O_EXCL`; a stale same-name
+/// segment from a crashed earlier run is unlinked and creation retried
+/// once).  Initializes every ring's mutex/condvars/free list.
+[[nodiscard]] ShmView shm_create(const std::string& name, int nprocs, std::size_t spill_bytes);
+
+/// Map an existing segment by name; validates the magic.
+[[nodiscard]] ShmView shm_attach(const std::string& name);
+
+void shm_detach(ShmView& view) noexcept;
+
+/// Push one frame into `proc`'s ring.  Blocks (condvar) while the ring
+/// is full or the spill arena can't fit the payload; bails out and
+/// returns false if `give_up` becomes true while waiting (used to stop
+/// filling the ring of a process known to be dead).  A payload larger
+/// than the whole spill arena is a named error.
+bool ring_push(const ShmView& view, int proc, const FrameHeader& h, const std::byte* payload,
+               const std::atomic<bool>* give_up = nullptr);
+
+/// Pop one frame from `proc`'s ring into `h`/`payload` (payload is
+/// resized to fit).  Blocks until a frame arrives; returns false once
+/// `stop` is true and the ring is empty.  The spill block (if any) is
+/// freed before return.
+bool ring_pop(const ShmView& view, int proc, FrameHeader& h, std::vector<std::byte>& payload,
+              const std::atomic<bool>& stop);
+
+}  // namespace peachy::mpi::detail

@@ -1,0 +1,54 @@
+#include "mpi/transport.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace peachy::mpi {
+
+namespace detail {
+// Defined in transport_inproc.cpp / transport_shm.cpp / transport_socket.cpp.
+std::unique_ptr<Transport> make_inproc_transport(const TransportConfig& cfg);
+std::unique_ptr<Transport> make_shm_transport(const TransportConfig& cfg);
+std::unique_ptr<Transport> make_socket_transport(const TransportConfig& cfg);
+}  // namespace detail
+
+const char* transport_name(TransportKind k) noexcept {
+  switch (k) {
+    case TransportKind::kDefault: return "default";
+    case TransportKind::kInproc: return "inproc";
+    case TransportKind::kShm: return "shm";
+    case TransportKind::kSocket: return "socket";
+  }
+  return "?";
+}
+
+TransportKind parse_transport(const std::string& name) {
+  if (name == "inproc") return TransportKind::kInproc;
+  if (name == "shm") return TransportKind::kShm;
+  if (name == "socket") return TransportKind::kSocket;
+  PEACHY_CHECK(false, "unknown transport '" + name + "' (expected inproc, shm, or socket)");
+}
+
+TransportKind transport_from_env() {
+  const char* v = std::getenv("PEACHY_TRANSPORT");
+  if (v == nullptr || *v == '\0') return TransportKind::kInproc;
+  return parse_transport(v);
+}
+
+namespace detail {
+
+std::unique_ptr<Transport> make_transport(const TransportConfig& cfg) {
+  PEACHY_CHECK(cfg.nranks > 0, "make_transport: nranks must be positive");
+  PEACHY_CHECK(cfg.sink != nullptr, "make_transport: null sink");
+  switch (cfg.kind) {
+    case TransportKind::kShm: return make_shm_transport(cfg);
+    case TransportKind::kSocket: return make_socket_transport(cfg);
+    case TransportKind::kDefault:
+    case TransportKind::kInproc: break;
+  }
+  return make_inproc_transport(cfg);
+}
+
+}  // namespace detail
+}  // namespace peachy::mpi

@@ -1,0 +1,38 @@
+#include "mpi/transport.hpp"
+
+namespace peachy::mpi::detail {
+
+namespace {
+
+/// The historical pooled path: `send` hands the message to the sink on
+/// the calling thread — one refcount move, zero copies, synchronous
+/// delivery.  All ranks share this process, so there is no failure
+/// detection and nothing to broadcast: the machine's local protocols
+/// already cover every rank.
+class InprocTransport final : public Transport {
+ public:
+  explicit InprocTransport(const TransportConfig& cfg) : sink_{cfg.sink} {}
+
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kInproc; }
+  [[nodiscard]] bool spans_processes() const noexcept override { return false; }
+  [[nodiscard]] bool is_local(int) const noexcept override { return true; }
+
+  void send(int dest, Message&& m, int copies) override {
+    if (sink_ != nullptr) sink_->deliver(dest, std::move(m), copies);
+  }
+
+  void broadcast_ctrl(CtrlKind, std::uint32_t, const std::string&) override {}
+
+  void shutdown() override { sink_ = nullptr; }
+
+ private:
+  TransportSink* sink_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_inproc_transport(const TransportConfig& cfg) {
+  return std::make_unique<InprocTransport>(cfg);
+}
+
+}  // namespace peachy::mpi::detail

@@ -1,0 +1,207 @@
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "mpi/frame_router.hpp"
+#include "mpi/launch.hpp"
+#include "mpi/shm_ring.hpp"
+#include "mpi/transport.hpp"
+#include "mpi/wire.hpp"
+#include "support/check.hpp"
+
+namespace peachy::mpi::detail {
+
+namespace {
+
+/// One process-wide endpoint over the world's shm segment: the launcher
+/// created it (launched runs) or we create a private single-process one
+/// and unlink it immediately (the mapping survives; nothing leaks into
+/// /dev/shm past process exit).  The pump drains this process's inbound
+/// ring and routes frames; sends push into the destination process's
+/// ring (shm_ring.hpp has the slot/spillover protocol).
+///
+/// Failure mapping: shared memory has no EOF, so the *launcher* is the
+/// failure detector — it reaps a signal death and posts a kFailed frame
+/// into every survivor's ring (launch.cpp).  The endpoint additionally
+/// remembers dead processes so sends to them are dropped (and a sender
+/// already blocked on a dead process's full ring gives up) instead of
+/// piling into a ring nobody will ever drain.
+class ShmEndpoint {
+ public:
+  static ShmEndpoint& instance() {
+    (void)BufferPool::instance();  // constructed first → outlives the endpoint
+    static ShmEndpoint ep;
+    return ep;
+  }
+
+  void ensure_started() {
+    std::lock_guard lock{start_mu_};
+    if (started_) return;
+    const LaunchInfo& li = launch_info();
+    if (li.launched) {
+      PEACHY_CHECK(li.kind == TransportKind::kShm && !li.shm_name.empty(),
+                   "shm transport: launched without a PEACHY_SHM segment to attach");
+      launched_ = true;
+      my_proc_ = li.rank;
+      nprocs_ = li.nranks;
+      view_ = shm_attach(li.shm_name);
+      PEACHY_CHECK(static_cast<int>(view_.header()->nprocs) == nprocs_,
+                   "shm transport: segment was created for " +
+                       std::to_string(view_.header()->nprocs) + " processes, not " +
+                       std::to_string(nprocs_));
+    } else {
+      const std::string name = "/peachy." + std::to_string(getpid()) + ".self";
+      view_ = shm_create(name, 1, kShmSpillBytes);
+      shm_unlink(name.c_str());
+    }
+    dead_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(nprocs_));
+    pump_ = std::thread{[this] { pump_main(); }};
+    started_ = true;
+  }
+
+  [[nodiscard]] FrameRouter& router() noexcept { return router_; }
+  [[nodiscard]] bool launched() const noexcept { return launched_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] int my_proc() const noexcept { return my_proc_; }
+  [[nodiscard]] int proc_of(int rank) const noexcept { return launched_ ? rank : 0; }
+
+  void send_frame(int proc, const FrameHeader& h, const std::byte* payload) {
+    std::atomic<bool>& dead = dead_[static_cast<std::size_t>(proc)];
+    if (dead.load(std::memory_order_relaxed)) return;
+    (void)ring_push(view_, proc, h, payload, &dead);
+  }
+
+ private:
+  ShmEndpoint() = default;
+
+  ~ShmEndpoint() {
+    if (!started_) return;
+    stop_.store(true);
+    // A self-addressed goodbye wakes the pump out of its condvar wait
+    // immediately (the 100ms safety poll would get there anyway).
+    const FrameHeader bye = make_ctrl_header(WireKind::kBye, 0, my_proc_, 0);
+    (void)ring_push(view_, my_proc_, bye, nullptr);
+    pump_.join();
+    shm_detach(view_);
+  }
+
+  void pump_main() {
+    FrameHeader h;
+    std::vector<std::byte> payload;
+    while (ring_pop(view_, my_proc_, h, payload, stop_)) {
+      switch (static_cast<WireKind>(h.kind)) {
+        case WireKind::kData:
+          router_.route_data(h.seq, h.dest, frame_to_message(h, payload.data()));
+          break;
+        case WireKind::kFailed:
+          if (h.source >= 0 && h.source < nprocs_) {
+            dead_[static_cast<std::size_t>(h.source)].store(true, std::memory_order_relaxed);
+          }
+          router_.peer_failed(static_cast<std::uint32_t>(h.source),
+                              "rank " + std::to_string(h.source) +
+                                  "'s process died (reported by the launcher)");
+          break;
+        case WireKind::kRevoke:
+          router_.route_ctrl(h.seq, CtrlKind::kRevoke, h.comm, {});
+          break;
+        case WireKind::kAbort:
+          router_.route_ctrl(h.seq, CtrlKind::kAbort, 0,
+                             std::string{reinterpret_cast<const char*>(payload.data()),
+                                         static_cast<std::size_t>(h.bytes)});
+          break;
+        case WireKind::kHello:
+        case WireKind::kBye:
+          break;  // rendezvous is the launcher's job; bye is just a wakeup
+      }
+    }
+  }
+
+  std::mutex start_mu_;
+  bool started_ = false;
+  bool launched_ = false;
+  int my_proc_ = 0;
+  int nprocs_ = 1;
+  ShmView view_;
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  FrameRouter router_;
+  std::atomic<bool> stop_{false};
+  std::thread pump_;
+};
+
+class ShmTransport final : public Transport {
+ public:
+  explicit ShmTransport(const TransportConfig& cfg) : ep_{ShmEndpoint::instance()} {
+    ep_.ensure_started();
+    if (ep_.launched()) {
+      PEACHY_CHECK(cfg.nranks == ep_.nprocs(),
+                   "shm transport: a launched world runs one rank per process, so "
+                   "mpi::run(nranks=" +
+                       std::to_string(cfg.nranks) + ") must match the " +
+                       std::to_string(ep_.nprocs()) + " launched processes");
+    }
+    seq_ = ep_.router().attach(cfg.sink);
+  }
+
+  ~ShmTransport() override { shutdown(); }
+
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kShm; }
+  [[nodiscard]] bool spans_processes() const noexcept override {
+    return ep_.launched() && ep_.nprocs() > 1;
+  }
+  [[nodiscard]] bool is_local(int rank) const noexcept override {
+    return !ep_.launched() || rank == ep_.my_proc();
+  }
+
+  void send(int dest, Message&& m, int copies) override {
+    const FrameHeader h = make_data_header(seq_, m, dest);
+    const int proc = ep_.proc_of(dest);
+    for (int c = 0; c < copies; ++c) ep_.send_frame(proc, h, m.payload.data());
+  }
+
+  void broadcast_ctrl(CtrlKind k, std::uint32_t arg, const std::string& why) override {
+    if (!spans_processes()) return;
+    FrameHeader h;
+    const std::byte* payload = nullptr;
+    switch (k) {
+      case CtrlKind::kFailed:
+        h = make_ctrl_header(WireKind::kFailed, seq_, static_cast<std::int32_t>(arg), 0);
+        break;
+      case CtrlKind::kRevoke:
+        h = make_ctrl_header(WireKind::kRevoke, seq_, ep_.my_proc(), arg);
+        break;
+      case CtrlKind::kAbort:
+        h = make_ctrl_header(WireKind::kAbort, seq_, ep_.my_proc(), 0, why.size());
+        payload = reinterpret_cast<const std::byte*>(why.data());
+        break;
+    }
+    for (int p = 0; p < ep_.nprocs(); ++p) {
+      if (p != ep_.my_proc()) ep_.send_frame(p, h, payload);
+    }
+  }
+
+  void shutdown() override {
+    if (attached_) {
+      attached_ = false;
+      ep_.router().detach(seq_);
+    }
+  }
+
+ private:
+  ShmEndpoint& ep_;
+  std::uint32_t seq_ = 0;
+  bool attached_ = true;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_shm_transport(const TransportConfig& cfg) {
+  return std::make_unique<ShmTransport>(cfg);
+}
+
+}  // namespace peachy::mpi::detail

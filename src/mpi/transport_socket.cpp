@@ -1,0 +1,407 @@
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mpi/frame_router.hpp"
+#include "mpi/launch.hpp"
+#include "mpi/transport.hpp"
+#include "mpi/wire.hpp"
+#include "support/check.hpp"
+
+namespace peachy::mpi::detail {
+
+namespace {
+
+/// One process-wide endpoint: a loopback listener, one *ordered*
+/// outbound connection per peer process (frames carry source/dest
+/// ranks, so a process pair needs only one stream each way), and a
+/// single pump thread that accepts, reassembles, and routes inbound
+/// frames.  Persists across Machines — the FrameRouter scopes frames
+/// to machine generations (frame_router.hpp).
+///
+/// Failure mapping: EOF or ECONNRESET on a peer's connection *without*
+/// a prior kBye frame means the process died; the pump reports it to
+/// the router, which poisons the corresponding rank for the current and
+/// all future machines.  A kBye (sent at endpoint teardown) makes the
+/// EOF a clean departure.  Writes to a dead or departed peer are
+/// dropped silently — the sender learns of the death through the
+/// failure path, exactly like sends to a crashed in-process rank.
+///
+/// In an un-launched process the endpoint still runs the full frame
+/// path through a self-connection: every send is serialized, pumped,
+/// and reassembled, so single-process shm/socket runs exercise the
+/// real wire.
+class SocketEndpoint {
+ public:
+  static SocketEndpoint& instance() {
+    // Touch the pool first: it must outlive the endpoint, whose pump
+    // builds pooled messages until static teardown.
+    (void)BufferPool::instance();
+    static SocketEndpoint ep;
+    return ep;
+  }
+
+  void ensure_started() {
+    std::lock_guard lock{start_mu_};
+    if (started_) return;
+    const LaunchInfo& li = launch_info();
+    launched_ = li.launched;
+    my_proc_ = li.launched ? li.rank : 0;
+    nprocs_ = li.launched ? li.nranks : 1;
+    bye_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(nprocs_));
+
+    // Listener on an ephemeral loopback port.
+    // The listener is nonblocking: the pump's accept loop drains it until
+    // EAGAIN, and a blocking listener would wedge the pump inside accept4
+    // instead of returning to poll.
+    listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    PEACHY_CHECK(listen_fd_ >= 0, "socket transport: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    PEACHY_CHECK(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+                 "socket transport: bind to 127.0.0.1 failed (" +
+                     std::string{std::strerror(errno)} + ")");
+    PEACHY_CHECK(listen(listen_fd_, 128) == 0, "socket transport: listen failed");
+    socklen_t alen = sizeof addr;
+    PEACHY_CHECK(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen) == 0,
+                 "socket transport: getsockname failed");
+    const std::uint16_t my_port = ntohs(addr.sin_port);
+
+    // Rendezvous: my port up to the launcher, the full table back down.
+    std::vector<std::uint16_t> ports(static_cast<std::size_t>(nprocs_), my_port);
+    if (launched_) {
+      PEACHY_CHECK(li.up_fd >= 0 && li.down_fd >= 0,
+                   "socket transport: launched but the rendezvous pipes are missing");
+      PEACHY_CHECK(write_full(li.up_fd, &my_port, sizeof my_port),
+                   "socket transport: rendezvous write to the launcher failed");
+      PEACHY_CHECK(read_full(li.down_fd, ports.data(),
+                             sizeof(std::uint16_t) * static_cast<std::size_t>(nprocs_)),
+                   "socket transport: rendezvous read from the launcher failed");
+      close(li.up_fd);
+      close(li.down_fd);
+    }
+
+    // The pump must be accepting before we dial out: every process
+    // connects to every other (and to itself) at the same time.
+    PEACHY_CHECK(pipe2(wake_fd_, O_CLOEXEC) == 0, "socket transport: pipe2 failed");
+    pump_ = std::thread{[this] { pump_main(); }};
+
+    out_fd_.assign(static_cast<std::size_t>(nprocs_), -1);
+    out_mu_ = std::make_unique<std::mutex[]>(static_cast<std::size_t>(nprocs_));
+    for (int p = 0; p < nprocs_; ++p) {
+      const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      PEACHY_CHECK(fd >= 0, "socket transport: socket() failed");
+      sockaddr_in peer{};
+      peer.sin_family = AF_INET;
+      peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      peer.sin_port = htons(ports[static_cast<std::size_t>(p)]);
+      int rc;
+      do {
+        rc = connect(fd, reinterpret_cast<sockaddr*>(&peer), sizeof peer);
+      } while (rc != 0 && errno == EINTR);
+      PEACHY_CHECK(rc == 0, "socket transport: connect to rank " + std::to_string(p) +
+                                " (port " + std::to_string(ports[static_cast<std::size_t>(p)]) +
+                                ") failed (" + std::string{std::strerror(errno)} + ")");
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      out_fd_[static_cast<std::size_t>(p)] = fd;
+      const FrameHeader hello = make_ctrl_header(WireKind::kHello, 0, my_proc_, 0);
+      send_frame(p, hello, nullptr);
+    }
+    started_ = true;
+  }
+
+  [[nodiscard]] FrameRouter& router() noexcept { return router_; }
+  [[nodiscard]] bool launched() const noexcept { return launched_; }
+  [[nodiscard]] int nprocs() const noexcept { return nprocs_; }
+  [[nodiscard]] int my_proc() const noexcept { return my_proc_; }
+  [[nodiscard]] int proc_of(int rank) const noexcept { return launched_ ? rank : 0; }
+
+  /// Write one frame to `proc`'s stream (whole-frame atomicity via the
+  /// per-connection mutex).  A write failure means the peer is gone:
+  /// the connection is retired and — absent a goodbye — the death is
+  /// reported; the frame itself is dropped.
+  void send_frame(int proc, const FrameHeader& h, const std::byte* payload) {
+    std::lock_guard lock{out_mu_[static_cast<std::size_t>(proc)]};
+    const int fd = out_fd_[static_cast<std::size_t>(proc)];
+    if (fd < 0) return;
+    if (send_all(fd, &h, sizeof h) &&
+        (h.bytes == 0 || send_all(fd, payload, static_cast<std::size_t>(h.bytes)))) {
+      return;
+    }
+    close(fd);
+    out_fd_[static_cast<std::size_t>(proc)] = -1;
+    if (launched_ && !bye_[static_cast<std::size_t>(proc)].load()) {
+      router_.peer_failed(static_cast<std::uint32_t>(proc),
+                          "rank " + std::to_string(proc) + "'s process died (connection reset)");
+    }
+  }
+
+ private:
+  SocketEndpoint() = default;
+
+  ~SocketEndpoint() {
+    if (!started_) return;
+    const FrameHeader bye = make_ctrl_header(WireKind::kBye, 0, my_proc_, 0);
+    for (int p = 0; p < nprocs_; ++p) send_frame(p, bye, nullptr);
+    stop_.store(true);
+    const char w = 0;
+    (void)!write(wake_fd_[1], &w, 1);
+    pump_.join();
+    for (int p = 0; p < nprocs_; ++p) {
+      if (out_fd_[static_cast<std::size_t>(p)] >= 0) close(out_fd_[static_cast<std::size_t>(p)]);
+    }
+    close(listen_fd_);
+    close(wake_fd_[0]);
+    close(wake_fd_[1]);
+  }
+
+  struct Conn {
+    int fd = -1;
+    int proc = -1;  ///< learned from the kHello frame
+    bool bye = false;
+    bool closed = false;
+    std::vector<std::byte> buf;  ///< reassembly buffer
+  };
+
+  static bool send_all(int fd, const void* buf, std::size_t n) {
+    const char* p = static_cast<const char*>(buf);
+    while (n > 0) {
+      const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+  static bool write_full(int fd, const void* buf, std::size_t n) {
+    const char* p = static_cast<const char*>(buf);
+    while (n > 0) {
+      const ssize_t w = ::write(fd, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+  static bool read_full(int fd, void* buf, std::size_t n) {
+    char* p = static_cast<char*>(buf);
+    while (n > 0) {
+      const ssize_t r = ::read(fd, p, n);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (r == 0) return false;
+      p += r;
+      n -= static_cast<std::size_t>(r);
+    }
+    return true;
+  }
+
+  void dispatch(Conn& conn, const FrameHeader& h, const std::byte* payload) {
+    switch (static_cast<WireKind>(h.kind)) {
+      case WireKind::kHello:
+        conn.proc = h.source;
+        break;
+      case WireKind::kBye:
+        conn.bye = true;
+        if (conn.proc >= 0) bye_[static_cast<std::size_t>(conn.proc)].store(true);
+        break;
+      case WireKind::kData:
+        router_.route_data(h.seq, h.dest, frame_to_message(h, payload));
+        break;
+      case WireKind::kFailed:
+        router_.peer_failed(static_cast<std::uint32_t>(h.source),
+                            "rank " + std::to_string(h.source) + "'s process died");
+        break;
+      case WireKind::kRevoke:
+        router_.route_ctrl(h.seq, CtrlKind::kRevoke, h.comm, {});
+        break;
+      case WireKind::kAbort:
+        router_.route_ctrl(h.seq, CtrlKind::kAbort, 0,
+                           std::string{reinterpret_cast<const char*>(payload),
+                                       static_cast<std::size_t>(h.bytes)});
+        break;
+    }
+  }
+
+  void on_conn_gone(Conn& conn) {
+    conn.closed = true;
+    if (launched_ && conn.proc >= 0 && conn.proc != my_proc_ && !conn.bye) {
+      router_.peer_failed(
+          static_cast<std::uint32_t>(conn.proc),
+          "rank " + std::to_string(conn.proc) + "'s process died (connection closed without goodbye)");
+    }
+    close(conn.fd);
+  }
+
+  /// Drain everything readable on `conn`, parse complete frames, keep
+  /// the partial tail for next time.
+  void read_conn(Conn& conn) {
+    char chunk[65536];
+    for (;;) {
+      const ssize_t r = ::read(conn.fd, chunk, sizeof chunk);
+      if (r > 0) {
+        const std::size_t old = conn.buf.size();
+        conn.buf.resize(old + static_cast<std::size_t>(r));
+        std::memcpy(conn.buf.data() + old, chunk, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r < 0 && errno == EINTR) continue;
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      on_conn_gone(conn);  // EOF or a hard error (ECONNRESET)
+      break;
+    }
+    std::size_t off = 0;
+    while (conn.buf.size() - off >= sizeof(FrameHeader)) {
+      FrameHeader h;
+      std::memcpy(&h, conn.buf.data() + off, sizeof h);
+      PEACHY_CHECK(h.magic == kWireMagic, "socket transport: corrupt frame on the wire");
+      if (conn.buf.size() - off < sizeof h + h.bytes) break;
+      dispatch(conn, h, conn.buf.data() + off + sizeof h);
+      off += sizeof h + static_cast<std::size_t>(h.bytes);
+    }
+    if (off > 0) conn.buf.erase(conn.buf.begin(), conn.buf.begin() + static_cast<long>(off));
+  }
+
+  void pump_main() {
+    std::vector<Conn> conns;
+    std::vector<pollfd> fds;
+    while (!stop_.load()) {
+      fds.clear();
+      fds.push_back(pollfd{wake_fd_[0], POLLIN, 0});
+      fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      for (const Conn& c : conns) fds.push_back(pollfd{c.fd, POLLIN, 0});
+      const int rc = poll(fds.data(), fds.size(), 200);
+      if (rc < 0 && errno != EINTR) break;
+      if (stop_.load()) break;
+      if (rc <= 0) continue;
+      if ((fds[0].revents & POLLIN) != 0) {
+        char drain[16];
+        (void)!read(wake_fd_[0], drain, sizeof drain);
+      }
+      if ((fds[1].revents & POLLIN) != 0) {
+        for (;;) {
+          const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (fd < 0) break;
+          conns.push_back(Conn{fd, -1, false, false, {}});
+        }
+      }
+      // The pollfd list was built from the same vector in the same
+      // order; entry i+2 is conns[i].  New conns join next iteration.
+      for (std::size_t i = 0; i + 2 < fds.size(); ++i) {
+        if ((fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) != 0) read_conn(conns[i]);
+      }
+      std::erase_if(conns, [](const Conn& c) { return c.closed; });
+    }
+    for (const Conn& c : conns) close(c.fd);
+  }
+
+  std::mutex start_mu_;
+  bool started_ = false;
+  bool launched_ = false;
+  int my_proc_ = 0;
+  int nprocs_ = 1;
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};
+  std::vector<int> out_fd_;
+  std::unique_ptr<std::mutex[]> out_mu_;
+  std::unique_ptr<std::atomic<bool>[]> bye_;
+  FrameRouter router_;
+  std::atomic<bool> stop_{false};
+  std::thread pump_;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(const TransportConfig& cfg) : ep_{SocketEndpoint::instance()} {
+    ep_.ensure_started();
+    if (ep_.launched()) {
+      PEACHY_CHECK(cfg.nranks == ep_.nprocs(),
+                   "socket transport: a launched world runs one rank per process, so "
+                   "mpi::run(nranks=" +
+                       std::to_string(cfg.nranks) + ") must match the " +
+                       std::to_string(ep_.nprocs()) + " launched processes");
+    }
+    seq_ = ep_.router().attach(cfg.sink);
+  }
+
+  ~SocketTransport() override { shutdown(); }
+
+  [[nodiscard]] TransportKind kind() const noexcept override { return TransportKind::kSocket; }
+  [[nodiscard]] bool spans_processes() const noexcept override {
+    return ep_.launched() && ep_.nprocs() > 1;
+  }
+  [[nodiscard]] bool is_local(int rank) const noexcept override {
+    return !ep_.launched() || rank == ep_.my_proc();
+  }
+
+  void send(int dest, Message&& m, int copies) override {
+    const FrameHeader h = make_data_header(seq_, m, dest);
+    const int proc = ep_.proc_of(dest);
+    for (int c = 0; c < copies; ++c) ep_.send_frame(proc, h, m.payload.data());
+  }
+
+  void broadcast_ctrl(CtrlKind k, std::uint32_t arg, const std::string& why) override {
+    if (!spans_processes()) return;
+    FrameHeader h;
+    const std::byte* payload = nullptr;
+    switch (k) {
+      case CtrlKind::kFailed:
+        h = make_ctrl_header(WireKind::kFailed, seq_, static_cast<std::int32_t>(arg), 0);
+        break;
+      case CtrlKind::kRevoke:
+        h = make_ctrl_header(WireKind::kRevoke, seq_, ep_.my_proc(), arg);
+        break;
+      case CtrlKind::kAbort:
+        h = make_ctrl_header(WireKind::kAbort, seq_, ep_.my_proc(), 0, why.size());
+        payload = reinterpret_cast<const std::byte*>(why.data());
+        break;
+    }
+    for (int p = 0; p < ep_.nprocs(); ++p) {
+      if (p != ep_.my_proc()) ep_.send_frame(p, h, payload);
+    }
+  }
+
+  void shutdown() override {
+    if (attached_) {
+      attached_ = false;
+      ep_.router().detach(seq_);
+    }
+  }
+
+ private:
+  SocketEndpoint& ep_;
+  std::uint32_t seq_ = 0;
+  bool attached_ = true;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_socket_transport(const TransportConfig& cfg) {
+  return std::make_unique<SocketTransport>(cfg);
+}
+
+}  // namespace peachy::mpi::detail

@@ -1,0 +1,91 @@
+#pragma once
+/// \file wire.hpp
+/// \brief Frame format shared by the wire transports (shm ring, socket).
+///
+/// One fixed-size little-endian header followed by `bytes` of payload.
+/// Both wire backends speak exactly this framing — the shm ring stores
+/// frames in slots/spillover, the socket backend writes them onto an
+/// ordered stream — so the failure-mapping and sequencing logic lives
+/// in one place (DESIGN.md §15).
+///
+/// The `seq` field scopes a frame to one Machine generation.  SPMD
+/// processes create their machines in lockstep (same program, same
+/// order), so the n-th machine of every process shares sequence number
+/// n; a frame that arrives before the local machine of its generation
+/// exists is buffered by the endpoint, and a frame for an already-
+/// destroyed generation (a message leaked by the program) is dropped —
+/// stale traffic can never satisfy a later run's receive.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "mpi/transport.hpp"
+
+namespace peachy::mpi::detail {
+
+inline constexpr std::uint32_t kWireMagic = 0x50434859;  // "PCHY"
+
+/// Frame discriminator.  kData carries a Message; the rest are control
+/// frames (hello/bye are endpoint-level, failed/revoke/abort map onto
+/// CtrlKind for the sink).
+enum class WireKind : std::uint8_t {
+  kData = 0,
+  kHello = 1,   ///< first frame on a socket connection; source = proc id
+  kBye = 2,     ///< clean process departure; EOF after this is not a death
+  kFailed = 3,  ///< source = world rank that died
+  kRevoke = 4,  ///< comm = revoked communicator id
+  kAbort = 5,   ///< payload = abort reason string
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kWireMagic;
+  std::uint8_t kind = 0;
+  std::uint8_t pad[3] = {0, 0, 0};
+  std::uint32_t seq = 0;     ///< machine generation (kData/kRevoke/kAbort)
+  std::int32_t source = 0;   ///< sender world rank (kData) / proc or rank id (ctrl)
+  std::int32_t dest = 0;     ///< destination world rank (kData)
+  std::int32_t tag = 0;
+  std::uint32_t comm = 0;
+  std::uint64_t bytes = 0;   ///< payload length following this header
+};
+static_assert(sizeof(FrameHeader) == 40, "wire framing is layout-sensitive");
+
+[[nodiscard]] inline FrameHeader make_data_header(std::uint32_t seq, const Message& m,
+                                                  int dest) noexcept {
+  FrameHeader h;
+  h.kind = static_cast<std::uint8_t>(WireKind::kData);
+  h.seq = seq;
+  h.source = m.source;
+  h.dest = dest;
+  h.tag = m.tag;
+  h.comm = m.comm;
+  h.bytes = m.payload.size();
+  return h;
+}
+
+[[nodiscard]] inline FrameHeader make_ctrl_header(WireKind kind, std::uint32_t seq,
+                                                  std::int32_t source, std::uint32_t comm,
+                                                  std::uint64_t bytes = 0) noexcept {
+  FrameHeader h;
+  h.kind = static_cast<std::uint8_t>(kind);
+  h.seq = seq;
+  h.source = source;
+  h.comm = comm;
+  h.bytes = bytes;
+  return h;
+}
+
+/// Reconstruct a Message from a received frame (payload copied into a
+/// pooled buffer — the wire is where zero-copy forwarding ends).
+[[nodiscard]] inline Message frame_to_message(const FrameHeader& h, const std::byte* payload) {
+  Message m;
+  m.source = h.source;
+  m.tag = h.tag;
+  m.comm = h.comm;
+  m.payload = BufferPool::instance().acquire(static_cast<std::size_t>(h.bytes));
+  if (h.bytes != 0) std::memcpy(m.payload.mutable_data(), payload, h.bytes);
+  return m;
+}
+
+}  // namespace peachy::mpi::detail

@@ -80,7 +80,11 @@ State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficSt
 
     // Iteration-boundary checkpoint: state is replicated and identical on
     // every rank, so only rank 0 writes (checkpoint.hpp's discipline).
-    if (ft.active() && (s + 1) % static_cast<std::size_t>(ft.every) == 0 && comm.rank() == 0) {
+    // Across processes the store is per-process memory, not shared — a
+    // rank-0-only write would leave every other process unable to restart
+    // — so there every rank checkpoints its own (identical) copy.
+    const bool i_checkpoint = comm.spans_processes() || comm.rank() == 0;
+    if (ft.active() && (s + 1) % static_cast<std::size_t>(ft.every) == 0 && i_checkpoint) {
       faults::BlobWriter w;
       w.put_vec(st.pos);
       w.put_vec(st.vel);

@@ -7,8 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "mpi/mpi.hpp"
 
@@ -484,4 +490,82 @@ TEST(MpiCollectiveTags, ExhaustionIsAHardErrorNotSilentAliasing) {
                          c.barrier();
                        }),
                peachy::Error);
+}
+
+// ---- timeout argument validation --------------------------------------------
+
+TEST(MpiTimeouts, NegativeOpTimeoutIsANamedErrorNotForever) {
+  // Regression: a negative duration cast to the unsigned nanosecond field
+  // used to become "no deadline" — the exact opposite of what a caller
+  // computing `deadline - now` under clock skew asked for.
+  pm::run(1, [](pm::Comm& c) {
+    try {
+      c.set_op_timeout(std::chrono::milliseconds{-5});
+      FAIL() << "negative timeout accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("set_op_timeout"), std::string::npos);
+      EXPECT_NE(std::string{e.what()}.find("negative timeout"), std::string::npos);
+    }
+    // The communicator is unharmed: a valid timeout still takes effect.
+    c.set_op_timeout(std::chrono::milliseconds{50});
+    EXPECT_EQ(c.op_timeout(), std::chrono::milliseconds{50});
+  });
+}
+
+TEST(MpiTimeouts, NegativeTimedRecvIsANamedErrorNotForever) {
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 1) {
+      try {
+        (void)c.recv<int>(0, 4, std::chrono::nanoseconds{-1});
+        FAIL() << "negative recv timeout accepted";
+      } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string{e.what()}.find("negative timeout"), std::string::npos);
+      }
+      try {
+        (void)c.recv_bytes(0, 4, std::chrono::seconds{-2});
+        FAIL() << "negative recv_bytes timeout accepted";
+      } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string{e.what()}.find("negative timeout"), std::string::npos);
+      }
+      // The real message is still receivable afterwards.
+      EXPECT_EQ(c.recv_value<int>(0, 4), 77);
+    } else {
+      c.send_value<int>(1, 4, 77);
+    }
+  });
+}
+
+// ---- machine teardown with blocked receivers --------------------------------
+
+TEST(MpiTeardown, DestroyingMachineWakesBlockedReceiversWithNamedReason) {
+  // Regression: destroying a Machine while a rank was still blocked in
+  // recv used to tear the mailboxes out from under the sleeping thread.
+  // The destructor now poisons every mailbox (named abort), waits for the
+  // waiters to drain, and only then frees — so the blocked thread exits
+  // through a catchable error, not UB.
+  std::string caught;
+  std::thread receiver;
+  {
+    auto machine = std::make_unique<pm::detail::Machine>(2);
+    pm::Comm comm{*machine, 1};
+    std::promise<void> entered;
+    receiver = std::thread{[&comm, &caught, &entered] {
+      entered.set_value();
+      try {
+        (void)comm.recv_value<int>(0, 0);  // no sender exists: blocks forever
+        caught = "recv unexpectedly returned";
+      } catch (const peachy::Error& e) {
+        caught = e.what();
+      }
+    }};
+    entered.get_future().wait();
+    // Give the receiver time to actually enter the mailbox wait before
+    // the machine is destroyed under it.
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    machine.reset();  // ~Machine: poison, wake, wait for drain
+  }
+  receiver.join();
+  EXPECT_NE(caught.find("machine destroyed while ranks were still blocked in recv"),
+            std::string::npos)
+      << "actual: " << caught;
 }

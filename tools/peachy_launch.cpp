@@ -1,0 +1,101 @@
+/// \file peachy_launch.cpp
+/// \brief The peachy-launch command-line tool: mpirun for the mini-MPI.
+///
+///   peachy-launch -n 4 [--transport=socket|shm] -- ./my_program args...
+///
+/// Forks/execs one OS process per rank, wires the wire-transport
+/// rendezvous (mpi/launch.hpp), and reaps.  Each child sees PEACHY_RANK /
+/// PEACHY_NRANKS / PEACHY_TRANSPORT and — when it calls peachy::mpi::run —
+/// hosts exactly its own rank, talking to its peers over the launched
+/// transport.  A rank process dying to a signal is tolerated and reported
+/// (that is the fault-tolerance story, not a launcher error).
+///
+/// Exit status:
+///   0 — every rank process exited 0
+///   1 — at least one rank exited nonzero or died to a signal
+///   2 — usage error or launch failure
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "mpi/launch.hpp"
+#include "mpi/transport.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: peachy-launch -n <ranks> [--transport=socket|shm] -- <command> [args...]\n"
+               "\n"
+               "Run <command> as one process per rank over a wire transport.\n"
+               "  -n <ranks>            number of rank processes (default 2)\n"
+               "  --transport=<kind>    socket (default) or shm\n"
+               "Everything after `--` is the rank program and its arguments.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace pm = peachy::mpi;
+  pm::LaunchOptions opts;
+  std::vector<std::string> cmd;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--") {
+      for (int j = i + 1; j < argc; ++j) cmd.emplace_back(argv[j]);
+      break;
+    }
+    if (arg == "-n" || arg == "--n") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      opts.nranks = std::atoi(argv[++i]);
+    } else if (arg.rfind("-n=", 0) == 0) {
+      opts.nranks = std::atoi(arg.c_str() + 3);
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      try {
+        opts.kind = pm::parse_transport(arg.substr(std::strlen("--transport=")));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "peachy-launch: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "peachy-launch: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (opts.nranks < 1 || cmd.empty()) {
+    usage();
+    return 2;
+  }
+
+  pm::LaunchResult res;
+  try {
+    res = pm::launch(opts, cmd);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "peachy-launch: %s\n", e.what());
+    return 2;
+  }
+
+  for (const pm::ProcStatus& ps : res.procs) {
+    if (ps.signaled) {
+      std::fprintf(stderr, "peachy-launch: rank %d (pid %ld) killed by signal %d\n", ps.rank,
+                   static_cast<long>(ps.pid), ps.sig);
+    } else if (ps.exit_code != 0) {
+      std::fprintf(stderr, "peachy-launch: rank %d (pid %ld) exited %d\n", ps.rank,
+                   static_cast<long>(ps.pid), ps.exit_code);
+    }
+  }
+  return res.all_clean() ? 0 : 1;
+}
