@@ -12,6 +12,7 @@
 ///
 /// Usage:
 ///   bench_substrates [--tiny] [--out FILE] [--profile FILE]
+///                    [--transport=inproc|shm|socket]
 ///
 /// --tiny shrinks every workload to smoke-test size (for scripts/check.sh
 /// bench-substrates-smoke: validates the wiring and the JSON schema, not
@@ -54,6 +55,20 @@ namespace ps = peachy::support;
 namespace mr = peachy::mapreduce;
 
 double g_sink = 0.0;  // defeats dead-code elimination; printed at the end
+
+/// Which backend every mpi::run in the sweep rides (--transport=...).
+/// kDefault keeps the historical behavior: PEACHY_TRANSPORT or inproc.
+pm::TransportKind g_transport = pm::TransportKind::kDefault;
+
+/// mpi::run with the sweep-wide transport applied — every bench body
+/// goes through here so --transport=shm|socket times the same workloads
+/// over a real wire.
+template <typename Fn>
+void run_world(int ranks, Fn&& fn) {
+  pm::RunOptions opts;
+  opts.transport = g_transport;
+  peachy::mpi::run(ranks, std::forward<Fn>(fn), opts);
+}
 
 struct Row {
   std::string name;
@@ -208,7 +223,7 @@ void bench_allreduce(int ranks, std::size_t n, int rounds, int reps) {
   bench(
       "allreduce_p" + std::to_string(ranks), shape, items, reps,
       [&] {
-        peachy::mpi::run(ranks, [n, rounds](pm::Comm& comm) {
+        run_world(ranks, [n, rounds](pm::Comm& comm) {
           std::vector<double> data(n, 1.0 + 1e-9 * comm.rank());
           for (int r = 0; r < rounds; ++r) {
             data = legacy_allreduce<double>(comm, data, std::plus<>{});
@@ -218,7 +233,7 @@ void bench_allreduce(int ranks, std::size_t n, int rounds, int reps) {
         });
       },
       [&] {
-        peachy::mpi::run(ranks, [n, rounds](pm::Comm& comm) {
+        run_world(ranks, [n, rounds](pm::Comm& comm) {
           std::vector<double> data(n, 1.0 + 1e-9 * comm.rank());
           for (int r = 0; r < rounds; ++r) {
             comm.allreduce_inplace<double>(std::span<double>{data}, std::plus<>{});
@@ -237,7 +252,7 @@ void bench_allgather(int ranks, std::size_t block, int rounds, int reps) {
   bench(
       "allgather_p" + std::to_string(ranks), shape, items, reps,
       [&] {
-        peachy::mpi::run(ranks, [block, rounds](pm::Comm& comm) {
+        run_world(ranks, [block, rounds](pm::Comm& comm) {
           const std::vector<std::int64_t> local(block, comm.rank());
           for (int r = 0; r < rounds; ++r) {
             const auto all = legacy_allgather<std::int64_t>(comm, local);
@@ -246,7 +261,7 @@ void bench_allgather(int ranks, std::size_t block, int rounds, int reps) {
         });
       },
       [&] {
-        peachy::mpi::run(ranks, [block, rounds](pm::Comm& comm) {
+        run_world(ranks, [block, rounds](pm::Comm& comm) {
           const std::vector<std::int64_t> local(block, comm.rank());
           std::vector<std::int64_t> all(block * static_cast<std::size_t>(comm.size()));
           for (int r = 0; r < rounds; ++r) {
@@ -273,7 +288,7 @@ void bench_alltoall(int ranks, std::size_t bucket, int rounds, int reps) {
   bench(
       "alltoall_p" + std::to_string(ranks), shape, items, reps,
       [&] {
-        peachy::mpi::run(ranks, [rounds, fill](pm::Comm& comm) {
+        run_world(ranks, [rounds, fill](pm::Comm& comm) {
           for (int r = 0; r < rounds; ++r) {
             auto sendbufs = fill(comm);
             const auto recvbufs = legacy_alltoall<std::int64_t>(comm, sendbufs);
@@ -282,7 +297,7 @@ void bench_alltoall(int ranks, std::size_t bucket, int rounds, int reps) {
         });
       },
       [&] {
-        peachy::mpi::run(ranks, [rounds, fill](pm::Comm& comm) {
+        run_world(ranks, [rounds, fill](pm::Comm& comm) {
           for (int r = 0; r < rounds; ++r) {
             auto sendbufs = fill(comm);
             const auto recvbufs = comm.alltoall(std::move(sendbufs));
@@ -331,7 +346,7 @@ void bench_shuffle(int ranks, std::size_t pairs, std::size_t value_bytes, int ro
   bench(
       "mr_shuffle_p" + std::to_string(ranks), shape, items, reps,
       [&] {
-        peachy::mpi::run(ranks, [&](pm::Comm& comm) {
+        run_world(ranks, [&](pm::Comm& comm) {
           const auto kvs = make_pairs(comm.rank());
           for (int r = 0; r < rounds; ++r) {
             auto sendbufs = serialize_buckets(kvs, comm.size());
@@ -341,7 +356,7 @@ void bench_shuffle(int ranks, std::size_t pairs, std::size_t value_bytes, int ro
         });
       },
       [&] {
-        peachy::mpi::run(ranks, [&](pm::Comm& comm) {
+        run_world(ranks, [&](pm::Comm& comm) {
           const auto kvs = make_pairs(comm.rank());
           for (int r = 0; r < rounds; ++r) {
             auto sendbufs = serialize_buckets(kvs, comm.size());
@@ -488,6 +503,7 @@ void bench_mix(int ranks, bool tiny, int reps, const pt::Tunables& profile) {
   const auto run_once = [&](const pt::Tunables& tun) {
     pm::RunOptions opts;
     opts.tunables = &tun;
+    opts.transport = g_transport;
     peachy::mpi::run(
         ranks,
         [&](pm::Comm& comm) {
@@ -617,8 +633,17 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
       profile_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      try {
+        g_transport = pm::parse_transport(argv[i] + 12);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_substrates: %s\n", e.what());
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: bench_substrates [--tiny] [--out FILE] [--profile FILE]\n");
+      std::fprintf(stderr,
+                   "usage: bench_substrates [--tiny] [--out FILE] [--profile FILE]"
+                   " [--transport=inproc|shm|socket]\n");
       return 2;
     }
   }
@@ -637,8 +662,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_substrates: profile rejected, sweeping with defaults\n");
     }
   }
-  std::printf("bench_substrates: legacy transport twins vs pooled zero-copy path%s\n",
-              tiny ? " (tiny smoke sizes)" : "");
+  std::printf("bench_substrates: legacy transport twins vs pooled zero-copy path%s"
+              " (transport=%s)\n",
+              tiny ? " (tiny smoke sizes)" : "", pm::transport_name(g_transport));
   run_all(tiny, profile);
   write_json(out, tiny);
   std::printf("sink=%g\n", g_sink);

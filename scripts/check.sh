@@ -40,12 +40,22 @@
 #                 the zero-cost-when-off contract
 #   transport-smoke
 #               — Release tests + examples tree; runs the cross-backend
-#                 conformance suite (test_transport), forces the full
-#                 mpi/faults test matrix onto the shm and socket wires
-#                 via PEACHY_TRANSPORT, re-runs the conformance suite
-#                 under ASan, and drives the genuinely multi-process
-#                 fault demo (a real SIGKILL of a rank process over each
-#                 wire transport, plus a peachy-launch end-to-end run)
+#                 conformance suite (test_transport) and the shm-ring
+#                 stress suite (test_transport_stress: wraparound +
+#                 spill exhaustion under concurrent posters, crashed
+#                 producer mid-slot), forces the full mpi/faults test
+#                 matrix onto the shm and socket wires via
+#                 PEACHY_TRANSPORT, re-runs both suites under ASan, and
+#                 drives the genuinely multi-process fault demo (a real
+#                 SIGKILL of a rank process over each wire transport,
+#                 plus a peachy-launch end-to-end run)
+#   transport-bench-smoke
+#               — Release bench tree; schema-validates the committed
+#                 BENCH_transport.json baseline, runs bench_transport at
+#                 tiny sizes over all three backends (wiring check),
+#                 then a full-size run gated on the *inproc* rows at <2%
+#                 geomean regression vs the committed baseline — the
+#                 wire fast paths must not tax the in-process backend
 #   lint-smoke  — Release build of peachy-lint + test_lint; runs the rule
 #                 engine tests, requires the fixture corpus to produce
 #                 findings (the rules demonstrably fire), requires *zero*
@@ -65,7 +75,7 @@
 #                 geomean over compiled-in defaults on the collective
 #                 sweep at two or more rank counts
 #
-# Usage: scripts/check.sh [config ...]     (default: all ten)
+# Usage: scripts/check.sh [config ...]     (default: all eleven)
 
 set -euo pipefail
 
@@ -347,10 +357,12 @@ run_transport_smoke() {
     -DCMAKE_BUILD_TYPE=Release \
     -DPEACHY_BUILD_BENCH=OFF -DPEACHY_BUILD_TESTS=ON -DPEACHY_BUILD_EXAMPLES=ON
   echo "==== [transport-smoke] build ===="
-  cmake --build "$dir" --target test_transport test_mpi test_faults fault_demo peachy-launch \
-    -j "$JOBS"
+  cmake --build "$dir" --target test_transport test_transport_stress test_mpi test_faults \
+    fault_demo peachy-launch -j "$JOBS"
   echo "==== [transport-smoke] cross-backend conformance suite ===="
   "$dir/tests/test_transport"
+  echo "==== [transport-smoke] shm ring stress suite (fast + locked) ===="
+  "$dir/tests/test_transport_stress"
   echo "==== [transport-smoke] full mpi + faults matrix on each wire backend ===="
   for transport in shm socket; do
     echo "---- PEACHY_TRANSPORT=$transport ----"
@@ -362,8 +374,9 @@ run_transport_smoke() {
   cmake -B "$asan" -S "$ROOT" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPEACHY_SANITIZE=ON \
     -DPEACHY_BUILD_BENCH=OFF -DPEACHY_BUILD_TESTS=ON -DPEACHY_BUILD_EXAMPLES=OFF
-  cmake --build "$asan" --target test_transport -j "$JOBS"
+  cmake --build "$asan" --target test_transport test_transport_stress -j "$JOBS"
   "$asan/tests/test_transport"
+  "$asan/tests/test_transport_stress"
   echo "==== [transport-smoke] multi-process SIGKILL recovery (shm + socket) ===="
   # The in-process run and each wire run verify against the same serial
   # reference (same seed), so three green verdicts == same final answer.
@@ -385,6 +398,86 @@ run_transport_smoke() {
   [ "$(grep -c "bit-identical to serial reference" "$launch_out")" -eq 3 ]
   echo "launch OK: 3/4 survivors recovered bit-identically"
   echo "==== [transport-smoke] OK ===="
+}
+
+run_transport_bench_smoke() {
+  local dir="$ROOT/build-check-bench-smoke"
+  echo "==== [transport-bench-smoke] validate committed baseline schema ===="
+  python3 - "$ROOT/BENCH_transport.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "peachy-bench/1", doc.get("schema")
+assert doc["harness"] == "bench_transport"
+assert doc["tiny"] is False, "committed baseline must be a full-size run"
+assert isinstance(doc["benchmarks"], list) and doc["benchmarks"]
+names = {row["name"] for row in doc["benchmarks"]}
+for backend in ("inproc", "shm", "socket"):
+    assert f"pp_{backend}_8" in names, (backend, names)
+    assert f"bw_{backend}_8" in names, (backend, names)
+    assert f"coll_allreduce_{backend}_256" in names, (backend, names)
+for row in doc["benchmarks"]:
+    for key in ("name", "shape", "items", "scalar_ns", "kernel_ns", "speedup"):
+        assert key in row, (row, key)
+    assert row["scalar_ns"] > 0 and row["kernel_ns"] > 0
+    if row["name"].startswith("bw_"):
+        assert row.get("mb_s", 0) > 0, row
+print(f"baseline schema OK: {len(doc['benchmarks'])} benchmarks, "
+      f"all three backends present")
+EOF
+  echo "==== [transport-bench-smoke] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=ON -DPEACHY_BUILD_TESTS=OFF -DPEACHY_BUILD_EXAMPLES=OFF
+  echo "==== [transport-bench-smoke] build ===="
+  cmake --build "$dir" --target bench_transport -j "$JOBS"
+  echo "==== [transport-bench-smoke] tiny sweep on all three backends ===="
+  local json="$dir/bench/BENCH_transport_smoke.json"
+  "$dir/bench/bench_transport" --tiny --out "$json"
+  python3 - "$json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "peachy-bench/1" and doc["harness"] == "bench_transport"
+assert doc["tiny"] is True
+backends = {n.split("_")[1] for n in (row["name"] for row in doc["benchmarks"])
+            if n.startswith(("pp_", "bw_"))}
+assert backends == {"inproc", "shm", "socket"}, backends
+print(f"tiny sweep OK: {len(doc['benchmarks'])} benchmarks over {sorted(backends)}")
+EOF
+  echo "==== [transport-bench-smoke] inproc regression gate ===="
+  # Full-size runs, gated on the inproc rows only: the wire fast paths
+  # ride the same seam the in-process backend does, and must cost it
+  # nothing.  (The shm/socket rows are tracked in EXPERIMENTS.md T-TRN-1,
+  # not gated — wire timings on shared CI hosts are too noisy for 2%.)
+  # The gate compares floor estimates, and on a busy 1-core host the
+  # floor of a SINGLE sweep drifts ±10-20% per row on minutes timescales
+  # (measured: no inproc row stays within ±2% across five back-to-back
+  # best-of-9 sweeps, but the per-row min of any three consecutive
+  # sweeps does).  So: three sweeps, per-row min-merge, then the 2%
+  # geomean — the bench_kernels --repeat min-merge trick, applied across
+  # whole runs because the drift here outlives any one run.  A real
+  # regression shifts every sweep's floor and still trips the gate.
+  local fresh="$dir/bench/BENCH_transport_fresh.json"
+  for i in 1 2 3; do
+    "$dir/bench/bench_transport" --out "$dir/bench/BENCH_transport_fresh.$i.json" --repeat 9
+  done
+  python3 - "$fresh" "$dir"/bench/BENCH_transport_fresh.[123].json <<'EOF'
+import json, sys
+out_path, paths = sys.argv[1], sys.argv[2:]
+docs = [json.load(open(p)) for p in paths]
+merged = docs[0]
+for row in merged["benchmarks"]:
+    for d in docs[1:]:
+        other = next(r for r in d["benchmarks"] if r["name"] == row["name"])
+        row["kernel_ns"] = min(row["kernel_ns"], other["kernel_ns"])
+with open(out_path, "w") as f:
+    json.dump(merged, f)
+print(f"min-merged {len(paths)} sweeps -> {out_path}")
+EOF
+  python3 "$ROOT/scripts/bench_compare.py" \
+    "$ROOT/BENCH_transport.json" "$fresh" --filter '_inproc' --tolerance 0.02
+  echo "==== [transport-bench-smoke] OK ===="
 }
 
 run_lint_smoke() {
@@ -421,7 +514,7 @@ EOF
 
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke lint-smoke tune-smoke transport-smoke)
+  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke lint-smoke tune-smoke transport-smoke transport-bench-smoke)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -435,9 +528,10 @@ for cfg in "${configs[@]}"; do
     faults-smoke) run_faults_smoke ;;
     lint-smoke)  run_lint_smoke ;;
     transport-smoke) run_transport_smoke ;;
+    transport-bench-smoke) run_transport_bench_smoke ;;
     tune-smoke)  run_tune_smoke ;;
     tune-gate)   run_tune_gate ;;
-    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke, lint-smoke, tune-smoke, transport-smoke, tune-gate)" >&2; exit 2 ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke, lint-smoke, tune-smoke, transport-smoke, transport-bench-smoke, tune-gate)" >&2; exit 2 ;;
   esac
 done
 

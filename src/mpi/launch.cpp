@@ -231,11 +231,16 @@ LaunchResult launch_impl(const LaunchOptions& opts, const std::string& exec_path
       ps.sig = WTERMSIG(st);
       ++res.killed;
       if (!socket) {
+        // Order matters: publish the death to the segment's dead_mask
+        // first, so a consumer wedged on the victim's half-written slot
+        // can prove the hole is dead and skip it — only then post the
+        // kFailed frames that ride the rings behind any such hole.
+        detail::shm_mark_dead(shm, r);
         const detail::FrameHeader h = detail::make_ctrl_header(
             detail::WireKind::kFailed, 0, r, 0);
         for (int peer = 0; peer < n; ++peer) {
           if (peer == r || reaped[static_cast<std::size_t>(peer)]) continue;
-          (void)detail::ring_push(shm, peer, h, nullptr);
+          (void)detail::ring_push(shm, peer, detail::kShmLauncherProc, h, nullptr);
         }
       }
     }

@@ -1,7 +1,12 @@
 #include "mpi/shm_ring.hpp"
 
+#include <array>
 #include <cerrno>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string_view>
 
 #include <fcntl.h>
 #include <sys/mman.h>
@@ -9,13 +14,30 @@
 #include <time.h>
 #include <unistd.h>
 
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#endif
+
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace peachy::mpi::detail {
 
+namespace test_hooks {
+std::atomic<bool> g_die_between_claim_and_publish{false};
+}  // namespace test_hooks
+
 namespace {
 
 constexpr std::size_t kAlign = 64;
+
+/// Spin iterations before a waiter falls back to the futex.  Modest on
+/// purpose: the protocol's win is avoiding wake *syscalls* and lock
+/// round-trips, not burning a core — on an oversubscribed host the
+/// futex path is reached almost immediately and still beats the old
+/// broadcast-per-operation regime.
+constexpr int kSpinIters = 128;
 
 [[nodiscard]] constexpr std::size_t align_up(std::size_t v, std::size_t a) noexcept {
   return (v + a - 1) / a * a;
@@ -29,6 +51,121 @@ constexpr std::size_t kAlign = 64;
   return align_up(sizeof(ShmSegHeader), kAlign) +
          static_cast<std::size_t>(proc) * ring_stride(spill_bytes);
 }
+
+void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// ---- futex parking ----------------------------------------------------------
+//
+// The futex words are wake *generations*: a waker bumps the word and
+// issues FUTEX_WAKE, a waiter re-reads the generation before its final
+// condition check so a bump that races the check turns the wait into an
+// immediate EAGAIN instead of a lost wakeup.  All waits carry a 100ms
+// timeout — the same safety poll the locked protocol uses — so a wakeup
+// lost to a peer death costs one poll interval, never a hang.  The ops
+// are deliberately *not* FUTEX_PRIVATE: the words live in shared memory.
+
+void count_futex_wait() noexcept {
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::counter("mpi.transport.shm.futex_wait");
+    c.add(1);
+  }
+}
+
+void count_futex_wake() noexcept {
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::counter("mpi.transport.shm.futex_wake");
+    c.add(1);
+  }
+}
+
+#if defined(__linux__)
+void futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected) noexcept {
+  timespec ts{};
+  ts.tv_nsec = 100'000'000;  // relative, the 100ms safety poll
+  count_futex_wait();
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT, expected, &ts, nullptr,
+          0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* word) noexcept {
+  count_futex_wake();
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE, INT_MAX, nullptr,
+          nullptr, 0);
+}
+#else
+// Non-Linux never selects the fast protocol (shm_create falls back to
+// locked), so these exist only to keep the fast functions compiling.
+void futex_wait(std::atomic<std::uint32_t>*, std::uint32_t) noexcept {
+  timespec ts{0, 1'000'000};
+  count_futex_wait();
+  nanosleep(&ts, nullptr);
+}
+void futex_wake_all(std::atomic<std::uint32_t>*) noexcept { count_futex_wake(); }
+#endif
+
+/// Wake the ring's consumer after publishing slot `pos`, but only on
+/// the transition that needs it: the consumer is parked AND parked on
+/// *this* slot (its cursor `tail` equals `pos` — a publication further
+/// ahead will be found without sleeping).  The seq_cst fence pairs with
+/// the one in park_consumer: either our post-fence loads see the parked
+/// flag and cursor (we wake), or the consumer's post-flag recheck sees
+/// our publication (it never sleeps) — the store-buffer race loses
+/// exactly one of the two ways.  Without the cursor check a burst of
+/// publications pays one wake syscall *each* until the slow consumer
+/// gets scheduled; with it, one per empty→non-empty transition.
+void wake_consumer_if_needed(ShmRing* r, std::uint64_t pos) noexcept {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (r->consumer_parked.load(std::memory_order_relaxed) != 0 &&
+      r->tail.load(std::memory_order_relaxed) == pos) {
+    r->futex_empty.fetch_add(1, std::memory_order_relaxed);
+    futex_wake_all(&r->futex_empty);
+  }
+}
+
+/// Unconditional producer wake (spill frees, death notification): any
+/// parked producer gets a kick.
+void wake_producers_if_parked(ShmRing* r) noexcept {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (r->producers_parked.load(std::memory_order_relaxed) != 0) {
+    r->futex_full.fetch_add(1, std::memory_order_relaxed);
+    futex_wake_all(&r->futex_full);
+  }
+}
+
+/// Wake parked producers after recycling slot `pos`, but only on the
+/// full→non-full transition: the claim cursor sits exactly one ring
+/// past the slot we just freed.  Producers parked against a ring that
+/// already has space re-check after their pre-sleep fence (or ride the
+/// 100ms backstop), so skipping the syscall here is safe — same fence
+/// pairing as the consumer side.
+void wake_producers_if_was_full(ShmRing* r, std::uint64_t pos) noexcept {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (r->producers_parked.load(std::memory_order_relaxed) != 0 &&
+      r->head.load(std::memory_order_relaxed) == pos + kShmRingSlots) {
+    r->futex_full.fetch_add(1, std::memory_order_relaxed);
+    futex_wake_all(&r->futex_full);
+  }
+}
+
+/// Park the consumer until `slot` publishes sequence `pos + 1`, the
+/// generation moves, or the 100ms backstop fires.
+void park_consumer(ShmRing* r, ShmSlot* slot, std::uint64_t pos) noexcept {
+  const std::uint32_t gen = r->futex_empty.load(std::memory_order_relaxed);
+  r->consumer_parked.store(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (slot->seq.load(std::memory_order_acquire) != pos + 1) {
+    futex_wait(&r->futex_empty, gen);
+  }
+  r->consumer_parked.store(0, std::memory_order_relaxed);
+}
+
+// ---- spill free list --------------------------------------------------------
 
 /// Spillover free-list node, stored *in the spill arena itself* at the
 /// block's offset.  Read/written via memcpy: blocks are 16-aligned but
@@ -54,8 +191,10 @@ void store_block(std::byte* spill, std::uint64_t off, FreeBlock b) noexcept {
 }
 
 /// Lock a ring mutex, absorbing the death of a previous owner.  The
-/// push/pop protocol commits state with the final head/tail bump, so a
-/// lock recovered via EOWNERDEAD always guards consistent data.
+/// push/pop protocol commits state with the final head/tail bump (locked
+/// mode) or the slot seq publication (fast mode; the mutex then guards
+/// only the spill free list), so a lock recovered via EOWNERDEAD always
+/// guards consistent data.
 void lock_robust(pthread_mutex_t* mu) {
   int rc = pthread_mutex_lock(mu);
   if (rc == EOWNERDEAD) rc = pthread_mutex_consistent(mu);
@@ -143,6 +282,317 @@ void free_spill(ShmRing* r, std::byte* spill, std::uint64_t off, std::uint64_t s
   store_block(spill, off, FreeBlock{size, next});
 }
 
+void count_spill_hit() noexcept {
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::counter("mpi.transport.shm.spill_hits");
+    c.add(1);
+  }
+}
+
+/// Allocate a spill block as a fast-mode producer, parking on the
+/// producers' futex while the arena is exhausted.  Returns
+/// {kShmSpillNull, 0} only on give_up.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> alloc_spill_fast(
+    ShmRing* r, std::byte* spill, std::uint64_t need, const std::atomic<bool>* give_up) {
+  for (;;) {
+    if (give_up != nullptr && give_up->load(std::memory_order_relaxed)) {
+      return {kShmSpillNull, 0};
+    }
+    lock_robust(&r->mu);
+    const auto got = alloc_spill(r, spill, need);
+    pthread_mutex_unlock(&r->mu);
+    if (got.first != kShmSpillNull) return got;
+
+    // Exhausted: announce the park *before* the confirming re-try so the
+    // consumer's free→check-parked sequence can't miss us (it frees and
+    // checks in the opposite order — one side always sees the other).
+    const std::uint32_t gen = r->futex_full.load(std::memory_order_relaxed);
+    r->producers_parked.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    lock_robust(&r->mu);
+    const auto retry = alloc_spill(r, spill, need);
+    pthread_mutex_unlock(&r->mu);
+    if (retry.first != kShmSpillNull) {
+      r->producers_parked.fetch_sub(1, std::memory_order_relaxed);
+      return retry;
+    }
+    futex_wait(&r->futex_full, gen);
+    r->producers_parked.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+/// Process-local serialization of fast-mode pushes *from this process*
+/// into one ring: it makes the per-process claim register single-writer
+/// (several rank threads of one process share one register) without any
+/// cross-process cost.  Hashed so unrelated rings rarely collide.
+std::mutex& local_push_mutex(const ShmRing* r) noexcept {
+  static std::array<std::mutex, 16> mus;
+  return mus[(reinterpret_cast<std::uintptr_t>(r) >> 6) % mus.size()];
+}
+
+// ---- fast protocol ----------------------------------------------------------
+
+bool push_fast(const ShmView& view, int proc, int me, const FrameHeader& h,
+               const std::byte* payload, const std::atomic<bool>* give_up) {
+  ShmRing* r = view.ring(proc);
+  std::byte* spill = view.spill(proc);
+
+  std::uint64_t spill_off = kShmSpillNull;
+  std::uint64_t spill_cap = 0;
+  if (h.bytes > kShmInlineBytes) {
+    const auto got = alloc_spill_fast(r, spill, round16(h.bytes), give_up);
+    if (got.first == kShmSpillNull) return false;
+    spill_off = got.first;
+    spill_cap = got.second;
+    std::memcpy(spill + spill_off, payload, h.bytes);
+    count_spill_hit();
+  }
+
+  std::mutex& lm = local_push_mutex(r);
+  for (;;) {
+    if (give_up != nullptr && give_up->load(std::memory_order_relaxed)) {
+      if (spill_off != kShmSpillNull) {
+        lock_robust(&r->mu);
+        free_spill(r, spill, spill_off, spill_cap);
+        pthread_mutex_unlock(&r->mu);
+      }
+      return false;
+    }
+
+    bool published = false;
+    std::uint64_t published_pos = 0;
+    {
+      const std::lock_guard<std::mutex> g(lm);
+      std::uint64_t pos = r->head.load(std::memory_order_relaxed);
+      for (;;) {
+        ShmSlot* slot = &r->slots[pos % kShmRingSlots];
+        const std::uint64_t seq = slot->seq.load(std::memory_order_acquire);
+        if (seq == pos) {
+          // Claim register first, CAS second: the release CAS orders the
+          // register store before the head bump, so any consumer that
+          // observes head > pos can also observe who claimed pos.
+          r->claim[me].store(pos, std::memory_order_relaxed);
+          if (r->head.compare_exchange_weak(pos, pos + 1, std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+            if (test_hooks::g_die_between_claim_and_publish.load(std::memory_order_relaxed)) {
+              raise(SIGKILL);  // the crashed-peer-mid-slot scenario
+            }
+            slot->hdr = h;
+            slot->spill_off = spill_off;
+            slot->spill_cap = spill_cap;
+            if (spill_off == kShmSpillNull && h.bytes != 0) {
+              std::memcpy(slot->inline_bytes, payload, h.bytes);
+            }
+            slot->seq.store(pos + 1, std::memory_order_release);  // the publication
+            r->claim[me].store(kShmClaimNone, std::memory_order_release);
+            published = true;
+            published_pos = pos;
+            break;
+          }
+          // Lost the race; `pos` now holds the current head.  Clear the
+          // register so a parked loser never pins the consumer's
+          // dead-hole scan on a stale position.
+          r->claim[me].store(kShmClaimNone, std::memory_order_relaxed);
+          continue;
+        }
+        if (seq > pos) {  // stale head snapshot — someone claimed past us
+          pos = r->head.load(std::memory_order_relaxed);
+          continue;
+        }
+        break;  // seq < pos: slot not yet recycled → ring full
+      }
+    }
+    if (published) {
+      wake_consumer_if_needed(r, published_pos);
+      return true;
+    }
+
+    // Ring full: spin briefly for the consumer, then park (outside the
+    // local mutex so sibling threads aren't held hostage).
+    std::uint64_t pos = r->head.load(std::memory_order_relaxed);
+    ShmSlot* slot = &r->slots[pos % kShmRingSlots];
+    bool freed = false;
+    for (int i = 0; i < kSpinIters; ++i) {
+      if (slot->seq.load(std::memory_order_acquire) >= pos) {
+        freed = true;
+        break;
+      }
+      cpu_relax();
+    }
+    if (!freed) {
+      const std::uint32_t gen = r->futex_full.load(std::memory_order_relaxed);
+      r->producers_parked.fetch_add(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      pos = r->head.load(std::memory_order_relaxed);
+      if (r->slots[pos % kShmRingSlots].seq.load(std::memory_order_acquire) < pos) {
+        futex_wait(&r->futex_full, gen);
+      }
+      r->producers_parked.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+/// The consumer found `pos` claimed (head moved past it) but
+/// unpublished.  Skip it iff the claim provably belongs to a dead
+/// process: the winning producer stored its register before the head
+/// CAS and clears it only after publication, so while the hole exists
+/// exactly the claimant's register names `pos`.  If every register
+/// naming `pos` belongs to a dead_mask process — and a final seq
+/// re-check still shows no publication — the claimant died mid-slot and
+/// the slot is recycled (its spill block, if it got that far, leaks:
+/// bounded, and the world is about to shrink).  Any *live* register
+/// naming `pos` vetoes the skip — it may be the real claimant still
+/// copying.
+bool try_skip_dead_hole(const ShmView& view, ShmRing* r, ShmSlot* slot, std::uint64_t pos) {
+  const std::uint64_t mask =
+      view.header()->dead_mask.load(std::memory_order_acquire);
+  if (mask == 0) return false;
+  bool dead_match = false;
+  for (int q = 0; q <= kShmLauncherProc; ++q) {
+    if (r->claim[q].load(std::memory_order_acquire) != pos) continue;
+    const bool dead = q < kShmMaxFastProcs && ((mask >> q) & 1U) != 0;
+    if (!dead) return false;  // a live process names this position
+    dead_match = true;
+  }
+  if (!dead_match) return false;
+  // The claimant may have published and died before clearing its
+  // register; seeing the cleared/unchanged register above does not
+  // order against the seq store, so re-check before declaring a hole.
+  if (slot->seq.load(std::memory_order_acquire) != pos) return false;
+  slot->seq.store(pos + kShmRingSlots, std::memory_order_release);
+  r->tail.store(pos + 1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::counter("mpi.transport.shm.holes_skipped");
+    c.add(1);
+  }
+  return true;
+}
+
+bool consume_fast(const ShmView& view, int proc, const std::atomic<bool>& stop,
+                  const std::function<void(const FrameHeader&, const std::byte*)>& consume,
+                  bool* waited) {
+  ShmRing* r = view.ring(proc);
+  std::byte* spill = view.spill(proc);
+  bool did_wait = false;
+
+  std::uint64_t pos = r->tail.load(std::memory_order_relaxed);
+  ShmSlot* slot = &r->slots[pos % kShmRingSlots];
+  for (;;) {
+    bool ready = slot->seq.load(std::memory_order_acquire) == pos + 1;
+    for (int i = 0; !ready && i < kSpinIters; ++i) {
+      cpu_relax();
+      ready = slot->seq.load(std::memory_order_acquire) == pos + 1;
+    }
+    if (ready) break;
+    did_wait = true;
+    if (r->head.load(std::memory_order_acquire) > pos) {
+      // Claimed but unpublished: a producer is mid-slot — or died there.
+      if (try_skip_dead_hole(view, r, slot, pos)) {
+        pos = r->tail.load(std::memory_order_relaxed);
+        slot = &r->slots[pos % kShmRingSlots];
+        continue;
+      }
+    } else if (stop.load(std::memory_order_relaxed)) {
+      if (waited != nullptr) *waited = did_wait;
+      return false;
+    }
+    park_consumer(r, slot, pos);
+  }
+
+  const FrameHeader h = slot->hdr;
+  const std::uint64_t spill_off = slot->spill_off;
+  const std::uint64_t spill_cap = slot->spill_cap;
+  const std::byte* src = spill_off == kShmSpillNull ? slot->inline_bytes : spill + spill_off;
+  consume(h, src);  // single copy: straight out of the segment
+
+  if (spill_off != kShmSpillNull) {
+    lock_robust(&r->mu);
+    free_spill(r, spill, spill_off, spill_cap);
+    pthread_mutex_unlock(&r->mu);
+    wake_producers_if_parked(r);  // spill waiters park on the same futex
+  }
+  slot->seq.store(pos + kShmRingSlots, std::memory_order_release);  // recycle
+  r->tail.store(pos + 1, std::memory_order_relaxed);
+  wake_producers_if_was_full(r, pos);
+  if (waited != nullptr) *waited = did_wait;
+  return true;
+}
+
+// ---- locked protocol (the PEACHY_SHM_RING=locked fallback) ------------------
+
+bool push_locked(const ShmView& view, int proc, const FrameHeader& h, const std::byte* payload,
+                 const std::atomic<bool>* give_up) {
+  ShmRing* r = view.ring(proc);
+  std::byte* spill = view.spill(proc);
+
+  lock_robust(&r->mu);
+  ShmSlot* slot = nullptr;
+  for (;;) {
+    if (give_up != nullptr && give_up->load(std::memory_order_relaxed)) {
+      pthread_mutex_unlock(&r->mu);
+      return false;
+    }
+    const std::uint64_t head = r->head.load(std::memory_order_relaxed);
+    if (head - r->tail.load(std::memory_order_relaxed) < kShmRingSlots) {
+      slot = &r->slots[head % kShmRingSlots];
+      if (h.bytes <= kShmInlineBytes) {
+        if (h.bytes != 0) std::memcpy(slot->inline_bytes, payload, h.bytes);
+        slot->spill_off = kShmSpillNull;
+        slot->spill_cap = 0;
+        break;
+      }
+      const auto [off, cap] = alloc_spill(r, spill, round16(h.bytes));
+      if (off != kShmSpillNull) {
+        std::memcpy(spill + off, payload, h.bytes);
+        slot->spill_off = off;
+        slot->spill_cap = cap;
+        count_spill_hit();
+        break;
+      }
+    }
+    timed_wait(&r->not_full, &r->mu);
+  }
+  slot->hdr = h;
+  // The commit point: nothing above is visible until this bump.
+  r->head.fetch_add(1, std::memory_order_relaxed);
+  pthread_cond_broadcast(&r->not_empty);
+  pthread_mutex_unlock(&r->mu);
+  return true;
+}
+
+bool consume_locked(const ShmView& view, int proc, const std::atomic<bool>& stop,
+                    const std::function<void(const FrameHeader&, const std::byte*)>& consume,
+                    bool* waited) {
+  ShmRing* r = view.ring(proc);
+  std::byte* spill = view.spill(proc);
+  bool did_wait = false;
+
+  lock_robust(&r->mu);
+  while (r->head.load(std::memory_order_relaxed) == r->tail.load(std::memory_order_relaxed)) {
+    if (stop.load(std::memory_order_relaxed)) {
+      pthread_mutex_unlock(&r->mu);
+      if (waited != nullptr) *waited = did_wait;
+      return false;
+    }
+    did_wait = true;
+    timed_wait(&r->not_empty, &r->mu);
+  }
+  const std::uint64_t tail = r->tail.load(std::memory_order_relaxed);
+  ShmSlot* slot = &r->slots[tail % kShmRingSlots];
+  const FrameHeader h = slot->hdr;
+  const std::byte* src =
+      slot->spill_off == kShmSpillNull ? slot->inline_bytes : spill + slot->spill_off;
+  consume(h, src);
+  if (slot->spill_off != kShmSpillNull) free_spill(r, spill, slot->spill_off, slot->spill_cap);
+  r->tail.fetch_add(1, std::memory_order_relaxed);
+  pthread_cond_broadcast(&r->not_full);
+  pthread_mutex_unlock(&r->mu);
+  if (waited != nullptr) *waited = did_wait;
+  return true;
+}
+
+// ---- segment lifecycle ------------------------------------------------------
+
 void init_ring(ShmRing* r, std::byte* spill, std::uint64_t spill_bytes) {
   pthread_mutexattr_t ma;
   PEACHY_CHECK(pthread_mutexattr_init(&ma) == 0, "shm ring: mutexattr init failed");
@@ -159,10 +609,29 @@ void init_ring(ShmRing* r, std::byte* spill, std::uint64_t spill_bytes) {
   PEACHY_CHECK(pthread_cond_init(&r->not_full, &ca) == 0, "shm ring: condvar init failed");
   pthread_condattr_destroy(&ca);
 
-  r->head = 0;
-  r->tail = 0;
+  r->head.store(0, std::memory_order_relaxed);
+  r->tail.store(0, std::memory_order_relaxed);
   r->free_head = 0;
+  for (auto& c : r->claim) c.store(kShmClaimNone, std::memory_order_relaxed);
+  r->consumer_parked.store(0, std::memory_order_relaxed);
+  r->producers_parked.store(0, std::memory_order_relaxed);
+  r->futex_empty.store(0, std::memory_order_relaxed);
+  r->futex_full.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kShmRingSlots; ++i) {
+    r->slots[i].seq.store(i, std::memory_order_relaxed);
+  }
   store_block(spill, 0, FreeBlock{spill_bytes, kShmSpillNull});
+}
+
+[[nodiscard]] ShmRingMode pick_mode(int nprocs) {
+  const char* e = std::getenv("PEACHY_SHM_RING");
+  if (e != nullptr && std::string_view{e} == "locked") return ShmRingMode::kLocked;
+#if !defined(__linux__)
+  return ShmRingMode::kLocked;  // no futex — the fast path's parking primitive
+#else
+  if (nprocs > kShmMaxFastProcs) return ShmRingMode::kLocked;  // claim-register width
+  return ShmRingMode::kFast;
+#endif
 }
 
 }  // namespace
@@ -210,6 +679,8 @@ ShmView shm_create(const std::string& name, int nprocs, std::size_t spill_bytes)
   ShmSegHeader* hdr = view.header();
   hdr->nprocs = static_cast<std::uint32_t>(nprocs);
   hdr->spill_bytes = spill_bytes;
+  hdr->mode = pick_mode(nprocs);
+  hdr->dead_mask.store(0, std::memory_order_relaxed);
   for (int p = 0; p < nprocs; ++p) init_ring(view.ring(p), view.spill(p), spill_bytes);
   // Magic is written last: an attacher that sees it sees initialized rings.
   hdr->magic = kShmMagic;
@@ -238,76 +709,55 @@ void shm_detach(ShmView& view) noexcept {
   view = ShmView{};
 }
 
-bool ring_push(const ShmView& view, int proc, const FrameHeader& h, const std::byte* payload,
-               const std::atomic<bool>* give_up) {
-  ShmRing* r = view.ring(proc);
-  std::byte* spill = view.spill(proc);
-  const std::uint64_t spill_bytes = view.header()->spill_bytes;
+void shm_mark_dead(const ShmView& view, int proc) noexcept {
+  if (proc < 0 || proc >= kShmMaxFastProcs) return;
+  ShmSegHeader* hdr = view.header();
+  hdr->dead_mask.fetch_or(std::uint64_t{1} << proc, std::memory_order_release);
+  if (hdr->mode != ShmRingMode::kFast) return;
+  // Kick every consumer: one stuck on the victim's unpublished slot
+  // re-runs its dead-hole scan now instead of on the 100ms backstop.
+  for (int p = 0; p < static_cast<int>(hdr->nprocs); ++p) {
+    ShmRing* r = view.ring(p);
+    r->futex_empty.fetch_add(1, std::memory_order_relaxed);
+    futex_wake_all(&r->futex_empty);
+  }
+}
+
+bool ring_push(const ShmView& view, int proc, int me, const FrameHeader& h,
+               const std::byte* payload, const std::atomic<bool>* give_up) {
+  PEACHY_CHECK(me >= 0 && me <= kShmLauncherProc, "ring_push: bad pusher index");
   if (h.bytes > kShmInlineBytes) {
+    const std::uint64_t spill_bytes = view.header()->spill_bytes;
     PEACHY_CHECK(round16(h.bytes) <= spill_bytes,
                  "shm transport: " + std::to_string(h.bytes) +
                      "-byte message exceeds the spillover arena (" + std::to_string(spill_bytes) +
                      " bytes) and can never be delivered");
   }
-
-  lock_robust(&r->mu);
-  ShmSlot* slot = nullptr;
-  for (;;) {
-    if (give_up != nullptr && give_up->load(std::memory_order_relaxed)) {
-      pthread_mutex_unlock(&r->mu);
-      return false;
-    }
-    if (r->head - r->tail < kShmRingSlots) {
-      slot = &r->slots[r->head % kShmRingSlots];
-      if (h.bytes <= kShmInlineBytes) {
-        if (h.bytes != 0) std::memcpy(slot->inline_bytes, payload, h.bytes);
-        slot->spill_off = kShmSpillNull;
-        slot->spill_cap = 0;
-        break;
-      }
-      const auto [off, cap] = alloc_spill(r, spill, round16(h.bytes));
-      if (off != kShmSpillNull) {
-        std::memcpy(spill + off, payload, h.bytes);
-        slot->spill_off = off;
-        slot->spill_cap = cap;
-        break;
-      }
-    }
-    timed_wait(&r->not_full, &r->mu);
+  if (view.header()->mode == ShmRingMode::kFast) {
+    return push_fast(view, proc, me, h, payload, give_up);
   }
-  slot->hdr = h;
-  ++r->head;  // the commit point: nothing above is visible until this line
-  pthread_cond_broadcast(&r->not_empty);
-  pthread_mutex_unlock(&r->mu);
-  return true;
+  return push_locked(view, proc, h, payload, give_up);
+}
+
+bool ring_consume(const ShmView& view, int proc, const std::atomic<bool>& stop,
+                  const std::function<void(const FrameHeader&, const std::byte*)>& consume,
+                  bool* waited) {
+  if (view.header()->mode == ShmRingMode::kFast) {
+    return consume_fast(view, proc, stop, consume, waited);
+  }
+  return consume_locked(view, proc, stop, consume, waited);
 }
 
 bool ring_pop(const ShmView& view, int proc, FrameHeader& h, std::vector<std::byte>& payload,
               const std::atomic<bool>& stop) {
-  ShmRing* r = view.ring(proc);
-  std::byte* spill = view.spill(proc);
-
-  lock_robust(&r->mu);
-  while (r->head == r->tail) {
-    if (stop.load(std::memory_order_relaxed)) {
-      pthread_mutex_unlock(&r->mu);
-      return false;
-    }
-    timed_wait(&r->not_empty, &r->mu);
-  }
-  ShmSlot* slot = &r->slots[r->tail % kShmRingSlots];
-  h = slot->hdr;
-  payload.resize(static_cast<std::size_t>(h.bytes));
-  if (h.bytes != 0) {
-    const std::byte* src =
-        slot->spill_off == kShmSpillNull ? slot->inline_bytes : spill + slot->spill_off;
-    std::memcpy(payload.data(), src, h.bytes);
-  }
-  if (slot->spill_off != kShmSpillNull) free_spill(r, spill, slot->spill_off, slot->spill_cap);
-  ++r->tail;
-  pthread_cond_broadcast(&r->not_full);
-  pthread_mutex_unlock(&r->mu);
-  return true;
+  return ring_consume(
+      view, proc, stop,
+      [&](const FrameHeader& hh, const std::byte* src) {
+        h = hh;
+        payload.resize(static_cast<std::size_t>(hh.bytes));
+        if (hh.bytes != 0) std::memcpy(payload.data(), src, hh.bytes);
+      },
+      nullptr);
 }
 
 }  // namespace peachy::mpi::detail

@@ -1,7 +1,7 @@
 #pragma once
 /// \file shm_ring.hpp
 /// \brief The shared-memory segment layout and ring operations behind
-/// the shm transport (DESIGN.md §15).
+/// the shm transport (DESIGN.md §15, fast-path protocol §16).
 ///
 /// One POSIX shm segment per world.  Layout:
 ///
@@ -14,21 +14,42 @@
 /// a first-fit, offset-sorted, coalescing free list (all free-list
 /// state lives in the segment, protected by the ring mutex).
 ///
-/// Synchronization is a process-shared ROBUST mutex plus two
-/// process-shared condvars per ring.  Crash consistency leans on one
-/// rule: a slot is fully written — header, spill copy, spill bookkeeping
-/// — *before* `head` is bumped, and `head`/`tail` are free-running
-/// counters that are the only commit protocol.  If a producer dies
-/// mid-push, the robust mutex hands the next locker EOWNERDEAD,
+/// Two slot protocols share this layout, chosen by the segment creator
+/// (PEACHY_SHM_RING=fast|locked, recorded in ShmSegHeader so every
+/// attacher agrees):
+///
+/// **fast** (default): a lock-free bounded MPMC-claim / single-consumer
+/// slot protocol.  Every slot carries a free-running sequence number
+/// `seq` (initially its index): a producer CAS-claims position `pos` on
+/// the atomic `head`, writes the slot, and *publishes* it with a
+/// release store of `seq = pos + 1`; the consumer accepts a slot only
+/// when an acquire load observes `seq == pos + 1`, and recycles it with
+/// `seq = pos + kShmRingSlots` after consuming.  Waiting is adaptive
+/// spin-then-futex with parked-flag handshakes, so steady-state traffic
+/// does zero wake syscalls and zero lock operations on the small-message
+/// path; only spill (> 1 KiB) allocation still takes the robust mutex.
+/// Crash robustness keeps the launcher-as-failure-detector model: each
+/// producer stores its claimed position into a per-process *claim
+/// register* before the CAS, so when a producer dies between claim and
+/// publish the consumer — once the launcher sets the victim's bit in
+/// `dead_mask` — can prove the unpublished hole belongs to a dead
+/// process (its register names the position and no live register does)
+/// and recycle the slot.  See DESIGN.md §16 for the full ordering
+/// argument.
+///
+/// **locked** (fallback; also auto-selected when nprocs exceeds the
+/// claim-register width): the original PROCESS_SHARED ROBUST mutex +
+/// condvar protocol.  A slot is fully written before `head` is bumped
+/// under the lock; a producer death hands the next locker EOWNERDEAD,
 /// pthread_mutex_consistent() restores the lock, and the uncommitted
-/// slot is simply never observed (a spill block allocated before the
-/// death leaks — bounded, and the world is about to shrink anyway).
-/// Condvar waits use a ~100ms timedwait as a safety poll so a wakeup
-/// lost to a peer death never strands a waiter.
+/// slot is never observed.  Condvar waits use a ~100ms timedwait as a
+/// safety poll so a wakeup lost to a peer death never strands a waiter
+/// (the fast path's futex waits keep the same 100ms backstop).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,13 +59,27 @@
 
 namespace peachy::mpi::detail {
 
-inline constexpr std::uint32_t kShmMagic = 0x50534D31;  // "PSM1"
+inline constexpr std::uint32_t kShmMagic = 0x50534D32;  // "PSM2"
 inline constexpr std::size_t kShmInlineBytes = 1024;    ///< inline payload capacity per slot
 inline constexpr std::size_t kShmRingSlots = 64;
 inline constexpr std::size_t kShmSpillBytes = std::size_t{16} << 20;  ///< spill arena per ring
 inline constexpr std::uint64_t kShmSpillNull = ~std::uint64_t{0};
 
+/// Widest world the fast protocol's claim registers / dead_mask cover.
+/// Larger worlds fall back to the locked protocol automatically.
+inline constexpr int kShmMaxFastProcs = 64;
+/// Claim-register index used by the launcher (not one of the ranks).
+inline constexpr int kShmLauncherProc = kShmMaxFastProcs;
+inline constexpr std::uint64_t kShmClaimNone = ~std::uint64_t{0};
+
+enum class ShmRingMode : std::uint32_t { kFast = 0, kLocked = 1 };
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free,
+              "shm fast path requires address-free lock-free atomics");
+
 struct ShmSlot {
+  std::atomic<std::uint64_t> seq;  ///< fast mode: publication sequence (see header comment)
   FrameHeader hdr;
   std::uint64_t spill_off = kShmSpillNull;  ///< offset into the ring's spill arena, or null
   std::uint64_t spill_cap = 0;              ///< allocated spill block size (>= hdr.bytes)
@@ -52,12 +87,26 @@ struct ShmSlot {
 };
 
 struct ShmRing {
-  pthread_mutex_t mu;        ///< PROCESS_SHARED | ROBUST
-  pthread_cond_t not_empty;  ///< PROCESS_SHARED, CLOCK_MONOTONIC
+  pthread_mutex_t mu;        ///< PROCESS_SHARED | ROBUST (locked mode + spill free list)
+  pthread_cond_t not_empty;  ///< PROCESS_SHARED, CLOCK_MONOTONIC (locked mode only)
   pthread_cond_t not_full;
-  std::uint64_t head = 0;       ///< next slot index to write (free-running)
-  std::uint64_t tail = 0;       ///< next slot index to read (free-running)
+  /// Next slot index to write / read (free-running).  Fast mode claims
+  /// `head` by CAS and owns `tail` from the single consumer; locked mode
+  /// reads and writes both with relaxed ops under `mu`.
+  alignas(64) std::atomic<std::uint64_t> head;
+  alignas(64) std::atomic<std::uint64_t> tail;
   std::uint64_t free_head = 0;  ///< offset of first free spill block (offset-sorted list)
+  /// Fast mode: per-process claim registers.  claim[p] == pos exactly
+  /// while process p is between claiming slot `pos` and publishing it —
+  /// the evidence the consumer needs to skip a dead producer's hole.
+  std::atomic<std::uint64_t> claim[kShmMaxFastProcs + 1];
+  /// Fast mode parking state: nonzero while the consumer / >= 1 producer
+  /// is (about to be) in futex_wait, so the other side pays a wake
+  /// syscall only when someone is actually parked.
+  alignas(64) std::atomic<std::uint32_t> consumer_parked;
+  std::atomic<std::uint32_t> futex_empty;  ///< wake generation, consumer waits here
+  alignas(64) std::atomic<std::uint32_t> producers_parked;
+  std::atomic<std::uint32_t> futex_full;  ///< wake generation, producers wait here
   ShmSlot slots[kShmRingSlots];
 };
 
@@ -65,6 +114,12 @@ struct ShmSegHeader {
   std::uint32_t magic = 0;
   std::uint32_t nprocs = 0;
   std::uint64_t spill_bytes = 0;  ///< spill arena size per ring
+  ShmRingMode mode = ShmRingMode::kFast;
+  std::uint32_t pad_ = 0;
+  /// Fast mode: bit p set once the launcher knows process p is dead
+  /// (set *before* it posts the kFailed frames, so a consumer stuck on
+  /// p's unpublished slot can always make progress).
+  std::atomic<std::uint64_t> dead_mask;
 };
 
 /// A mapped segment (creator or attacher side).
@@ -84,7 +139,10 @@ struct ShmView {
 
 /// Create + map a fresh segment (`O_CREAT|O_EXCL`; a stale same-name
 /// segment from a crashed earlier run is unlinked and creation retried
-/// once).  Initializes every ring's mutex/condvars/free list.
+/// once).  Initializes every ring's slot sequences, mutex/condvars, and
+/// free list.  The ring protocol is chosen here — PEACHY_SHM_RING=locked
+/// forces the fallback, worlds wider than kShmMaxFastProcs get it
+/// automatically — and recorded in the header for every attacher.
 [[nodiscard]] ShmView shm_create(const std::string& name, int nprocs, std::size_t spill_bytes);
 
 /// Map an existing segment by name; validates the magic.
@@ -92,19 +150,45 @@ struct ShmView {
 
 void shm_detach(ShmView& view) noexcept;
 
-/// Push one frame into `proc`'s ring.  Blocks (condvar) while the ring
-/// is full or the spill arena can't fit the payload; bails out and
-/// returns false if `give_up` becomes true while waiting (used to stop
-/// filling the ring of a process known to be dead).  A payload larger
-/// than the whole spill arena is a named error.
-bool ring_push(const ShmView& view, int proc, const FrameHeader& h, const std::byte* payload,
-               const std::atomic<bool>* give_up = nullptr);
+/// Record process `proc` as dead (launcher side).  Publishes the
+/// dead_mask bit and wakes every ring's consumer so one stuck on the
+/// victim's unpublished slot re-evaluates immediately instead of on the
+/// next 100ms poll.
+void shm_mark_dead(const ShmView& view, int proc) noexcept;
 
-/// Pop one frame from `proc`'s ring into `h`/`payload` (payload is
-/// resized to fit).  Blocks until a frame arrives; returns false once
-/// `stop` is true and the ring is empty.  The spill block (if any) is
-/// freed before return.
+/// Push one frame into `proc`'s ring as process `me` (ranks pass their
+/// own proc index, the launcher passes kShmLauncherProc).  Blocks while
+/// the ring is full or the spill arena can't fit the payload; bails out
+/// and returns false if `give_up` becomes true while waiting (used to
+/// stop filling the ring of a process known to be dead).  A payload
+/// larger than the whole spill arena is a named error.
+bool ring_push(const ShmView& view, int proc, int me, const FrameHeader& h,
+               const std::byte* payload, const std::atomic<bool>* give_up = nullptr);
+
+/// Pop one frame from `proc`'s ring, handing `consume` the header and a
+/// pointer to the payload *while it still lives in the segment* (inline
+/// slot or spill block) — the single-copy receive path: the callback
+/// copies straight from shared memory into its destination, no
+/// intermediate vector.  The slot/spill storage is released only after
+/// `consume` returns; the callback must not push into this same ring.
+/// Blocks until a frame arrives; returns false once `stop` is true and
+/// the ring is empty.  `waited`, when non-null, is set to whether the
+/// consumer had to park/poll before this frame arrived (the pump's
+/// batch-size signal).
+bool ring_consume(const ShmView& view, int proc, const std::atomic<bool>& stop,
+                  const std::function<void(const FrameHeader&, const std::byte*)>& consume,
+                  bool* waited = nullptr);
+
+/// Vector-copy convenience wrapper over ring_consume (unit tests; the
+/// transport pump uses ring_consume directly).
 bool ring_pop(const ShmView& view, int proc, FrameHeader& h, std::vector<std::byte>& payload,
               const std::atomic<bool>& stop);
+
+namespace test_hooks {
+/// When true, ring_push raises SIGKILL after claiming a slot and before
+/// publishing it (fast mode only) — the crashed-peer-mid-slot-write
+/// scenario the stress suite drives from a forked child.
+extern std::atomic<bool> g_die_between_claim_and_publish;
+}  // namespace test_hooks
 
 }  // namespace peachy::mpi::detail

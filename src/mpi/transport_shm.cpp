@@ -13,6 +13,7 @@
 #include "mpi/shm_ring.hpp"
 #include "mpi/transport.hpp"
 #include "mpi/wire.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace peachy::mpi::detail {
@@ -74,7 +75,7 @@ class ShmEndpoint {
   void send_frame(int proc, const FrameHeader& h, const std::byte* payload) {
     std::atomic<bool>& dead = dead_[static_cast<std::size_t>(proc)];
     if (dead.load(std::memory_order_relaxed)) return;
-    (void)ring_push(view_, proc, h, payload, &dead);
+    (void)ring_push(view_, proc, my_proc_, h, payload, &dead);
   }
 
  private:
@@ -86,40 +87,65 @@ class ShmEndpoint {
     // A self-addressed goodbye wakes the pump out of its condvar wait
     // immediately (the 100ms safety poll would get there anyway).
     const FrameHeader bye = make_ctrl_header(WireKind::kBye, 0, my_proc_, 0);
-    (void)ring_push(view_, my_proc_, bye, nullptr);
+    (void)ring_push(view_, my_proc_, my_proc_, bye, nullptr);
     pump_.join();
     shm_detach(view_);
   }
 
-  void pump_main() {
-    FrameHeader h;
-    std::vector<std::byte> payload;
-    while (ring_pop(view_, my_proc_, h, payload, stop_)) {
-      switch (static_cast<WireKind>(h.kind)) {
-        case WireKind::kData:
-          router_.route_data(h.seq, h.dest, frame_to_message(h, payload.data()));
-          break;
-        case WireKind::kFailed:
-          if (h.source >= 0 && h.source < nprocs_) {
-            dead_[static_cast<std::size_t>(h.source)].store(true, std::memory_order_relaxed);
-          }
-          router_.peer_failed(static_cast<std::uint32_t>(h.source),
-                              "rank " + std::to_string(h.source) +
-                                  "'s process died (reported by the launcher)");
-          break;
-        case WireKind::kRevoke:
-          router_.route_ctrl(h.seq, CtrlKind::kRevoke, h.comm, {});
-          break;
-        case WireKind::kAbort:
-          router_.route_ctrl(h.seq, CtrlKind::kAbort, 0,
-                             std::string{reinterpret_cast<const char*>(payload.data()),
-                                         static_cast<std::size_t>(h.bytes)});
-          break;
-        case WireKind::kHello:
-        case WireKind::kBye:
-          break;  // rendezvous is the launcher's job; bye is just a wakeup
-      }
+  /// Dispatch one frame whose payload still lives in the segment (inline
+  /// slot or spill block): kData copies exactly once, segment → pooled
+  /// message buffer.  Nothing in here pushes back into our own ring —
+  /// the ring_consume contract — because routing only ever touches
+  /// mailboxes and router state.
+  void dispatch(const FrameHeader& h, const std::byte* payload) {
+    switch (static_cast<WireKind>(h.kind)) {
+      case WireKind::kData:
+        router_.route_data(h.seq, h.dest, frame_to_message(h, payload));
+        break;
+      case WireKind::kFailed:
+        if (h.source >= 0 && h.source < nprocs_) {
+          dead_[static_cast<std::size_t>(h.source)].store(true, std::memory_order_relaxed);
+        }
+        router_.peer_failed(static_cast<std::uint32_t>(h.source),
+                            "rank " + std::to_string(h.source) +
+                                "'s process died (reported by the launcher)");
+        break;
+      case WireKind::kRevoke:
+        router_.route_ctrl(h.seq, CtrlKind::kRevoke, h.comm, {});
+        break;
+      case WireKind::kAbort:
+        router_.route_ctrl(h.seq, CtrlKind::kAbort, 0,
+                           std::string{reinterpret_cast<const char*>(payload),
+                                       static_cast<std::size_t>(h.bytes)});
+        break;
+      case WireKind::kHello:
+      case WireKind::kBye:
+        break;  // rendezvous is the launcher's job; bye is just a wakeup
     }
+  }
+
+  static void note_batch(std::uint64_t batch) {
+    if (batch != 0 && obs::enabled()) {
+      static obs::Histogram& hist = obs::histogram("mpi.transport.shm.pump_batch");
+      hist.note(batch);
+    }
+  }
+
+  void pump_main() {
+    const std::function<void(const FrameHeader&, const std::byte*)> consume =
+        [this](const FrameHeader& h, const std::byte* payload) { dispatch(h, payload); };
+    // Batch = frames drained between two waits: the histogram that shows
+    // whether steady-state traffic amortizes its wakeups.
+    std::uint64_t batch = 0;
+    bool waited = false;
+    while (ring_consume(view_, my_proc_, stop_, consume, &waited)) {
+      if (waited) {
+        note_batch(batch);
+        batch = 0;
+      }
+      ++batch;
+    }
+    note_batch(batch);
   }
 
   std::mutex start_mu_;

@@ -1,7 +1,10 @@
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -11,17 +14,40 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
 
 #include "mpi/frame_router.hpp"
 #include "mpi/launch.hpp"
 #include "mpi/transport.hpp"
 #include "mpi/wire.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace peachy::mpi::detail {
 
 namespace {
+
+/// Ceiling on frames gathered into one sendmsg: 2 iovecs per frame
+/// (header + payload) keeps the batch far under IOV_MAX everywhere.
+constexpr std::size_t kBatchFrames = 64;
+/// Outbound queue caps per peer — the backpressure that used to come
+/// from blocking inside send(2) now comes from waiting on the channel.
+constexpr std::size_t kMaxQueuedFrames = 1024;
+constexpr std::size_t kMaxQueuedBytes = std::size_t{4} << 20;
+/// Inbound drain chunk.  Big enough that a bandwidth test's worth of
+/// small frames arrives in a handful of read syscalls.
+constexpr std::size_t kReadChunk = std::size_t{256} << 10;
+
+void count(const char* name, std::int64_t delta) noexcept {
+  if (obs::enabled()) {
+    obs::counter(name).add(delta);
+  }
+}
 
 /// One process-wide endpoint: a loopback listener, one *ordered*
 /// outbound connection per peer process (frames carry source/dest
@@ -30,13 +56,25 @@ namespace {
 /// frames.  Persists across Machines — the FrameRouter scopes frames
 /// to machine generations (frame_router.hpp).
 ///
+/// Send path: a *combining writer* per peer.  Senders enqueue
+/// {header, payload-handle} pairs (no copy — the payload handle shares
+/// the pooled slab) and the first sender to find the channel idle
+/// becomes its drainer: it gathers up to kBatchFrames queued frames
+/// into one sendmsg scatter list (header iovec + payload iovec each)
+/// and writes them in a single syscall, looping until the queue is
+/// empty.  Senders that arrive while a drainer is active just enqueue
+/// and return — their frames coalesce into the drainer's next batch, so
+/// a burst of small sends costs ~1 syscall, not N — and wait only when
+/// the queue caps are hit (backpressure).
+///
 /// Failure mapping: EOF or ECONNRESET on a peer's connection *without*
 /// a prior kBye frame means the process died; the pump reports it to
 /// the router, which poisons the corresponding rank for the current and
-/// all future machines.  A kBye (sent at endpoint teardown) makes the
-/// EOF a clean departure.  Writes to a dead or departed peer are
-/// dropped silently — the sender learns of the death through the
-/// failure path, exactly like sends to a crashed in-process rank.
+/// all future machines.  A kBye (sent at endpoint teardown, flushed
+/// through the queue before the fds close) makes the EOF a clean
+/// departure.  Writes to a dead or departed peer are dropped silently —
+/// the sender learns of the death through the failure path, exactly
+/// like sends to a crashed in-process rank.
 ///
 /// In an un-launched process the endpoint still runs the full frame
 /// path through a self-connection: every send is serialized, pumped,
@@ -96,11 +134,18 @@ class SocketEndpoint {
 
     // The pump must be accepting before we dial out: every process
     // connects to every other (and to itself) at the same time.
-    PEACHY_CHECK(pipe2(wake_fd_, O_CLOEXEC) == 0, "socket transport: pipe2 failed");
+#if defined(__linux__)
+    wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    PEACHY_CHECK(wake_fd_ >= 0, "socket transport: eventfd failed");
+#else
+    int pipefd[2];
+    PEACHY_CHECK(pipe(pipefd) == 0, "socket transport: pipe failed");
+    wake_fd_ = pipefd[0];
+    wake_write_fd_ = pipefd[1];
+#endif
     pump_ = std::thread{[this] { pump_main(); }};
 
-    out_fd_.assign(static_cast<std::size_t>(nprocs_), -1);
-    out_mu_ = std::make_unique<std::mutex[]>(static_cast<std::size_t>(nprocs_));
+    out_ = std::make_unique<OutChannel[]>(static_cast<std::size_t>(nprocs_));
     for (int p = 0; p < nprocs_; ++p) {
       const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
       PEACHY_CHECK(fd >= 0, "socket transport: socket() failed");
@@ -117,9 +162,9 @@ class SocketEndpoint {
                                 ") failed (" + std::string{std::strerror(errno)} + ")");
       const int one = 1;
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      out_fd_[static_cast<std::size_t>(p)] = fd;
+      out_[static_cast<std::size_t>(p)].fd = fd;
       const FrameHeader hello = make_ctrl_header(WireKind::kHello, 0, my_proc_, 0);
-      send_frame(p, hello, nullptr);
+      send_frame(p, hello, PayloadBuffer{});
     }
     started_ = true;
   }
@@ -130,24 +175,29 @@ class SocketEndpoint {
   [[nodiscard]] int my_proc() const noexcept { return my_proc_; }
   [[nodiscard]] int proc_of(int rank) const noexcept { return launched_ ? rank : 0; }
 
-  /// Write one frame to `proc`'s stream (whole-frame atomicity via the
-  /// per-connection mutex).  A write failure means the peer is gone:
-  /// the connection is retired and — absent a goodbye — the death is
-  /// reported; the frame itself is dropped.
-  void send_frame(int proc, const FrameHeader& h, const std::byte* payload) {
-    std::lock_guard lock{out_mu_[static_cast<std::size_t>(proc)]};
-    const int fd = out_fd_[static_cast<std::size_t>(proc)];
-    if (fd < 0) return;
-    if (send_all(fd, &h, sizeof h) &&
-        (h.bytes == 0 || send_all(fd, payload, static_cast<std::size_t>(h.bytes)))) {
-      return;
+  /// Enqueue one frame on `proc`'s stream; the payload handle keeps the
+  /// bytes alive until they hit the wire.  FIFO order per channel and a
+  /// single drainer at a time preserve whole-frame atomicity.  A write
+  /// failure means the peer is gone: the connection is retired and —
+  /// absent a goodbye — the death is reported; queued frames are
+  /// dropped.
+  void send_frame(int proc, const FrameHeader& h, PayloadBuffer payload) {
+    OutChannel& ch = out_[static_cast<std::size_t>(proc)];
+    std::unique_lock lk{ch.mu};
+    if (ch.fd < 0) return;
+    while (ch.writing &&
+           (ch.q.size() >= kMaxQueuedFrames || ch.queued_bytes >= kMaxQueuedBytes)) {
+      ch.cv.wait(lk);
+      if (ch.fd < 0) return;
     }
-    close(fd);
-    out_fd_[static_cast<std::size_t>(proc)] = -1;
-    if (launched_ && !bye_[static_cast<std::size_t>(proc)].load()) {
-      router_.peer_failed(static_cast<std::uint32_t>(proc),
-                          "rank " + std::to_string(proc) + "'s process died (connection reset)");
-    }
+    ch.q.push_back(OutFrame{h, std::move(payload)});
+    ch.queued_bytes += static_cast<std::size_t>(h.bytes);
+    if (ch.writing) return;  // an active drainer will gather this frame
+    ch.writing = true;
+    drain(proc, ch, lk);
+    ch.writing = false;
+    lk.unlock();
+    ch.cv.notify_all();
   }
 
  private:
@@ -156,37 +206,127 @@ class SocketEndpoint {
   ~SocketEndpoint() {
     if (!started_) return;
     const FrameHeader bye = make_ctrl_header(WireKind::kBye, 0, my_proc_, 0);
-    for (int p = 0; p < nprocs_; ++p) send_frame(p, bye, nullptr);
+    for (int p = 0; p < nprocs_; ++p) send_frame(p, bye, PayloadBuffer{});
+    // The byes ride the queues; wait for every channel to flush so no
+    // peer sees EOF-before-goodbye and reports us dead.
+    for (int p = 0; p < nprocs_; ++p) {
+      OutChannel& ch = out_[static_cast<std::size_t>(p)];
+      std::unique_lock lk{ch.mu};
+      ch.cv.wait(lk, [&ch] { return ch.fd < 0 || (ch.q.empty() && !ch.writing); });
+    }
     stop_.store(true);
-    const char w = 0;
-    (void)!write(wake_fd_[1], &w, 1);
+    wake_pump();
     pump_.join();
     for (int p = 0; p < nprocs_; ++p) {
-      if (out_fd_[static_cast<std::size_t>(p)] >= 0) close(out_fd_[static_cast<std::size_t>(p)]);
+      OutChannel& ch = out_[static_cast<std::size_t>(p)];
+      if (ch.fd >= 0) close(ch.fd);
     }
     close(listen_fd_);
-    close(wake_fd_[0]);
-    close(wake_fd_[1]);
+    close(wake_fd_);
+#if !defined(__linux__)
+    close(wake_write_fd_);
+#endif
   }
+
+  struct OutFrame {
+    FrameHeader h;
+    PayloadBuffer payload;
+  };
+
+  struct OutChannel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<OutFrame> q;
+    std::size_t queued_bytes = 0;
+    bool writing = false;  ///< a drainer owns the fd
+    int fd = -1;
+  };
 
   struct Conn {
     int fd = -1;
     int proc = -1;  ///< learned from the kHello frame
     bool bye = false;
     bool closed = false;
-    std::vector<std::byte> buf;  ///< reassembly buffer
+    std::vector<std::byte> buf;  ///< reassembly buffer (partial tails only)
   };
 
-  static bool send_all(int fd, const void* buf, std::size_t n) {
-    const char* p = static_cast<const char*>(buf);
-    while (n > 0) {
-      const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+  void wake_pump() noexcept {
+#if defined(__linux__)
+    const std::uint64_t one = 1;
+    (void)!write(wake_fd_, &one, sizeof one);
+#else
+    const char w = 0;
+    (void)!write(wake_write_fd_, &w, 1);
+#endif
+  }
+
+  /// Gather-write every frame queued on `ch` and any that arrive while
+  /// we drain.  Called with `lk` held and `ch.writing == true`; unlocks
+  /// around the actual syscalls so senders keep enqueueing (that is the
+  /// coalescing) and re-locks before touching queue state again.
+  void drain(int proc, OutChannel& ch, std::unique_lock<std::mutex>& lk) {
+    std::vector<OutFrame> batch;
+    std::vector<iovec> iov;
+    while (!ch.q.empty()) {
+      batch.clear();
+      iov.clear();
+      const std::size_t take = std::min(ch.q.size(), kBatchFrames);
+      for (std::size_t i = 0; i < take; ++i) {
+        ch.queued_bytes -= static_cast<std::size_t>(ch.q.front().h.bytes);
+        batch.push_back(std::move(ch.q.front()));
+        ch.q.pop_front();
+      }
+      const int fd = ch.fd;
+      lk.unlock();
+      ch.cv.notify_all();  // room freed — release any backpressured sender
+      for (OutFrame& f : batch) {
+        iov.push_back(iovec{&f.h, sizeof(FrameHeader)});
+        if (f.h.bytes != 0) {
+          iov.push_back(iovec{const_cast<std::byte*>(f.payload.data()),
+                              static_cast<std::size_t>(f.h.bytes)});
+        }
+      }
+      const bool ok = sendmsg_all(fd, iov.data(), iov.size());
+      count("mpi.transport.sock.frames", static_cast<std::int64_t>(batch.size()));
+      lk.lock();
+      if (!ok) {
+        close(ch.fd);
+        ch.fd = -1;
+        ch.q.clear();
+        ch.queued_bytes = 0;
+        if (launched_ && !bye_[static_cast<std::size_t>(proc)].load()) {
+          router_.peer_failed(static_cast<std::uint32_t>(proc),
+                              "rank " + std::to_string(proc) +
+                                  "'s process died (connection reset)");
+        }
+        return;
+      }
+    }
+  }
+
+  /// Scatter-gather write of the whole iovec list, resuming after
+  /// partial writes.  MSG_NOSIGNAL: a dying peer must surface as EPIPE,
+  /// not kill the process.
+  static bool sendmsg_all(int fd, iovec* iov, std::size_t cnt) {
+    while (cnt > 0) {
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = cnt;
+      ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
       if (w < 0) {
         if (errno == EINTR) continue;
         return false;
       }
-      p += w;
-      n -= static_cast<std::size_t>(w);
+      count("mpi.transport.sock.writev", 1);
+      while (cnt > 0 && static_cast<std::size_t>(w) >= iov[0].iov_len) {
+        w -= static_cast<ssize_t>(iov[0].iov_len);
+        ++iov;
+        --cnt;
+      }
+      if (cnt > 0 && w > 0) {
+        iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + w;
+        iov[0].iov_len -= static_cast<std::size_t>(w);
+      }
     }
     return true;
   }
@@ -257,16 +397,44 @@ class SocketEndpoint {
     close(conn.fd);
   }
 
-  /// Drain everything readable on `conn`, parse complete frames, keep
-  /// the partial tail for next time.
+  /// Parse complete frames out of [data, data+n); returns the number of
+  /// bytes consumed (a partial frame tail stays unconsumed).
+  std::size_t parse_frames(Conn& conn, const std::byte* data, std::size_t n) {
+    std::size_t off = 0;
+    while (n - off >= sizeof(FrameHeader)) {
+      FrameHeader h;
+      std::memcpy(&h, data + off, sizeof h);
+      PEACHY_CHECK(h.magic == kWireMagic, "socket transport: corrupt frame on the wire");
+      if (n - off < sizeof h + h.bytes) break;
+      dispatch(conn, h, data + off + sizeof h);
+      ++frames_this_wake_;
+      off += sizeof h + static_cast<std::size_t>(h.bytes);
+    }
+    return off;
+  }
+
+  /// Drain everything readable on `conn` in kReadChunk slabs.  Complete
+  /// frames are parsed straight out of the read staging buffer; only a
+  /// partial tail is carried over in conn.buf — steady-state traffic is
+  /// dispatched with zero reassembly copies.
   void read_conn(Conn& conn) {
-    char chunk[65536];
     for (;;) {
-      const ssize_t r = ::read(conn.fd, chunk, sizeof chunk);
+      const ssize_t r = ::read(conn.fd, stage_.data(), stage_.size());
       if (r > 0) {
-        const std::size_t old = conn.buf.size();
-        conn.buf.resize(old + static_cast<std::size_t>(r));
-        std::memcpy(conn.buf.data() + old, chunk, static_cast<std::size_t>(r));
+        count("mpi.transport.sock.reads", 1);
+        std::size_t n = static_cast<std::size_t>(r);
+        const std::byte* data = stage_.data();
+        if (!conn.buf.empty()) {
+          // A tail from the previous wake: complete it, then continue
+          // parsing from the staging buffer where the tail's frames end.
+          conn.buf.insert(conn.buf.end(), data, data + n);
+          const std::size_t used = parse_frames(conn, conn.buf.data(), conn.buf.size());
+          conn.buf.erase(conn.buf.begin(), conn.buf.begin() + static_cast<long>(used));
+        } else {
+          const std::size_t used = parse_frames(conn, data, n);
+          if (used < n) conn.buf.assign(data + used, data + n);
+        }
+        if (n < stage_.size()) break;  // drained — short read means empty socket
         continue;
       }
       if (r < 0 && errno == EINTR) continue;
@@ -274,24 +442,15 @@ class SocketEndpoint {
       on_conn_gone(conn);  // EOF or a hard error (ECONNRESET)
       break;
     }
-    std::size_t off = 0;
-    while (conn.buf.size() - off >= sizeof(FrameHeader)) {
-      FrameHeader h;
-      std::memcpy(&h, conn.buf.data() + off, sizeof h);
-      PEACHY_CHECK(h.magic == kWireMagic, "socket transport: corrupt frame on the wire");
-      if (conn.buf.size() - off < sizeof h + h.bytes) break;
-      dispatch(conn, h, conn.buf.data() + off + sizeof h);
-      off += sizeof h + static_cast<std::size_t>(h.bytes);
-    }
-    if (off > 0) conn.buf.erase(conn.buf.begin(), conn.buf.begin() + static_cast<long>(off));
   }
 
   void pump_main() {
+    stage_.resize(kReadChunk);
     std::vector<Conn> conns;
     std::vector<pollfd> fds;
     while (!stop_.load()) {
       fds.clear();
-      fds.push_back(pollfd{wake_fd_[0], POLLIN, 0});
+      fds.push_back(pollfd{wake_fd_, POLLIN, 0});
       fds.push_back(pollfd{listen_fd_, POLLIN, 0});
       for (const Conn& c : conns) fds.push_back(pollfd{c.fd, POLLIN, 0});
       const int rc = poll(fds.data(), fds.size(), 200);
@@ -299,8 +458,13 @@ class SocketEndpoint {
       if (stop_.load()) break;
       if (rc <= 0) continue;
       if ((fds[0].revents & POLLIN) != 0) {
+#if defined(__linux__)
+        std::uint64_t drain = 0;
+        (void)!read(wake_fd_, &drain, sizeof drain);
+#else
         char drain[16];
-        (void)!read(wake_fd_[0], drain, sizeof drain);
+        (void)!read(wake_fd_, drain, sizeof drain);
+#endif
       }
       if ((fds[1].revents & POLLIN) != 0) {
         for (;;) {
@@ -311,8 +475,13 @@ class SocketEndpoint {
       }
       // The pollfd list was built from the same vector in the same
       // order; entry i+2 is conns[i].  New conns join next iteration.
+      frames_this_wake_ = 0;
       for (std::size_t i = 0; i + 2 < fds.size(); ++i) {
         if ((fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR)) != 0) read_conn(conns[i]);
+      }
+      if (frames_this_wake_ != 0 && obs::enabled()) {
+        static obs::Histogram& hist = obs::histogram("mpi.transport.sock.pump_batch");
+        hist.note(frames_this_wake_);
       }
       std::erase_if(conns, [](const Conn& c) { return c.closed; });
     }
@@ -325,10 +494,14 @@ class SocketEndpoint {
   int my_proc_ = 0;
   int nprocs_ = 1;
   int listen_fd_ = -1;
-  int wake_fd_[2] = {-1, -1};
-  std::vector<int> out_fd_;
-  std::unique_ptr<std::mutex[]> out_mu_;
+  int wake_fd_ = -1;
+#if !defined(__linux__)
+  int wake_write_fd_ = -1;
+#endif
+  std::unique_ptr<OutChannel[]> out_;
   std::unique_ptr<std::atomic<bool>[]> bye_;
+  std::vector<std::byte> stage_;     ///< pump-thread read staging buffer
+  std::uint64_t frames_this_wake_ = 0;
   FrameRouter router_;
   std::atomic<bool> stop_{false};
   std::thread pump_;
@@ -361,13 +534,13 @@ class SocketTransport final : public Transport {
   void send(int dest, Message&& m, int copies) override {
     const FrameHeader h = make_data_header(seq_, m, dest);
     const int proc = ep_.proc_of(dest);
-    for (int c = 0; c < copies; ++c) ep_.send_frame(proc, h, m.payload.data());
+    for (int c = 0; c < copies; ++c) ep_.send_frame(proc, h, m.payload.share());
   }
 
   void broadcast_ctrl(CtrlKind k, std::uint32_t arg, const std::string& why) override {
     if (!spans_processes()) return;
     FrameHeader h;
-    const std::byte* payload = nullptr;
+    PayloadBuffer payload;
     switch (k) {
       case CtrlKind::kFailed:
         h = make_ctrl_header(WireKind::kFailed, seq_, static_cast<std::int32_t>(arg), 0);
@@ -377,11 +550,12 @@ class SocketTransport final : public Transport {
         break;
       case CtrlKind::kAbort:
         h = make_ctrl_header(WireKind::kAbort, seq_, ep_.my_proc(), 0, why.size());
-        payload = reinterpret_cast<const std::byte*>(why.data());
+        payload = BufferPool::instance().acquire(why.size());
+        if (!why.empty()) std::memcpy(payload.mutable_data(), why.data(), why.size());
         break;
     }
     for (int p = 0; p < ep_.nprocs(); ++p) {
-      if (p != ep_.my_proc()) ep_.send_frame(p, h, payload);
+      if (p != ep_.my_proc()) ep_.send_frame(p, h, payload.share());
     }
   }
 

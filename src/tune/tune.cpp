@@ -23,9 +23,30 @@
 #include <sstream>
 #include <utility>
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PEACHY_TUNE_HAS_LSAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define PEACHY_TUNE_HAS_LSAN 1
+#endif
+#if defined(PEACHY_TUNE_HAS_LSAN)
+#include <sanitizer/lsan_interface.h>
+#endif
+
 namespace peachy::tune {
 
 namespace {
+
+/// The active-snapshot registry leaks each installed Tunables on purpose
+/// (readers during static destruction; see resolve_from_env).  Tell
+/// LeakSanitizer so the asan-ubsan CI matrix doesn't flag the design.
+const Tunables* leak_on_purpose(const Tunables* t) {
+#if defined(PEACHY_TUNE_HAS_LSAN)
+  __lsan_ignore_object(t);
+#endif
+  return t;
+}
 
 constexpr std::string_view kSchema = "peachy-tune/1";
 
@@ -561,7 +582,7 @@ const Tunables* resolve_from_env() {
   for (const std::string& w : res.warnings) {
     std::fprintf(stderr, "peachy-tune: warning: %s\n", w.c_str());
   }
-  return new Tunables{std::move(res.profile.tunables)};  // leaked (see above)
+  return leak_on_purpose(new Tunables{std::move(res.profile.tunables)});
 }
 
 std::atomic<const Tunables*> g_active{nullptr};
@@ -587,7 +608,7 @@ const Tunables& active() noexcept {
 }
 
 void set_active(const Tunables& t) {
-  g_active.store(new Tunables{t}, std::memory_order_release);  // leaked (see above)
+  g_active.store(leak_on_purpose(new Tunables{t}), std::memory_order_release);
 }
 
 void reset_active() {

@@ -1,0 +1,237 @@
+// Stress coverage for the shm slot-ring protocols (DESIGN.md §15/§16)
+// at the ring-operation level, below the transport seam: slot-ring
+// wraparound FIFO under concurrent posters, spill-arena exhaustion with
+// producers blocked on the free list, the give-up path, and — fast mode
+// only — a producer SIGKILLed between claiming a slot and publishing it
+// (driven from a forked child via test_hooks), whose hole the consumer
+// must prove dead and skip.  Every multi-producer case runs under both
+// ring protocols (PEACHY_SHM_RING=fast|locked), and the whole file is
+// part of the asan/tsan matrix in scripts/check.sh.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "mpi/shm_ring.hpp"
+#include "mpi/wire.hpp"
+
+namespace pd = peachy::mpi::detail;
+
+namespace {
+
+/// A fresh anonymous-named segment in the requested ring mode.  The
+/// name is unlinked immediately (the mapping stays alive), so a test
+/// abort can't leak /dev/shm entries.
+pd::ShmView make_segment(const char* mode, int nprocs, std::size_t spill_bytes) {
+  static std::atomic<int> counter{0};
+  setenv("PEACHY_SHM_RING", mode, 1);
+  const std::string name = "/peachy.test." + std::to_string(getpid()) + "." +
+                           std::to_string(counter.fetch_add(1));
+  pd::ShmView view = pd::shm_create(name, nprocs, spill_bytes);
+  shm_unlink(name.c_str());
+  unsetenv("PEACHY_SHM_RING");
+  return view;
+}
+
+pd::FrameHeader data_header(int source, int tag, std::uint64_t bytes) {
+  pd::FrameHeader h;
+  h.kind = static_cast<std::uint8_t>(pd::WireKind::kData);
+  h.source = source;
+  h.tag = tag;
+  h.bytes = bytes;
+  return h;
+}
+
+class ShmRingStress : public ::testing::TestWithParam<const char*> {};
+
+}  // namespace
+
+// The ring has 64 slots; push an order of magnitude more through it with
+// the consumer running concurrently, so head/tail wrap the slot array
+// many times and every slot is recycled under load.  Inline payloads
+// carry (producer, index) so the consumer can verify exact per-producer
+// FIFO and zero loss/duplication.
+TEST_P(ShmRingStress, WraparoundFifoUnderConcurrentPosters) {
+  static constexpr int kProducers = 4;
+  static constexpr int kPerProducer = 600;  // 2400 frames through 64 slots
+  pd::ShmView view = make_segment(GetParam(), kProducers + 1, 64 << 10);
+
+  std::thread consumer{[&view] {
+    std::atomic<bool> stop{false};
+    std::vector<int> next(kProducers, 0);
+    pd::FrameHeader h;
+    std::vector<std::byte> payload;
+    for (int got = 0; got < kProducers * kPerProducer; ++got) {
+      ASSERT_TRUE(pd::ring_pop(view, 0, h, payload, stop));
+      ASSERT_EQ(payload.size(), 2 * sizeof(std::uint32_t));
+      std::uint32_t vals[2];
+      std::memcpy(vals, payload.data(), sizeof vals);
+      const int src = static_cast<int>(vals[0]);
+      ASSERT_GE(src, 1);
+      ASSERT_LE(src, kProducers);
+      // Per-producer FIFO: producer src's frames arrive in push order.
+      EXPECT_EQ(static_cast<int>(vals[1]), next[src - 1]);
+      EXPECT_EQ(h.tag, static_cast<int>(vals[1]));
+      ++next[src - 1];
+    }
+  }};
+
+  std::vector<std::thread> producers;
+  for (int p = 1; p <= kProducers; ++p) {
+    producers.emplace_back([&view, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::uint32_t vals[2] = {static_cast<std::uint32_t>(p), static_cast<std::uint32_t>(i)};
+        const pd::FrameHeader h = data_header(p, i, sizeof vals);
+        ASSERT_TRUE(pd::ring_push(view, 0, p, h,
+                                  reinterpret_cast<const std::byte*>(vals)));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  pd::shm_detach(view);
+}
+
+// Spill payloads (> kShmInlineBytes) against an arena sized for only a
+// couple of blocks: producers must block on arena exhaustion and resume
+// as the consumer frees, with total traffic ~100x the arena.  Contents
+// are verified end to end, so a double-allocated or early-freed spill
+// block shows up as corruption, not just a crash.
+TEST_P(ShmRingStress, SpillArenaExhaustionUnderConcurrentPosters) {
+  static constexpr int kProducers = 3;
+  static constexpr int kPerProducer = 60;
+  static constexpr std::size_t kPayload = 12 << 10;  // 12 KiB, always spilled
+  // Room for ~5 blocks (+ free-list headers), so exhaustion is constant.
+  pd::ShmView view = make_segment(GetParam(), kProducers + 1, 64 << 10);
+
+  std::thread consumer{[&view] {
+    std::atomic<bool> stop{false};
+    pd::FrameHeader h;
+    std::vector<std::byte> payload;
+    for (int got = 0; got < kProducers * kPerProducer; ++got) {
+      ASSERT_TRUE(pd::ring_pop(view, 0, h, payload, stop));
+      ASSERT_EQ(payload.size(), kPayload);
+      const auto expect = static_cast<std::byte>((h.source * 31 + h.tag) & 0xff);
+      EXPECT_EQ(payload.front(), expect);
+      EXPECT_EQ(payload.back(), expect);
+      EXPECT_EQ(payload[kPayload / 2], expect);
+    }
+  }};
+
+  std::vector<std::thread> producers;
+  for (int p = 1; p <= kProducers; ++p) {
+    producers.emplace_back([&view, p] {
+      std::vector<std::byte> payload(kPayload);
+      for (int i = 0; i < kPerProducer; ++i) {
+        std::memset(payload.data(), (p * 31 + i) & 0xff, payload.size());
+        const pd::FrameHeader h = data_header(p, i, kPayload);
+        ASSERT_TRUE(pd::ring_push(view, 0, p, h, payload.data()));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  pd::shm_detach(view);
+}
+
+// A sender must bail out of a full ring (and of arena exhaustion) when
+// its give_up flag trips — the path that stops survivors from piling
+// frames into a dead process's never-drained ring.
+TEST_P(ShmRingStress, GiveUpAbandonsFullRing) {
+  pd::ShmView view = make_segment(GetParam(), 2, 64 << 10);
+  const pd::FrameHeader h = data_header(1, 0, sizeof(int));
+  const int v = 7;
+  const auto* bytes = reinterpret_cast<const std::byte*>(&v);
+  for (std::size_t i = 0; i < pd::kShmRingSlots; ++i) {
+    ASSERT_TRUE(pd::ring_push(view, 0, 1, h, bytes));
+  }
+  std::atomic<bool> give_up{true};
+  EXPECT_FALSE(pd::ring_push(view, 0, 1, h, bytes, &give_up));
+
+  // Same bail-out from spill-arena exhaustion: one giant block holds the
+  // arena, so the next spill push can only wait — or give up.
+  pd::ShmView view2 = make_segment(GetParam(), 2, 64 << 10);
+  std::vector<std::byte> big(48 << 10);
+  ASSERT_TRUE(pd::ring_push(view2, 0, 1, data_header(1, 1, big.size()), big.data()));
+  EXPECT_FALSE(pd::ring_push(view2, 0, 1, data_header(1, 2, big.size()), big.data(), &give_up));
+
+  pd::shm_detach(view);
+  pd::shm_detach(view2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ShmRingStress, ::testing::Values("fast", "locked"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string{info.param};
+                         });
+
+#if defined(__linux__)
+// The fast protocol's crash window: a forked child claims a slot (head
+// CAS done, claim register set) and is SIGKILLed before publishing seq.
+// The consumer sees head past an unpublished slot — a hole it may skip
+// only once the launcher marks the child dead.  Frames published on
+// either side of the hole must still arrive, in order.
+TEST(ShmRingCrash, DeadProducerHoleIsSkippedInFastMode) {
+  pd::ShmView view = make_segment("fast", 2, 64 << 10);
+  ASSERT_EQ(view.header()->mode, pd::ShmRingMode::kFast);
+
+  const int a = 1;
+  ASSERT_TRUE(pd::ring_push(view, 0, 0, data_header(0, 10, sizeof a),
+                            reinterpret_cast<const std::byte*>(&a)));
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // In the child: die exactly between claim and publish.
+    pd::test_hooks::g_die_between_claim_and_publish.store(true);
+    const int c = 99;
+    (void)pd::ring_push(view, 0, 1, data_header(1, 11, sizeof c),
+                        reinterpret_cast<const std::byte*>(&c));
+    _exit(0);  // unreachable — the hook raises SIGKILL
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  const int b = 2;
+  ASSERT_TRUE(pd::ring_push(view, 0, 0, data_header(0, 12, sizeof b),
+                            reinterpret_cast<const std::byte*>(&b)));
+  // head moved past the child's claimed slot; the slot is unpublished.
+  ASSERT_EQ(view.ring(0)->head.load(), 3u);
+  ASSERT_EQ(view.ring(0)->claim[1].load(), 1u);
+
+  // What the launcher does on reaping the death — without it the
+  // consumer would wait on the hole forever.
+  pd::shm_mark_dead(view, 1);
+
+  std::atomic<bool> stop{false};
+  pd::FrameHeader h;
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(pd::ring_pop(view, 0, h, payload, stop));
+  EXPECT_EQ(h.tag, 10);
+  ASSERT_TRUE(pd::ring_pop(view, 0, h, payload, stop));  // skips the hole
+  EXPECT_EQ(h.tag, 12);
+  EXPECT_EQ(view.ring(0)->tail.load(), 3u);
+
+  // The recycled slot is reusable: fill a full lap and drain it.
+  for (int i = 0; i < static_cast<int>(pd::kShmRingSlots); ++i) {
+    ASSERT_TRUE(pd::ring_push(view, 0, 0, data_header(0, 100 + i, sizeof i),
+                              reinterpret_cast<const std::byte*>(&i)));
+  }
+  for (int i = 0; i < static_cast<int>(pd::kShmRingSlots); ++i) {
+    ASSERT_TRUE(pd::ring_pop(view, 0, h, payload, stop));
+    EXPECT_EQ(h.tag, 100 + i);
+  }
+  pd::shm_detach(view);
+}
+#endif  // __linux__
