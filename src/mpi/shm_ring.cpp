@@ -3,6 +3,7 @@
 #include <array>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -625,11 +626,29 @@ void init_ring(ShmRing* r, std::byte* spill, std::uint64_t spill_bytes) {
 
 [[nodiscard]] ShmRingMode pick_mode(int nprocs) {
   const char* e = std::getenv("PEACHY_SHM_RING");
-  if (e != nullptr && std::string_view{e} == "locked") return ShmRingMode::kLocked;
+  if (e != nullptr) {
+    const std::string_view v{e};
+    if (v == "locked") return ShmRingMode::kLocked;
+    // A typo ("lock", "LOCKED") must not silently select the fast
+    // protocol when the user asked for the robustness fallback.
+    PEACHY_CHECK(v == "fast", "PEACHY_SHM_RING='" + std::string{v} +
+                                  "' is not a ring protocol (expected 'fast' or 'locked')");
+  }
 #if !defined(__linux__)
+  if (e != nullptr) {
+    std::fprintf(stderr,
+                 "peachy-mpi: PEACHY_SHM_RING=fast unavailable without futex; using locked\n");
+  }
   return ShmRingMode::kLocked;  // no futex — the fast path's parking primitive
 #else
-  if (nprocs > kShmMaxFastProcs) return ShmRingMode::kLocked;  // claim-register width
+  if (nprocs > kShmMaxFastProcs) {  // claim-register width
+    if (e != nullptr) {
+      std::fprintf(stderr,
+                   "peachy-mpi: PEACHY_SHM_RING=fast covers <= %d procs; world of %d uses locked\n",
+                   kShmMaxFastProcs, nprocs);
+    }
+    return ShmRingMode::kLocked;
+  }
   return ShmRingMode::kFast;
 #endif
 }
@@ -653,6 +672,9 @@ std::size_t shm_segment_bytes(int nprocs, std::size_t spill_bytes) {
 
 ShmView shm_create(const std::string& name, int nprocs, std::size_t spill_bytes) {
   PEACHY_CHECK(nprocs > 0, "shm_create: nprocs must be positive");
+  // Resolve the protocol first: a bad PEACHY_SHM_RING value fails the
+  // launch before any segment exists to leak.
+  const ShmRingMode mode = pick_mode(nprocs);
   int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
   if (fd < 0 && errno == EEXIST) {
     // Leftover from a crashed earlier run with the same pid-derived
@@ -679,7 +701,7 @@ ShmView shm_create(const std::string& name, int nprocs, std::size_t spill_bytes)
   ShmSegHeader* hdr = view.header();
   hdr->nprocs = static_cast<std::uint32_t>(nprocs);
   hdr->spill_bytes = spill_bytes;
-  hdr->mode = pick_mode(nprocs);
+  hdr->mode = mode;
   hdr->dead_mask.store(0, std::memory_order_relaxed);
   for (int p = 0; p < nprocs; ++p) init_ring(view.ring(p), view.spill(p), spill_bytes);
   // Magic is written last: an attacher that sees it sees initialized rings.
@@ -725,7 +747,6 @@ void shm_mark_dead(const ShmView& view, int proc) noexcept {
 
 bool ring_push(const ShmView& view, int proc, int me, const FrameHeader& h,
                const std::byte* payload, const std::atomic<bool>* give_up) {
-  PEACHY_CHECK(me >= 0 && me <= kShmLauncherProc, "ring_push: bad pusher index");
   if (h.bytes > kShmInlineBytes) {
     const std::uint64_t spill_bytes = view.header()->spill_bytes;
     PEACHY_CHECK(round16(h.bytes) <= spill_bytes,
@@ -734,6 +755,10 @@ bool ring_push(const ShmView& view, int proc, int me, const FrameHeader& h,
                      " bytes) and can never be delivered");
   }
   if (view.header()->mode == ShmRingMode::kFast) {
+    // Only the fast protocol indexes the claim register with `me`; the
+    // locked fallback (auto-selected for worlds wider than
+    // kShmMaxFastProcs) ignores the pusher index entirely.
+    PEACHY_CHECK(me >= 0 && me <= kShmLauncherProc, "ring_push: bad pusher index");
     return push_fast(view, proc, me, h, payload, give_up);
   }
   return push_locked(view, proc, h, payload, give_up);

@@ -142,7 +142,8 @@ struct ShmView {
 /// once).  Initializes every ring's slot sequences, mutex/condvars, and
 /// free list.  The ring protocol is chosen here — PEACHY_SHM_RING=locked
 /// forces the fallback, worlds wider than kShmMaxFastProcs get it
-/// automatically — and recorded in the header for every attacher.
+/// automatically, and any value other than fast|locked is a named
+/// error — and recorded in the header for every attacher.
 [[nodiscard]] ShmView shm_create(const std::string& name, int nprocs, std::size_t spill_bytes);
 
 /// Map an existing segment by name; validates the magic.
@@ -157,7 +158,10 @@ void shm_detach(ShmView& view) noexcept;
 void shm_mark_dead(const ShmView& view, int proc) noexcept;
 
 /// Push one frame into `proc`'s ring as process `me` (ranks pass their
-/// own proc index, the launcher passes kShmLauncherProc).  Blocks while
+/// own proc index, the launcher passes kShmLauncherProc).  Only the
+/// fast protocol uses `me` (claim-register index, bounded by
+/// kShmLauncherProc); the locked fallback ignores it, so wide worlds'
+/// ranks past the register width push normally.  Blocks while
 /// the ring is full or the spill arena can't fit the payload; bails out
 /// and returns false if `give_up` becomes true while waiting (used to
 /// stop filling the ring of a process known to be dead).  A payload

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -413,10 +414,38 @@ class SocketEndpoint {
     return off;
   }
 
+  /// Move just enough of [data, data+n) into conn.buf to complete the
+  /// partial frame carried over from the previous read, dispatch it, and
+  /// return the number of bytes taken.  Never copies past the pending
+  /// frame's end — the rest of the chunk is parsed in place by the
+  /// caller.
+  std::size_t complete_tail(Conn& conn, const std::byte* data, std::size_t n) {
+    std::size_t taken = 0;
+    if (conn.buf.size() < sizeof(FrameHeader)) {
+      const std::size_t want = std::min(sizeof(FrameHeader) - conn.buf.size(), n);
+      conn.buf.insert(conn.buf.end(), data, data + want);
+      taken = want;
+      if (conn.buf.size() < sizeof(FrameHeader)) return taken;  // header still partial
+    }
+    FrameHeader h;
+    std::memcpy(&h, conn.buf.data(), sizeof h);
+    PEACHY_CHECK(h.magic == kWireMagic, "socket transport: corrupt frame on the wire");
+    const std::size_t total = sizeof h + static_cast<std::size_t>(h.bytes);
+    const std::size_t want = std::min(total - conn.buf.size(), n - taken);
+    conn.buf.insert(conn.buf.end(), data + taken, data + taken + want);
+    taken += want;
+    if (conn.buf.size() < total) return taken;  // payload still partial
+    dispatch(conn, h, conn.buf.data() + sizeof h);
+    ++frames_this_wake_;
+    conn.buf.clear();
+    return taken;
+  }
+
   /// Drain everything readable on `conn` in kReadChunk slabs.  Complete
   /// frames are parsed straight out of the read staging buffer; only a
   /// partial tail is carried over in conn.buf — steady-state traffic is
-  /// dispatched with zero reassembly copies.
+  /// dispatched with zero reassembly copies, and a carried-over tail
+  /// copies only its own completion bytes, not the whole next chunk.
   void read_conn(Conn& conn) {
     for (;;) {
       const ssize_t r = ::read(conn.fd, stage_.data(), stage_.size());
@@ -425,16 +454,15 @@ class SocketEndpoint {
         std::size_t n = static_cast<std::size_t>(r);
         const std::byte* data = stage_.data();
         if (!conn.buf.empty()) {
-          // A tail from the previous wake: complete it, then continue
-          // parsing from the staging buffer where the tail's frames end.
-          conn.buf.insert(conn.buf.end(), data, data + n);
-          const std::size_t used = parse_frames(conn, conn.buf.data(), conn.buf.size());
-          conn.buf.erase(conn.buf.begin(), conn.buf.begin() + static_cast<long>(used));
-        } else {
+          const std::size_t taken = complete_tail(conn, data, n);
+          data += taken;
+          n -= taken;
+        }
+        if (conn.buf.empty() && n != 0) {
           const std::size_t used = parse_frames(conn, data, n);
           if (used < n) conn.buf.assign(data + used, data + n);
         }
-        if (n < stage_.size()) break;  // drained — short read means empty socket
+        if (static_cast<std::size_t>(r) < stage_.size()) break;  // short read — socket drained
         continue;
       }
       if (r < 0 && errno == EINTR) continue;

@@ -67,6 +67,36 @@ TEST_P(Transports, SendRecvRoundTrip) {
   }, opts());
 }
 
+TEST_P(Transports, LargeMessagesSpanReadChunks) {
+  // Payloads wider than the socket pump's 256 KiB staging chunk force a
+  // frame to arrive across several read() wakes — the partial-tail
+  // reassembly path — and overflow the shm inline slot capacity — the
+  // spill path.  Odd element counts move the chunk boundary around so it
+  // also lands inside a frame header; the small chaser after each large
+  // frame must still parse in place, in order.
+  pm::run(2, [](pm::Comm& c) {
+    constexpr std::size_t kBig = (std::size_t{256} << 10) / sizeof(int) + 12345;
+    if (c.rank() == 0) {
+      for (int round = 0; round < 3; ++round) {
+        std::vector<int> payload(kBig + static_cast<std::size_t>(round) * 7919);
+        std::iota(payload.begin(), payload.end(), round);
+        c.send<int>(1, round, payload);
+        c.send_value<int>(1, 100 + round, round * 11);
+      }
+    } else {
+      for (int round = 0; round < 3; ++round) {
+        pm::Status st;
+        const auto got = c.recv<int>(0, round, &st);
+        ASSERT_EQ(got.size(), kBig + static_cast<std::size_t>(round) * 7919);
+        std::vector<int> want(got.size());
+        std::iota(want.begin(), want.end(), round);
+        EXPECT_EQ(got, want);
+        EXPECT_EQ(c.recv_value<int>(0, 100 + round), round * 11);
+      }
+    }
+  }, opts());
+}
+
 TEST_P(Transports, PerSourceOrderingHolds) {
   // The wire pump must preserve per-connection order end to end.
   pm::run(3, [](pm::Comm& c) {

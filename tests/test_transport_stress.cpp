@@ -24,6 +24,7 @@
 
 #include "mpi/shm_ring.hpp"
 #include "mpi/wire.hpp"
+#include "support/check.hpp"
 
 namespace pd = peachy::mpi::detail;
 
@@ -173,6 +174,48 @@ INSTANTIATE_TEST_SUITE_P(Modes, ShmRingStress, ::testing::Values("fast", "locked
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            return std::string{info.param};
                          });
+
+// Worlds wider than the claim register auto-select the locked protocol,
+// whose pushes never index the register — so a rank past
+// kShmLauncherProc must be accepted there (rank 65's first send in a
+// 66-proc shm launch), and rejected only under the fast protocol.
+TEST(ShmRingModes, LockedModeAcceptsWidePusherIndex) {
+  const int wide_nprocs = pd::kShmMaxFastProcs + 2;
+  pd::ShmView wide = make_segment("fast", wide_nprocs, 4 << 10);
+  ASSERT_EQ(wide.header()->mode, pd::ShmRingMode::kLocked);  // auto-fallback won
+
+  const int v = 41;
+  const auto* bytes = reinterpret_cast<const std::byte*>(&v);
+  const int widest_rank = wide_nprocs - 1;  // 65 > kShmLauncherProc
+  ASSERT_TRUE(pd::ring_push(wide, 0, widest_rank, data_header(widest_rank, 7, sizeof v), bytes));
+
+  std::atomic<bool> stop{false};
+  pd::FrameHeader h;
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(pd::ring_pop(wide, 0, h, payload, stop));
+  EXPECT_EQ(h.tag, 7);
+  EXPECT_EQ(h.source, widest_rank);
+  pd::shm_detach(wide);
+
+  // The fast protocol still enforces the register bound.
+  pd::ShmView fast = make_segment("fast", 2, 4 << 10);
+  ASSERT_EQ(fast.header()->mode, pd::ShmRingMode::kFast);
+  EXPECT_THROW(
+      pd::ring_push(fast, 0, pd::kShmLauncherProc + 1, data_header(1, 8, sizeof v), bytes),
+      peachy::Error);
+  pd::shm_detach(fast);
+}
+
+// A typo in PEACHY_SHM_RING must not silently select the fast protocol
+// when the user asked for the robustness fallback: anything other than
+// fast|locked is a named error, raised before the segment is created.
+TEST(ShmRingModes, RejectsUnknownRingModeEnv) {
+  const std::string name = "/peachy.test.badmode." + std::to_string(getpid());
+  setenv("PEACHY_SHM_RING", "lock", 1);
+  EXPECT_THROW((void)pd::shm_create(name, 2, 4 << 10), peachy::Error);
+  unsetenv("PEACHY_SHM_RING");
+  shm_unlink(name.c_str());  // must be a no-op: nothing was created
+}
 
 #if defined(__linux__)
 // The fast protocol's crash window: a forked child claims a slot (head
