@@ -10,7 +10,9 @@
 ///   ./fault_demo [--mode=traffic|kmeans --ranks=4 --seed=42
 ///                 --crash-rank=1 --crash-step=200 --every=10
 ///                 --timeout-ms=10000 --transport=inproc|shm|socket
-///                 --print-events ...]
+///                 --durable --ckpt-dir=DIR --chaos=off|full|delay
+///                 --wire-prob=P --wedge-rank=N --wedge-after-ms=M
+///                 --events-out=PREFIX --print-events ...]
 ///
 /// Modes:
 ///   traffic — Nagel–Schreckenberg.  The PRNG cursor is absolute in
@@ -35,11 +37,42 @@
 /// --print-events prints the injector's canonical fired-event log between
 /// "fault events:" and "end events" markers; scripts/check.sh runs the
 /// demo twice and diffs that block to verify seeded replay determinism.
+/// --events-out=PREFIX writes the same log to PREFIX.<rank> instead, one
+/// file per process, so multi-process replay diffs do not depend on
+/// stdout interleaving.
+///
+/// Chaos hardening (this demo doubles as the wire-fault e2e):
+///
+///   --durable         use a DurableCheckpointStore at --ckpt-dir (default
+///                     .peachy-fault-demo.<seed>, shared by every process).
+///                     The checkpoint *owner* is pinned to the victim rank:
+///                     only the rank about to die ever writes a snapshot, so
+///                     the survivors' recovery proves the durable file —
+///                     not any surviving in-memory copy — carried the state.
+///   --chaos=full      seeded wire_drop + wire_corrupt noise on every data
+///                     frame (probability --wire-prob) on top of the crash;
+///                     survivors additionally ride out timeouts and CRC
+///                     drops via revoke/shrink/restore.
+///   --chaos=delay     semantics-preserving wire_delay noise and *no*
+///                     crash: every rank must finish bit-identical, and two
+///                     runs with the same seed must produce byte-identical
+///                     wire event logs (the replay determinism gate).
+///   --wedge-rank=N    rank N raises SIGSTOP after --wedge-after-ms: a
+///                     wedged-not-dead process.  No crash event is planted;
+///                     the heartbeat detector must confirm the silence and
+///                     the survivors must recover exactly as for a kill
+///                     (the parent's reaper SIGKILLs the stopped child).
 
 #include <atomic>
 #include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -68,17 +101,36 @@ struct Config {
   int every = 10;
   std::uint64_t timeout_ms = 10000;
   bool print_events = false;
+  bool durable = false;
+  std::string ckpt_dir;      ///< durable store directory (shared by all ranks)
+  std::string chaos;         ///< off | full | delay
+  double wire_prob = 0.002;  ///< per-frame probability for chaos wire events
+  int wedge_rank = -1;       ///< rank that SIGSTOPs itself (-1 = none)
+  int wedge_after_ms = 200;
+  std::string events_out;    ///< per-rank event log file prefix
   pm::TransportKind transport = pm::TransportKind::kDefault;
   int argc = 0;       ///< original argv, replayed verbatim by launch_self
   char** argv = nullptr;
+
+  /// The rank whose process is expected to die (by SIGKILL or by the
+  /// reaper finishing off a wedge); -1 when every rank should survive.
+  [[nodiscard]] int victim() const {
+    if (wedge_rank >= 0) return wedge_rank;
+    return chaos == "delay" ? -1 : crash_rank;
+  }
 };
 
 /// The recovery protocol every surviving rank follows: run `body` until it
 /// completes; on a peer failure revoke the communicator (first observer
 /// wins), shrink to the survivors, and go again — `body` restarts from the
 /// latest checkpoint.  Returns the number of shrink episodes this rank saw.
+///
+/// With `ride_transients`, wire chaos symptoms — a timeout from a dropped
+/// frame, a CRC-discarded message — take the same revoke/shrink/restore
+/// path even though nobody died: shrink() keeps the full membership and
+/// the restart replays from the latest checkpoint past the lost message.
 template <typename Body>
-int run_with_recovery(pm::Comm& world, const Body& body) {
+int run_with_recovery(pm::Comm& world, bool ride_transients, const Body& body) {
   pm::Comm comm = world;
   int episodes = 0;
   for (;;) {
@@ -90,6 +142,9 @@ int run_with_recovery(pm::Comm& world, const Body& body) {
       // through to the shared shrink.
     } catch (const pf::RankFailedError&) {
       comm.revoke();  // push the other survivors out of the dead collective
+    } catch (const pf::TransientError&) {
+      if (!ride_transients) throw;
+      comm.revoke();
     }
     comm = comm.shrink();
     ++episodes;
@@ -103,6 +158,14 @@ int run_with_recovery(pm::Comm& world, const Body& body) {
 /// signal death and every survivor exiting 0 — each survivor verified
 /// its own recovered state against the serial reference before exiting.
 int launch_traffic_world(const Config& cfg) {
+  if (cfg.wedge_rank >= 0) {
+    // A wedged child never exits on its own: give the children a short
+    // heartbeat (so survivors detect the silence) and arm the launcher's
+    // straggler reaper (so the stopped process is SIGKILLed once the
+    // survivors are done).  Explicit env settings win.
+    setenv("PEACHY_HEARTBEAT_TIMEOUT", "2000", /*overwrite=*/0);
+    setenv("PEACHY_LAUNCH_REAP_MS", "4000", /*overwrite=*/0);
+  }
   pm::LaunchOptions lo;
   lo.nranks = cfg.ranks;
   lo.kind = cfg.transport;
@@ -117,11 +180,18 @@ int launch_traffic_world(const Config& cfg) {
       std::cout << "exit " << ps.exit_code << "\n";
     }
   }
-  const bool ok =
-      res.killed == 1 && killed_rank == cfg.crash_rank && res.clean == cfg.ranks - 1;
+  const int victim = cfg.victim();
+  const int want_clean = victim >= 0 ? cfg.ranks - 1 : cfg.ranks;
+  const bool ok = victim >= 0
+                      ? (res.killed == 1 && killed_rank == victim && res.clean == want_clean)
+                      : (res.killed == 0 && res.clean == want_clean);
   std::cout << "multi-process traffic demo (" << pm::transport_name(cfg.transport) << "): "
-            << res.clean << "/" << cfg.ranks - 1 << " survivors recovered after rank "
-            << cfg.crash_rank << "'s process was killed: " << (ok ? "✓" : "✗") << "\n";
+            << res.clean << "/" << want_clean << " survivors recovered"
+            << (victim >= 0
+                    ? " after rank " + std::to_string(victim) + "'s process was " +
+                          (cfg.wedge_rank >= 0 ? "wedged then reaped" : "killed")
+                    : " under wire chaos")
+            << ": " << (ok ? "✓" : "✗") << "\n";
   return ok ? 0 : 1;
 }
 
@@ -137,20 +207,52 @@ int demo_traffic(const Config& cfg, peachy::support::Cli& cli) {
 
   const bool wire = cfg.transport == pm::TransportKind::kShm ||
                     cfg.transport == pm::TransportKind::kSocket;
+  if ((cfg.chaos != "off" || cfg.wedge_rank >= 0) && !wire) {
+    std::cerr << "--chaos and --wedge-rank need a real wire: use --transport=shm|socket\n";
+    return 2;
+  }
   const pm::LaunchInfo& li = pm::launch_info();
+  if (!li.launched && cfg.durable) {
+    // Fresh durable directory per run; only the parent (or the single
+    // in-process run) cleans — launched children share the live dir.
+    std::filesystem::remove_all(cfg.ckpt_dir);
+  }
   if (wire && !li.launched) return launch_traffic_world(cfg);
+
+  // A wedged rank: stop dead after a while, mid-collective, without
+  // exiting — the failure mode only the heartbeat detector can see.
+  if (li.launched && li.rank == cfg.wedge_rank) {
+    std::thread{[ms = cfg.wedge_after_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds{ms});
+      raise(SIGSTOP);
+    }}.detach();
+  }
 
   // Ground truth: the serial solver (run_mpi's contract is bit equality
   // with it for any rank count — including a rank count that shrank).
   const auto reference = peachy::traffic::run_serial(spec, steps);
 
+  const int victim = cfg.victim();
   pf::FaultPlan plan;
   plan.set_seed(cfg.seed);
-  plan.add({.kind = pf::FaultKind::crash,
-            .rank = cfg.crash_rank,
-            .step = cfg.crash_step});
+  if (cfg.wedge_rank < 0 && cfg.chaos != "delay") {
+    plan.add({.kind = pf::FaultKind::crash,
+              .rank = cfg.crash_rank,
+              .step = cfg.crash_step});
+  }
+  if (cfg.chaos == "full") {
+    plan.add({.kind = pf::FaultKind::wire_drop, .prob = cfg.wire_prob});
+    plan.add({.kind = pf::FaultKind::wire_corrupt, .prob = cfg.wire_prob});
+  } else if (cfg.chaos == "delay") {
+    plan.add({.kind = pf::FaultKind::wire_delay, .prob = 0.05, .ns = 200'000});
+  } else if (!cfg.chaos.empty() && cfg.chaos != "off") {
+    std::cerr << "unknown --chaos=" << cfg.chaos << " (off | full | delay)\n";
+    return 2;
+  }
 
-  pf::CheckpointStore store;
+  std::unique_ptr<pf::CheckpointStore> store =
+      cfg.durable ? std::make_unique<pf::DurableCheckpointStore>(cfg.ckpt_dir)
+                  : std::make_unique<pf::CheckpointStore>();
   std::string event_log;
   pm::RunOptions ropts;
   ropts.plan = &plan;
@@ -165,13 +267,27 @@ int demo_traffic(const Config& cfg, peachy::support::Cli& cli) {
   peachy::support::Stopwatch sw;
   pm::run(cfg.ranks, [&](pm::Comm& world) {
     const auto wr = static_cast<std::size_t>(world.rank());
-    const pf::FtOptions ft{cfg.every, &store, "traffic"};
-    episodes.fetch_add(run_with_recovery(world, [&](pm::Comm& comm) {
+    episodes.fetch_add(run_with_recovery(world, cfg.chaos == "full", [&](pm::Comm& comm) {
+      pf::FtOptions ft{cfg.every, store.get(), "traffic"};
+      if (cfg.durable) {
+        // Pin checkpoint writing to the rank that is about to die (while
+        // it is still a member): after the kill only the durable file —
+        // not any survivor's memory — can carry its snapshots.  Once the
+        // world has shrunk, rank 0 of the survivors takes over.
+        ft.owner = victim >= 0 && comm.size() == cfg.ranks ? victim : 0;
+      }
       finals[wr] = peachy::traffic::run_mpi(comm, spec, steps, nullptr, ft);
       survived[wr] = 1;
     }));
   }, ropts);
   const double faulty_ms = sw.elapsed_ms();
+
+  if (!cfg.events_out.empty()) {
+    // One file per process so multi-process replay diffs never depend on
+    // stdout interleaving.
+    std::ofstream out{cfg.events_out + "." + std::to_string(li.launched ? li.rank : 0)};
+    out << event_log;
+  }
 
   if (li.launched) {
     // One process, one rank: this process's whole verdict is its own
@@ -241,7 +357,7 @@ int demo_kmeans(const Config& cfg, peachy::support::Cli& cli) {
     peachy::support::Stopwatch sw;
     pm::run(cfg.ranks, [&](pm::Comm& world) {
       const pf::FtOptions ft{store != nullptr ? cfg.every : 0, store, "kmeans"};
-      episodes.fetch_add(run_with_recovery(world, [&](pm::Comm& comm) {
+      episodes.fetch_add(run_with_recovery(world, false, [&](pm::Comm& comm) {
         const peachy::data::PointSet empty;
         auto res = peachy::kmeans::cluster_mpi(comm, comm.rank() == 0 ? points : empty,
                                                opts, nullptr, ft);
@@ -310,6 +426,20 @@ int main(int argc, char** argv) {
   cfg.every = cli.get<int>("every", 10, "checkpoint cadence (iterations)");
   cfg.timeout_ms = cli.get<std::uint64_t>("timeout-ms", 10000, "per-op deadline");
   cfg.print_events = cli.flag("print-events", "print the injector's fired-event log");
+  cfg.durable = cli.flag("durable", "file-backed checkpoints that survive the SIGKILL");
+  cfg.ckpt_dir = cli.get<std::string>("ckpt-dir",
+                                      ".peachy-fault-demo." + std::to_string(cfg.seed),
+                                      "durable checkpoint directory (shared by all ranks)");
+  cfg.chaos = cli.get<std::string>("chaos", "off",
+                                   "wire noise: off | full (drop+corrupt+crash) | "
+                                   "delay (semantics-preserving, no crash)");
+  cfg.wire_prob = cli.get<double>("wire-prob", 0.002,
+                                  "per-frame probability for --chaos=full events");
+  cfg.wedge_rank = cli.get<int>("wedge-rank", -1,
+                                "rank that SIGSTOPs itself instead of crashing (-1 = off)");
+  cfg.wedge_after_ms = cli.get<int>("wedge-after-ms", 200, "wedge delay");
+  cfg.events_out = cli.get<std::string>("events-out", "",
+                                        "write the fired-event log to PREFIX.<rank>");
   const auto transport = cli.get<std::string>(
       "transport", "inproc", "mini-MPI transport (inproc | shm | socket)");
   cfg.transport = peachy::mpi::parse_transport(transport);

@@ -56,6 +56,15 @@
 #                 then a full-size run gated on the *inproc* rows at <2%
 #                 geomean regression vs the committed baseline — the
 #                 wire fast paths must not tax the in-process backend
+#   chaos-smoke — chaos-hardened wires (DESIGN.md §17): the conformance
+#                 suite stays green under a seeded wire-fault plan
+#                 (Release + ASan), fault_demo survives corruption +
+#                 drops + a real SIGKILL over both wires with durable-
+#                 checkpoint restore, a wedged (SIGSTOPped) rank is
+#                 detected by the heartbeat layer, the seeded wire plan
+#                 replays byte-identically, and the injection-disabled
+#                 CRC+heartbeat cost gates at <2% geomean on
+#                 bench_transport vs the committed baseline
 #   lint-smoke  — Release build of peachy-lint + test_lint; runs the rule
 #                 engine tests, requires the fixture corpus to produce
 #                 findings (the rules demonstrably fire), requires *zero*
@@ -75,7 +84,7 @@
 #                 geomean over compiled-in defaults on the collective
 #                 sweep at two or more rank counts
 #
-# Usage: scripts/check.sh [config ...]     (default: all eleven)
+# Usage: scripts/check.sh [config ...]     (default: all twelve)
 
 set -euo pipefail
 
@@ -480,6 +489,94 @@ EOF
   echo "==== [transport-bench-smoke] OK ===="
 }
 
+run_chaos_smoke() {
+  # Chaos-hardened wires (DESIGN.md §17).  Four gates: (1) the
+  # cross-backend conformance suite must stay green while a seeded wire
+  # plan delays frames under every test, in Release and under ASan;
+  # (2) fault_demo must survive real chaos — frame corruption + drops +
+  # one SIGKILL — over both wires and restore the dead rank's snapshot
+  # from the durable checkpoint store, bit-identical to the serial
+  # reference; (3) a delay-only plan must replay byte-identically
+  # (drop/corrupt recovery points are timing-dependent; delay is the
+  # determinism gate); (4) a wedged rank — SIGSTOPped, so the launcher
+  # sees no exit — must be confirmed dead by the heartbeat layer alone.
+  # Then the payoff contract: with no plan armed, the always-on header
+  # CRC + heartbeat machinery must cost <2% geomean on bench_transport.
+  local dir="$ROOT/build-check-transport-smoke"
+  local plan='seed=11; wire_delay@prob=0.05,ns=200000'
+  echo "==== [chaos-smoke] configure ===="
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=OFF -DPEACHY_BUILD_TESTS=ON -DPEACHY_BUILD_EXAMPLES=ON
+  echo "==== [chaos-smoke] build ===="
+  cmake --build "$dir" --target test_transport fault_demo peachy-launch -j "$JOBS"
+  echo "==== [chaos-smoke] conformance under a seeded wire plan ===="
+  PEACHY_FAULTS="$plan" "$dir/tests/test_transport"
+  echo "==== [chaos-smoke] conformance under the plan, ASan ===="
+  local asan="$ROOT/build-check-transport-asan"
+  cmake -B "$asan" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPEACHY_SANITIZE=ON \
+    -DPEACHY_BUILD_BENCH=OFF -DPEACHY_BUILD_TESTS=ON -DPEACHY_BUILD_EXAMPLES=OFF
+  cmake --build "$asan" --target test_transport -j "$JOBS"
+  PEACHY_FAULTS="$plan" "$asan/tests/test_transport"
+  echo "==== [chaos-smoke] chaos survival + durable restore (shm + socket) ===="
+  for transport in shm socket; do
+    "$dir/examples/fault_demo" --mode=traffic --transport="$transport" \
+      --chaos=full --durable --seed=11 --timeout-ms=1500
+  done
+  echo "==== [chaos-smoke] byte-identical replay of the seeded wire plan ===="
+  local ev="$dir/chaos_events"
+  rm -f "$ev".a.* "$ev".b.*
+  "$dir/examples/fault_demo" --mode=traffic --transport=shm --chaos=delay \
+    --seed=11 --events-out="$ev.a"
+  "$dir/examples/fault_demo" --mode=traffic --transport=shm --chaos=delay \
+    --seed=11 --events-out="$ev.b"
+  local nrank=0 fired=0
+  for a in "$ev".a.*; do
+    diff -u "$a" "${a/.a./.b.}"
+    nrank=$((nrank + 1))
+    [ -s "$a" ] && fired=$((fired + 1))
+  done
+  [ "$fired" -ge 1 ] || { echo "chaos-smoke: no wire events fired" >&2; exit 1; }
+  echo "replay OK: $nrank per-rank event logs byte-identical ($fired non-empty)"
+  echo "==== [chaos-smoke] wedged-rank heartbeat detection (shm + socket) ===="
+  # SIGSTOP, not SIGKILL: the launcher sees no exit, so only peer-to-peer
+  # heartbeats can notice.  fault_demo expects exactly the wedged rank to
+  # be confirmed dead and the survivors to recover bit-identically.
+  for transport in shm socket; do
+    "$dir/examples/fault_demo" --mode=traffic --transport="$transport" \
+      --wedge-rank=2 --steps=20000 --seed=5
+  done
+  echo "==== [chaos-smoke] injection-disabled CRC+heartbeat overhead gate ===="
+  local bdir="$ROOT/build-check-bench-smoke"
+  cmake -B "$bdir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPEACHY_BUILD_BENCH=ON -DPEACHY_BUILD_TESTS=OFF -DPEACHY_BUILD_EXAMPLES=OFF
+  cmake --build "$bdir" --target bench_transport -j "$JOBS"
+  # Same three-sweep per-row min-merge as transport-bench-smoke: single
+  # sweeps drift 10-20% per row on a busy host; the min of three does not.
+  local fresh="$bdir/bench/BENCH_transport_chaos.json"
+  for i in 1 2 3; do
+    "$bdir/bench/bench_transport" --out "$bdir/bench/BENCH_transport_chaos.$i.json" --repeat 9
+  done
+  python3 - "$fresh" "$bdir"/bench/BENCH_transport_chaos.[123].json <<'EOF'
+import json, sys
+out_path, paths = sys.argv[1], sys.argv[2:]
+docs = [json.load(open(p)) for p in paths]
+merged = docs[0]
+for row in merged["benchmarks"]:
+    for d in docs[1:]:
+        other = next(r for r in d["benchmarks"] if r["name"] == row["name"])
+        row["kernel_ns"] = min(row["kernel_ns"], other["kernel_ns"])
+with open(out_path, "w") as f:
+    json.dump(merged, f)
+print(f"min-merged {len(paths)} sweeps -> {out_path}")
+EOF
+  python3 "$ROOT/scripts/bench_compare.py" \
+    "$ROOT/BENCH_transport.json" "$fresh" --tolerance 0.02
+  echo "==== [chaos-smoke] OK ===="
+}
+
 run_lint_smoke() {
   local dir="$ROOT/build-check-lint-smoke"
   echo "==== [lint-smoke] configure ===="
@@ -514,7 +611,7 @@ EOF
 
 configs=("$@")
 if [ "${#configs[@]}" -eq 0 ]; then
-  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke lint-smoke tune-smoke transport-smoke transport-bench-smoke)
+  configs=(asan-ubsan tsan analysis bench-smoke bench-substrates-smoke obs-smoke faults-smoke lint-smoke tune-smoke transport-smoke transport-bench-smoke chaos-smoke)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -529,9 +626,10 @@ for cfg in "${configs[@]}"; do
     lint-smoke)  run_lint_smoke ;;
     transport-smoke) run_transport_smoke ;;
     transport-bench-smoke) run_transport_bench_smoke ;;
+    chaos-smoke) run_chaos_smoke ;;
     tune-smoke)  run_tune_smoke ;;
     tune-gate)   run_tune_gate ;;
-    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke, lint-smoke, tune-smoke, transport-smoke, transport-bench-smoke, tune-gate)" >&2; exit 2 ;;
+    *) echo "unknown config '$cfg' (expected: asan-ubsan, tsan, analysis, bench-smoke, bench-substrates-smoke, obs-smoke, faults-smoke, lint-smoke, tune-smoke, transport-smoke, transport-bench-smoke, chaos-smoke, tune-gate)" >&2; exit 2 ;;
   esac
 done
 

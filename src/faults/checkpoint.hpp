@@ -12,11 +12,15 @@
 /// a textual format because restart equality is *bit* equality: a restored
 /// double must be the exact bits that were saved.
 ///
-/// The store is in-memory and process-wide-shared by design: the mini-MPI
+/// The default store is in-memory and process-wide-shared: the mini-MPI
 /// ranks are threads of one process, so "stable storage that survives a
 /// rank crash" is simply memory owned by the Machine's controller rather
-/// than by any rank.  (A file-backed store would add nothing to the
-/// teaching point and would slow the fault matrix down.)
+/// than by any rank.  That stops being true in *launched* worlds — a
+/// SIGKILLed process takes its in-memory store with it — so
+/// `DurableCheckpointStore` adds an opt-in file backend (atomic
+/// tmp+rename, CRC32C-validated, latest-only per key) that survivors or a
+/// respawned process read to restore the dead rank's snapshot
+/// (DESIGN.md §17).
 ///
 /// Checkpoint discipline for the drivers (kmeans/traffic/heat): the
 /// snapshot is taken at an iteration boundary, *after* the collectives of
@@ -107,22 +111,29 @@ struct Snapshot {
 /// Thread-safe keyed snapshot storage.  Keys name the computation
 /// ("kmeans", "traffic", …); `save` overwrites — only the latest snapshot
 /// per key is retained (the drivers checkpoint at a fixed cadence and
-/// restart wants the most recent state).
+/// restart wants the most recent state).  The base class *is* the
+/// in-memory store; DurableCheckpointStore overrides the three virtuals
+/// with a file backend.
 class CheckpointStore {
  public:
-  void save(const std::string& key, Snapshot snap) {
+  CheckpointStore() = default;
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+  virtual ~CheckpointStore() = default;
+
+  virtual void save(const std::string& key, Snapshot snap) {
     const std::scoped_lock lock{mu_};
     store_[key] = std::move(snap);
   }
 
-  [[nodiscard]] std::optional<Snapshot> load(const std::string& key) const {
+  [[nodiscard]] virtual std::optional<Snapshot> load(const std::string& key) const {
     const std::scoped_lock lock{mu_};
     const auto it = store_.find(key);
     if (it == store_.end()) return std::nullopt;
     return it->second;
   }
 
-  [[nodiscard]] bool has(const std::string& key) const {
+  [[nodiscard]] virtual bool has(const std::string& key) const {
     const std::scoped_lock lock{mu_};
     return store_.contains(key);
   }
@@ -130,6 +141,39 @@ class CheckpointStore {
  private:
   mutable std::mutex mu_;
   std::map<std::string, Snapshot> store_;
+};
+
+/// File-backed CheckpointStore: one file per key under `dir`
+/// (`<sanitized key>.ckpt`), written atomically (unique temp file +
+/// rename) so a crash mid-save leaves the previous snapshot intact, never
+/// a torn file.  The format carries magic, version, and a trailing CRC32C
+/// over everything before it; `load()` treats any validation failure like
+/// tune's paranoid profile loading — warn, count
+/// (`faults.ckpt.corrupt`), and report "no snapshot" so the caller falls
+/// back to a fresh start.  `load_strict()` names the problem instead
+/// (CheckpointCorruptError) for callers and tests that must distinguish
+/// "absent" from "damaged".  Safe for concurrent processes sharing `dir`:
+/// rename is atomic and readers see either the old or the new file.
+class DurableCheckpointStore final : public CheckpointStore {
+ public:
+  /// Creates `dir` if missing (one level; parent must exist).
+  explicit DurableCheckpointStore(std::string dir);
+
+  void save(const std::string& key, Snapshot snap) override;
+  [[nodiscard]] std::optional<Snapshot> load(const std::string& key) const override;
+  [[nodiscard]] bool has(const std::string& key) const override;
+
+  /// Like load(), but a file that exists and fails validation throws
+  /// CheckpointCorruptError instead of falling back.
+  [[nodiscard]] std::optional<Snapshot> load_strict(const std::string& key) const;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// The file a key maps to (sanitized; exposed for tests and cleanup).
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+
+ private:
+  std::string dir_;
 };
 
 /// Fault-tolerance options threaded through the iterative drivers.  The
@@ -142,6 +186,12 @@ struct FtOptions {
   CheckpointStore* store = nullptr;
   /// Snapshot key; also the obs counter suffix.
   std::string key;
+  /// Which rank writes snapshots: -1 keeps each driver's default
+  /// discipline (rank 0, or every process in launched worlds); >= 0 pins
+  /// writing to that single rank — with a shared DurableCheckpointStore
+  /// this is how a demo proves survivors can restore a snapshot only the
+  /// (now dead) owner ever wrote.
+  int owner = -1;
 
   [[nodiscard]] bool active() const noexcept { return every > 0 && store != nullptr; }
 };

@@ -1,0 +1,75 @@
+/// \file detect.cpp
+/// \brief Heartbeat failure detection policy (detect.hpp).
+
+#include "faults/detect.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "support/check.hpp"
+
+namespace peachy::faults {
+
+HeartbeatConfig HeartbeatConfig::from_env(bool launched, int nprocs) {
+  constexpr std::uint64_t kDefaultMs = 10'000;
+  std::uint64_t ms = launched && nprocs > 1 ? kDefaultMs : 0;
+  if (const char* env = std::getenv("PEACHY_HEARTBEAT_TIMEOUT");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    PEACHY_CHECK(end != nullptr && *end == '\0',
+                 "PEACHY_HEARTBEAT_TIMEOUT must be a timeout in milliseconds (0 "
+                 "disables), got '" +
+                     std::string{env} + "'");
+    // An explicit value wins, but only where heartbeats exist at all:
+    // single-process and unlaunched worlds have no peers to monitor.
+    ms = launched && nprocs > 1 ? v : 0;
+  }
+  return HeartbeatConfig{ms * 1'000'000};
+}
+
+HeartbeatMonitor::HeartbeatMonitor(int npeers, HeartbeatConfig cfg)
+    : cfg_{cfg}, peers_(static_cast<std::size_t>(npeers)) {}
+
+void HeartbeatMonitor::alive(int peer, std::uint64_t now_ns) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (p.state == State::kConfirmed) return;  // death is sticky, like peer_failed
+  if (now_ns <= p.last_alive_ns && p.state != State::kUnknown) return;
+  p.last_alive_ns = now_ns;
+  p.state = State::kAlive;  // rehabilitates a suspect
+}
+
+HeartbeatMonitor::Verdict HeartbeatMonitor::check(int peer, std::uint64_t now_ns) {
+  Peer& p = peers_[static_cast<std::size_t>(peer)];
+  if (!cfg_.enabled() || p.state == State::kConfirmed) return Verdict::kAlive;
+  if (p.state == State::kUnknown) {
+    // First sighting of this peer by the monitor: anchor its clock here.
+    // A peer that *never* proves life — wedged before it ever spoke — is
+    // then confirmed like any other silence; without the anchor it would
+    // be unmonitorable and its peers would block on it forever.  The
+    // flip side: a peer must finish starting up within timeout + grace
+    // of our first beat, which is why the default timeout is generous.
+    p.last_alive_ns = now_ns;
+    p.state = State::kAlive;
+    return Verdict::kAlive;
+  }
+  const std::uint64_t silence = now_ns > p.last_alive_ns ? now_ns - p.last_alive_ns : 0;
+  if (p.state == State::kAlive) {
+    if (silence <= cfg_.timeout_ns) return Verdict::kAlive;
+    p.state = State::kSuspected;
+    if (obs::enabled()) obs::counter("mpi.transport.heartbeat.suspected").add(1);
+    return Verdict::kSuspected;
+  }
+  // Suspected: confirm after the grace period on top of the timeout.
+  if (silence <= cfg_.timeout_ns + cfg_.grace_ns()) return Verdict::kAlive;
+  p.state = State::kConfirmed;
+  if (obs::enabled()) obs::counter("mpi.transport.heartbeat.confirmed").add(1);
+  return Verdict::kConfirmed;
+}
+
+bool HeartbeatMonitor::confirmed(int peer) const noexcept {
+  return peers_[static_cast<std::size_t>(peer)].state == State::kConfirmed;
+}
+
+}  // namespace peachy::faults

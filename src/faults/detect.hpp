@@ -1,0 +1,100 @@
+#pragma once
+/// \file detect.hpp
+/// \brief Heartbeat failure detection policy (DESIGN.md §17).
+///
+/// The wire transports made failure detection launcher-mediated: only the
+/// parent that forked a rank notices its SIGKILL, and a *wedged* rank —
+/// alive but not scheduling, e.g. SIGSTOPped or spinning in a signal
+/// handler — is never noticed at all.  The heartbeat layer makes detection
+/// peer-to-peer: every process periodically proves liveness (kPing frames
+/// on the socket pump; last-alive timestamp words in the shm segment
+/// header), and every process independently monitors its peers' proofs.
+/// A peer silent past the timeout is *suspected*; still silent past a
+/// grace period, it is *confirmed* dead and fed into the existing
+/// kFailed → RankFailedError → revoke()/shrink() machinery.
+///
+/// This header holds the pure policy — a per-peer state machine over
+/// timestamps — so both transports share one tested implementation and
+/// the tests need no processes, clocks, or wires.
+///
+/// Heartbeat frames are endpoint-level, like kHello/kBye: they are
+/// consumed by the transport pump and never routed into a Machine, so
+/// they cannot perturb the deadlock checker's wire-in-flight accounting
+/// (mpi_checker defers deadlock verdicts while frames are in flight; a
+/// periodic ping stream would otherwise defer them forever).  The
+/// config's launched-worlds-only gate additionally keeps heartbeats out
+/// of every in-process world, where the checker actually runs.
+
+#include <cstdint>
+#include <vector>
+
+namespace peachy::faults {
+
+/// Heartbeat tuning, resolved once per endpoint from the environment.
+struct HeartbeatConfig {
+  /// Silence threshold in nanoseconds; 0 disables the detector.
+  std::uint64_t timeout_ns = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return timeout_ns != 0; }
+
+  /// Beat/scan period: a peer gets several chances to prove liveness per
+  /// timeout window, but never busier than 50ms.
+  [[nodiscard]] std::uint64_t interval_ns() const noexcept {
+    constexpr std::uint64_t kFloorNs = 50'000'000;
+    const std::uint64_t quarter = timeout_ns / 4;
+    return quarter < kFloorNs ? kFloorNs : quarter;
+  }
+
+  /// Suspected → confirmed grace: one more full beat interval, so a peer
+  /// that was merely descheduled across the threshold gets a final chance.
+  [[nodiscard]] std::uint64_t grace_ns() const noexcept { return interval_ns(); }
+
+  /// Resolve from `PEACHY_HEARTBEAT_TIMEOUT` (milliseconds; 0 disables).
+  /// Unset: defaults to 10000ms in launched multi-process worlds and 0
+  /// (off) everywhere else — in-process worlds have the launcher-less
+  /// checker and no wire to lose, and a single process has no peers.
+  [[nodiscard]] static HeartbeatConfig from_env(bool launched, int nprocs);
+};
+
+/// Per-peer suspicion state machine.  Feed it observed proof-of-life
+/// timestamps (`alive`) and poll it (`check`); it reports each suspected /
+/// confirmed *transition* exactly once, and un-suspects a peer that comes
+/// back before confirmation.  Not thread-safe — each endpoint drives its
+/// monitor from one thread (the socket pump / the shm beat thread).
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(int npeers, HeartbeatConfig cfg);
+
+  enum class Verdict : std::uint8_t {
+    kAlive,      ///< no transition (includes "never heard from yet")
+    kSuspected,  ///< crossed the timeout just now
+    kConfirmed,  ///< crossed timeout + grace just now — treat as dead
+  };
+
+  /// Record proof of life from `peer` stamped at `now_ns`.  Stale stamps
+  /// (≤ the last recorded) are ignored.  A peer that was suspected but
+  /// not yet confirmed is rehabilitated.
+  void alive(int peer, std::uint64_t now_ns);
+
+  /// Evaluate `peer` at `now_ns`; returns the transition taken (kAlive if
+  /// none).  The first check anchors a never-heard-from peer's clock at
+  /// `now_ns` — so a peer wedged before it ever spoke is still confirmed
+  /// after timeout + grace, at the price that startup slower than the
+  /// timeout reads as death (hence the generous default timeout).  A
+  /// confirmed peer stays confirmed.
+  Verdict check(int peer, std::uint64_t now_ns);
+
+  /// True once `peer` has been confirmed dead.
+  [[nodiscard]] bool confirmed(int peer) const noexcept;
+
+ private:
+  enum class State : std::uint8_t { kUnknown, kAlive, kSuspected, kConfirmed };
+  struct Peer {
+    std::uint64_t last_alive_ns = 0;
+    State state = State::kUnknown;
+  };
+  HeartbeatConfig cfg_;
+  std::vector<Peer> peers_;
+};
+
+}  // namespace peachy::faults

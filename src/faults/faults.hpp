@@ -47,6 +47,33 @@ class TimeoutError : public TransientError {
   explicit TimeoutError(const std::string& what) : TransientError(what) {}
 };
 
+/// A frame failed its integrity check at a wire receive boundary: CRC32C
+/// mismatch, bad magic, or a desynchronized stream (DESIGN.md §17).
+/// Transient by classification — the damage is to one frame or one
+/// connection, not to the world; the transports translate an
+/// unrecoverable instance (socket stream desync) into peer failure.
+class WireIntegrityError : public TransientError {
+ public:
+  explicit WireIntegrityError(const std::string& what) : TransientError(what) {}
+};
+
+/// A durable checkpoint file failed validation (truncated, bit-flipped,
+/// wrong version/magic).  Raised by DurableCheckpointStore::load_strict;
+/// the default load() maps it to "no snapshot" so recovery falls back to
+/// a fresh start instead of restoring garbage.
+class CheckpointCorruptError : public peachy::Error {
+ public:
+  explicit CheckpointCorruptError(const std::string& what) : Error(what) {}
+};
+
+/// Socket-transport rendezvous failed permanently: every bounded
+/// connect() retry was exhausted (RetryPolicy-backed; transient refusals
+/// from slow-starting peers are retried before this is raised).
+class RendezvousError : public peachy::Error {
+ public:
+  explicit RendezvousError(const std::string& what) : Error(what) {}
+};
+
 /// A peer rank crashed.  `rank()` is the failed rank in *world* numbering
 /// (matching the fault plan's scope), so handlers can log/exclude it even
 /// when operating through a shrunken communicator.

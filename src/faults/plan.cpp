@@ -1,8 +1,10 @@
 #include "faults/plan.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "obs/obs.hpp"
@@ -13,11 +15,24 @@ namespace peachy::faults {
 
 namespace {
 
-constexpr std::string_view kKindNames[] = {"crash", "drop", "dup", "delay", "stall"};
+constexpr std::string_view kKindNames[] = {"crash",        "drop",       "dup",
+                                           "delay",        "stall",      "wire_drop",
+                                           "wire_dup",     "wire_delay", "wire_corrupt",
+                                           "wire_truncate"};
+
+constexpr std::string_view kFrameNames[] = {"data",   "hello", "bye", "failed",
+                                            "revoke", "abort", "ping"};
 
 std::optional<FaultKind> kind_from(std::string_view s) noexcept {
   for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
     if (s == kKindNames[i]) return static_cast<FaultKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<int> frame_from(std::string_view s) noexcept {
+  for (std::size_t i = 0; i < std::size(kFrameNames); ++i) {
+    if (s == kFrameNames[i]) return static_cast<int>(i);
   }
   return std::nullopt;
 }
@@ -67,7 +82,8 @@ FaultEvent parse_event(std::string_view clause) {
   const auto kind = kind_from(trim(clause.substr(0, at)));
   PEACHY_CHECK(kind.has_value(),
                "faults: unknown fault kind in clause '" + std::string{clause} +
-                   "' (want crash|drop|dup|delay|stall)");
+                   "' (want crash|drop|dup|delay|stall|wire_drop|wire_dup|wire_delay|"
+                   "wire_corrupt|wire_truncate)");
 
   FaultEvent e;
   e.kind = *kind;
@@ -94,6 +110,12 @@ FaultEvent parse_event(std::string_view clause) {
       e.prob = parse_prob(val, clause);
     } else if (key == "ns") {
       e.ns = parse_u64(val, clause);
+    } else if (key == "frame") {
+      const auto f = frame_from(val);
+      PEACHY_CHECK(f.has_value(), "faults: unknown frame kind '" + std::string{val} +
+                                      "' in clause '" + std::string{clause} +
+                                      "' (want data|hello|bye|failed|revoke|abort|ping)");
+      e.frame = *f;
     } else {
       PEACHY_CHECK(false, "faults: unknown field '" + std::string{key} + "' in clause '" +
                               std::string{clause} + "'");
@@ -108,10 +130,17 @@ FaultEvent parse_event(std::string_view clause) {
     PEACHY_CHECK(e.rank != kAnyScope,
                  "faults: crash needs rank=N in clause '" + std::string{clause} + "'");
   }
-  if (e.kind == FaultKind::delay || e.kind == FaultKind::stall) {
+  if (e.kind == FaultKind::delay || e.kind == FaultKind::stall ||
+      e.kind == FaultKind::wire_delay) {
     PEACHY_CHECK(e.ns > 0, "faults: " + std::string{to_string(e.kind)} +
                                " needs ns=N in clause '" + std::string{clause} + "'");
   }
+  PEACHY_CHECK(e.frame == kAnyScope || is_wire_kind(e.kind),
+               "faults: frame= only applies to wire_* kinds in clause '" + std::string{clause} +
+                   "'");
+  PEACHY_CHECK(e.tag == kAnyScope || !is_wire_kind(e.kind),
+               "faults: tag= does not apply to wire_* kinds (the wire sees frames, "
+               "not tags) in clause '" + std::string{clause} + "'");
   return e;
 }
 
@@ -119,6 +148,11 @@ FaultEvent parse_event(std::string_view clause) {
 
 std::string_view to_string(FaultKind k) noexcept {
   return kKindNames[static_cast<std::size_t>(k)];
+}
+
+std::string_view wire_frame_name(int frame) noexcept {
+  if (frame < 0 || static_cast<std::size_t>(frame) >= std::size(kFrameNames)) return "?";
+  return kFrameNames[static_cast<std::size_t>(frame)];
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec_or_file) {
@@ -171,6 +205,7 @@ std::string FaultPlan::to_string() const {
     if (e.step != kAnyStep) field("step", e.step);
     if (e.prob > 0.0) field("prob", e.prob);
     if (e.ns > 0) field("ns", e.ns);
+    if (e.frame != kAnyScope) field("frame", wire_frame_name(e.frame));
   }
   return os.str();
 }
@@ -207,6 +242,7 @@ SendAction FaultInjector::on_send(int source, int dest, int tag) {
   const std::uint64_t step = steps_[static_cast<std::size_t>(source)]++;
   SendAction a;
   for (const FaultEvent& e : plan_.events()) {
+    if (is_wire_kind(e.kind)) continue;  // handled by WireInjector, below the machine
     if (e.kind != FaultKind::crash &&
         ((e.dest != kAnyScope && e.dest != dest) || (e.tag != kAnyScope && e.tag != tag))) {
       continue;
@@ -218,6 +254,7 @@ SendAction FaultInjector::on_send(int source, int dest, int tag) {
       case FaultKind::duplicate: a.duplicate = true; break;
       case FaultKind::delay: a.delay_ns += e.ns; break;
       case FaultKind::stall: a.stall_ns += e.ns; break;
+      default: break;  // wire kinds filtered above
     }
     record(e.kind, source, step, dest, tag);
     if (a.crash) break;  // the rank dies before this send takes effect
@@ -267,5 +304,118 @@ std::string FaultInjector::log_string() const {
   }
   return os.str();
 }
+
+WireInjector::WireInjector(const FaultPlan& plan) : plan_{plan} {
+  for (const FaultEvent& e : plan_.events()) {
+    if (is_wire_kind(e.kind)) armed_ = true;
+  }
+}
+
+bool WireInjector::fires(const FaultEvent& e, int src, std::uint64_t step) const {
+  // Same pure-function-of-(seed, kind, src, step) scheme as FaultInjector —
+  // the kind is folded in, so a wire event and a machine event at the same
+  // (rank, step) draw independently.
+  if (e.rank != kAnyScope && e.rank != src) return false;
+  if (e.step != kAnyStep) return e.step == step;
+  rng::SplitMix64 g{rng::derive_seed(
+      plan_.seed(), (static_cast<std::uint64_t>(e.kind) << 40) ^
+                        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 44) ^
+                        step)};
+  return g.next_double() < e.prob;
+}
+
+WireAction WireInjector::on_frame(int src, int dst, int frame) {
+  if (!armed_) return {};
+  WireAction a;
+  std::uint64_t step = 0;
+  {
+    const std::scoped_lock lock{mu_};
+    step = steps_[{src, frame}]++;
+  }
+  for (const FaultEvent& e : plan_.events()) {
+    if (!is_wire_kind(e.kind)) continue;
+    // Unscoped events touch only data frames; the control protocol
+    // (failed/revoke/bye) is chaos-tested on explicit frame= request only.
+    if (e.frame == kAnyScope ? frame != kWireFrameData : e.frame != frame) continue;
+    if (e.dest != kAnyScope && e.dest != dst) continue;
+    if (!fires(e, src, step)) continue;
+    switch (e.kind) {
+      case FaultKind::wire_drop: a.drop = true; break;
+      case FaultKind::wire_dup: a.duplicate = true; break;
+      case FaultKind::wire_delay: a.delay_ns += e.ns; break;
+      case FaultKind::wire_corrupt: a.corrupt = true; break;
+      case FaultKind::wire_truncate: a.truncate = true; break;
+      default: break;
+    }
+    if (obs::enabled()) {
+      // faults.wire.drop / dup / delay / corrupt / truncate.
+      constexpr std::string_view kPrefix = "wire_";
+      obs::counter("faults.wire." +
+                   std::string{to_string(e.kind).substr(kPrefix.size())})
+          .add(1);
+    }
+    const std::scoped_lock lock{mu_};
+    log_.push_back(Record{e.kind, src, step, dst, frame});
+  }
+  return a;
+}
+
+std::vector<WireInjector::Record> WireInjector::log() const {
+  std::vector<Record> out;
+  {
+    const std::scoped_lock lock{mu_};
+    out = log_;
+  }
+  std::sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.frame != b.frame) return a.frame < b.frame;
+    if (a.step != b.step) return a.step < b.step;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  });
+  return out;
+}
+
+std::string WireInjector::log_string() const {
+  std::ostringstream os;
+  for (const Record& r : log()) {
+    os << to_string(r.kind) << " rank=" << r.src << " step=" << r.step;
+    if (r.dst != kAnyScope) os << " dest=" << r.dst;
+    os << " frame=" << wire_frame_name(r.frame) << '\n';
+  }
+  return os.str();
+}
+
+namespace wire {
+
+namespace {
+// Readers (transport send paths) go through the atomic; the owner slots
+// keep the current injector alive, plus the previously retired one for a
+// one-generation grace period — a send straggling out of an earlier run's
+// teardown that loaded the old pointer just before a reconfigure must not
+// dereference freed memory.  configure() itself races with nothing by
+// contract (run entry is single-threaded).
+std::mutex g_wire_mu;
+std::shared_ptr<WireInjector> g_wire_owner;    // NOLINT(cert-err58-cpp)
+std::shared_ptr<WireInjector> g_wire_retired;  // NOLINT(cert-err58-cpp)
+std::atomic<WireInjector*> g_wire_active{nullptr};
+}  // namespace
+
+void configure(const FaultPlan* plan) {
+  const std::scoped_lock lock{g_wire_mu};
+  std::shared_ptr<WireInjector> next;
+  if (plan != nullptr) {
+    auto candidate = std::make_shared<WireInjector>(*plan);
+    if (candidate->armed()) next = std::move(candidate);
+  }
+  g_wire_active.store(next.get(), std::memory_order_release);
+  g_wire_retired = std::move(g_wire_owner);
+  g_wire_owner = std::move(next);
+}
+
+WireInjector* injector() noexcept {
+  return g_wire_active.load(std::memory_order_acquire);
+}
+
+}  // namespace wire
 
 }  // namespace peachy::faults

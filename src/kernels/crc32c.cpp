@@ -1,0 +1,69 @@
+/// \file crc32c.cpp
+/// \brief Scalar CRC32C reference + runtime dispatcher (crc32c.hpp).
+
+#include "kernels/crc32c.hpp"
+
+#include <array>
+#include <atomic>
+
+namespace peachy::kernels {
+
+namespace {
+
+/// Reflected CRC32C polynomial (x^32+x^28+x^27+...+1, bit-reversed).
+constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? (c >> 1) ^ kPolyReflected : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+std::atomic<bool> g_force_scalar{false};
+
+}  // namespace
+
+namespace ref {
+
+std::uint32_t crc32c(std::uint32_t seed, const void* data, std::size_t n) noexcept {
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ref
+
+bool crc32c_hw_available() noexcept {
+#if defined(PEACHY_HAVE_SSE42)
+  static const bool ok = __builtin_cpu_supports("sse4.2");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+void force_crc32c_scalar(bool force) noexcept {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+std::uint32_t crc32c(std::uint32_t seed, const void* data, std::size_t n) noexcept {
+#if defined(PEACHY_HAVE_SSE42)
+  if (crc32c_hw_available() && !g_force_scalar.load(std::memory_order_relaxed)) {
+    return detail::crc32c_sse42(seed, data, n);
+  }
+#endif
+  return ref::crc32c(seed, data, n);
+}
+
+}  // namespace peachy::kernels

@@ -1,0 +1,47 @@
+#pragma once
+/// \file crc32c.hpp
+/// \brief CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the frame-integrity
+/// checksum of the wire transports (DESIGN.md §17).
+///
+/// Same contract as the rest of the kernel layer (kernels.hpp): the scalar
+/// reference in `ref::` *defines* the semantics, and the hardware path
+/// (SSE4.2 `crc32` instructions, its own TU compiled with -msse4.2) must be
+/// bit-exact against it — asserted in tests over every length and alignment.
+/// Dispatch is runtime: the binary carries both paths and picks per CPU, so
+/// a build from an SSE4.2 host still runs everywhere.
+///
+/// The CRC is *reflected* with conventional pre/post inversion, seeded so
+/// results chain: `crc32c(crc32c(0, a, n), b, m) == crc32c(0, ab, n+m)`.
+/// That chaining is what lets the wire seal a header and its payload in two
+/// calls without a gather copy.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace peachy::kernels {
+
+namespace ref {
+/// Scalar (table-driven) CRC32C — the semantic definition.
+[[nodiscard]] std::uint32_t crc32c(std::uint32_t seed, const void* data,
+                                   std::size_t n) noexcept;
+}  // namespace ref
+
+/// True when the CPU executes the SSE4.2 path (compiled in and supported).
+[[nodiscard]] bool crc32c_hw_available() noexcept;
+
+/// Testing hook: when forced, the dispatcher takes the scalar path even on
+/// SSE4.2 hardware (the bit-exactness test runs both sides on one machine).
+void force_crc32c_scalar(bool force) noexcept;
+
+/// Runtime-dispatched CRC32C (hardware when available, scalar otherwise).
+[[nodiscard]] std::uint32_t crc32c(std::uint32_t seed, const void* data,
+                                   std::size_t n) noexcept;
+
+namespace detail {
+/// SSE4.2 hardware path (crc32c_sse42.cpp); call only when
+/// crc32c_hw_available().
+[[nodiscard]] std::uint32_t crc32c_sse42(std::uint32_t seed, const void* data,
+                                         std::size_t n) noexcept;
+}  // namespace detail
+
+}  // namespace peachy::kernels

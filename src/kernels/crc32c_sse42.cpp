@@ -1,0 +1,60 @@
+/// \file crc32c_sse42.cpp
+/// \brief SSE4.2 hardware CRC32C path.  This TU alone is compiled with
+/// -msse4.2 (CMake source property, mirroring kernels_avx2.cpp); the
+/// dispatcher in crc32c.cpp guards every call with __builtin_cpu_supports.
+
+#if defined(PEACHY_HAVE_SSE42)
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include <nmmintrin.h>
+
+namespace peachy::kernels::detail {
+
+std::uint32_t crc32c_sse42(std::uint32_t seed, const void* data, std::size_t n) noexcept {
+  // The crc32 instruction family updates the *inverted* running state with
+  // the same reflected polynomial as the scalar table — identical pre/post
+  // inversion keeps the two paths bit-exact and chainable.
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+
+  // Align to 8 bytes, then eat 8-byte words, then the tail.
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, sizeof word);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace peachy::kernels::detail
+
+#else  // !PEACHY_HAVE_SSE42
+
+#include "kernels/crc32c.hpp"
+
+namespace peachy::kernels::detail {
+
+// Builds without the SSE4.2 TU still link the symbol (tests reference it
+// unconditionally); the dispatcher never selects it here.
+std::uint32_t crc32c_sse42(std::uint32_t seed, const void* data, std::size_t n) noexcept {
+  return ref::crc32c(seed, data, n);
+}
+
+}  // namespace peachy::kernels::detail
+
+#endif  // PEACHY_HAVE_SSE42

@@ -204,20 +204,54 @@ LaunchResult launch_impl(const LaunchOptions& opts, const std::string& exec_path
   // Reap.  For shm worlds the launcher is the failure detector: a
   // signal death is announced to every still-running survivor's ring
   // right away, so they shrink while the launcher keeps waiting.
+  //
+  // PEACHY_LAUNCH_REAP_MS > 0 arms straggler reaping: once any child has
+  // exited, remaining children that produce no further exits for that
+  // many milliseconds are SIGKILLed.  This exists for the wedged-rank
+  // scenario (heartbeat e2e): survivors detect a SIGSTOPped peer,
+  // shrink, finish, and exit — but the wedged child would park the
+  // launcher in waitpid forever.  With no exits yet the timer is idle,
+  // so a slow world start is never killed.
+  const int reap_ms = env_int("PEACHY_LAUNCH_REAP_MS", 0);
   LaunchResult res;
   res.procs.resize(static_cast<std::size_t>(n));
   std::map<pid_t, int> rank_of;
   for (int r = 0; r < n; ++r) rank_of[pids[static_cast<std::size_t>(r)]] = r;
   std::vector<bool> reaped(static_cast<std::size_t>(n), false);
+  int idle_ms = 0;
+  bool any_exit = false;
   for (int remaining = n; remaining > 0;) {
     int st = 0;
-    const pid_t pid = waitpid(-1, &st, 0);
+    pid_t pid = -1;
+    if (reap_ms > 0) {
+      pid = waitpid(-1, &st, WNOHANG);
+      if (pid == 0) {
+        constexpr int kPollMs = 10;
+        if (any_exit) {
+          idle_ms += kPollMs;
+          if (idle_ms > reap_ms) {
+            for (int r = 0; r < n; ++r) {
+              if (!reaped[static_cast<std::size_t>(r)]) {
+                kill(pids[static_cast<std::size_t>(r)], SIGKILL);
+              }
+            }
+            idle_ms = 0;  // the kills produce exits; reap them normally
+          }
+        }
+        usleep(kPollMs * 1000);
+        continue;
+      }
+    } else {
+      pid = waitpid(-1, &st, 0);
+    }
     if (pid < 0) {
       if (errno == EINTR) continue;
       break;
     }
     const auto it = rank_of.find(pid);
     if (it == rank_of.end()) continue;  // some other child of the caller
+    any_exit = true;
+    idle_ms = 0;
     const int r = it->second;
     ProcStatus& ps = res.procs[static_cast<std::size_t>(r)];
     ps.rank = r;
@@ -236,8 +270,9 @@ LaunchResult launch_impl(const LaunchOptions& opts, const std::string& exec_path
         // can prove the hole is dead and skip it — only then post the
         // kFailed frames that ride the rings behind any such hole.
         detail::shm_mark_dead(shm, r);
-        const detail::FrameHeader h = detail::make_ctrl_header(
+        detail::FrameHeader h = detail::make_ctrl_header(
             detail::WireKind::kFailed, 0, r, 0);
+        detail::seal_frame(h, nullptr);
         for (int peer = 0; peer < n; ++peer) {
           if (peer == r || reaped[static_cast<std::size_t>(peer)]) continue;
           (void)detail::ring_push(shm, peer, detail::kShmLauncherProc, h, nullptr);

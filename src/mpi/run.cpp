@@ -1,6 +1,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "faults/plan.hpp"
 #include "mpi/launch.hpp"
 #include "mpi/mpi.hpp"
 
@@ -53,6 +54,9 @@ TrafficStats run_impl(int nranks, const RunOptions& opts,
                "rerun unlaunched (or with check=off) instead");
   const faults::FaultPlan* plan =
       opts.plan != nullptr ? opts.plan : faults::FaultPlan::from_env();
+  // Wire-scoped events live at the transport send boundary, below the
+  // Machine — arm (or disarm) the process-global injector for this run.
+  faults::wire::configure(plan);
   const std::uint64_t timeout_ns =
       opts.op_timeout_ns > 0 ? opts.op_timeout_ns : env_timeout_ns();
   detail::Machine machine{nranks, opts.check, plan, timeout_ns, opts.tunables, kind};
@@ -95,6 +99,9 @@ TrafficStats run_impl(int nranks, const RunOptions& opts,
   if (opts.fault_log != nullptr) {
     *opts.fault_log =
         machine.injector() != nullptr ? machine.injector()->log_string() : std::string{};
+    if (const faults::WireInjector* wi = faults::wire::injector(); wi != nullptr) {
+      *opts.fault_log += wi->log_string();
+    }
   }
 
   // With a failed rank, undelivered messages to/from it are the expected

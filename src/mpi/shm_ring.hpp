@@ -59,7 +59,9 @@
 
 namespace peachy::mpi::detail {
 
-inline constexpr std::uint32_t kShmMagic = 0x50534D32;  // "PSM2"
+// "PSM3": bumped from "PSM2" when the heartbeat alive words (and the
+// CRC-bearing 48-byte FrameHeader inside every slot) changed the layout.
+inline constexpr std::uint32_t kShmMagic = 0x50534D33;
 inline constexpr std::size_t kShmInlineBytes = 1024;    ///< inline payload capacity per slot
 inline constexpr std::size_t kShmRingSlots = 64;
 inline constexpr std::size_t kShmSpillBytes = std::size_t{16} << 20;  ///< spill arena per ring
@@ -120,6 +122,14 @@ struct ShmSegHeader {
   /// (set *before* it posts the kFailed frames, so a consumer stuck on
   /// p's unpublished slot can always make progress).
   std::atomic<std::uint64_t> dead_mask;
+  /// Heartbeat last-alive words: each process's beat thread stores its
+  /// CLOCK_MONOTONIC timestamp (ns) into alive_ns[proc] and scans its
+  /// peers' words — the shm equivalent of the socket backend's kPing
+  /// frames (DESIGN.md §17).  Zero means "never beat" (process not up
+  /// yet, or heartbeat disabled), which monitors skip — no false death
+  /// from a slow-starting peer.  The segment is page-zeroed at creation,
+  /// so no init is needed.
+  std::atomic<std::uint64_t> alive_ns[kShmMaxFastProcs];
 };
 
 /// A mapped segment (creator or attacher side).

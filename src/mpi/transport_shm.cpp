@@ -1,5 +1,8 @@
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <ctime>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -8,6 +11,8 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include "faults/detect.hpp"
+#include "faults/plan.hpp"
 #include "mpi/frame_router.hpp"
 #include "mpi/launch.hpp"
 #include "mpi/shm_ring.hpp"
@@ -63,6 +68,13 @@ class ShmEndpoint {
     }
     dead_ = std::make_unique<std::atomic<bool>[]>(static_cast<std::size_t>(nprocs_));
     pump_ = std::thread{[this] { pump_main(); }};
+    // Heartbeat: launched multi-process worlds only (from_env gates), and
+    // only while the alive-word array covers every process — wide worlds
+    // past kShmMaxFastProcs keep the launcher-only failure detector.
+    hb_ = faults::HeartbeatConfig::from_env(launched_, nprocs_);
+    if (hb_.enabled() && nprocs_ <= kShmMaxFastProcs) {
+      beat_ = std::thread{[this] { beat_main(); }};
+    }
     started_ = true;
   }
 
@@ -72,9 +84,13 @@ class ShmEndpoint {
   [[nodiscard]] int my_proc() const noexcept { return my_proc_; }
   [[nodiscard]] int proc_of(int rank) const noexcept { return launched_ ? rank : 0; }
 
-  void send_frame(int proc, const FrameHeader& h, const std::byte* payload) {
+  void send_frame(int proc, FrameHeader h, const std::byte* payload) {
     std::atomic<bool>& dead = dead_[static_cast<std::size_t>(proc)];
     if (dead.load(std::memory_order_relaxed)) return;
+    if (faults::WireInjector* wi = faults::wire::injector(); wi != nullptr) {
+      if (inject_and_push(*wi, proc, h, payload, dead)) return;
+    }
+    seal_frame(h, payload);
     (void)ring_push(view_, proc, my_proc_, h, payload, &dead);
   }
 
@@ -84,12 +100,64 @@ class ShmEndpoint {
   ~ShmEndpoint() {
     if (!started_) return;
     stop_.store(true);
+    if (beat_.joinable()) {
+      {
+        const std::lock_guard lock{beat_mu_};  // pairs with the cv wait
+      }
+      beat_cv_.notify_all();
+      beat_.join();
+    }
     // A self-addressed goodbye wakes the pump out of its condvar wait
     // immediately (the 100ms safety poll would get there anyway).
-    const FrameHeader bye = make_ctrl_header(WireKind::kBye, 0, my_proc_, 0);
+    FrameHeader bye = make_ctrl_header(WireKind::kBye, 0, my_proc_, 0);
+    seal_frame(bye, nullptr);
     (void)ring_push(view_, my_proc_, my_proc_, bye, nullptr);
     pump_.join();
     shm_detach(view_);
+  }
+
+  /// Apply a fired wire action to one outbound frame.  Returns true when
+  /// the frame was fully handled here (dropped, or pushed in mutated
+  /// form); false sends it down the normal path.  The CRC is sealed over
+  /// the *true* content before any mutation, so the receiver's integrity
+  /// check must catch what we damaged.
+  bool inject_and_push(faults::WireInjector& wi, int proc, FrameHeader& h,
+                       const std::byte* payload, std::atomic<bool>& dead) {
+    const int src =
+        static_cast<WireKind>(h.kind) == WireKind::kData ? h.source : my_proc_;
+    const faults::WireAction a = wi.on_frame(src, proc, h.kind);
+    if (!a.any()) return false;
+    if (a.delay_ns != 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(a.delay_ns));
+    }
+    if (a.drop) return true;
+    seal_frame(h, payload);
+    const int copies = a.duplicate ? 2 : 1;
+    if (a.corrupt || a.truncate) {
+      // Mutate a private copy: duplicates and machine-level fan-out share
+      // `payload`, and a clean copy of this same buffer may still be in
+      // flight elsewhere.
+      std::vector<std::byte> scratch(static_cast<std::size_t>(h.bytes));
+      if (h.bytes != 0) std::memcpy(scratch.data(), payload, h.bytes);
+      if (h.bytes == 0) {
+        h.crc ^= 1;  // nothing to damage but the header
+      } else if (a.truncate) {
+        // The ring has no short writes, so "truncated" means the tail
+        // never made it: zeros where content should be.
+        const std::size_t keep = static_cast<std::size_t>(h.bytes) / 2;
+        std::memset(scratch.data() + keep, 0, scratch.size() - keep);
+      } else {
+        scratch[scratch.size() / 2] ^= std::byte{0x01};
+      }
+      for (int c = 0; c < copies; ++c) {
+        (void)ring_push(view_, proc, my_proc_, h, scratch.data(), &dead);
+      }
+      return true;
+    }
+    for (int c = 0; c < copies; ++c) {
+      (void)ring_push(view_, proc, my_proc_, h, payload, &dead);
+    }
+    return true;
   }
 
   /// Dispatch one frame whose payload still lives in the segment (inline
@@ -98,6 +166,15 @@ class ShmEndpoint {
   /// the ring_consume contract — because routing only ever touches
   /// mailboxes and router state.
   void dispatch(const FrameHeader& h, const std::byte* payload) {
+    if (!frame_crc_ok(h, payload)) {
+      if (obs::enabled()) obs::counter("mpi.transport.crc_fail").add(1);
+      // A corrupt data frame is dropped — to its receiver it is a lost
+      // frame, and the timeout/recovery machinery takes over.  Control
+      // frames are *never* silently dropped: losing a kFailed/kRevoke
+      // wedges every survivor, and the protocol they carry is sticky and
+      // idempotent, so delivering a damaged one is strictly safer.
+      if (static_cast<WireKind>(h.kind) == WireKind::kData) return;
+    }
     switch (static_cast<WireKind>(h.kind)) {
       case WireKind::kData:
         router_.route_data(h.seq, h.dest, frame_to_message(h, payload));
@@ -121,6 +198,11 @@ class ShmEndpoint {
       case WireKind::kHello:
       case WireKind::kBye:
         break;  // rendezvous is the launcher's job; bye is just a wakeup
+      case WireKind::kPing:
+        // Endpoint-level liveness only (the shm detector reads alive
+        // words, not pings, but a socket-style ping must still never
+        // reach a machine or the checker's in-flight accounting).
+        break;
     }
   }
 
@@ -148,6 +230,54 @@ class ShmEndpoint {
     note_batch(batch);
   }
 
+  [[nodiscard]] static std::uint64_t monotonic_ns() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000u +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+
+  /// Heartbeat thread (DESIGN.md §17): every interval, store our
+  /// CLOCK_MONOTONIC timestamp into the segment's alive word — shared
+  /// memory is the ping; no frames, no ring traffic — and scan the
+  /// peers' words.  CLOCK_MONOTONIC is system-wide, so the words of
+  /// different processes are directly comparable.  A peer already in
+  /// dead_mask is the launcher's kill; we skip it.  A peer whose word
+  /// stays stale past the timeout (+ grace) is confirmed dead — SIGKILL
+  /// with no launcher alive to notice, or wedged (SIGSTOP, runaway
+  /// handler) — and fed to the router exactly like a launcher report.
+  void beat_main() {
+    ShmSegHeader* hdr = view_.header();
+    faults::HeartbeatMonitor mon{nprocs_, hb_};
+    const auto interval = std::chrono::nanoseconds{hb_.interval_ns()};
+    for (;;) {
+      const std::uint64_t now = monotonic_ns();
+      hdr->alive_ns[my_proc_].store(now, std::memory_order_relaxed);
+      const std::uint64_t dead_mask = hdr->dead_mask.load(std::memory_order_relaxed);
+      for (int p = 0; p < nprocs_; ++p) {
+        if (p == my_proc_) continue;
+        if ((dead_mask >> p) & 1u) continue;  // launcher already reported it
+        std::atomic<bool>& dead = dead_[static_cast<std::size_t>(p)];
+        if (dead.load(std::memory_order_relaxed)) continue;
+        const std::uint64_t w =
+            hdr->alive_ns[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+        if (w != 0) mon.alive(p, w);
+        if (mon.check(p, now) == faults::HeartbeatMonitor::Verdict::kConfirmed) {
+          dead.store(true, std::memory_order_relaxed);
+          router_.peer_failed(
+              static_cast<std::uint32_t>(p),
+              "rank " + std::to_string(p) + "'s process went silent: no heartbeat for " +
+                  std::to_string((now - w) / 1'000'000) + "ms (peer-to-peer detection)");
+        }
+      }
+      std::unique_lock lock{beat_mu_};
+      if (beat_cv_.wait_for(lock, interval,
+                            [this] { return stop_.load(std::memory_order_relaxed); })) {
+        return;
+      }
+    }
+  }
+
   std::mutex start_mu_;
   bool started_ = false;
   bool launched_ = false;
@@ -158,6 +288,10 @@ class ShmEndpoint {
   FrameRouter router_;
   std::atomic<bool> stop_{false};
   std::thread pump_;
+  faults::HeartbeatConfig hb_;
+  std::mutex beat_mu_;
+  std::condition_variable beat_cv_;
+  std::thread beat_;
 };
 
 class ShmTransport final : public Transport {

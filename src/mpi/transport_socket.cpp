@@ -1,11 +1,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <ctime>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -22,6 +25,10 @@
 #include <sys/eventfd.h>
 #endif
 
+#include "faults/detect.hpp"
+#include "faults/faults.hpp"
+#include "faults/plan.hpp"
+#include "faults/retry.hpp"
 #include "mpi/frame_router.hpp"
 #include "mpi/launch.hpp"
 #include "mpi/transport.hpp"
@@ -133,6 +140,15 @@ class SocketEndpoint {
       close(li.down_fd);
     }
 
+    // Heartbeat failure detector (faults/detect.hpp): launched
+    // multi-process worlds only.  Set up before the pump starts — the
+    // pump thread owns last_rx_/mon_ from here on.
+    hb_ = faults::HeartbeatConfig::from_env(launched_, nprocs_);
+    if (hb_.enabled()) {
+      last_rx_ = std::make_unique<std::uint64_t[]>(static_cast<std::size_t>(nprocs_));
+      mon_.emplace(nprocs_, hb_);
+    }
+
     // The pump must be accepting before we dial out: every process
     // connects to every other (and to itself) at the same time.
 #if defined(__linux__)
@@ -144,30 +160,65 @@ class SocketEndpoint {
     wake_fd_ = pipefd[0];
     wake_write_fd_ = pipefd[1];
 #endif
+    // Channels exist (fd = -1) before the pump runs: its heartbeat tick
+    // touches out_[p] and must never race the allocation.
+    out_ = std::make_unique<OutChannel[]>(static_cast<std::size_t>(nprocs_));
     pump_ = std::thread{[this] { pump_main(); }};
 
-    out_ = std::make_unique<OutChannel[]>(static_cast<std::size_t>(nprocs_));
     for (int p = 0; p < nprocs_; ++p) {
-      const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-      PEACHY_CHECK(fd >= 0, "socket transport: socket() failed");
-      sockaddr_in peer{};
-      peer.sin_family = AF_INET;
-      peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      peer.sin_port = htons(ports[static_cast<std::size_t>(p)]);
-      int rc;
-      do {
-        rc = connect(fd, reinterpret_cast<sockaddr*>(&peer), sizeof peer);
-      } while (rc != 0 && errno == EINTR);
-      PEACHY_CHECK(rc == 0, "socket transport: connect to rank " + std::to_string(p) +
-                                " (port " + std::to_string(ports[static_cast<std::size_t>(p)]) +
-                                ") failed (" + std::string{std::strerror(errno)} + ")");
-      const int one = 1;
-      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      out_[static_cast<std::size_t>(p)].fd = fd;
+      out_[static_cast<std::size_t>(p)].fd = dial_peer(p, ports[static_cast<std::size_t>(p)]);
       const FrameHeader hello = make_ctrl_header(WireKind::kHello, 0, my_proc_, 0);
       send_frame(p, hello, PayloadBuffer{});
     }
     started_ = true;
+  }
+
+  /// Connect to peer `p`, retrying transient refusals with bounded
+  /// backoff.  Every process dials every other the moment the port table
+  /// arrives; a peer whose accept queue briefly overflows (or that is a
+  /// beat behind in its own startup) answers ECONNREFUSED — one attempt
+  /// is not a verdict.  Exhaustion raises RendezvousError naming the
+  /// rank and port, not a bare errno.
+  int dial_peer(int p, std::uint16_t port) {
+    const faults::RetryPolicy policy{/*max_attempts=*/8, /*base_delay_ns=*/5'000'000,
+                                     /*multiplier=*/2.0, /*jitter=*/0.1,
+                                     /*seed=*/static_cast<std::uint64_t>(p) + 1};
+    int last_err = 0;
+    try {
+      return policy.run([&] {
+        const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        PEACHY_CHECK(fd >= 0, "socket transport: socket() failed");
+        sockaddr_in peer{};
+        peer.sin_family = AF_INET;
+        peer.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        peer.sin_port = htons(port);
+        int rc;
+        do {
+          rc = connect(fd, reinterpret_cast<sockaddr*>(&peer), sizeof peer);
+        } while (rc != 0 && errno == EINTR);
+        if (rc == 0) {
+          const int one = 1;
+          setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          return fd;
+        }
+        last_err = errno;
+        close(fd);  // a failed connect poisons the socket; dial fresh next try
+        if (last_err == ECONNREFUSED || last_err == EAGAIN || last_err == ETIMEDOUT ||
+            last_err == ECONNRESET) {
+          throw faults::TransientError{"connect refused"};
+        }
+        PEACHY_CHECK(false, "socket transport: connect to rank " + std::to_string(p) +
+                                " (port " + std::to_string(port) + ") failed (" +
+                                std::string{std::strerror(last_err)} + ")");
+        return -1;  // unreachable: PEACHY_CHECK(false) throws
+      });
+    } catch (const faults::TransientError&) {
+      throw faults::RendezvousError{
+          "socket transport: connect to rank " + std::to_string(p) + " (port " +
+          std::to_string(port) + ") still failing after " +
+          std::to_string(policy.max_attempts()) + " attempts (" +
+          std::string{std::strerror(last_err)} + ")"};
+    }
   }
 
   [[nodiscard]] FrameRouter& router() noexcept { return router_; }
@@ -182,7 +233,58 @@ class SocketEndpoint {
   /// failure means the peer is gone: the connection is retired and —
   /// absent a goodbye — the death is reported; queued frames are
   /// dropped.
-  void send_frame(int proc, const FrameHeader& h, PayloadBuffer payload) {
+  ///
+  /// The header is taken by value: this is the wire boundary, so the
+  /// seeded wire-fault injector (plan.hpp) gets to mutate, duplicate, or
+  /// drop the frame here, and the CRC seal is computed over whatever
+  /// actually goes out.
+  void send_frame(int proc, FrameHeader h, PayloadBuffer payload) {
+    int copies = 1;
+    std::size_t wire_len = static_cast<std::size_t>(h.bytes);
+    if (faults::WireInjector* wi = faults::wire::injector(); wi != nullptr) {
+      const int src = static_cast<WireKind>(h.kind) == WireKind::kData
+                          ? h.source
+                          : my_proc_;
+      const faults::WireAction act = wi->on_frame(src, proc, static_cast<int>(h.kind));
+      if (act.any()) {
+        if (act.delay_ns != 0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds{act.delay_ns});
+        }
+        if (act.drop) return;
+        // Seal over the true content first; corruption then damages a
+        // well-formed frame, exactly what the receiver's CRC must catch.
+        seal_frame(h, payload.data());
+        if (act.corrupt) {
+          if (h.bytes == 0) {
+            h.crc ^= 1;
+          } else {
+            // The payload handle may share a slab with other in-flight
+            // copies; corrupt a private copy, not the caller's bytes.
+            PayloadBuffer dirty = BufferPool::instance().acquire(
+                static_cast<std::size_t>(h.bytes));
+            std::memcpy(dirty.mutable_data(), payload.data(),
+                        static_cast<std::size_t>(h.bytes));
+            const std::size_t mid = static_cast<std::size_t>(h.bytes) / 2;
+            dirty.mutable_data()[mid] ^= std::byte{0x01};
+            payload = std::move(dirty);
+          }
+        }
+        if (act.truncate) {
+          // Short-write the payload but leave h.bytes intact: the stream
+          // desyncs and the receiver must detect it via magic/CRC.
+          wire_len = static_cast<std::size_t>(h.bytes) / 2;
+        }
+        if (act.duplicate) copies = 2;
+        enqueue_frames(proc, h, std::move(payload), wire_len, copies);
+        return;
+      }
+    }
+    seal_frame(h, payload.data());
+    enqueue_frames(proc, h, std::move(payload), wire_len, copies);
+  }
+
+  void enqueue_frames(int proc, const FrameHeader& h, PayloadBuffer payload,
+                      std::size_t wire_len, int copies) {
     OutChannel& ch = out_[static_cast<std::size_t>(proc)];
     std::unique_lock lk{ch.mu};
     if (ch.fd < 0) return;
@@ -191,8 +293,11 @@ class SocketEndpoint {
       ch.cv.wait(lk);
       if (ch.fd < 0) return;
     }
-    ch.q.push_back(OutFrame{h, std::move(payload)});
-    ch.queued_bytes += static_cast<std::size_t>(h.bytes);
+    for (int c = 0; c < copies; ++c) {
+      ch.q.push_back(OutFrame{h, c + 1 < copies ? payload.share() : std::move(payload),
+                              wire_len});
+      ch.queued_bytes += static_cast<std::size_t>(h.bytes);
+    }
     if (ch.writing) return;  // an active drainer will gather this frame
     ch.writing = true;
     drain(proc, ch, lk);
@@ -232,6 +337,10 @@ class SocketEndpoint {
   struct OutFrame {
     FrameHeader h;
     PayloadBuffer payload;
+    /// Payload bytes actually written to the wire.  Equal to h.bytes
+    /// except under injected wire_truncate, where the short write
+    /// deliberately desyncs the stream.
+    std::size_t wire_len = 0;
   };
 
   struct OutChannel {
@@ -282,25 +391,125 @@ class SocketEndpoint {
       ch.cv.notify_all();  // room freed — release any backpressured sender
       for (OutFrame& f : batch) {
         iov.push_back(iovec{&f.h, sizeof(FrameHeader)});
-        if (f.h.bytes != 0) {
-          iov.push_back(iovec{const_cast<std::byte*>(f.payload.data()),
-                              static_cast<std::size_t>(f.h.bytes)});
+        if (f.wire_len != 0) {
+          iov.push_back(iovec{const_cast<std::byte*>(f.payload.data()), f.wire_len});
         }
       }
       const bool ok = sendmsg_all(fd, iov.data(), iov.size());
       count("mpi.transport.sock.frames", static_cast<std::int64_t>(batch.size()));
       lk.lock();
       if (!ok) {
+        fail_channel_locked(proc, ch, "connection reset");
+        return;
+      }
+    }
+  }
+
+  /// Retire a channel whose peer is dead or unreachable and report the
+  /// death (unless it said goodbye).  Requires ch.mu held; safe only
+  /// when no *other* drainer owns the fd.
+  void fail_channel_locked(int proc, OutChannel& ch, const char* why) {
+    if (ch.fd >= 0) {
+      close(ch.fd);
+      ch.fd = -1;
+    }
+    ch.q.clear();
+    ch.queued_bytes = 0;
+    ch.cv.notify_all();
+    if (launched_ && !bye_[static_cast<std::size_t>(proc)].load()) {
+      router_.peer_failed(static_cast<std::uint32_t>(proc),
+                          "rank " + std::to_string(proc) + "'s process died (" +
+                              std::string{why} + ")");
+    }
+  }
+
+  /// Channel teardown for a heartbeat-confirmed-dead peer.  If a drainer
+  /// is mid-sendmsg to the corpse, shutdown() unsticks it — the blocked
+  /// write fails and the drainer's own failure path finishes cleanup.
+  void retire_channel(int p) {
+    OutChannel& ch = out_[static_cast<std::size_t>(p)];
+    std::unique_lock lk{ch.mu};
+    if (ch.fd >= 0) {
+      if (ch.writing) {
+        ::shutdown(ch.fd, SHUT_RDWR);
+      } else {
         close(ch.fd);
         ch.fd = -1;
         ch.q.clear();
         ch.queued_bytes = 0;
-        if (launched_ && !bye_[static_cast<std::size_t>(proc)].load()) {
-          router_.peer_failed(static_cast<std::uint32_t>(proc),
-                              "rank " + std::to_string(proc) +
-                                  "'s process died (connection reset)");
+      }
+    }
+    lk.unlock();
+    ch.cv.notify_all();
+  }
+
+  static std::uint64_t monotonic_ns() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+
+  /// Fire one sealed kPing at `p` without ever blocking the pump.  Only
+  /// an *idle* channel is pinged — queued data already proves to the
+  /// peer that we are alive, and an active drainer owns the fd.
+  void send_ping(int p) {
+    OutChannel& ch = out_[static_cast<std::size_t>(p)];
+    std::unique_lock lk{ch.mu, std::try_to_lock};
+    if (!lk.owns_lock()) return;  // a sender owns the channel — data is the heartbeat
+    if (ch.fd < 0 || ch.writing || !ch.q.empty()) return;
+    FrameHeader ping = make_ctrl_header(WireKind::kPing, 0, my_proc_, 0);
+    seal_frame(ping, nullptr);
+    const char* bytes = reinterpret_cast<const char*>(&ping);
+    std::size_t off = 0;
+    int spins = 0;
+    while (off < sizeof ping) {
+      const ssize_t w =
+          ::send(ch.fd, bytes + off, sizeof ping - off, MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (off == 0) return;  // no buffer room at all — skip this beat whole-frame
+        // Mid-frame stall: a half-written header must not stay on the
+        // stream.  A peer that cannot absorb 48 bytes has megabytes of
+        // unread data sitting in its buffers — the wedged-rank
+        // signature — so give it a brief grace, then retire it.
+        if (++spins > 200) {
+          fail_channel_locked(p, ch, "heartbeat write stalled (send buffer full)");
+          return;
         }
-        return;
+        ::usleep(10);
+        continue;
+      }
+      fail_channel_locked(p, ch, "connection reset");
+      return;
+    }
+    count("mpi.transport.heartbeat.ping_tx", 1);
+  }
+
+  /// One beat, pump thread only: ping every live peer's idle channel,
+  /// fold each peer's inbound last-alive stamp into the monitor, and
+  /// turn confirmed silence into the same peer_failed path a connection
+  /// reset takes — so a SIGKILLed *or wedged* rank is detected even
+  /// when its sockets are still technically open.
+  void heartbeat_tick() {
+    if (now_ns_ < next_beat_ns_) return;
+    next_beat_ns_ = now_ns_ + hb_.interval_ns();
+    for (int p = 0; p < nprocs_; ++p) {
+      if (p == my_proc_ || bye_[static_cast<std::size_t>(p)].load()) continue;
+      send_ping(p);
+      const std::uint64_t rx = last_rx_[static_cast<std::size_t>(p)];
+      if (rx != 0) mon_->alive(p, rx);
+      if (mon_->check(p, now_ns_) == faults::HeartbeatMonitor::Verdict::kConfirmed) {
+        const std::uint64_t silent_ms = rx != 0 ? (now_ns_ - rx) / 1'000'000 : 0;
+        retire_channel(p);
+        router_.peer_failed(static_cast<std::uint32_t>(p),
+                            "rank " + std::to_string(p) +
+                                "'s process went silent: no heartbeat for " +
+                                std::to_string(silent_ms) + "ms (peer-to-peer detection)");
       }
     }
   }
@@ -362,6 +571,15 @@ class SocketEndpoint {
   }
 
   void dispatch(Conn& conn, const FrameHeader& h, const std::byte* payload) {
+    if (!frame_crc_ok(h, payload)) {
+      count("mpi.transport.crc_fail", 1);
+      // Data frames are droppable: the protocol above recovers from a
+      // lost message (timeout/retry) but not from a corrupted one.  The
+      // sticky, idempotent control kinds (kFailed/kRevoke/kBye) must
+      // never be silently swallowed — deliver them even damaged; a
+      // repeat or a stale arg is harmless, a missed one wedges recovery.
+      if (static_cast<WireKind>(h.kind) == WireKind::kData) return;
+    }
     switch (static_cast<WireKind>(h.kind)) {
       case WireKind::kHello:
         conn.proc = h.source;
@@ -385,17 +603,39 @@ class SocketEndpoint {
                            std::string{reinterpret_cast<const char*>(payload),
                                        static_cast<std::size_t>(h.bytes)});
         break;
+      case WireKind::kPing:
+        // Heartbeat: carries no routing — receiving it (any frame, in
+        // fact) refreshes the sender's last-alive stamp below.
+        break;
+    }
+    if (conn.proc >= 0 && hb_.enabled()) {
+      last_rx_[static_cast<std::size_t>(conn.proc)] = now_ns_;
     }
   }
 
-  void on_conn_gone(Conn& conn) {
+  void on_conn_gone(Conn& conn, const char* why) {
     conn.closed = true;
     if (launched_ && conn.proc >= 0 && conn.proc != my_proc_ && !conn.bye) {
-      router_.peer_failed(
-          static_cast<std::uint32_t>(conn.proc),
-          "rank " + std::to_string(conn.proc) + "'s process died (connection closed without goodbye)");
+      router_.peer_failed(static_cast<std::uint32_t>(conn.proc),
+                          "rank " + std::to_string(conn.proc) + "'s process died (" + why + ")");
     }
     close(conn.fd);
+  }
+
+  /// A header that fails the magic (or claims an absurd payload) means
+  /// the byte stream has desynced — a truncated or garbled frame
+  /// upstream.  Unlike a payload CRC miss, there is no way to find the
+  /// next frame boundary, so the connection itself is unrecoverable.
+  static void check_header(const FrameHeader& h) {
+    if (h.magic != kWireMagic) {
+      throw faults::WireIntegrityError{
+          "socket transport: bad frame magic on the wire (stream desync)"};
+    }
+    if (h.bytes > (std::uint64_t{1} << 40)) {
+      throw faults::WireIntegrityError{
+          "socket transport: frame claims " + std::to_string(h.bytes) +
+          " payload bytes (corrupt length)"};
+    }
   }
 
   /// Parse complete frames out of [data, data+n); returns the number of
@@ -405,7 +645,7 @@ class SocketEndpoint {
     while (n - off >= sizeof(FrameHeader)) {
       FrameHeader h;
       std::memcpy(&h, data + off, sizeof h);
-      PEACHY_CHECK(h.magic == kWireMagic, "socket transport: corrupt frame on the wire");
+      check_header(h);
       if (n - off < sizeof h + h.bytes) break;
       dispatch(conn, h, data + off + sizeof h);
       ++frames_this_wake_;
@@ -429,7 +669,7 @@ class SocketEndpoint {
     }
     FrameHeader h;
     std::memcpy(&h, conn.buf.data(), sizeof h);
-    PEACHY_CHECK(h.magic == kWireMagic, "socket transport: corrupt frame on the wire");
+    check_header(h);
     const std::size_t total = sizeof h + static_cast<std::size_t>(h.bytes);
     const std::size_t want = std::min(total - conn.buf.size(), n - taken);
     conn.buf.insert(conn.buf.end(), data + taken, data + taken + want);
@@ -453,21 +693,32 @@ class SocketEndpoint {
         count("mpi.transport.sock.reads", 1);
         std::size_t n = static_cast<std::size_t>(r);
         const std::byte* data = stage_.data();
-        if (!conn.buf.empty()) {
-          const std::size_t taken = complete_tail(conn, data, n);
-          data += taken;
-          n -= taken;
-        }
-        if (conn.buf.empty() && n != 0) {
-          const std::size_t used = parse_frames(conn, data, n);
-          if (used < n) conn.buf.assign(data + used, data + n);
+        try {
+          if (!conn.buf.empty()) {
+            const std::size_t taken = complete_tail(conn, data, n);
+            data += taken;
+            n -= taken;
+          }
+          if (conn.buf.empty() && n != 0) {
+            const std::size_t used = parse_frames(conn, data, n);
+            if (used < n) conn.buf.assign(data + used, data + n);
+          }
+        } catch (const faults::WireIntegrityError& e) {
+          // The stream has desynced; the connection is beyond repair.
+          // Retire it and — absent a goodbye — report the peer failed,
+          // so the error feeds the same revoke/shrink machinery as a
+          // death.  Never PEACHY_CHECK here: an injected truncation must
+          // not bring the *receiver* down.
+          count("mpi.transport.crc_fail", 1);
+          on_conn_gone(conn, e.what());
+          break;
         }
         if (static_cast<std::size_t>(r) < stage_.size()) break;  // short read — socket drained
         continue;
       }
       if (r < 0 && errno == EINTR) continue;
       if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      on_conn_gone(conn);  // EOF or a hard error (ECONNRESET)
+      on_conn_gone(conn, "connection closed without goodbye");  // EOF or hard error
       break;
     }
   }
@@ -476,14 +727,24 @@ class SocketEndpoint {
     stage_.resize(kReadChunk);
     std::vector<Conn> conns;
     std::vector<pollfd> fds;
+    // With heartbeats on, poll must wake at least once per beat even
+    // when the wires are silent.
+    const int poll_ms =
+        hb_.enabled()
+            ? static_cast<int>(std::min<std::uint64_t>(200, hb_.interval_ns() / 1'000'000))
+            : 200;
     while (!stop_.load()) {
       fds.clear();
       fds.push_back(pollfd{wake_fd_, POLLIN, 0});
       fds.push_back(pollfd{listen_fd_, POLLIN, 0});
       for (const Conn& c : conns) fds.push_back(pollfd{c.fd, POLLIN, 0});
-      const int rc = poll(fds.data(), fds.size(), 200);
+      const int rc = poll(fds.data(), fds.size(), poll_ms);
       if (rc < 0 && errno != EINTR) break;
       if (stop_.load()) break;
+      if (hb_.enabled()) {
+        now_ns_ = monotonic_ns();
+        heartbeat_tick();
+      }
       if (rc <= 0) continue;
       if ((fds[0].revents & POLLIN) != 0) {
 #if defined(__linux__)
@@ -530,6 +791,11 @@ class SocketEndpoint {
   std::unique_ptr<std::atomic<bool>[]> bye_;
   std::vector<std::byte> stage_;     ///< pump-thread read staging buffer
   std::uint64_t frames_this_wake_ = 0;
+  faults::HeartbeatConfig hb_;
+  std::optional<faults::HeartbeatMonitor> mon_;  ///< pump-thread only
+  std::unique_ptr<std::uint64_t[]> last_rx_;     ///< pump-thread only; ns of last inbound frame per proc
+  std::uint64_t now_ns_ = 0;                     ///< pump-thread clock cache
+  std::uint64_t next_beat_ns_ = 0;
   FrameRouter router_;
   std::atomic<bool> stop_{false};
   std::thread pump_;

@@ -18,13 +18,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 
+#include "faults/plan.hpp"
+#include "kernels/crc32c.hpp"
 #include "mpi/transport.hpp"
 
 namespace peachy::mpi::detail {
 
-inline constexpr std::uint32_t kWireMagic = 0x50434859;  // "PCHY"
+/// "PCH2": bumped from "PCHY" when the CRC field landed — a mixed-version
+/// world fails loudly at the magic check instead of misparsing frames.
+inline constexpr std::uint32_t kWireMagic = 0x50434832;
 
 /// Frame discriminator.  kData carries a Message; the rest are control
 /// frames (hello/bye are endpoint-level, failed/revoke/abort map onto
@@ -36,20 +41,88 @@ enum class WireKind : std::uint8_t {
   kFailed = 3,  ///< source = world rank that died
   kRevoke = 4,  ///< comm = revoked communicator id
   kAbort = 5,   ///< payload = abort reason string
+  kPing = 6,    ///< heartbeat; endpoint-level, never routed to a machine
 };
+
+// The faults layer scopes wire events by frame kind without being able to
+// include this header (mpi depends on faults, not vice versa); it mirrors
+// these values as plain ints.  Keep the two sides pinned together.
+static_assert(faults::kWireFrameData == static_cast<int>(WireKind::kData) &&
+                  faults::kWireFrameHello == static_cast<int>(WireKind::kHello) &&
+                  faults::kWireFrameBye == static_cast<int>(WireKind::kBye) &&
+                  faults::kWireFrameFailed == static_cast<int>(WireKind::kFailed) &&
+                  faults::kWireFrameRevoke == static_cast<int>(WireKind::kRevoke) &&
+                  faults::kWireFrameAbort == static_cast<int>(WireKind::kAbort) &&
+                  faults::kWireFramePing == static_cast<int>(WireKind::kPing),
+              "faults::kWireFrame* must mirror WireKind numerically");
+
+/// FrameHeader.flags bit: the CRC also covers the payload bytes, not just
+/// the header.  The flag travels with the frame, so the receiver verifies
+/// exactly what the sender sealed even when the two processes disagree
+/// about the environment.
+inline constexpr std::uint8_t kFrameFlagCrcPayload = 1;
 
 struct FrameHeader {
   std::uint32_t magic = kWireMagic;
   std::uint8_t kind = 0;
-  std::uint8_t pad[3] = {0, 0, 0};
+  std::uint8_t flags = 0;    ///< kFrameFlag* bits; covered by the CRC
+  std::uint8_t pad[2] = {0, 0};
   std::uint32_t seq = 0;     ///< machine generation (kData/kRevoke/kAbort)
   std::int32_t source = 0;   ///< sender world rank (kData) / proc or rank id (ctrl)
   std::int32_t dest = 0;     ///< destination world rank (kData)
   std::int32_t tag = 0;
   std::uint32_t comm = 0;
   std::uint64_t bytes = 0;   ///< payload length following this header
+  std::uint32_t crc = 0;     ///< CRC32C over header (crc zeroed) [+ payload]
+  std::uint32_t pad2 = 0;
 };
-static_assert(sizeof(FrameHeader) == 40, "wire framing is layout-sensitive");
+static_assert(sizeof(FrameHeader) == 48, "wire framing is layout-sensitive");
+
+/// Should outbound frames seal the CRC over the payload too?
+///
+/// The header CRC is always on: 44 bytes through the hardware CRC32C
+/// costs ~10ns a frame and catches desync, header corruption, and a torn
+/// length field — the failures that wedge a stream.  Payload coverage
+/// costs two extra passes over every byte (seal + verify, ~8 GB/s each
+/// against a wire that moves ~5 GB/s), so it switches on only when it can
+/// catch something: a wire fault plan is armed (chaos runs *flip payload
+/// bytes* and the receiver must catch every one), or the deployment asks
+/// for it with PEACHY_WIRE_CRC=full.  This is the "<2% when idle"
+/// contract of EXPERIMENTS.md T-FLT-2 — full coverage is measured there
+/// at up to 2.1x on 64 KiB shm transfers.
+[[nodiscard]] inline bool wire_crc_covers_payload() noexcept {
+  static const bool forced = [] {
+    const char* env = std::getenv("PEACHY_WIRE_CRC");
+    return env != nullptr && std::strcmp(env, "full") == 0;
+  }();
+  return forced || faults::wire::injector() != nullptr;
+}
+
+/// CRC32C of a frame: the header with its crc field zeroed, chained with
+/// the payload when the header's flag says it was sealed that way.
+[[nodiscard]] inline std::uint32_t frame_crc(const FrameHeader& h,
+                                             const std::byte* payload) noexcept {
+  FrameHeader c = h;
+  c.crc = 0;
+  std::uint32_t x = kernels::crc32c(0, &c, sizeof c);
+  if ((h.flags & kFrameFlagCrcPayload) != 0 && h.bytes != 0 && payload != nullptr) {
+    x = kernels::crc32c(x, payload, static_cast<std::size_t>(h.bytes));
+  }
+  return x;
+}
+
+/// Stamp the CRC before the frame goes onto the wire (every send path).
+/// Resolves the payload-coverage policy and records it in the header.
+inline void seal_frame(FrameHeader& h, const std::byte* payload) noexcept {
+  if (wire_crc_covers_payload()) h.flags |= kFrameFlagCrcPayload;
+  h.crc = frame_crc(h, payload);
+}
+
+/// Receive-side integrity check; verifies what the sender sealed.
+[[nodiscard]] inline bool frame_crc_ok(const FrameHeader& h,
+                                       const std::byte* payload) noexcept {
+  return h.crc == frame_crc(h, payload);
+}
 
 [[nodiscard]] inline FrameHeader make_data_header(std::uint32_t seq, const Message& m,
                                                   int dest) noexcept {

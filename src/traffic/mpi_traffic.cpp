@@ -82,8 +82,12 @@ State run_mpi(mpi::Comm& comm, const Spec& spec, std::size_t steps, MpiTrafficSt
     // every rank, so only rank 0 writes (checkpoint.hpp's discipline).
     // Across processes the store is per-process memory, not shared — a
     // rank-0-only write would leave every other process unable to restart
-    // — so there every rank checkpoints its own (identical) copy.
-    const bool i_checkpoint = comm.spans_processes() || comm.rank() == 0;
+    // — so there every rank checkpoints its own (identical) copy.  An
+    // explicit ft.owner pins the writer instead (durable shared stores:
+    // one rank writing the file is enough for every survivor to restore).
+    const bool i_checkpoint = ft.owner >= 0
+                                  ? comm.rank() == ft.owner
+                                  : (comm.spans_processes() || comm.rank() == 0);
     if (ft.active() && (s + 1) % static_cast<std::size_t>(ft.every) == 0 && i_checkpoint) {
       faults::BlobWriter w;
       w.put_vec(st.pos);

@@ -12,14 +12,18 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <thread>
 
 #include "faults/checkpoint.hpp"
+#include "faults/detect.hpp"
 #include "faults/faults.hpp"
 #include "faults/plan.hpp"
 #include "faults/retry.hpp"
+#include "kernels/crc32c.hpp"
 #include "heat/heat.hpp"
 #include "mpi/mpi.hpp"
 #include "support/thread_pool.hpp"
@@ -695,4 +699,319 @@ TEST(FaultObs, InjectionAndRecoveryExportCounters) {
   EXPECT_GE(peachy::obs::histogram("faults.recovery_ns").count(), 1u);
   peachy::obs::disable();
   peachy::obs::reset();
+}
+
+// ---- wire fault plans --------------------------------------------------------
+
+TEST(WirePlan, ParsesWireClausesAndRoundTrips) {
+  const auto plan = pf::FaultPlan::parse(
+      "seed=7; wire_drop@prob=0.01; wire_corrupt@rank=1,step=3,frame=ping; "
+      "wire_delay@prob=0.02,ns=1000; wire_truncate@rank=0,dest=1,step=2; "
+      "wire_dup@frame=failed,step=0");
+  EXPECT_EQ(plan.seed(), 7u);
+  ASSERT_EQ(plan.events().size(), 5u);
+  EXPECT_EQ(plan.events()[0].kind, pf::FaultKind::wire_drop);
+  EXPECT_EQ(plan.events()[0].frame, pf::kAnyScope);  // default: data frames only
+  EXPECT_EQ(plan.events()[1].frame, pf::kWireFramePing);
+  EXPECT_EQ(plan.events()[2].ns, 1000u);
+  EXPECT_EQ(plan.events()[3].dest, 1);
+  EXPECT_EQ(plan.events()[4].frame, pf::kWireFrameFailed);
+
+  // Canonical rendering reparses to the identical plan, frame names included.
+  EXPECT_EQ(pf::FaultPlan::parse(plan.to_string()), plan);
+}
+
+TEST(WirePlan, RejectsMalformedWireClauses) {
+  // frame= is wire-level; tag= is machine-level — each is rejected on the
+  // other side of the boundary, and wire_delay needs a duration.
+  EXPECT_THROW((void)pf::FaultPlan::parse("drop@step=0,frame=data"), peachy::Error);
+  EXPECT_THROW((void)pf::FaultPlan::parse("wire_drop@step=0,tag=7"), peachy::Error);
+  EXPECT_THROW((void)pf::FaultPlan::parse("wire_delay@prob=0.5"), peachy::Error);
+  EXPECT_THROW((void)pf::FaultPlan::parse("wire_corrupt@step=0,frame=bogus"), peachy::Error);
+}
+
+// ---- wire injector -----------------------------------------------------------
+
+TEST(WireInjector, ArmedOnlyWhenThePlanHasWireEvents) {
+  EXPECT_FALSE(pf::WireInjector{pf::FaultPlan::parse("crash@rank=0,step=1")}.armed());
+  EXPECT_TRUE(pf::WireInjector{pf::FaultPlan::parse("wire_drop@prob=0.1")}.armed());
+}
+
+TEST(WireInjector, SameSeedReplaysIdenticalLog) {
+  const auto drive = [](std::uint64_t seed) {
+    auto plan = pf::FaultPlan::parse("wire_drop@prob=0.3; wire_dup@prob=0.2");
+    plan.set_seed(seed);
+    pf::WireInjector inj{plan};
+    for (int src = 0; src < 2; ++src)
+      for (std::uint64_t step = 0; step < 200; ++step)
+        (void)inj.on_frame(src, 1 - src, pf::kWireFrameData);
+    return inj.log_string();
+  };
+  const std::string a = drive(11);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, drive(11));   // bit-for-bit replay
+  EXPECT_NE(a, drive(12));   // and the seed actually matters
+}
+
+TEST(WireInjector, DefaultScopeMatchesOnlyDataFrames) {
+  pf::WireInjector inj{pf::FaultPlan::parse("wire_drop@step=0")};
+  // Step counters are per (source, frame kind): the first hello and ping
+  // are step 0 of their own kinds yet must not match a data-scoped event.
+  EXPECT_FALSE(inj.on_frame(0, 1, pf::kWireFrameHello).any());
+  EXPECT_FALSE(inj.on_frame(0, 1, pf::kWireFramePing).any());
+  EXPECT_TRUE(inj.on_frame(0, 1, pf::kWireFrameData).drop);
+  EXPECT_FALSE(inj.on_frame(0, 1, pf::kWireFrameData).any());  // step 1: past it
+}
+
+TEST(WireInjector, FrameFieldWidensScopeToControlFrames) {
+  pf::WireInjector inj{pf::FaultPlan::parse("wire_corrupt@step=0,frame=ping")};
+  EXPECT_FALSE(inj.on_frame(0, 1, pf::kWireFrameData).any());
+  EXPECT_TRUE(inj.on_frame(0, 1, pf::kWireFramePing).corrupt);
+}
+
+TEST(WireInjector, SourceAndDestScopesSelectFrames) {
+  // Steps count per (source, frame kind) — a dest-scoped event still
+  // indexes by the sender's own frame counter.
+  pf::WireInjector inj{
+      pf::FaultPlan::parse("wire_drop@rank=1,step=0; wire_dup@dest=2,step=1")};
+  EXPECT_FALSE(inj.on_frame(0, 1, pf::kWireFrameData).drop);  // src 0: out of scope
+  EXPECT_TRUE(inj.on_frame(1, 0, pf::kWireFrameData).drop);   // src 1, its step 0
+  EXPECT_TRUE(inj.on_frame(0, 2, pf::kWireFrameData).duplicate);  // src 0's step 1
+  EXPECT_FALSE(inj.on_frame(1, 2, pf::kWireFrameData).drop);  // src 1 step 1: past drop
+
+  // The log renders in canonical order with frame names.
+  const std::string log = inj.log_string();
+  EXPECT_NE(log.find("wire_drop rank=1 step=0 dest=0 frame=data"), std::string::npos);
+  EXPECT_NE(log.find("wire_dup"), std::string::npos);
+}
+
+// ---- heartbeat failure detection ---------------------------------------------
+
+namespace {
+
+/// 100ms timeout → 50ms floor interval → 50ms grace; small enough to
+/// reason about in nanosecond literals.
+pf::HeartbeatConfig tiny_hb() { return pf::HeartbeatConfig{100'000'000}; }
+
+}  // namespace
+
+TEST(Heartbeat, ConfigFromEnvGatesOnLaunchedMultiProcess) {
+  const char* saved = std::getenv("PEACHY_HEARTBEAT_TIMEOUT");
+  const std::string saved_val = saved != nullptr ? saved : "";
+  ::unsetenv("PEACHY_HEARTBEAT_TIMEOUT");
+
+  EXPECT_EQ(pf::HeartbeatConfig::from_env(true, 4).timeout_ns, 10'000'000'000u);
+  EXPECT_FALSE(pf::HeartbeatConfig::from_env(true, 1).enabled());   // no peers
+  EXPECT_FALSE(pf::HeartbeatConfig::from_env(false, 4).enabled());  // in-process world
+
+  ::setenv("PEACHY_HEARTBEAT_TIMEOUT", "2000", 1);
+  EXPECT_EQ(pf::HeartbeatConfig::from_env(true, 4).timeout_ns, 2'000'000'000u);
+  EXPECT_FALSE(pf::HeartbeatConfig::from_env(false, 4).enabled());  // env never widens
+  ::setenv("PEACHY_HEARTBEAT_TIMEOUT", "0", 1);
+  EXPECT_FALSE(pf::HeartbeatConfig::from_env(true, 4).enabled());   // explicit off
+
+  if (saved != nullptr)
+    ::setenv("PEACHY_HEARTBEAT_TIMEOUT", saved_val.c_str(), 1);
+  else
+    ::unsetenv("PEACHY_HEARTBEAT_TIMEOUT");
+
+  // Interval floors at 50ms so tiny timeouts do not busy-spin the pump.
+  EXPECT_EQ(tiny_hb().interval_ns(), 50'000'000u);
+  EXPECT_EQ(pf::HeartbeatConfig{40'000'000'000}.interval_ns(), 10'000'000'000u);
+}
+
+TEST(Heartbeat, SuspectThenConfirmEachReportedExactlyOnce) {
+  using V = pf::HeartbeatMonitor::Verdict;
+  pf::HeartbeatMonitor mon{2, tiny_hb()};
+  const std::uint64_t t0 = 1'000'000'000;
+  mon.alive(0, t0);
+
+  EXPECT_EQ(mon.check(0, t0 + 100'000'000), V::kAlive);      // exactly at timeout
+  EXPECT_EQ(mon.check(0, t0 + 100'000'001), V::kSuspected);  // just past it
+  EXPECT_EQ(mon.check(0, t0 + 110'000'000), V::kAlive);      // transition reported once
+  EXPECT_EQ(mon.check(0, t0 + 150'000'000), V::kAlive);      // still inside grace
+  EXPECT_EQ(mon.check(0, t0 + 150'000'001), V::kConfirmed);  // past timeout + grace
+  EXPECT_EQ(mon.check(0, t0 + 200'000'000), V::kAlive);      // confirm reported once
+  EXPECT_TRUE(mon.confirmed(0));
+  EXPECT_FALSE(mon.confirmed(1));
+}
+
+TEST(Heartbeat, ProofOfLifeRehabilitatesASuspect) {
+  using V = pf::HeartbeatMonitor::Verdict;
+  pf::HeartbeatMonitor mon{1, tiny_hb()};
+  const std::uint64_t t0 = 1'000'000'000;
+  mon.alive(0, t0);
+  EXPECT_EQ(mon.check(0, t0 + 120'000'000), V::kSuspected);
+  mon.alive(0, t0 + 130'000'000);  // it was merely descheduled
+  EXPECT_EQ(mon.check(0, t0 + 140'000'000), V::kAlive);
+  EXPECT_FALSE(mon.confirmed(0));
+  // Fresh silence restarts the whole suspect → confirm ladder.
+  EXPECT_EQ(mon.check(0, t0 + 230'000'001), V::kSuspected);
+}
+
+TEST(Heartbeat, FirstCheckAnchorsANeverHeardPeer) {
+  // A peer wedged before it ever spoke must still be confirmed: the first
+  // check anchors its clock, and the normal ladder runs from there.
+  using V = pf::HeartbeatMonitor::Verdict;
+  pf::HeartbeatMonitor mon{1, tiny_hb()};
+  const std::uint64_t t0 = 5'000'000'000;
+  EXPECT_EQ(mon.check(0, t0), V::kAlive);  // anchor, not a verdict
+  EXPECT_EQ(mon.check(0, t0 + 100'000'001), V::kSuspected);
+  EXPECT_EQ(mon.check(0, t0 + 150'000'001), V::kConfirmed);
+  EXPECT_TRUE(mon.confirmed(0));
+}
+
+TEST(Heartbeat, ConfirmIsStickyAndStaleStampsAreIgnored) {
+  using V = pf::HeartbeatMonitor::Verdict;
+  pf::HeartbeatMonitor mon{1, tiny_hb()};
+  const std::uint64_t t0 = 1'000'000'000;
+  mon.alive(0, t0);
+  mon.alive(0, t0 - 500'000'000);  // stale stamp must not rewind the clock
+  EXPECT_EQ(mon.check(0, t0 + 100'000'001), V::kSuspected);
+  EXPECT_EQ(mon.check(0, t0 + 150'000'001), V::kConfirmed);
+  mon.alive(0, t0 + 200'000'000);  // too late: death is sticky, like peer_failed
+  EXPECT_TRUE(mon.confirmed(0));
+  EXPECT_EQ(mon.check(0, t0 + 300'000'000), V::kAlive);
+}
+
+TEST(Heartbeat, DisabledConfigNeverSuspects) {
+  using V = pf::HeartbeatMonitor::Verdict;
+  pf::HeartbeatMonitor mon{1, pf::HeartbeatConfig{0}};
+  EXPECT_EQ(mon.check(0, 1), V::kAlive);
+  EXPECT_EQ(mon.check(0, 1'000'000'000'000), V::kAlive);
+  EXPECT_FALSE(mon.confirmed(0));
+}
+
+// ---- durable checkpoints -----------------------------------------------------
+
+namespace {
+
+/// Fresh scratch directory per test; removed on destruction.
+struct CkptDir {
+  std::string path;
+  explicit CkptDir(const std::string& name) : path{::testing::TempDir() + name} {
+    std::filesystem::remove_all(path);
+  }
+  ~CkptDir() { std::filesystem::remove_all(path); }
+};
+
+pf::Snapshot sample_snapshot() {
+  pf::BlobWriter w;
+  w.put<std::uint64_t>(42);
+  w.put_vec(std::vector<double>{1.5, -2.25, 1e-300, 3.0});
+  return pf::Snapshot{7, std::move(w).take()};
+}
+
+}  // namespace
+
+TEST(DurableCheckpoint, RoundTripsAcrossStoreInstances) {
+  const CkptDir dir{"peachy_ckpt_rt"};
+  const pf::Snapshot snap = sample_snapshot();
+  {
+    pf::DurableCheckpointStore store{dir.path};
+    store.save("traffic", snap);
+    EXPECT_TRUE(store.has("traffic"));
+    EXPECT_FALSE(store.has("kmeans"));
+  }
+  // A new store over the same directory — the "survivor restores what the
+  // dead owner wrote" path — sees the exact bytes.
+  pf::DurableCheckpointStore store{dir.path};
+  const auto got = store.load("traffic");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->next_step, snap.next_step);
+  EXPECT_EQ(got->blob, snap.blob);
+  EXPECT_FALSE(store.load("kmeans").has_value());
+}
+
+TEST(DurableCheckpoint, KeepsOnlyTheLatestSnapshotPerKey) {
+  const CkptDir dir{"peachy_ckpt_latest"};
+  pf::DurableCheckpointStore store{dir.path};
+  store.save("k", pf::Snapshot{1, {std::byte{0xAA}}});
+  store.save("k", pf::Snapshot{2, {std::byte{0xBB}, std::byte{0xCC}}});
+  const auto got = store.load("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->next_step, 2u);
+  ASSERT_EQ(got->blob.size(), 2u);
+  EXPECT_EQ(got->blob[0], std::byte{0xBB});
+}
+
+TEST(DurableCheckpoint, SanitizesKeysToFilesystemSafeNames) {
+  const CkptDir dir{"peachy_ckpt_keys"};
+  pf::DurableCheckpointStore store{dir.path};
+  EXPECT_EQ(store.path_for("a/b c"), dir.path + "/a_b_c.ckpt");
+  store.save("a/b c", pf::Snapshot{3, {std::byte{1}}});
+  ASSERT_TRUE(store.load("a/b c").has_value());
+  EXPECT_EQ(store.load("a/b c")->next_step, 3u);
+}
+
+TEST(DurableCheckpoint, TruncatedFileIsNamedCorruptionAndFallsBackFresh) {
+  const CkptDir dir{"peachy_ckpt_trunc"};
+  pf::DurableCheckpointStore store{dir.path};
+  store.save("k", sample_snapshot());
+  std::filesystem::resize_file(store.path_for("k"), 10);
+
+  EXPECT_THROW((void)store.load_strict("k"), pf::CheckpointCorruptError);
+
+  // The paranoid loader maps the same damage to "no snapshot" + a counter
+  // so recovery falls back to a fresh start instead of crashing.
+  peachy::obs::reset();
+  peachy::obs::enable();
+  EXPECT_FALSE(store.load("k").has_value());
+  EXPECT_EQ(peachy::obs::counter("faults.ckpt.corrupt").value(), 1);
+  peachy::obs::disable();
+  peachy::obs::reset();
+}
+
+TEST(DurableCheckpoint, BitFlipAnywhereFailsTheCrc) {
+  const CkptDir dir{"peachy_ckpt_flip"};
+  pf::DurableCheckpointStore store{dir.path};
+  store.save("k", sample_snapshot());
+  const std::string path = store.path_for("k");
+  {
+    std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    f.seekp(size / 2);
+    const char byte = static_cast<char>(f.peek() ^ 0x01);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  try {
+    (void)store.load_strict("k");
+    FAIL() << "bit flip must fail validation";
+  } catch (const pf::CheckpointCorruptError& e) {
+    EXPECT_NE(std::string{e.what()}.find("CRC"), std::string::npos);
+  }
+  EXPECT_FALSE(store.load("k").has_value());
+}
+
+TEST(DurableCheckpoint, VersionMismatchIsNamedNotMisreadAsCrcDamage) {
+  const CkptDir dir{"peachy_ckpt_ver"};
+  pf::DurableCheckpointStore store{dir.path};
+  store.save("k", sample_snapshot());
+  const std::string path = store.path_for("k");
+
+  // Forge a future-version file with a *valid* CRC: bump the version word
+  // and re-seal, so the loader must blame the version, not the checksum.
+  std::vector<char> bytes;
+  {
+    std::ifstream f{path, std::ios::binary};
+    bytes.assign(std::istreambuf_iterator<char>{f}, std::istreambuf_iterator<char>{});
+  }
+  ASSERT_GT(bytes.size(), 28u);
+  bytes[4] = 2;  // version lives at offset 4, little-endian
+  const std::uint32_t crc =
+      peachy::kernels::crc32c(0, bytes.data(), bytes.size() - 4);
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
+  {
+    std::ofstream f{path, std::ios::binary | std::ios::trunc};
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    (void)store.load_strict("k");
+    FAIL() << "version mismatch must be named";
+  } catch (const pf::CheckpointCorruptError& e) {
+    EXPECT_NE(std::string{e.what()}.find("version"), std::string::npos);
+  }
+  EXPECT_FALSE(store.load("k").has_value());
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/points.hpp"
+#include "kernels/crc32c.hpp"
 #include "kernels/kernels.hpp"
 #include "rng/lcg.hpp"
 #include "rng/distributions.hpp"
@@ -321,4 +322,58 @@ TEST(KernelsEdge, ZeroLengthInputs) {
   EXPECT_EQ(pk::dot(nullptr, nullptr, 0), 0.0);
   pk::stencil_row(nullptr, nullptr, 0, 0.5);  // no-op, must not crash
   pk::axpy(nullptr, nullptr, 2.0, 0);
+}
+
+// ---- crc32c (wire frame + durable checkpoint checksum) ----------------------------
+
+TEST(KernelsCrc32c, KnownVector) {
+  // The canonical CRC32C check value: "123456789" -> 0xE3069283
+  // (RFC 3720 appendix B / every iSCSI test suite).
+  const char* s = "123456789";
+  EXPECT_EQ(pk::ref::crc32c(0, s, 9), 0xE3069283u);
+  EXPECT_EQ(pk::crc32c(0, s, 9), 0xE3069283u);
+}
+
+TEST(KernelsCrc32c, EmptyInputIsSeed) {
+  EXPECT_EQ(pk::ref::crc32c(0, nullptr, 0), 0u);
+  EXPECT_EQ(pk::ref::crc32c(0x12345678u, nullptr, 0), 0x12345678u);
+}
+
+TEST(KernelsCrc32c, HardwareMatchesScalarBitExactly) {
+  if (!pk::crc32c_hw_available()) GTEST_SKIP() << "no SSE4.2 path in this build/CPU";
+  peachy::rng::Lcg64 gen{7};
+  std::vector<unsigned char> buf(1024);
+  for (auto& b : buf) b = static_cast<unsigned char>(gen.next_u32() & 0xFF);
+  // Every length 0..~1k and every alignment offset 0..7: the hw path's
+  // align-to-8 prologue and u64 word loop must agree with the table twin
+  // on all tails.
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+                          std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{15},
+                          std::size_t{16}, std::size_t{63}, std::size_t{64}, std::size_t{65},
+                          std::size_t{255}, std::size_t{1000}}) {
+    for (std::size_t off = 0; off < 8 && off + len <= buf.size(); ++off) {
+      EXPECT_EQ(pk::detail::crc32c_sse42(0xDEADBEEFu, buf.data() + off, len),
+                pk::ref::crc32c(0xDEADBEEFu, buf.data() + off, len))
+          << "len=" << len << " off=" << off;
+    }
+  }
+}
+
+TEST(KernelsCrc32c, ChainsAcrossSplits) {
+  // crc(a+b) == crc(crc(a), b): the frame checksum chains header then
+  // payload without concatenating them.
+  const char* s = "peachy parallel assignments";
+  const std::size_t n = 27;
+  const std::uint32_t whole = pk::crc32c(0, s, n);
+  for (std::size_t cut = 0; cut <= n; ++cut) {
+    EXPECT_EQ(pk::crc32c(pk::crc32c(0, s, cut), s + cut, n - cut), whole) << "cut=" << cut;
+  }
+}
+
+TEST(KernelsCrc32c, ForceScalarHookDispatches) {
+  const char* s = "123456789";
+  pk::force_crc32c_scalar(true);
+  EXPECT_EQ(pk::crc32c(0, s, 9), 0xE3069283u);
+  pk::force_crc32c_scalar(false);
+  EXPECT_EQ(pk::crc32c(0, s, 9), 0xE3069283u);
 }

@@ -15,6 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/report.hpp"
+#include "faults/detect.hpp"
+#include "faults/plan.hpp"
 #include "mpi/mpi.hpp"
 #include "obs/obs.hpp"
 #include "support/parallel_for.hpp"
@@ -299,4 +302,84 @@ TEST(PoolDispatch, BurstOfTinySubmitsHasSubMillisecondP99) {
   const double p99 = latency_ms[static_cast<std::size_t>(kBurst * 99 / 100)];
   EXPECT_LT(p99, 1.0) << "p99 dispatch latency " << p99
                       << " ms — sleeping workers are missing submit wakeups";
+}
+
+// ---- wire fault / heartbeat counter cross-checks (DESIGN.md §17) ------------
+
+TEST(ObsIntegration, WireFaultCountersMatchTheInjectorLogExactly) {
+  // Deterministic step-scoped wire events: the plan fires a known number
+  // of times, so `faults.wire.*` and `mpi.transport.crc_fail` must equal
+  // the injector's canonical log line-for-line, not merely be nonzero.
+  ScopedTrace trace;
+  const auto plan = peachy::faults::FaultPlan::parse(
+      "wire_dup@rank=0,step=0; wire_delay@rank=1,step=0,ns=100000; "
+      "wire_corrupt@rank=0,step=2");
+  std::string log;
+  pm::RunOptions o;
+  o.transport = pm::TransportKind::kShm;
+  o.plan = &plan;
+  o.check = peachy::analysis::CheckLevel::off;
+  o.op_timeout_ns = 5'000'000'000;
+  o.fault_log = &log;
+  pm::run(2, [](pm::Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 1, 10);                  // step 0: duplicated
+      c.send_value<int>(1, 2, 20);                  // step 1: clean
+      c.send<int>(1, 3, std::vector<int>(32, 3));   // step 2: corrupted → lost
+      EXPECT_EQ(c.recv_value<int>(1, 9), 90);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 1), 10);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 10);  // the duplicate's twin
+      EXPECT_EQ(c.recv_value<int>(0, 2), 20);
+      c.send_value<int>(0, 9, 90);  // rank 1 step 0: delayed, then delivered
+    }
+  }, o);
+
+  const auto lines_with = [&log](const char* needle) {
+    std::int64_t n = 0;
+    for (std::size_t at = log.find(needle); at != std::string::npos;
+         at = log.find(needle, at + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(lines_with("wire_dup"), 1);
+  EXPECT_EQ(lines_with("wire_delay"), 1);
+  EXPECT_EQ(lines_with("wire_corrupt"), 1);
+  EXPECT_EQ(po::counter("faults.wire.dup").value(), lines_with("wire_dup"));
+  EXPECT_EQ(po::counter("faults.wire.delay").value(), lines_with("wire_delay"));
+  EXPECT_EQ(po::counter("faults.wire.corrupt").value(), lines_with("wire_corrupt"));
+  // Every corrupted frame — and nothing else in this plan — trips the
+  // receive-side CRC check.
+  EXPECT_EQ(po::counter("mpi.transport.crc_fail").value(), lines_with("wire_corrupt"));
+  EXPECT_EQ(po::counter("faults.wire.drop").value(), 0);
+  EXPECT_EQ(po::counter("faults.wire.truncate").value(), 0);
+}
+
+TEST(ObsIntegration, HeartbeatCountersMatchMonitorTransitions) {
+  // Drive the failure-detector state machine directly and tally its
+  // verdicts; the exported counters must agree transition-for-transition.
+  ScopedTrace trace;
+  using V = peachy::faults::HeartbeatMonitor::Verdict;
+  peachy::faults::HeartbeatMonitor mon{2, peachy::faults::HeartbeatConfig{100'000'000}};
+  const std::uint64_t t0 = 1'000'000'000;
+  mon.alive(0, t0);
+  mon.alive(1, t0);
+
+  std::int64_t suspected = 0;
+  std::int64_t confirmed = 0;
+  const auto tally = [&](V v) {
+    if (v == V::kSuspected) ++suspected;
+    if (v == V::kConfirmed) ++confirmed;
+  };
+  tally(mon.check(0, t0 + 120'000'000));  // peer 0: suspected
+  tally(mon.check(0, t0 + 160'000'000));  // ... confirmed
+  tally(mon.check(1, t0 + 120'000'000));  // peer 1: suspected
+  mon.alive(1, t0 + 130'000'000);         // ... rehabilitated
+  tally(mon.check(1, t0 + 140'000'000));
+  tally(mon.check(1, t0 + 250'000'000));  // ... suspected again (fresh ladder)
+
+  EXPECT_EQ(suspected, 3);
+  EXPECT_EQ(confirmed, 1);
+  EXPECT_EQ(po::counter("mpi.transport.heartbeat.suspected").value(), suspected);
+  EXPECT_EQ(po::counter("mpi.transport.heartbeat.confirmed").value(), confirmed);
 }
